@@ -1,0 +1,48 @@
+"""Ablation benches — quantifying DESIGN.md §3's model decisions.
+
+Not paper figures: these regenerate the evidence behind each documented
+reading of the under-specified details, plus the future-work extension.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_total_time
+from repro.ext.ablations import ABLATIONS, run_ablation
+from repro.workload.spec import SimulationConfig
+
+
+def ablation_config() -> SimulationConfig:
+    return SimulationConfig(
+        nodes=16,
+        cms=1.0,
+        cps=100.0,
+        system_load=0.8,
+        avg_sigma=200.0,
+        dc_ratio=2.0,
+        total_time=max(bench_total_time(), 150_000.0),
+        seed=5,
+    )
+
+
+@pytest.mark.benchmark(group="ablations")
+@pytest.mark.parametrize("name", sorted(ABLATIONS))
+def test_ablation(benchmark, name):
+    result = benchmark.pedantic(
+        run_ablation, args=(name, ablation_config()), rounds=1, iterations=1
+    )
+    print()
+    print(result.summary())
+    # Well-formedness on both arms.
+    for arm in (result.baseline, result.variant):
+        assert 0.0 <= arm.reject_ratio <= 1.0
+    if name == "eager-release":
+        # Strictly more available capacity can only help (paired seeds).
+        assert result.reject_ratio_delta <= 0.02
+    if name == "fixed-point-n":
+        # The generous node-count rule never hurts DLT.
+        assert result.reject_ratio_delta <= 0.02
+    if name == "shared-head-link":
+        # Contention can only add deadline misses, never remove arrivals.
+        assert result.variant.arrivals == result.baseline.arrivals

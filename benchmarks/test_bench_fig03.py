@@ -1,0 +1,27 @@
+"""Figure 3 — Benefits of Utilizing IITs (baseline, EDF).
+
+Paper: EDF-DLT always at or below EDF-OPR-MN across SystemLoad 0.1-1.0 on
+the baseline cluster (N=16, Cms=1, Cps=100, Avgσ=200, DCRatio=2);
+Figure 3b repeats the run with 95% confidence intervals.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import assert_dlt_no_worse
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3a(benchmark, panel_runner):
+    panel_runner(benchmark, "fig3a", extra_check=assert_dlt_no_worse)
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3b(benchmark, panel_runner):
+    result = panel_runner(benchmark, "fig3b", extra_check=assert_dlt_no_worse)
+    # Figure 3b's point: every mean comes with a finite 95% CI.
+    for alg in result.spec.algorithms:
+        for p in result.series[alg]:
+            assert p.ci.half_width >= 0.0
+            assert p.ci.confidence == pytest.approx(0.95)

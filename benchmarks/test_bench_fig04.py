@@ -1,0 +1,25 @@
+"""Figure 4 — Benefits of Utilizing IITs: DCRatio effects (EDF).
+
+Paper: EDF-DLT stays at or below EDF-OPR-MN for DCRatio ∈ {3, 10, 20,
+100}, and the two curves *converge* as DCRatio grows — looser deadlines
+mean fewer nodes per task, hence fewer Inserted Idle Times to exploit.
+At DCRatio = 100 the algorithms "perform almost the same" (Fig. 4d).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import assert_dlt_no_worse, assert_gap_small
+
+
+@pytest.mark.benchmark(group="fig4")
+@pytest.mark.parametrize("panel", ["fig4a", "fig4b", "fig4c"])
+def test_fig4_dlt_no_worse(benchmark, panel_runner, panel):
+    panel_runner(benchmark, panel, extra_check=assert_dlt_no_worse)
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4d_curves_converge(benchmark, panel_runner):
+    """DCRatio = 100: the IIT benefit vanishes (paper Fig. 4d)."""
+    panel_runner(benchmark, "fig4d", extra_check=assert_gap_small)

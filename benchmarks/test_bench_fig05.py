@@ -1,0 +1,35 @@
+"""Figure 5 — DLT-Based vs User-Split partitioning (EDF headline).
+
+Paper: at the baseline DCRatio = 2 (Fig. 5a) EDF-DLT always beats
+EDF-UserSplit; at DCRatio = 10 (Fig. 5b) User-Split *occasionally* wins,
+but only by negligible margins (Section 5.2: when User-Split wins, the
+average gain is 0.016 vs 0.121 when DLT wins).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import assert_dlt_no_worse
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5a_dlt_beats_user_split(benchmark, panel_runner):
+    # User-Split is stochastic; allow smoke-scale noise in the margin.
+    panel_runner(
+        benchmark,
+        "fig5a",
+        extra_check=lambda r: assert_dlt_no_worse(r, tol=0.06),
+    )
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5b_loose_deadlines(benchmark, panel_runner):
+    """DCRatio = 10: no winner asserted (the paper reports occasional
+    User-Split wins here); only well-formedness and the aggregate gap
+    direction are reported."""
+    result = panel_runner(benchmark, "fig5b")
+    a1, a2 = result.spec.algorithms
+    # The mean gap may be small but an *enormous* User-Split advantage
+    # would signal a modelling bug.
+    assert result.mean_gap(a1, a2) > -0.05

@@ -1,0 +1,17 @@
+"""Figure 6 — Benefits of Utilizing IITs: Avgσ effects (EDF).
+
+Paper: the EDF-DLT advantage over EDF-OPR-MN survives scaling the average
+task data size across Avgσ ∈ {100, 200, 400, 800} (Appendix Fig. 6).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import assert_dlt_no_worse
+
+
+@pytest.mark.benchmark(group="fig6")
+@pytest.mark.parametrize("panel", ["fig6a", "fig6b", "fig6c", "fig6d"])
+def test_fig6_avg_sigma_effects(benchmark, panel_runner, panel):
+    panel_runner(benchmark, panel, extra_check=assert_dlt_no_worse)

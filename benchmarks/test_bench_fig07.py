@@ -1,0 +1,18 @@
+"""Figure 7 — Benefits of Utilizing IITs: Cms effects (EDF).
+
+Paper: the EDF-DLT advantage survives scaling the unit transmission cost
+across Cms ∈ {1, 2, 4, 8} (Appendix Fig. 7; the TR's fig7c plot header
+says cms=2 but the caption's Cms=4 is the intended sweep value).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import assert_dlt_no_worse
+
+
+@pytest.mark.benchmark(group="fig7")
+@pytest.mark.parametrize("panel", ["fig7a", "fig7b", "fig7c", "fig7d"])
+def test_fig7_cms_effects(benchmark, panel_runner, panel):
+    panel_runner(benchmark, panel, extra_check=assert_dlt_no_worse)

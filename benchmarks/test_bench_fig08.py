@@ -1,0 +1,20 @@
+"""Figure 8 — Benefits of Utilizing IITs: Cps effects (EDF).
+
+Paper: the EDF-DLT advantage survives scaling the unit computation cost
+across Cps ∈ {10, 50, 500, 1000, 5000, 10000} (Appendix Fig. 8; the
+baseline Cps=100 panel is Figure 3a).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import assert_dlt_no_worse
+
+
+@pytest.mark.benchmark(group="fig8")
+@pytest.mark.parametrize(
+    "panel", ["fig8a", "fig8b", "fig8c", "fig8d", "fig8e", "fig8f"]
+)
+def test_fig8_cps_effects(benchmark, panel_runner, panel):
+    panel_runner(benchmark, panel, extra_check=assert_dlt_no_worse)

@@ -1,0 +1,22 @@
+"""Figure 9 — Benefits of Utilizing IITs: DCRatio effects (FIFO).
+
+Paper: the FIFO pair mirrors the EDF pair of Figure 4 — FIFO-DLT at or
+below FIFO-OPR-MN, with convergence as DCRatio grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import assert_dlt_no_worse, assert_gap_small
+
+
+@pytest.mark.benchmark(group="fig9")
+@pytest.mark.parametrize("panel", ["fig9a", "fig9b", "fig9c"])
+def test_fig9_dlt_no_worse(benchmark, panel_runner, panel):
+    panel_runner(benchmark, panel, extra_check=assert_dlt_no_worse)
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9d_curves_converge(benchmark, panel_runner):
+    panel_runner(benchmark, "fig9d", extra_check=assert_gap_small)

@@ -1,0 +1,16 @@
+"""Figure 10 — Benefits of Utilizing IITs: Avgσ effects (FIFO).
+
+Paper: FIFO-DLT at or below FIFO-OPR-MN for Avgσ ∈ {100, 200, 400, 800}.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import assert_dlt_no_worse
+
+
+@pytest.mark.benchmark(group="fig10")
+@pytest.mark.parametrize("panel", ["fig10a", "fig10b", "fig10c", "fig10d"])
+def test_fig10_avg_sigma_effects(benchmark, panel_runner, panel):
+    panel_runner(benchmark, panel, extra_check=assert_dlt_no_worse)

@@ -1,0 +1,16 @@
+"""Figure 11 — Benefits of Utilizing IITs: Cms effects (FIFO).
+
+Paper: FIFO-DLT at or below FIFO-OPR-MN for Cms ∈ {1, 2, 4, 8}.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import assert_dlt_no_worse
+
+
+@pytest.mark.benchmark(group="fig11")
+@pytest.mark.parametrize("panel", ["fig11a", "fig11b", "fig11c", "fig11d"])
+def test_fig11_cms_effects(benchmark, panel_runner, panel):
+    panel_runner(benchmark, panel, extra_check=assert_dlt_no_worse)

@@ -1,0 +1,19 @@
+"""Figure 12 — Benefits of Utilizing IITs: Cps effects (FIFO).
+
+Paper: FIFO-DLT at or below FIFO-OPR-MN for
+Cps ∈ {10, 50, 500, 1000, 5000, 10000}.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import assert_dlt_no_worse
+
+
+@pytest.mark.benchmark(group="fig12")
+@pytest.mark.parametrize(
+    "panel", ["fig12a", "fig12b", "fig12c", "fig12d", "fig12e", "fig12f"]
+)
+def test_fig12_cps_effects(benchmark, panel_runner, panel):
+    panel_runner(benchmark, panel, extra_check=assert_dlt_no_worse)

@@ -1,0 +1,19 @@
+"""Figure 13 — DLT-Based vs User-Split: Avgσ effects (EDF).
+
+Paper: at the tight baseline DCRatio = 2, EDF-DLT dominates
+EDF-UserSplit across Avgσ ∈ {100, 200, 400, 800}.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import assert_dlt_no_worse
+
+
+@pytest.mark.benchmark(group="fig13")
+@pytest.mark.parametrize("panel", ["fig13a", "fig13b", "fig13c", "fig13d"])
+def test_fig13_avg_sigma_effects(benchmark, panel_runner, panel):
+    panel_runner(
+        benchmark, panel, extra_check=lambda r: assert_dlt_no_worse(r, tol=0.06)
+    )

@@ -1,0 +1,30 @@
+"""Figure 14 — DLT-Based vs User-Split: Cps and DCRatio effects (EDF).
+
+Paper: panels a-f sweep Cps at DCRatio = 2 (DLT dominates); panels g-h
+relax deadlines (DCRatio 3 and 10) where User-Split occasionally wins by
+negligible margins (Section 5.2).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import assert_dlt_no_worse
+
+
+@pytest.mark.benchmark(group="fig14")
+@pytest.mark.parametrize(
+    "panel", ["fig14a", "fig14b", "fig14c", "fig14d", "fig14e", "fig14f"]
+)
+def test_fig14_cps_effects(benchmark, panel_runner, panel):
+    panel_runner(
+        benchmark, panel, extra_check=lambda r: assert_dlt_no_worse(r, tol=0.06)
+    )
+
+
+@pytest.mark.benchmark(group="fig14")
+@pytest.mark.parametrize("panel", ["fig14g", "fig14h"])
+def test_fig14_loose_deadlines(benchmark, panel_runner, panel):
+    result = panel_runner(benchmark, panel)
+    a1, a2 = result.spec.algorithms
+    assert result.mean_gap(a1, a2) > -0.05  # no runaway User-Split win

@@ -1,0 +1,18 @@
+"""Figure 15 — DLT-Based vs User-Split: Avgσ effects (FIFO).
+
+Paper: FIFO mirror of Figure 13.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import assert_dlt_no_worse
+
+
+@pytest.mark.benchmark(group="fig15")
+@pytest.mark.parametrize("panel", ["fig15a", "fig15b", "fig15c", "fig15d"])
+def test_fig15_avg_sigma_effects(benchmark, panel_runner, panel):
+    panel_runner(
+        benchmark, panel, extra_check=lambda r: assert_dlt_no_worse(r, tol=0.06)
+    )

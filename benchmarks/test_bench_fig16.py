@@ -1,0 +1,28 @@
+"""Figure 16 — DLT-Based vs User-Split: Cps and DCRatio effects (FIFO).
+
+Paper: FIFO mirror of Figure 14.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import assert_dlt_no_worse
+
+
+@pytest.mark.benchmark(group="fig16")
+@pytest.mark.parametrize(
+    "panel", ["fig16a", "fig16b", "fig16c", "fig16d", "fig16e", "fig16f"]
+)
+def test_fig16_cps_effects(benchmark, panel_runner, panel):
+    panel_runner(
+        benchmark, panel, extra_check=lambda r: assert_dlt_no_worse(r, tol=0.06)
+    )
+
+
+@pytest.mark.benchmark(group="fig16")
+@pytest.mark.parametrize("panel", ["fig16g", "fig16h"])
+def test_fig16_loose_deadlines(benchmark, panel_runner, panel):
+    result = panel_runner(benchmark, panel)
+    a1, a2 = result.spec.algorithms
+    assert result.mean_gap(a1, a2) > -0.05

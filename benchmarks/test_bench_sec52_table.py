@@ -1,0 +1,37 @@
+"""Section 5.2 aggregate table — DLT vs User-Split over a config grid.
+
+Paper (330 simulations): User-Split wins only 8.22% of the time; when
+DLT wins it wins big (avg gain 0.121), when User-Split wins it wins small
+(avg gain 0.016).  This bench reruns the study on a reduced grid and
+prints the same summary rows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_reps, bench_total_time
+from repro.experiments.sec52 import default_grid, render_win_stats, run_win_stats
+
+
+@pytest.mark.benchmark(group="sec52")
+@pytest.mark.parametrize("policy", ["EDF", "FIFO"])
+def test_sec52_win_stats(benchmark, policy):
+    stats = benchmark.pedantic(
+        run_win_stats,
+        args=(default_grid(),),
+        kwargs=dict(
+            policy=policy,
+            replications=bench_reps(),
+            total_time=bench_total_time(),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_win_stats(stats, policy=policy))
+    # Shape: DLT wins the clear majority of configurations...
+    assert stats.dlt_wins > stats.user_split_wins
+    # ...and when it wins, its average gain dominates User-Split's.
+    if stats.user_split_wins:
+        assert stats.dlt_gain_avg_max_min[0] >= stats.user_split_gain_avg_max_min[0]

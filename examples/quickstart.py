@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Quickstart: admit, schedule and execute a real-time divisible workload.
+
+Runs the paper's baseline cluster (N=16, Cms=1, Cps=100) at 60% system
+load under the paper's algorithm (EDF-DLT) and under the no-IIT baseline
+(EDF-OPR-MN), then prints the admission and execution metrics side by
+side.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import SimulationConfig, simulate
+
+
+def main() -> None:
+    config = SimulationConfig(
+        nodes=16,          # processing nodes behind the switch
+        cms=1.0,           # time to ship one workload unit to a node
+        cps=100.0,         # time to compute one workload unit on a node
+        system_load=0.6,   # offered load vs the all-nodes drain rate
+        avg_sigma=200.0,   # mean task data size
+        dc_ratio=2.0,      # mean deadline = 2 x mean minimum execution time
+        total_time=500_000.0,
+        seed=42,
+    )
+
+    print("cluster      : N=16, Cms=1, Cps=100 (Section 5.1 baseline)")
+    print(f"mean E(σ,N)  : {config.min_exec_time_avg:.1f} time units")
+    print(f"interarrival : {config.mean_interarrival:.1f} time units (load 0.6)")
+    print()
+
+    header = (
+        f"{'algorithm':<14s} {'arrivals':>8s} {'rejects':>8s} "
+        f"{'reject%':>8s} {'util':>6s} {'misses':>7s} {'slack':>8s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for algorithm in ("EDF-DLT", "EDF-OPR-MN"):
+        result = simulate(config, algorithm)
+        m = result.metrics
+        print(
+            f"{algorithm:<14s} {m.arrivals:>8d} {m.rejected:>8d} "
+            f"{m.reject_ratio:>8.2%} {m.utilization:>6.2f} "
+            f"{m.deadline_misses:>7d} {m.mean_slack:>8.2f}"
+        )
+        # The validator checked Theorem 4 on every executed task:
+        assert result.output.validation.ok
+
+    print()
+    print("Theorem 4 held for every executed task; zero deadline misses —")
+    print("exactly the guarantee the schedulability test of Figure 2 makes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Empirical validation of Theorem 4 at scale.
+
+Theorem 4 is the paper's soundness result: executing the heterogeneous-
+model partition on the real homogeneous cluster finishes **no later**
+than the estimate ``r_n + Ê``.  The simulator asserts this on every task
+of every run; this script goes further and *characterises* the slack —
+how conservative the estimate actually is — across thousands of
+staggered-release instances, broken down by stagger magnitude.
+
+Usage::
+
+    python examples/theorem4_validation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import het_model
+
+CMS, CPS = 1.0, 100.0
+SIGMA = 200.0
+
+
+def main() -> None:
+    rng = np.random.default_rng(20070227)
+    buckets: dict[str, list[float]] = {}
+    violations = 0
+    trials = 5_000
+
+    for _ in range(trials):
+        n = int(rng.integers(2, 17))
+        spread = float(rng.uniform(0.0, 2000.0))
+        releases = np.sort(rng.uniform(0.0, spread, size=n))
+        model = het_model.build_model(SIGMA, releases, CMS, CPS)
+        sched = het_model.actual_node_schedule(
+            SIGMA, model.alphas, model.release_times, CMS, CPS
+        )
+        slack = model.completion - sched.completion
+        if slack < -1e-6 * model.completion:
+            violations += 1
+        rel_spread = (releases[-1] - releases[0]) / model.no_iit_exec_time
+        if rel_spread < 0.05:
+            key = "spread < 5% of E"
+        elif rel_spread < 0.25:
+            key = "spread 5-25% of E"
+        else:
+            key = "spread > 25% of E"
+        buckets.setdefault(key, []).append(slack / model.exec_time)
+
+    print(f"instances checked : {trials}")
+    print(f"Theorem 4 violations: {violations} (must be 0)")
+    assert violations == 0
+    print()
+    print("relative slack (estimate − actual) / Ê, by release-time stagger:")
+    for key in ("spread < 5% of E", "spread 5-25% of E", "spread > 25% of E"):
+        vals = np.array(buckets.get(key, [0.0]))
+        print(
+            f"  {key:<20s} mean {vals.mean():.4f}  "
+            f"p50 {np.percentile(vals, 50):.4f}  "
+            f"p99 {np.percentile(vals, 99):.4f}  max {vals.max():.4f}"
+        )
+    print()
+    print("Interpretation: the estimate is tight (tiny slack) when nodes")
+    print("free nearly simultaneously, and grows conservative with stagger —")
+    print("the λ̃ transmission-delay bound of Theorem 4's proof is the gap.")
+
+
+if __name__ == "__main__":
+    main()

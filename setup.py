@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All metadata lives in pyproject.toml.  This file exists so that
+``pip install -e . --no-use-pep517`` (the legacy editable path) works in
+offline environments that lack the ``wheel`` package, which the PEP 660
+editable build of older setuptools requires.
+"""
+
+from setuptools import setup
+
+setup()

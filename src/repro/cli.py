@@ -1,0 +1,163 @@
+"""Command-line interface.
+
+Examples
+--------
+List every figure panel::
+
+    python -m repro list-figures
+
+Regenerate one panel at bench scale and print the series table::
+
+    python -m repro run-figure fig3a --replications 3 --total-time 200000
+
+Run a single point and dump all metrics::
+
+    python -m repro run-point --algorithm EDF-DLT --load 0.5 --seed 42
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.algorithms import ALGORITHMS, algorithm_names
+from repro.experiments.figures import DEFAULT_LOADS, FIGURES
+from repro.experiments.report import panel_to_csv, render_chart, render_panel
+from repro.experiments.runner import simulate
+from repro.experiments.sweep import run_panel
+from repro.workload.spec import SimulationConfig
+
+__all__ = ["main"]
+
+
+def _add_scale_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--total-time",
+        type=float,
+        default=200_000.0,
+        help="TotalSimulationTime per run (paper: 10,000,000)",
+    )
+    p.add_argument(
+        "--replications",
+        type=int,
+        default=3,
+        help="independent runs per point (paper: 10)",
+    )
+    p.add_argument("--seed", type=int, default=2007, help="base seed")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-dls",
+        description=(
+            "Real-time divisible load scheduling with different processor "
+            "available times — reproduction harness"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-figures", help="list all reproducible figure panels")
+    sub.add_parser("list-algorithms", help="list all registered algorithms")
+
+    p_fig = sub.add_parser("run-figure", help="regenerate one figure panel")
+    p_fig.add_argument("panel", choices=sorted(FIGURES), metavar="PANEL")
+    _add_scale_args(p_fig)
+    p_fig.add_argument(
+        "--loads",
+        type=float,
+        nargs="+",
+        default=None,
+        help="SystemLoad grid (default: 0.1..1.0)",
+    )
+    p_fig.add_argument("--csv", action="store_true", help="emit CSV instead of a table")
+    p_fig.add_argument(
+        "--chart", action="store_true", help="also draw an ASCII chart of the panel"
+    )
+
+    p_pt = sub.add_parser("run-point", help="run a single simulation")
+    p_pt.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="EDF-DLT")
+    p_pt.add_argument("--nodes", type=int, default=16)
+    p_pt.add_argument("--cms", type=float, default=1.0)
+    p_pt.add_argument("--cps", type=float, default=100.0)
+    p_pt.add_argument("--load", type=float, default=0.5)
+    p_pt.add_argument("--avg-sigma", type=float, default=200.0)
+    p_pt.add_argument("--dc-ratio", type=float, default=2.0)
+    p_pt.add_argument("--total-time", type=float, default=200_000.0)
+    p_pt.add_argument("--seed", type=int, default=2007)
+
+    return parser
+
+
+def _cmd_list_figures() -> int:
+    for panel_id, spec in FIGURES.items():
+        print(f"{panel_id:<8s} {spec.title}")
+    return 0
+
+
+def _cmd_list_algorithms() -> int:
+    for name in algorithm_names():
+        print(f"{name:<16s} {ALGORITHMS[name].description}")
+    return 0
+
+
+def _cmd_run_figure(args: argparse.Namespace) -> int:
+    spec = FIGURES[args.panel]
+    result = run_panel(
+        spec,
+        loads=tuple(args.loads) if args.loads else DEFAULT_LOADS,
+        replications=args.replications,
+        total_time=args.total_time,
+        seed=args.seed,
+    )
+    print(panel_to_csv(result) if args.csv else render_panel(result))
+    if args.chart and not args.csv:
+        print()
+        print(render_chart(result))
+    return 0
+
+
+def _cmd_run_point(args: argparse.Namespace) -> int:
+    cfg = SimulationConfig(
+        nodes=args.nodes,
+        cms=args.cms,
+        cps=args.cps,
+        system_load=args.load,
+        avg_sigma=args.avg_sigma,
+        dc_ratio=args.dc_ratio,
+        total_time=args.total_time,
+        seed=args.seed,
+    )
+    result = simulate(cfg, args.algorithm)
+    m = result.metrics
+    print(f"algorithm            : {m.algorithm}")
+    print(f"arrivals             : {m.arrivals}")
+    print(f"accepted / rejected  : {m.accepted} / {m.rejected}")
+    print(f"task reject ratio    : {m.reject_ratio:.4f}")
+    print(f"executed tasks       : {m.executed}")
+    print(f"deadline misses      : {m.deadline_misses}")
+    print(f"node utilization     : {m.utilization:.4f}")
+    print(f"allocated fraction   : {m.allocated_fraction:.4f}")
+    print(f"IIT inside allocs    : {m.iit_inside_allocations:.1f} node-time units")
+    print(f"mean nodes per task  : {m.mean_nodes_per_task:.2f}")
+    print(f"mean estimate slack  : {m.mean_slack:.3f}")
+    print(f"validation           : {result.output.validation.summary()}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list-figures":
+        return _cmd_list_figures()
+    if args.command == "list-algorithms":
+        return _cmd_list_algorithms()
+    if args.command == "run-figure":
+        return _cmd_run_figure(args)
+    if args.command == "run-point":
+        return _cmd_run_point(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""The paper's primary contribution: DLT-based real-time scheduling with IITs.
+
+Sub-modules
+-----------
+``dlt``
+    Homogeneous-cluster divisible load theory closed forms from the
+    predecessor paper [22] (β, E(σ,n), geometric OPR partition, exact n_min).
+``het_model``
+    The heterogeneous-model construction of Section 4.1.1 (Eq. 1-7, 14):
+    different processor available times → equivalent simultaneous-allocation
+    heterogeneous cluster, optimal partition, execution-time estimate Ê and
+    the safe node-count bound ñ_min.
+``partition``
+    Partitioner strategy objects (DLT-IIT, OPR from [22], User-Split) that
+    turn (task, node availability) into a :class:`PlacementPlan` or a
+    rejection.
+``policies``
+    EDF / FIFO task-ordering policies.
+``reservations``
+    The scalar next-free-time node model behind ``Release(node_k)`` of
+    Figure 2.
+``admission``
+    The schedulability test of Figure 2.
+``scheduler``
+    The online dynamic scheduler driving admission, commitment and dispatch.
+``algorithms``
+    Named algorithm factory (EDF-DLT, FIFO-OPR-MN, ...).
+"""
+
+from repro.core.admission import SchedulabilityTest
+from repro.core.algorithms import ALGORITHMS, AlgorithmSpec, make_algorithm
+from repro.core.cluster import ClusterSpec
+from repro.core.partition import (
+    DltIitPartitioner,
+    OprPartitioner,
+    Partitioner,
+    PlacementPlan,
+    UserSplitPartitioner,
+)
+from repro.core.policies import EdfPolicy, FifoPolicy, SchedulingPolicy
+from repro.core.reservations import NodeReservations
+from repro.core.scheduler import ClusterScheduler
+from repro.core.task import DivisibleTask, TaskOutcome, TaskRecord
+
+__all__ = [
+    "ALGORITHMS",
+    "AlgorithmSpec",
+    "ClusterScheduler",
+    "ClusterSpec",
+    "DivisibleTask",
+    "DltIitPartitioner",
+    "EdfPolicy",
+    "FifoPolicy",
+    "NodeReservations",
+    "OprPartitioner",
+    "Partitioner",
+    "PlacementPlan",
+    "SchedulabilityTest",
+    "SchedulingPolicy",
+    "TaskOutcome",
+    "TaskRecord",
+    "UserSplitPartitioner",
+    "make_algorithm",
+]

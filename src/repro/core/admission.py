@@ -1,0 +1,98 @@
+"""The schedulability test of Figure 2.
+
+When a task arrives, the head node checks — *before* accepting — that the
+new task plus every task still in the waiting queue can all meet their
+deadlines.  The test walks the tasks in policy order (EDF or FIFO),
+tentatively placing each one with the configured partitioner against a
+scratch copy of the node-release state; one infeasible placement fails the
+whole test and the **new** task is rejected (previously admitted tasks keep
+their guarantees — the committed plans are only replaced when the test
+passes).
+
+Rejection, per the paper, models the cluster RMS negotiating a new deadline
+with the client; the simulator just counts it (Task Reject Ratio).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.cluster import ClusterSpec
+from repro.core.partition import Partitioner, PlacementPlan
+from repro.core.policies import SchedulingPolicy
+from repro.core.reservations import NodeReservations
+from repro.core.task import DivisibleTask
+
+__all__ = ["AdmissionDecision", "SchedulabilityTest"]
+
+
+@dataclass(frozen=True, slots=True)
+class AdmissionDecision:
+    """Outcome of one admission attempt.
+
+    ``accepted`` is ``True`` iff every task in ``NewTask + WaitingQueue``
+    got a feasible plan; ``plans`` then holds the fresh ``TempSchedule``
+    (task_id → plan) to commit.  On rejection ``plans`` is empty and
+    ``failed_task_id`` names the first task the walk could not place (not
+    necessarily the new one — under EDF an urgent newcomer can render a
+    previously admitted-but-waiting task unplaceable, which also rejects
+    the newcomer and leaves the committed schedule untouched).
+    """
+
+    accepted: bool
+    plans: dict[int, PlacementPlan]
+    failed_task_id: int | None = None
+
+
+class SchedulabilityTest:
+    """Boolean Schedulability-Test(NewTask) from Figure 2, parameterized.
+
+    Decision #1 (policy) and Decision #2/#3 (partitioning + node count) are
+    injected, so the same walk generates all the paper's algorithms.
+    """
+
+    def __init__(
+        self,
+        policy: SchedulingPolicy,
+        partitioner: Partitioner,
+        cluster: ClusterSpec,
+    ) -> None:
+        self.policy = policy
+        self.partitioner = partitioner
+        self.cluster = cluster
+
+    def try_admit(
+        self,
+        new_task: DivisibleTask,
+        waiting: Sequence[DivisibleTask],
+        reservations: NodeReservations,
+        now: float,
+    ) -> AdmissionDecision:
+        """Run the test for ``new_task`` against the committed state.
+
+        Parameters
+        ----------
+        new_task:
+            The arriving task (its arrival time is ``now``).
+        waiting:
+            Tasks admitted earlier but not yet started (re-plannable).
+        reservations:
+            Committed next-free times from *started* tasks only.  Never
+            mutated — the walk works on a copy.
+        now:
+            Current simulation time.
+        """
+        temp = reservations.copy()
+        ordered = self.policy.order([*waiting, new_task])
+        plans: dict[int, PlacementPlan] = {}
+        for task in ordered:
+            avail = temp.availability(now)
+            plan = self.partitioner.place(task, avail, self.cluster, now)
+            if plan is None:
+                return AdmissionDecision(
+                    accepted=False, plans={}, failed_task_id=task.task_id
+                )
+            temp.assign(plan.node_ids, plan.est_completion)
+            plans[task.task_id] = plan
+        return AdmissionDecision(accepted=True, plans=plans)

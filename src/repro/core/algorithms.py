@@ -1,0 +1,225 @@
+"""Named algorithm registry: policy × partitioning × node assignment.
+
+Section 4.2 generates algorithms by configuring the framework along three
+axes.  The paper evaluates (and we reproduce):
+
+===============  ========  ==============  =================
+Name             Policy    Partitioning    Node count
+===============  ========  ==============  =================
+EDF-DLT          EDF       DLT-IIT         ``ñ_min``
+FIFO-DLT         FIFO      DLT-IIT         ``ñ_min``
+EDF-UserSplit    EDF       User-Split      user ∈ [N_min, N]
+FIFO-UserSplit   FIFO      User-Split      user ∈ [N_min, N]
+EDF-OPR-MN       EDF       OPR (no IIT)    ``n_min``
+FIFO-OPR-MN      FIFO      OPR (no IIT)    ``n_min``
+===============  ========  ==============  =================
+
+plus the "-AN" (all nodes) variants mentioned in Section 5 and a DLT-AN
+extension, included for ablations:
+
+EDF-OPR-AN / FIFO-OPR-AN / EDF-DLT-AN / FIFO-DLT-AN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.partition import (
+    DltIitPartitioner,
+    OprPartitioner,
+    Partitioner,
+    UserSplitPartitioner,
+)
+from repro.core.policies import EdfPolicy, FifoPolicy, SchedulingPolicy
+
+__all__ = ["ALGORITHMS", "AlgorithmInstance", "AlgorithmSpec", "make_algorithm"]
+
+
+@dataclass(frozen=True, slots=True)
+class AlgorithmSpec:
+    """Static description of one named algorithm."""
+
+    name: str
+    policy_factory: Callable[[], SchedulingPolicy]
+    partitioner_factory: Callable[[np.random.Generator | None], Partitioner]
+    utilizes_iits: bool
+    description: str
+
+    @property
+    def needs_rng(self) -> bool:
+        """True for algorithms with stochastic decisions (User-Split)."""
+        return "UserSplit" in self.name
+
+
+@dataclass(frozen=True, slots=True)
+class AlgorithmInstance:
+    """A ready-to-run (policy, partitioner) pair."""
+
+    spec: AlgorithmSpec
+    policy: SchedulingPolicy
+    partitioner: Partitioner
+
+    @property
+    def name(self) -> str:
+        """The algorithm's paper name (e.g. ``"EDF-DLT"``)."""
+        return self.spec.name
+
+
+def _spec(
+    name: str,
+    policy_factory: Callable[[], SchedulingPolicy],
+    partitioner_factory: Callable[[np.random.Generator | None], Partitioner],
+    utilizes_iits: bool,
+    description: str,
+) -> AlgorithmSpec:
+    return AlgorithmSpec(
+        name=name,
+        policy_factory=policy_factory,
+        partitioner_factory=partitioner_factory,
+        utilizes_iits=utilizes_iits,
+        description=description,
+    )
+
+
+def _dlt(_rng: np.random.Generator | None) -> Partitioner:
+    return DltIitPartitioner()
+
+
+def _dlt_an(_rng: np.random.Generator | None) -> Partitioner:
+    return DltIitPartitioner(assign_all_nodes=True)
+
+
+def _opr_mn(_rng: np.random.Generator | None) -> Partitioner:
+    return OprPartitioner()
+
+
+def _opr_an(_rng: np.random.Generator | None) -> Partitioner:
+    return OprPartitioner(assign_all_nodes=True)
+
+
+def _user_split(rng: np.random.Generator | None) -> Partitioner:
+    return UserSplitPartitioner(rng=rng)
+
+
+#: Registry of every algorithm the harness can run, keyed by paper name.
+ALGORITHMS: dict[str, AlgorithmSpec] = {
+    spec.name: spec
+    for spec in (
+        _spec(
+            "EDF-DLT",
+            EdfPolicy,
+            _dlt,
+            True,
+            "The paper's algorithm: EDF order, heterogeneous-model DLT "
+            "partitioning with different processor available times, ñ_min nodes.",
+        ),
+        _spec(
+            "FIFO-DLT",
+            FifoPolicy,
+            _dlt,
+            True,
+            "The paper's algorithm under FIFO ordering.",
+        ),
+        _spec(
+            "EDF-UserSplit",
+            EdfPolicy,
+            _user_split,
+            True,
+            "Current practice: user splits the task into n equal chunks, "
+            "n drawn uniformly from [N_min, N]; EDF order.",
+        ),
+        _spec(
+            "FIFO-UserSplit",
+            FifoPolicy,
+            _user_split,
+            True,
+            "Current practice under FIFO ordering.",
+        ),
+        _spec(
+            "EDF-OPR-MN",
+            EdfPolicy,
+            _opr_mn,
+            False,
+            "Baseline from [22]: optimal partitioning rule, simultaneous "
+            "allocation of n_min nodes (IITs wasted); EDF order.",
+        ),
+        _spec(
+            "FIFO-OPR-MN",
+            FifoPolicy,
+            _opr_mn,
+            False,
+            "Baseline from [22] under FIFO ordering.",
+        ),
+        _spec(
+            "EDF-OPR-AN",
+            EdfPolicy,
+            _opr_an,
+            False,
+            "All-nodes OPR baseline (Section 5: rarely deployed in practice).",
+        ),
+        _spec(
+            "FIFO-OPR-AN",
+            FifoPolicy,
+            _opr_an,
+            False,
+            "All-nodes OPR baseline under FIFO ordering.",
+        ),
+        _spec(
+            "EDF-DLT-AN",
+            EdfPolicy,
+            _dlt_an,
+            True,
+            "Extension: DLT-IIT partitioning over all N nodes (ablation).",
+        ),
+        _spec(
+            "FIFO-DLT-AN",
+            FifoPolicy,
+            _dlt_an,
+            True,
+            "Extension: all-nodes DLT-IIT under FIFO ordering (ablation).",
+        ),
+    )
+}
+
+
+def make_algorithm(
+    name: str,
+    *,
+    rng: np.random.Generator | None = None,
+) -> AlgorithmInstance:
+    """Instantiate a named algorithm.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`ALGORITHMS` (e.g. ``"EDF-DLT"``); case-sensitive,
+        exactly as the paper spells it.
+    rng:
+        Random generator for stochastic algorithms (User-Split's per-task
+        node request).  Ignored by deterministic algorithms; required
+        seeding discipline is the caller's (the experiment runner derives
+        it from the run seed).
+
+    Raises
+    ------
+    KeyError
+        For unknown names — the message lists the registry.
+    """
+    try:
+        spec = ALGORITHMS[name]
+    except KeyError:
+        known = ", ".join(sorted(ALGORITHMS))
+        raise KeyError(f"unknown algorithm {name!r}; known: {known}") from None
+    return AlgorithmInstance(
+        spec=spec,
+        policy=spec.policy_factory(),
+        partitioner=spec.partitioner_factory(rng),
+    )
+
+
+def algorithm_names() -> list[str]:
+    """All registered algorithm names, sorted."""
+    return sorted(ALGORITHMS)

@@ -1,0 +1,65 @@
+"""Cluster model: a head node and N identical processing nodes behind a switch.
+
+Section 3 of the paper: the head node ``P0`` accepts/rejects tasks, runs the
+scheduling algorithm, divides the workload and ships data chunks
+*sequentially* (within a task) to the processing nodes ``P1..PN``.  All
+nodes have identical computational power, all switch→node links identical
+bandwidth.  Linear cost model:
+
+* computing a load ``sigma`` on one node takes ``Cp(sigma) = sigma * Cps``;
+* transmitting it over one link takes ``Cm(sigma) = sigma * Cms``.
+
+Output-data transfer is not modelled (negligible; see Section 3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.errors import InvalidParameterError
+
+__all__ = ["ClusterSpec"]
+
+
+@dataclass(frozen=True, slots=True)
+class ClusterSpec:
+    """Static description of a homogeneous cluster.
+
+    Parameters
+    ----------
+    nodes:
+        ``N`` — number of processing nodes (head node excluded), >= 1.
+    cms:
+        Cost of transmitting one unit of workload head→node (> 0).  The
+        closed forms of the paper divide by ``ln(beta)`` with
+        ``beta = Cps/(Cms+Cps)``; ``Cms = 0`` would make ``beta = 1`` and is
+        rejected (the paper always uses ``Cms >= 1``).
+    cps:
+        Cost of processing one unit of workload on one node (> 0).
+    """
+
+    nodes: int
+    cms: float
+    cps: float
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.nodes, int) or self.nodes < 1:
+            raise InvalidParameterError(f"nodes must be an int >= 1, got {self.nodes}")
+        if not math.isfinite(self.cms) or self.cms <= 0:
+            raise InvalidParameterError(f"cms must be finite and > 0, got {self.cms}")
+        if not math.isfinite(self.cps) or self.cps <= 0:
+            raise InvalidParameterError(f"cps must be finite and > 0, got {self.cps}")
+
+    @property
+    def beta(self) -> float:
+        """``beta = Cps / (Cms + Cps)`` (Eq. 8), in (0, 1)."""
+        return self.cps / (self.cms + self.cps)
+
+    def transmission_time(self, sigma: float) -> float:
+        """``Cm(sigma) = sigma * Cms`` — one-link transfer time."""
+        return sigma * self.cms
+
+    def computation_time(self, sigma: float) -> float:
+        """``Cp(sigma) = sigma * Cps`` — single-node compute time."""
+        return sigma * self.cps

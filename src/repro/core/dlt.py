@@ -1,0 +1,204 @@
+"""Homogeneous-cluster divisible load theory closed forms (from [22]).
+
+These are the building blocks the paper inherits from its predecessor,
+"Real-Time Divisible Load Scheduling for Cluster Computing" (Lin, Lu,
+Deogun, Goddard; RTAS 2007), cited as [22]:
+
+* the *optimal partitioning rule* (OPR) for ``n`` identical nodes allocated
+  simultaneously — chunk fractions form a geometric sequence in
+  ``beta = Cps/(Cms+Cps)`` so that all nodes finish at the same instant;
+* the resulting execution time
+
+  .. math::  E(\\sigma, n) = \\frac{1-\\beta}{1-\\beta^n}\\,\\sigma(Cms+Cps)
+
+* the exact minimum node count ``n_min`` to finish within a time budget,
+  obtained by inverting ``E`` (the same ``ceil(ln gamma / ln beta)`` form
+  the new paper re-derives as an upper bound ``ñ_min`` in Eq. 14).
+
+All functions are pure and side-effect free; array-friendly variants used
+by the workload generator live at the bottom.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from numpy.typing import NDArray
+
+__all__ = [
+    "beta",
+    "execution_time",
+    "execution_time_array",
+    "gamma",
+    "min_nodes",
+    "opr_alphas",
+    "saturated_execution_time",
+]
+
+#: Relative tolerance used for feasibility comparisons throughout the
+#: package.  The admission analysis is exact in real arithmetic; this guard
+#: only absorbs float rounding so a mathematically feasible task is never
+#: rejected by an ulp.
+FEASIBILITY_RTOL = 1e-9
+
+
+def _check_costs(cms: float, cps: float) -> None:
+    if not (math.isfinite(cms) and cms > 0):
+        raise InvalidParameterError(f"cms must be finite and > 0, got {cms}")
+    if not (math.isfinite(cps) and cps > 0):
+        raise InvalidParameterError(f"cps must be finite and > 0, got {cps}")
+
+
+def beta(cms: float, cps: float) -> float:
+    """``beta = Cps / (Cms + Cps)`` (Eq. 8).  Strictly inside (0, 1)."""
+    _check_costs(cms, cps)
+    return cps / (cms + cps)
+
+
+def execution_time(sigma: float, n: int, cms: float, cps: float) -> float:
+    """``E(sigma, n)`` — OPR execution time, simultaneous allocation ([22]).
+
+    .. math:: E(\\sigma, n) = \\frac{1-\\beta}{1-\\beta^n} \\sigma (Cms + Cps)
+
+    This is the time from the start of the first chunk transmission until
+    all ``n`` nodes finish computing, when every node is available at time 0
+    and chunks follow the optimal (geometric) partition.
+
+    Raises
+    ------
+    InvalidParameterError
+        If ``sigma <= 0``, ``n < 1`` or costs are invalid.
+    """
+    _check_costs(cms, cps)
+    if sigma <= 0:
+        raise InvalidParameterError(f"sigma must be > 0, got {sigma}")
+    if n < 1:
+        raise InvalidParameterError(f"n must be >= 1, got {n}")
+    b = beta(cms, cps)
+    # (1 - b) / (1 - b**n) is numerically delicate for b -> 1 (cps >> cms):
+    # use expm1/log1p so that e.g. cps=1e6, cms=1 stays accurate.
+    log_b = math.log1p(-cms / (cms + cps))  # log(beta), exact for small cms
+    denom = -math.expm1(n * log_b)  # 1 - beta**n
+    return (1.0 - b) / denom * sigma * (cms + cps)
+
+
+def saturated_execution_time(sigma: float, cms: float, cps: float) -> float:
+    """``lim_{n->inf} E(sigma, n) = sigma * Cms``.
+
+    Even with unlimited nodes the head node must push all ``sigma`` units
+    through its sequential distribution, so ``sigma*Cms`` lower-bounds every
+    schedule.  Feasibility of any deadline hinges on exceeding this.
+    """
+    _check_costs(cms, cps)
+    if sigma <= 0:
+        raise InvalidParameterError(f"sigma must be > 0, got {sigma}")
+    return sigma * cms
+
+
+def opr_alphas(n: int, cms: float, cps: float) -> "NDArray[np.float64]":
+    """Optimal partition fractions for simultaneous allocation ([22]).
+
+    ``alpha_1 = (1-beta)/(1-beta^n)`` and ``alpha_i = beta^(i-1) * alpha_1``;
+    they sum to one and make all nodes finish at the same time
+    ``E(sigma, n)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(n,)`` vector of fractions, descending, summing to 1.
+    """
+    _check_costs(cms, cps)
+    if n < 1:
+        raise InvalidParameterError(f"n must be >= 1, got {n}")
+    b = beta(cms, cps)
+    powers = np.power(b, np.arange(n, dtype=np.float64))
+    alphas = powers / powers.sum()
+    return alphas
+
+
+def gamma(sigma: float, cms: float, budget: float) -> float:
+    """``gamma = 1 - sigma*Cms / budget`` (Eq. 14).
+
+    ``budget`` is the available wall-clock time ``A + D - r_n``.  A task is
+    infeasible whenever ``gamma <= 0``: the budget would not even cover the
+    sequential transmission of the data.
+    """
+    if budget <= 0:
+        return -math.inf
+    return 1.0 - (sigma * cms) / budget
+
+
+def min_nodes(
+    sigma: float,
+    cms: float,
+    cps: float,
+    budget: float,
+    *,
+    max_nodes: int | None = None,
+) -> int | None:
+    """Minimum ``n`` with ``E(sigma, n) <= budget`` — ``ceil(ln g / ln b)``.
+
+    This single closed form serves two roles in the papers:
+
+    * for the OPR baseline of [22] it is the *exact* ``n_min`` (the
+      inequality chain inverts exactly for simultaneous allocation);
+    * for the new DLT-IIT algorithm it is the safe upper bound ``ñ_min`` of
+      Eq. 14 evaluated with ``budget = A + D - r_n`` — allocating ``ñ_min``
+      nodes guarantees the deadline because ``Ê <= E`` (Eq. 9).
+
+    Parameters
+    ----------
+    budget:
+        Time available for the task once started (``A + D - r_n``).
+    max_nodes:
+        If given, return ``None`` whenever the requirement exceeds it.
+
+    Returns
+    -------
+    int or None
+        Node count, or ``None`` if no finite ``n`` (or none ``<= max_nodes``)
+        meets the budget.
+    """
+    _check_costs(cms, cps)
+    if sigma <= 0:
+        raise InvalidParameterError(f"sigma must be > 0, got {sigma}")
+    g = gamma(sigma, cms, budget)
+    if g <= 0.0:
+        return None
+    if g >= 1.0:  # unreachable with sigma,cms > 0; defensive
+        return 1
+    log_b = math.log1p(-cms / (cms + cps))
+    n = math.ceil(math.log(g) / log_b - FEASIBILITY_RTOL)
+    n = max(n, 1)
+    if max_nodes is not None and n > max_nodes:
+        return None
+    return n
+
+
+def execution_time_array(
+    sigma: "NDArray[np.float64] | float",
+    n: int,
+    cms: float,
+    cps: float,
+) -> "NDArray[np.float64]":
+    """Vectorized ``E(sigma, n)`` over an array of data sizes.
+
+    Used by the workload generator, which must compute ``E(sigma_i, N)``
+    for every generated task to enforce ``D_i > E(sigma_i, N)``.
+    """
+    _check_costs(cms, cps)
+    if n < 1:
+        raise InvalidParameterError(f"n must be >= 1, got {n}")
+    sig = np.asarray(sigma, dtype=np.float64)
+    if np.any(sig <= 0):
+        raise InvalidParameterError("all sigma values must be > 0")
+    b = cps / (cms + cps)
+    log_b = math.log1p(-cms / (cms + cps))
+    denom = -math.expm1(n * log_b)
+    return (1.0 - b) / denom * sig * (cms + cps)

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised deliberately by this package derives from
+:class:`ReproError`, so callers can catch the package's failures with a
+single ``except`` clause without swallowing genuine bugs (``TypeError``,
+``ZeroDivisionError``, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A model parameter is outside its valid domain (e.g. Cms <= 0)."""
+
+
+class InvalidTaskError(ReproError, ValueError):
+    """A task tuple (A, sigma, D) is malformed."""
+
+
+class InfeasibleTaskError(ReproError):
+    """A task cannot meet its deadline under any node assignment.
+
+    Raised only by APIs documented to raise; the scheduler itself converts
+    infeasibility into a *rejection* (the paper's model: the RMS negotiates a
+    new deadline with the client) rather than an exception.
+    """
+
+
+class ScheduleConsistencyError(ReproError):
+    """The committed schedule violated an internal invariant.
+
+    This signals a bug in the scheduler (double-booked node, dispatch of an
+    unknown plan, time running backwards) and is never expected in normal
+    operation.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine was used incorrectly.
+
+    Examples: scheduling an event in the past, running a finished engine.
+    """
+
+
+class TheoremViolationError(ReproError):
+    """An executed task finished *later* than its estimated completion time.
+
+    Theorem 4 of the paper proves this cannot happen; the validator raises
+    this error if the simulation ever contradicts it (i.e. a reproduction
+    bug, modulo floating-point tolerance).
+    """

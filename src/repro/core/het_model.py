@@ -1,0 +1,263 @@
+"""Heterogeneous model construction for different processor available times.
+
+This module is the paper's first contribution (Section 4.1.1):
+
+**A — model construction.**  ``n`` homogeneous processors become available
+to a task at times ``r_1 <= r_2 <= ... <= r_n``.  They are recast as ``n``
+*heterogeneous* processors all allocated at ``r_n``; a node that was free
+``r_n - r_i`` earlier is modelled as proportionally faster (Eq. 1):
+
+.. math::  Cps_i = \\frac{E}{E + r_n - r_i} Cps, \\qquad Cms_i = Cms
+
+where ``E = E(sigma, n)`` is the no-IIT execution time from [22].
+
+**B — DLT analysis on the model.**  The classic optimality principle (all
+nodes finish simultaneously) yields chunk-fraction recurrences
+``alpha_i = X_i alpha_{i-1}`` with ``X_i = Cps_{i-1}/(Cms + Cps_i)``
+(Eq. 4-5), an execution time estimate (Eq. 6)
+
+.. math::  \\hat E(\\sigma, n) = \\sigma Cms + \\alpha_n \\sigma Cps
+
+(the last node has ``Cps_n = Cps`` since ``r_n - r_n = 0``), a completion
+time ``C(n) = r_n + Ê`` (Eq. 7), and — because ``X_i <= beta`` — the safe
+node-count bound ``ñ_min = ceil(ln gamma / ln beta)`` (Eq. 14).
+
+**C — soundness.**  Theorem 4 proves the *actual* homogeneous-cluster
+execution (sequential chunk distribution, staggered starts) finishes no
+later than ``r_n + Ê``.  :func:`actual_node_schedule` implements the real
+recursion so the simulator can verify the theorem run by run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.core import dlt
+from repro.core.errors import InvalidParameterError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from numpy.typing import NDArray
+
+__all__ = [
+    "HeterogeneousModel",
+    "NodeSchedule",
+    "actual_node_schedule",
+    "build_model",
+    "ntilde_min",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class HeterogeneousModel:
+    """The constructed model plus everything DLT derives from it.
+
+    Attributes
+    ----------
+    release_times:
+        Sorted available times ``r_1 <= ... <= r_n`` of the chosen nodes.
+    cps_eff:
+        Effective unit-processing costs ``Cps_i`` of the heterogeneous
+        nodes (Eq. 1); non-decreasing, ending exactly at ``Cps``.
+    alphas:
+        Optimal chunk fractions (Eq. 4-5); sum to 1, ``alpha_i < alpha_1``
+        for i >= 2 (Assertion 1).
+    exec_time:
+        ``Ê(sigma, n)`` (Eq. 6), measured from ``r_n``.
+    completion:
+        ``C(n) = r_n + Ê`` (Eq. 7) — the estimate Theorem 4 guarantees.
+    no_iit_exec_time:
+        ``E(sigma, n)`` from [22]; satisfies ``Ê <= E`` (Eq. 9).
+    """
+
+    sigma: float
+    cms: float
+    cps: float
+    release_times: tuple[float, ...]
+    cps_eff: tuple[float, ...]
+    alphas: tuple[float, ...]
+    exec_time: float
+    completion: float
+    no_iit_exec_time: float
+
+    @property
+    def n(self) -> int:
+        """Number of allocated nodes."""
+        return len(self.release_times)
+
+    @property
+    def chunk_sizes(self) -> "NDArray[np.float64]":
+        """Absolute data chunk sizes ``alpha_i * sigma`` (Eq. 4-5)."""
+        return np.asarray(self.alphas) * self.sigma
+
+
+def build_model(
+    sigma: float,
+    release_times: Sequence[float] | "NDArray[np.float64]",
+    cms: float,
+    cps: float,
+) -> HeterogeneousModel:
+    """Construct the heterogeneous model and run the DLT analysis on it.
+
+    Parameters
+    ----------
+    sigma:
+        Task data size (> 0).
+    release_times:
+        Available times of the ``n`` chosen homogeneous nodes.  Must be
+        non-decreasing (callers sort candidates by availability; the paper
+        orders ``P_1`` earliest ... ``P_n`` latest).
+    cms, cps:
+        Unit transmission / processing costs of the homogeneous cluster.
+
+    Returns
+    -------
+    HeterogeneousModel
+
+    Raises
+    ------
+    InvalidParameterError
+        On empty/unsorted release times or invalid scalar parameters.
+    """
+    r = np.asarray(release_times, dtype=np.float64)
+    if r.ndim != 1 or r.size == 0:
+        raise InvalidParameterError("release_times must be a non-empty 1-D sequence")
+    if np.any(np.diff(r) < 0):
+        raise InvalidParameterError(
+            "release_times must be non-decreasing (sort nodes by availability)"
+        )
+    if not np.all(np.isfinite(r)):
+        raise InvalidParameterError("release_times must all be finite")
+
+    n = int(r.size)
+    e_no_iit = dlt.execution_time(sigma, n, cms, cps)
+    rn = float(r[-1])
+
+    # Eq. 1: earlier-available nodes gain processing power proportional to
+    # their inserted idle time r_n - r_i.
+    iit = rn - r
+    cps_eff = (e_no_iit / (e_no_iit + iit)) * cps
+
+    if n == 1:
+        alphas = np.ones(1)
+    else:
+        # Eq. 4-5 via the recurrence X_i = Cps_{i-1} / (Cms + Cps_i).
+        x = cps_eff[:-1] / (cms + cps_eff[1:])
+        prods = np.cumprod(x)  # prod_{j=2..i} X_j for i = 2..n
+        denom = 1.0 + prods.sum()
+        alphas = np.empty(n)
+        alphas[0] = 1.0 / denom
+        alphas[1:] = prods / denom
+
+    # Eq. 6: Ê = sigma*Cms + alpha_n * sigma * Cps   (Cps_n == Cps exactly).
+    exec_time = sigma * cms + float(alphas[-1]) * sigma * cps
+    completion = rn + exec_time
+
+    return HeterogeneousModel(
+        sigma=float(sigma),
+        cms=float(cms),
+        cps=float(cps),
+        release_times=tuple(float(v) for v in r),
+        cps_eff=tuple(float(v) for v in cps_eff),
+        alphas=tuple(float(v) for v in alphas),
+        exec_time=float(exec_time),
+        completion=float(completion),
+        no_iit_exec_time=float(e_no_iit),
+    )
+
+
+def ntilde_min(
+    sigma: float,
+    cms: float,
+    cps: float,
+    arrival: float,
+    relative_deadline: float,
+    rn: float,
+    *,
+    max_nodes: int | None = None,
+) -> int | None:
+    """``ñ_min`` — safe node count for a task started at ``r_n`` (Eq. 14).
+
+    Solving ``C(n) <= A + D`` exactly is hard, so the paper bounds
+    ``Ê <= E`` (Eq. 9) and inverts the simpler inequality, giving
+    ``ñ_min = ceil(ln gamma / ln beta)`` with
+    ``gamma = 1 - sigma*Cms/(A + D - r_n)``.  Allocating at least ``ñ_min``
+    nodes at (or before) ``r_n`` guarantees the deadline.
+
+    Returns ``None`` when the task must be rejected from start time ``rn``:
+    either ``A + D - r_n <= 0`` (no budget at all) or ``gamma <= 0`` (budget
+    cannot even cover sequential transmission) or the bound exceeds
+    ``max_nodes``.
+    """
+    budget = arrival + relative_deadline - rn
+    return dlt.min_nodes(sigma, cms, cps, budget, max_nodes=max_nodes)
+
+
+@dataclass(frozen=True, slots=True)
+class NodeSchedule:
+    """Chunk-level timing of one task on the *homogeneous* cluster.
+
+    Produced by :func:`actual_node_schedule`; all arrays are indexed by the
+    task-local node position ``i = 0..n-1`` (availability order).
+
+    ``trans_start[i] = max(trans_end[i-1], r_i)`` — the head node sends
+    chunks strictly in node order and a node cannot receive before it is
+    free (no buffering of a next task's data while computing; see the
+    paper's discussion of why [9, 8, 11] do not apply to plain clusters).
+    """
+
+    trans_start: "NDArray[np.float64]"
+    trans_end: "NDArray[np.float64]"
+    comp_end: "NDArray[np.float64]"
+
+    @property
+    def completion(self) -> float:
+        """Actual task completion: last node to finish computing."""
+        return float(self.comp_end.max())
+
+
+def actual_node_schedule(
+    sigma: float,
+    alphas: Sequence[float] | "NDArray[np.float64]",
+    release_times: Sequence[float] | "NDArray[np.float64]",
+    cms: float,
+    cps: float,
+    *,
+    not_before: float | None = None,
+) -> NodeSchedule:
+    """Simulate the real sequential dispatch of one task's chunks.
+
+    This is the ground truth Theorem 4 speaks about: chunk ``i`` starts
+    transmitting at ``max(end of chunk i-1, r_i)`` (optionally also not
+    before ``not_before``, e.g. a dispatch instant), takes
+    ``alpha_i*sigma*Cms`` on the wire and ``alpha_i*sigma*Cps`` to compute.
+
+    Returns
+    -------
+    NodeSchedule
+        Per-node transmission windows and computation finish times.
+    """
+    a = np.asarray(alphas, dtype=np.float64)
+    r = np.asarray(release_times, dtype=np.float64)
+    if a.shape != r.shape or a.ndim != 1 or a.size == 0:
+        raise InvalidParameterError("alphas and release_times must match, 1-D, non-empty")
+    if np.any(a <= 0) or not math.isclose(float(a.sum()), 1.0, rel_tol=1e-9):
+        raise InvalidParameterError("alphas must be positive and sum to 1")
+
+    trans = a * sigma * cms
+    comp = a * sigma * cps
+    n = a.size
+    trans_start = np.empty(n)
+    trans_end = np.empty(n)
+    floor = -math.inf if not_before is None else not_before
+    prev_end = floor
+    for i in range(n):
+        start = max(prev_end, float(r[i]))
+        trans_start[i] = start
+        prev_end = start + trans[i]
+        trans_end[i] = prev_end
+    comp_end = trans_end + comp
+    return NodeSchedule(trans_start=trans_start, trans_end=trans_end, comp_end=comp_end)

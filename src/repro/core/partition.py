@@ -1,0 +1,548 @@
+"""Task partitioning strategies (Decision #2 of the framework).
+
+The scheduling framework of [22] (reused in Figure 2 of this paper) is
+configured along three axes; this module implements the second one — how a
+task's data is split across nodes — as interchangeable strategy objects:
+
+* :class:`DltIitPartitioner` — the paper's contribution: partition via the
+  heterogeneous model so every allocated node starts work **as soon as it
+  becomes available** (utilizing Inserted Idle Times), node count ``ñ_min``.
+* :class:`OprPartitioner` — the baseline from [22]: optimal partitioning
+  rule with **simultaneous** allocation; nodes assigned to a task idle from
+  their individual release until the last one frees up (the IIT waste the
+  paper attacks).  Node count ``n_min`` (exact), or all ``N`` (the "-AN"
+  variants).
+* :class:`UserSplitPartitioner` — current practice at CMS Tier-2 sites:
+  the user splits a task into ``n`` equal chunks for a self-chosen
+  ``n ∈ [N_min, N]`` (random, drawn once per task).  Starts nodes as they
+  free up (it *does* use IITs) but with naive equal chunks and a static
+  node count.
+
+Every strategy consumes the same inputs — a task and the per-node
+availability vector ``max(Release(node_k), now)`` — and produces a
+:class:`PlacementPlan` (or ``None`` for "reject"), so the schedulability
+test is strategy-agnostic.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core import dlt, het_model
+from repro.core.cluster import ClusterSpec
+from repro.core.dlt import FEASIBILITY_RTOL
+from repro.core.errors import InvalidParameterError
+from repro.core.task import DivisibleTask
+
+if TYPE_CHECKING:  # pragma: no cover
+    from numpy.typing import NDArray
+
+__all__ = [
+    "DltIitPartitioner",
+    "OprPartitioner",
+    "Partitioner",
+    "PlacementPlan",
+    "UserSplitPartitioner",
+    "feasible_by",
+]
+
+
+def feasible_by(completion: float, absolute_deadline: float) -> bool:
+    """Deadline check with the package-wide float tolerance.
+
+    The analysis is exact in real arithmetic; this guard only absorbs
+    rounding so a mathematically feasible plan is never rejected by an ulp.
+    """
+    tol = FEASIBILITY_RTOL * max(1.0, abs(absolute_deadline))
+    return completion <= absolute_deadline + tol
+
+
+@dataclass(frozen=True, slots=True)
+class ExplicitChunk:
+    """One precomputed chunk window (multi-round plans).
+
+    All times are absolute simulation times; ``position`` indexes the
+    owning node within the plan's ``node_ids``.
+    """
+
+    position: int
+    round_index: int
+    alpha: float
+    trans_start: float
+    trans_end: float
+    comp_end: float
+
+
+@dataclass(frozen=True, slots=True)
+class PlacementPlan:
+    """A feasible assignment of one task to a set of nodes.
+
+    Attributes
+    ----------
+    task:
+        The task being placed.
+    method:
+        Partitioning method tag (``"dlt-iit"``, ``"opr"``, ``"user-split"``).
+    node_ids:
+        Chosen node identifiers, ordered ``P_1 .. P_n`` by availability
+        (ties broken by node id, so plans are deterministic).
+    release_times:
+        ``r_i`` — the time each chosen node becomes available to this task
+        (non-decreasing by construction).
+    dispatch_releases:
+        The per-node earliest transmission-start constraints used when the
+        plan executes.  Equal to ``release_times`` for IIT-utilizing methods;
+        equal to ``(r_n, ..., r_n)`` for OPR, which holds all nodes until the
+        last one frees (that difference *is* the wasted IIT).
+    alphas:
+        Per-node *total* data fractions (sum to 1), in ``node_ids`` order.
+    est_completion:
+        The admission-time completion estimate ``e_i`` the real-time
+        guarantee is made against (Eq. 7 / Eq. 15 / r_n + E).
+    explicit_chunks:
+        Optional precomputed chunk windows (multi-round extension): when
+        present, the executor replays them instead of deriving the
+        single-chunk-per-node recursion.
+    start_time:
+        First instant the plan performs any activity (head node begins the
+        first chunk transmission); the scheduler locks the task then.
+    """
+
+    task: DivisibleTask
+    method: str
+    node_ids: tuple[int, ...]
+    release_times: tuple[float, ...]
+    dispatch_releases: tuple[float, ...]
+    alphas: tuple[float, ...]
+    est_completion: float
+    explicit_chunks: tuple[ExplicitChunk, ...] | None = None
+
+    def __post_init__(self) -> None:
+        n = len(self.node_ids)
+        if n == 0:
+            raise InvalidParameterError("a plan must use at least one node")
+        if len(set(self.node_ids)) != n:
+            raise InvalidParameterError(f"duplicate node ids in plan: {self.node_ids}")
+        if len(self.release_times) != n or len(self.alphas) != n:
+            raise InvalidParameterError("plan vectors must have equal length")
+        if len(self.dispatch_releases) != n:
+            raise InvalidParameterError("dispatch_releases must have length n")
+        if self.explicit_chunks is not None:
+            if not self.explicit_chunks:
+                raise InvalidParameterError("explicit_chunks may not be empty")
+            for c in self.explicit_chunks:
+                if not 0 <= c.position < n:
+                    raise InvalidParameterError(
+                        f"chunk position {c.position} out of range [0, {n})"
+                    )
+
+    @property
+    def n(self) -> int:
+        """Number of nodes used."""
+        return len(self.node_ids)
+
+    @property
+    def start_time(self) -> float:
+        """When the head node first starts transmitting for this task."""
+        if self.explicit_chunks is not None:
+            return min(c.trans_start for c in self.explicit_chunks)
+        return self.dispatch_releases[0]
+
+    @property
+    def rn(self) -> float:
+        """``r_n`` — availability of the last (latest) chosen node."""
+        return self.release_times[-1]
+
+
+def _sorted_candidates(
+    avail: "NDArray[np.float64]",
+) -> tuple["NDArray[np.intp]", "NDArray[np.float64]"]:
+    """Node ids sorted by availability (stable → node-id tie-break)."""
+    order = np.argsort(avail, kind="stable")
+    return order, avail[order]
+
+
+class Partitioner(ABC):
+    """Strategy interface: decide node count, nodes, chunks and estimate."""
+
+    #: Human-readable method tag stamped on produced plans.
+    method: str = "abstract"
+
+    def on_task_arrival(self, task: DivisibleTask, cluster: ClusterSpec) -> None:
+        """Hook called exactly once when a task first arrives.
+
+        Lets stateful strategies (User-Split's per-task random ``n``) make
+        their one-time decisions on a deterministic RNG stream regardless of
+        later re-planning.  Default: no-op.
+        """
+
+    @abstractmethod
+    def place(
+        self,
+        task: DivisibleTask,
+        avail: "NDArray[np.float64]",
+        cluster: ClusterSpec,
+        now: float,
+    ) -> PlacementPlan | None:
+        """Try to place ``task`` given per-node availability ``avail``.
+
+        Parameters
+        ----------
+        task:
+            The task to place.
+        avail:
+            Shape ``(N,)`` — earliest time each node (by id) can start
+            serving this task, already floored at the current time.
+        cluster:
+            Static cluster description.
+        now:
+            The admission-test time ``t`` of Figure 2 (the new arrival's
+            timestamp).  ``ñ_min(t)`` / ``n_min(t)`` are evaluated here.
+
+        Returns
+        -------
+        PlacementPlan or None
+            ``None`` means the task cannot meet its deadline under this
+            strategy ⇒ the schedulability test fails ⇒ rejection.
+        """
+
+
+class DltIitPartitioner(Partitioner):
+    """The paper's DLT-based partitioner utilizing Inserted Idle Times.
+
+    Implements the Figure 2 branch ``n ← ñ_min(t)`` / "identify the
+    earliest time t when AN(t) >= n":
+
+    1. evaluate ``ñ_min`` (Eq. 14) **at the admission-test time** — the
+       node count that would suffice if the task started right now;
+    2. take the ``ñ_min`` earliest-available nodes (the earliest instant at
+       which that many nodes exist);
+    3. partition via the heterogeneous model (Eq. 4-5) so each node starts
+       receiving data the moment it frees, and check the *exact* completion
+       estimate ``r_n + Ê`` (Eq. 7) against the deadline.
+
+    Step 3 is where utilizing IITs pays at admission time: the OPR baseline
+    must satisfy ``r_n + E <= A + D`` while DLT only needs ``r_n + Ê`` with
+    ``Ê <= E`` (Eq. 9), so marginal tasks that OPR rejects are accepted —
+    the paper's "task execution time decreases and as a result the cluster
+    can accommodate more tasks".
+
+    Parameters
+    ----------
+    assign_all_nodes:
+        "DLT-AN" extension: always use all ``N`` nodes (ablation).
+    fixed_point_node_count:
+        Ablation (non-paper): resolve the circularity between ``n`` and the
+        start time by scanning ``k = 1..N`` candidate start times and
+        re-evaluating ``ñ_min(avail_k)`` at each — a strictly more generous
+        node-count rule that benefits DLT and OPR alike (see
+        ``benchmarks/test_bench_ablations.py``).
+    """
+
+    def __init__(
+        self,
+        *,
+        assign_all_nodes: bool = False,
+        fixed_point_node_count: bool = False,
+    ) -> None:
+        self.assign_all_nodes = assign_all_nodes
+        self.fixed_point_node_count = fixed_point_node_count
+        self.method = "dlt-iit-an" if assign_all_nodes else "dlt-iit"
+
+    def _plan_for(
+        self,
+        task: DivisibleTask,
+        order: "NDArray[np.intp]",
+        sorted_avail: "NDArray[np.float64]",
+        n: int,
+        cluster: ClusterSpec,
+    ) -> PlacementPlan | None:
+        releases = sorted_avail[:n]
+        model = het_model.build_model(task.sigma, releases, cluster.cms, cluster.cps)
+        if not feasible_by(model.completion, task.absolute_deadline):
+            return None
+        release_t = tuple(float(v) for v in releases)
+        return PlacementPlan(
+            task=task,
+            method=self.method,
+            node_ids=tuple(int(order[i]) for i in range(n)),
+            release_times=release_t,
+            dispatch_releases=release_t,
+            alphas=model.alphas,
+            est_completion=model.completion,
+        )
+
+    def place(
+        self,
+        task: DivisibleTask,
+        avail: "NDArray[np.float64]",
+        cluster: ClusterSpec,
+        now: float,
+    ) -> PlacementPlan | None:
+        avail = np.maximum(np.asarray(avail, dtype=np.float64), task.arrival)
+        order, sorted_avail = _sorted_candidates(avail)
+        big_n = cluster.nodes
+
+        if self.assign_all_nodes:
+            # DLT-AN: use every node; feasibility via the exact model (the
+            # ñ_min bound is conservative — Ê <= E — and would over-reject).
+            return self._plan_for(task, order, sorted_avail, big_n, cluster)
+
+        if self.fixed_point_node_count:
+            for k in range(1, big_n + 1):
+                n_req = het_model.ntilde_min(
+                    task.sigma,
+                    cluster.cms,
+                    cluster.cps,
+                    task.arrival,
+                    task.deadline,
+                    float(sorted_avail[k - 1]),
+                    max_nodes=big_n,
+                )
+                if n_req is None or n_req > k:
+                    continue
+                plan = self._plan_for(task, order, sorted_avail, n_req, cluster)
+                if plan is not None:
+                    return plan
+            return None
+
+        # Paper rule: ñ_min at the admission-test time.
+        t_test = max(now, task.arrival)
+        n_req = het_model.ntilde_min(
+            task.sigma,
+            cluster.cms,
+            cluster.cps,
+            task.arrival,
+            task.deadline,
+            t_test,
+            max_nodes=big_n,
+        )
+        if n_req is None:
+            return None
+        return self._plan_for(task, order, sorted_avail, n_req, cluster)
+
+
+class OprPartitioner(Partitioner):
+    """Baseline from [22]: simultaneous allocation, no IIT utilization.
+
+    All ``n`` assigned nodes start at ``r_n`` (the moment the last of them
+    frees up); chunks follow the geometric optimal partitioning rule; the
+    completion estimate is ``r_n + E(sigma, n)``.  Nodes that freed earlier
+    idle until ``r_n`` — the Inserted Idle Times this paper eliminates.
+
+    Parameters
+    ----------
+    assign_all_nodes:
+        ``False`` → "-MN" variants (minimum node count, the strong baseline
+        EDF-OPR-MN / FIFO-OPR-MN); ``True`` → "-AN" variants that always
+        grab the whole cluster (mentioned in Section 5 as rarely deployed).
+    fixed_point_node_count:
+        Same ablation switch as on :class:`DltIitPartitioner`, applied to
+        the baseline so the ablation compares like with like.
+    """
+
+    def __init__(
+        self,
+        *,
+        assign_all_nodes: bool = False,
+        fixed_point_node_count: bool = False,
+    ) -> None:
+        self.assign_all_nodes = assign_all_nodes
+        self.fixed_point_node_count = fixed_point_node_count
+        self.method = "opr-an" if assign_all_nodes else "opr"
+
+    def _plan_for(
+        self,
+        task: DivisibleTask,
+        order: "NDArray[np.intp]",
+        sorted_avail: "NDArray[np.float64]",
+        n: int,
+        cluster: ClusterSpec,
+    ) -> PlacementPlan | None:
+        releases = sorted_avail[:n]
+        rn = float(releases[-1])
+        exec_time = dlt.execution_time(task.sigma, n, cluster.cms, cluster.cps)
+        completion = rn + exec_time
+        if not feasible_by(completion, task.absolute_deadline):
+            return None
+        alphas = dlt.opr_alphas(n, cluster.cms, cluster.cps)
+        return PlacementPlan(
+            task=task,
+            method=self.method,
+            node_ids=tuple(int(order[i]) for i in range(n)),
+            release_times=tuple(float(v) for v in releases),
+            dispatch_releases=(rn,) * n,
+            alphas=tuple(float(v) for v in alphas),
+            est_completion=float(completion),
+        )
+
+    def place(
+        self,
+        task: DivisibleTask,
+        avail: "NDArray[np.float64]",
+        cluster: ClusterSpec,
+        now: float,
+    ) -> PlacementPlan | None:
+        avail = np.maximum(np.asarray(avail, dtype=np.float64), task.arrival)
+        order, sorted_avail = _sorted_candidates(avail)
+        big_n = cluster.nodes
+
+        if self.assign_all_nodes:
+            return self._plan_for(task, order, sorted_avail, big_n, cluster)
+
+        if self.fixed_point_node_count:
+            for k in range(1, big_n + 1):
+                n_req = dlt.min_nodes(
+                    task.sigma,
+                    cluster.cms,
+                    cluster.cps,
+                    task.arrival + task.deadline - float(sorted_avail[k - 1]),
+                    max_nodes=big_n,
+                )
+                if n_req is None or n_req > k:
+                    continue
+                plan = self._plan_for(task, order, sorted_avail, n_req, cluster)
+                if plan is not None:
+                    return plan
+            return None
+
+        # Paper rule: n_min at the admission-test time.
+        t_test = max(now, task.arrival)
+        n_req = dlt.min_nodes(
+            task.sigma,
+            cluster.cms,
+            cluster.cps,
+            task.arrival + task.deadline - t_test,
+            max_nodes=big_n,
+        )
+        if n_req is None:
+            return None
+        return self._plan_for(task, order, sorted_avail, n_req, cluster)
+
+
+class UserSplitPartitioner(Partitioner):
+    """Current practice: the user pre-splits a task into ``n`` equal chunks.
+
+    ``n`` is drawn uniformly from ``[N_min, N]`` once per task at arrival
+    (Section 4.1.2), where ``N_min = ceil(sigma*Cps / (D - sigma*Cms))`` is
+    the minimum node count that could meet the deadline if execution began
+    immediately at arrival.  The chunks being equal, node ``P_i`` finishes at
+    ``s_i + sigma(Cms+Cps)/n`` with the transmission recursion
+    ``s_1 = r_1``, ``s_i = max(r_i, s_{i-1} + sigma*Cms/n)`` (Eq. 15).
+
+    The strategy *does* utilize IITs (each node starts when it frees) but
+    pays for its naive equal split and static ``n``.
+
+    Parameters
+    ----------
+    rng:
+        Seeded :class:`numpy.random.Generator` supplying the per-task draws;
+        tasks consume exactly one draw on arrival (feasible or not), so a
+        run is reproducible from the seed alone.
+    redraw_on_replan:
+        Figure 2's pseudocode places the ``random number from [Nmin, N]``
+        draw *inside* the schedulability-test loop, which re-rolls a
+        waiting task's request on every re-plan.  Physically, though, the
+        user split the *data* once at submission, and the sticky reading
+        reproduces Figure 5a's "DLT always wins at DCRatio=2" and the
+        Section 5.2 gain magnitudes better, so ``False`` is the default;
+        the pseudocode-literal behaviour is benchmarked as an ablation.
+    """
+
+    method = "user-split"
+
+    def __init__(
+        self,
+        rng: np.random.Generator | None = None,
+        *,
+        redraw_on_replan: bool = False,
+    ) -> None:
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.redraw_on_replan = redraw_on_replan
+        self._requested: dict[int, int | None] = {}
+
+    @staticmethod
+    def min_nodes_user(task: DivisibleTask, cluster: ClusterSpec) -> int | None:
+        """``N_min = ceil(sigma*Cps / (D - sigma*Cms))`` (Section 4.1.2).
+
+        ``None`` when no node count can work: ``D <= sigma*Cms`` (deadline
+        below sequential transmission) or ``N_min > N``.
+        """
+        slack = task.deadline - task.sigma * cluster.cms
+        if slack <= 0:
+            return None
+        n_min = math.ceil(task.sigma * cluster.cps / slack - FEASIBILITY_RTOL)
+        n_min = max(n_min, 1)
+        if n_min > cluster.nodes:
+            return None
+        return n_min
+
+    def on_task_arrival(self, task: DivisibleTask, cluster: ClusterSpec) -> None:
+        """Draw the user's node request when the task first arrives."""
+        if task.task_id in self._requested:
+            return
+        self._requested[task.task_id] = self._draw(task, cluster)
+
+    def requested_nodes(self, task_id: int) -> int | None:
+        """The node count the 'user' asked for (``None`` = infeasible)."""
+        return self._requested.get(task_id)
+
+    def _draw(self, task: DivisibleTask, cluster: ClusterSpec) -> int | None:
+        """One uniform draw from [N_min, N] (None = infeasible task)."""
+        n_min = self.min_nodes_user(task, cluster)
+        if n_min is None:
+            # Consume one draw anyway so the RNG stream does not depend on
+            # feasibility (keeps cross-experiment comparisons aligned).
+            self.rng.integers(1, cluster.nodes + 1)
+            return None
+        return int(self.rng.integers(n_min, cluster.nodes + 1))
+
+    def place(
+        self,
+        task: DivisibleTask,
+        avail: "NDArray[np.float64]",
+        cluster: ClusterSpec,
+        now: float,
+    ) -> PlacementPlan | None:
+        if task.task_id not in self._requested:
+            self.on_task_arrival(task, cluster)
+        if self.redraw_on_replan:
+            # Figure 2: the draw happens inside the schedulability-test
+            # loop, so every re-plan re-rolls the request (infeasible tasks
+            # stay infeasible: N_min does not depend on cluster state).
+            n = self._draw(task, cluster)
+            self._requested[task.task_id] = n
+        else:
+            n = self._requested[task.task_id]
+        if n is None:
+            return None
+
+        avail = np.maximum(np.asarray(avail, dtype=np.float64), task.arrival)
+        order, sorted_avail = _sorted_candidates(avail)
+        releases = sorted_avail[:n]
+
+        # Eq. 15: sequential transmission of n equal chunks.
+        chunk_cms = task.sigma * cluster.cms / n
+        chunk_cps = task.sigma * cluster.cps / n
+        s = float(releases[0])
+        for i in range(1, n):
+            s = max(float(releases[i]), s + chunk_cms)
+        completion = s + chunk_cms + chunk_cps
+        if not feasible_by(completion, task.absolute_deadline):
+            return None
+
+        release_t = tuple(float(v) for v in releases)
+        return PlacementPlan(
+            task=task,
+            method=self.method,
+            node_ids=tuple(int(order[i]) for i in range(n)),
+            release_times=release_t,
+            dispatch_releases=release_t,
+            alphas=(1.0 / n,) * n,
+            est_completion=float(completion),
+        )

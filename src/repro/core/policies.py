@@ -1,0 +1,74 @@
+"""Scheduling policies (Decision #1 of the framework): EDF and FIFO.
+
+The first module of the three-module framework of [22] decides the order in
+which the schedulability test considers tasks.  The paper evaluates two
+policies:
+
+* **EDF** — earliest (absolute) deadline first;
+* **FIFO** — first in, first out by arrival time.
+
+Both are implemented as stable sorts with a deterministic ``task_id``
+tie-break, so replanning the same queue always yields the same order.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable
+
+from repro.core.task import DivisibleTask
+
+__all__ = ["EdfPolicy", "FifoPolicy", "SchedulingPolicy"]
+
+
+class SchedulingPolicy(ABC):
+    """Total order over tasks used by the schedulability test."""
+
+    #: Short tag used in algorithm names ("EDF", "FIFO").
+    name: str = "abstract"
+
+    @abstractmethod
+    def key(self, task: DivisibleTask) -> tuple[float, float, int]:
+        """Sort key; lower sorts earlier.  Must be a total order."""
+
+    def order(self, tasks: Iterable[DivisibleTask]) -> list[DivisibleTask]:
+        """Return tasks sorted by :meth:`key` (stable)."""
+        return sorted(tasks, key=self.key)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class EdfPolicy(SchedulingPolicy):
+    """Earliest Deadline First: order by absolute deadline ``A + D``.
+
+    Ties broken by arrival time then task id, making the order total and
+    replay-deterministic.
+    """
+
+    name = "EDF"
+
+    def key(self, task: DivisibleTask) -> tuple[float, float, int]:
+        return (task.absolute_deadline, task.arrival, task.task_id)
+
+
+class FifoPolicy(SchedulingPolicy):
+    """First In First Out: order by arrival time.
+
+    Ties broken by task id (arrival order), making the order total.
+    """
+
+    name = "FIFO"
+
+    def key(self, task: DivisibleTask) -> tuple[float, float, int]:
+        return (task.arrival, 0.0, task.task_id)
+
+
+def make_policy(name: str) -> SchedulingPolicy:
+    """Instantiate a policy from its tag (``"EDF"`` or ``"FIFO"``)."""
+    normalized = name.strip().upper()
+    if normalized == "EDF":
+        return EdfPolicy()
+    if normalized == "FIFO":
+        return FifoPolicy()
+    raise ValueError(f"unknown scheduling policy: {name!r} (want 'EDF' or 'FIFO')")

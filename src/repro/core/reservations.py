@@ -1,0 +1,166 @@
+"""Node reservation state: the ``Release(node_k)`` model of Figure 2.
+
+The schedulability test reasons about each node through a single scalar —
+the time the node is released by the task currently holding it.  Idle gaps
+*before* a planned allocation are deliberately **not** tracked: a node
+assigned to a future task is considered unavailable from its previous
+release onward, which is exactly the Inserted-Idle-Time inefficiency the
+paper's partitioner then exploits (and the OPR baseline suffers from).
+
+Only *started* (dispatched) tasks hold committed reservations; tasks still
+in the waiting queue are re-planned from scratch on every arrival, per the
+pseudocode's ``TempTaskList ← NewTask + TaskWaitingQueue``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError, ScheduleConsistencyError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from numpy.typing import NDArray
+
+__all__ = ["NodeReservations"]
+
+
+class NodeReservations:
+    """Per-node next-free times for a cluster of ``N`` nodes.
+
+    The structure is intentionally tiny — a NumPy vector plus invariant
+    checks — because the schedulability test copies it once per admission
+    attempt (``TempSchedule`` in Figure 2).
+    """
+
+    __slots__ = ("_release", "_owner")
+
+    #: Owner value meaning "nobody holds this node".
+    NO_OWNER = -1
+
+    def __init__(self, nodes: int) -> None:
+        if nodes < 1:
+            raise InvalidParameterError(f"nodes must be >= 1, got {nodes}")
+        self._release = np.zeros(nodes, dtype=np.float64)
+        self._owner = np.full(nodes, self.NO_OWNER, dtype=np.int64)
+
+    # -- construction ----------------------------------------------------
+    @classmethod
+    def from_times(cls, times: Iterable[float]) -> "NodeReservations":
+        """Build from explicit next-free times (tests / ablations)."""
+        arr = np.asarray(list(times), dtype=np.float64)
+        if arr.ndim != 1 or arr.size == 0:
+            raise InvalidParameterError("times must be a non-empty 1-D sequence")
+        obj = cls(int(arr.size))
+        obj._release[:] = arr
+        return obj
+
+    def copy(self) -> "NodeReservations":
+        """Deep copy for temp planning (cheap: two small ndarrays)."""
+        clone = NodeReservations(self.nodes)
+        clone._release[:] = self._release
+        clone._owner[:] = self._owner
+        return clone
+
+    # -- queries ----------------------------------------------------------
+    @property
+    def nodes(self) -> int:
+        """Cluster size ``N``."""
+        return int(self._release.size)
+
+    @property
+    def release_times(self) -> "NDArray[np.float64]":
+        """Read-only view of raw next-free times (by node id)."""
+        view = self._release.view()
+        view.flags.writeable = False
+        return view
+
+    def availability(self, now: float) -> "NDArray[np.float64]":
+        """``max(Release(node_k), now)`` per node — Figure 2's ``AN(t)`` basis."""
+        return np.maximum(self._release, now)
+
+    def available_count(self, t: float) -> int:
+        """``AN(t)`` — number of nodes free at (or before) time ``t``."""
+        return int(np.count_nonzero(self._release <= t))
+
+    def earliest_time_for(self, n: int, now: float) -> float:
+        """Earliest time ``t`` at which ``AN(t) >= n`` nodes are available."""
+        if not 1 <= n <= self.nodes:
+            raise InvalidParameterError(
+                f"need 1 <= n <= {self.nodes} nodes, got {n}"
+            )
+        avail = np.sort(self.availability(now), kind="stable")
+        return float(avail[n - 1])
+
+    # -- mutation ---------------------------------------------------------
+    def assign(
+        self, node_ids: Iterable[int], until: float, owner: int | None = None
+    ) -> None:
+        """Hold ``node_ids`` until ``until`` (their new release time).
+
+        ``owner`` (a task id) records who holds the node last; it gates
+        :meth:`release_early` so a finished task can never shrink a hold
+        that has since been handed to a successor.
+
+        Raises
+        ------
+        ScheduleConsistencyError
+            If an assignment would move a node's release time *backwards* —
+            the planner only ever extends holds (completion estimates are
+            beyond availability by construction), so a regression means a
+            scheduling bug.
+        """
+        ids = np.asarray(list(node_ids), dtype=np.intp)
+        if ids.size == 0:
+            raise InvalidParameterError("assign() needs at least one node id")
+        if np.any(ids < 0) or np.any(ids >= self.nodes):
+            raise InvalidParameterError(
+                f"node ids out of range [0, {self.nodes}): {ids.tolist()}"
+            )
+        current = self._release[ids]
+        if np.any(until < current - 1e-9):
+            raise ScheduleConsistencyError(
+                "assignment would shrink a node hold: "
+                f"until={until} < current release {current.max()}"
+            )
+        self._release[ids] = until
+        self._owner[ids] = self.NO_OWNER if owner is None else owner
+
+    def release_early(
+        self,
+        node_ids: Iterable[int],
+        times: Iterable[float],
+        owner: int | None = None,
+    ) -> None:
+        """Shrink holds to actual completion times (eager-release ablation).
+
+        The default (paper) bookkeeping keeps a node reserved until the
+        *estimated* completion even though Theorem 4 says the actual finish
+        is earlier.  The eager-release ablation hands the node back at the
+        actual finish instead; this method applies that shrink (it never
+        extends a hold).
+
+        With ``owner`` given, nodes whose hold has since been re-assigned
+        to a different task are left untouched — otherwise a completing
+        task would tear down its successor's reservation and let a third
+        task double-book the node.
+        """
+        ids = np.asarray(list(node_ids), dtype=np.intp)
+        t = np.asarray(list(times), dtype=np.float64)
+        if ids.shape != t.shape:
+            raise InvalidParameterError("node_ids and times must have equal length")
+        if np.any(ids < 0) or np.any(ids >= self.nodes):
+            raise InvalidParameterError(
+                f"node ids out of range [0, {self.nodes}): {ids.tolist()}"
+            )
+        if owner is not None:
+            mask = self._owner[ids] == owner
+            ids, t = ids[mask], t[mask]
+            if ids.size == 0:
+                return
+        self._release[ids] = np.minimum(self._release[ids], t)
+        self._owner[ids] = self.NO_OWNER
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NodeReservations({self._release.tolist()})"

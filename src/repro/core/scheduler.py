@@ -1,0 +1,226 @@
+"""The online dynamic scheduler running on the head node.
+
+Pure scheduling logic, engine-agnostic: the discrete-event driver
+(:mod:`repro.sim.cluster_sim`) feeds it arrival / start instants and turns
+its answers into events.  Keeping the logic free of event plumbing makes
+every admission path unit-testable with plain function calls.
+
+Life cycle of a task
+--------------------
+1. **Arrival** — :meth:`ClusterScheduler.on_arrival` runs the
+   schedulability test (Figure 2).  Rejected tasks are final.  On
+   acceptance the fresh ``TempSchedule`` *replaces* the committed plans of
+   every still-waiting task (the test re-plans the whole queue), and the
+   plan version is bumped so start events scheduled against older plans
+   become no-ops.
+2. **Start** — when a committed plan's start time arrives,
+   :meth:`ClusterScheduler.on_start` locks the task: it leaves the waiting
+   queue, its nodes are reserved until the *estimated* completion, and the
+   caller receives the plan to execute.  From this point the task is no
+   longer re-planned (its data is on the wire).
+3. **Completion** — :meth:`ClusterScheduler.on_complete` records the actual
+   completion measured by the executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.admission import AdmissionDecision, SchedulabilityTest
+from repro.core.cluster import ClusterSpec
+from repro.core.errors import ScheduleConsistencyError
+from repro.core.partition import Partitioner, PlacementPlan
+from repro.core.policies import SchedulingPolicy
+from repro.core.reservations import NodeReservations
+from repro.core.task import DivisibleTask, TaskOutcome, TaskRecord
+
+__all__ = ["ClusterScheduler", "StartDirective"]
+
+
+@dataclass(frozen=True, slots=True)
+class StartDirective:
+    """Instruction to the driver: fire ``on_start`` at ``start_time``.
+
+    Carries the plan version so stale directives (superseded by a later
+    re-plan) are recognised and dropped.
+    """
+
+    task_id: int
+    start_time: float
+    version: int
+
+
+@dataclass(slots=True)
+class SchedulerStats:
+    """Counters the scheduler maintains as it goes."""
+
+    arrivals: int = 0
+    accepted: int = 0
+    rejected: int = 0
+    admission_tests: int = 0
+    replanned_tasks: int = 0
+
+    @property
+    def reject_ratio(self) -> float:
+        """Task Reject Ratio — the paper's headline metric."""
+        if self.arrivals == 0:
+            return 0.0
+        return self.rejected / self.arrivals
+
+
+class ClusterScheduler:
+    """Head-node admission control + dispatch bookkeeping.
+
+    Parameters
+    ----------
+    cluster:
+        Static cluster description.
+    policy:
+        Task ordering (EDF / FIFO).
+    partitioner:
+        Partitioning strategy (DLT-IIT / OPR / User-Split).
+    eager_release:
+        Ablation flag: hand nodes back at *actual* completion instead of
+        the estimate (see DESIGN.md, S19).  Default ``False`` = paper
+        bookkeeping.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        policy: SchedulingPolicy,
+        partitioner: Partitioner,
+        *,
+        eager_release: bool = False,
+    ) -> None:
+        self.cluster = cluster
+        self.policy = policy
+        self.partitioner = partitioner
+        self.eager_release = eager_release
+        self.test = SchedulabilityTest(policy, partitioner, cluster)
+        self.reservations = NodeReservations(cluster.nodes)
+        self.waiting: dict[int, DivisibleTask] = {}
+        self.committed_plans: dict[int, PlacementPlan] = {}
+        self.running: dict[int, PlacementPlan] = {}
+        self.records: dict[int, TaskRecord] = {}
+        self.stats = SchedulerStats()
+        self.plan_version = 0
+        self._last_event_time = 0.0
+
+    # -- event handlers ---------------------------------------------------
+    def on_arrival(
+        self, task: DivisibleTask, now: float
+    ) -> tuple[AdmissionDecision, list[StartDirective]]:
+        """Admit or reject ``task`` arriving at ``now``.
+
+        Returns the decision plus the start directives for the *new*
+        committed schedule (one per waiting task, including the newcomer
+        when accepted).  The driver schedules them all; version tags void
+        the directives of any previously committed plans.
+        """
+        self._check_time(now)
+        if task.task_id in self.records:
+            raise ScheduleConsistencyError(
+                f"task {task.task_id} arrived twice"
+            )
+        self.stats.arrivals += 1
+        self.stats.admission_tests += 1
+        self.partitioner.on_task_arrival(task, self.cluster)
+
+        decision = self.test.try_admit(
+            task, list(self.waiting.values()), self.reservations, now
+        )
+        if not decision.accepted:
+            self.stats.rejected += 1
+            self.records[task.task_id] = TaskRecord(
+                task=task, outcome=TaskOutcome.REJECTED
+            )
+            return decision, []
+
+        self.stats.accepted += 1
+        self.waiting[task.task_id] = task
+        self.records[task.task_id] = TaskRecord(
+            task=task, outcome=TaskOutcome.ACCEPTED
+        )
+        self.stats.replanned_tasks += max(len(self.waiting) - 1, 0)
+        self.plan_version += 1
+        self.committed_plans = dict(decision.plans)
+        directives = [
+            StartDirective(
+                task_id=tid,
+                start_time=plan.start_time,
+                version=self.plan_version,
+            )
+            for tid, plan in self.committed_plans.items()
+        ]
+        return decision, directives
+
+    def on_start(
+        self, task_id: int, version: int, now: float
+    ) -> PlacementPlan | None:
+        """Lock a waiting task and hand its plan to the executor.
+
+        Returns ``None`` when the directive is stale (the plan was replaced
+        by a later admission) — the driver simply drops it.
+        """
+        self._check_time(now)
+        if version != self.plan_version or task_id not in self.waiting:
+            return None
+        plan = self.committed_plans.pop(task_id)
+        task = self.waiting.pop(task_id)
+        if plan.start_time > now + 1e-9:
+            raise ScheduleConsistencyError(
+                f"task {task_id} started at {now} before its plan time "
+                f"{plan.start_time}"
+            )
+        self.reservations.assign(plan.node_ids, plan.est_completion, owner=task_id)
+        self.running[task_id] = plan
+        record = self.records[task_id]
+        record.started_at = now
+        record.est_completion = plan.est_completion
+        record.n_nodes = plan.n
+        record.node_ids = plan.node_ids
+        _ = task  # task object re-exposed via the record
+        return plan
+
+    def on_complete(
+        self,
+        task_id: int,
+        actual_completion: float,
+        per_node_completion: tuple[float, ...] | None = None,
+    ) -> TaskRecord:
+        """Record the executor-measured completion of a running task."""
+        if task_id not in self.running:
+            raise ScheduleConsistencyError(
+                f"completion for task {task_id} which is not running"
+            )
+        plan = self.running.pop(task_id)
+        record = self.records[task_id]
+        record.actual_completion = actual_completion
+        if self.eager_release:
+            ends = (
+                per_node_completion
+                if per_node_completion is not None
+                else (actual_completion,) * plan.n
+            )
+            self.reservations.release_early(plan.node_ids, ends, owner=task_id)
+        self._last_event_time = max(self._last_event_time, actual_completion)
+        return record
+
+    # -- introspection ----------------------------------------------------
+    @property
+    def waiting_count(self) -> int:
+        """Number of admitted-but-not-started tasks."""
+        return len(self.waiting)
+
+    @property
+    def running_count(self) -> int:
+        """Number of started-but-not-completed tasks."""
+        return len(self.running)
+
+    def _check_time(self, now: float) -> None:
+        if now < self._last_event_time - 1e-9:
+            raise ScheduleConsistencyError(
+                f"time ran backwards: {now} < {self._last_event_time}"
+            )
+        self._last_event_time = max(self._last_event_time, now)

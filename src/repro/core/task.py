@@ -1,0 +1,112 @@
+"""Task model: aperiodic, arbitrarily divisible real-time tasks.
+
+Section 3 of the paper: each aperiodic task ``T_i`` is a single invocation
+``(A_i, sigma_i, D_i)`` — arrival time, total data size and *relative*
+deadline.  The absolute deadline is ``A_i + D_i``.  Tasks are independent
+(arbitrarily divisible loads have no precedence constraints), and output
+data transfer is not modelled (negligible next to input size).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+from repro.core.errors import InvalidTaskError
+
+__all__ = ["DivisibleTask", "TaskOutcome", "TaskRecord"]
+
+
+@dataclass(frozen=True, slots=True)
+class DivisibleTask:
+    """One arbitrarily divisible real-time task ``T = (A, sigma, D)``.
+
+    Parameters
+    ----------
+    task_id:
+        Unique, monotonically increasing identifier (arrival order).
+    arrival:
+        Arrival time ``A`` (absolute simulation time, >= 0).
+    sigma:
+        Total data size ``sigma`` (> 0), in workload units; processing one
+        unit costs ``Cps`` time on a node and ``Cms`` time on a link.
+    deadline:
+        Relative deadline ``D`` (> 0).
+
+    Notes
+    -----
+    The tuple is immutable: scheduling state lives in :class:`TaskRecord`
+    (owned by the scheduler), never on the task itself, so a single task
+    set can be replayed against many algorithms.
+    """
+
+    task_id: int
+    arrival: float
+    sigma: float
+    deadline: float
+
+    def __post_init__(self) -> None:
+        if self.task_id < 0:
+            raise InvalidTaskError(f"task_id must be >= 0, got {self.task_id}")
+        if not math.isfinite(self.arrival) or self.arrival < 0:
+            raise InvalidTaskError(
+                f"arrival must be finite and >= 0, got {self.arrival}"
+            )
+        if not math.isfinite(self.sigma) or self.sigma <= 0:
+            raise InvalidTaskError(f"sigma must be finite and > 0, got {self.sigma}")
+        if not math.isfinite(self.deadline) or self.deadline <= 0:
+            raise InvalidTaskError(
+                f"deadline must be finite and > 0, got {self.deadline}"
+            )
+
+    @property
+    def absolute_deadline(self) -> float:
+        """Absolute deadline ``A + D``."""
+        return self.arrival + self.deadline
+
+
+class TaskOutcome(enum.Enum):
+    """Terminal state of a task as seen by the admission controller."""
+
+    ACCEPTED = "accepted"
+    REJECTED = "rejected"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(slots=True)
+class TaskRecord:
+    """Mutable per-task bookkeeping owned by the scheduler / metrics.
+
+    ``est_completion`` is the admission-time estimate the guarantee is made
+    against; ``actual_completion`` is what the discrete-event executor
+    measured.  Theorem 4 guarantees ``actual_completion <= est_completion``
+    for every started task.
+    """
+
+    task: DivisibleTask
+    outcome: TaskOutcome
+    est_completion: float | None = None
+    actual_completion: float | None = None
+    n_nodes: int | None = None
+    node_ids: tuple[int, ...] = field(default=())
+    started_at: float | None = None
+
+    @property
+    def deadline_met(self) -> bool | None:
+        """Whether the executed task met its absolute deadline.
+
+        ``None`` until the task actually completed (or for rejected tasks).
+        """
+        if self.actual_completion is None:
+            return None
+        return self.actual_completion <= self.task.absolute_deadline + 1e-9
+
+    @property
+    def completion_slack(self) -> float | None:
+        """Estimate minus actual completion (>= 0 by Theorem 4)."""
+        if self.actual_completion is None or self.est_completion is None:
+            return None
+        return self.est_completion - self.actual_completion

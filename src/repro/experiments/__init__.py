@@ -1,0 +1,26 @@
+"""Evaluation harness: one registry entry per figure panel of the paper.
+
+Typical use::
+
+    from repro.experiments import FIGURES, run_panel, render_panel
+    result = run_panel(FIGURES["fig3a"], replications=3, total_time=300_000)
+    print(render_panel(result))
+"""
+
+from repro.experiments.figures import FIGURES, PanelSpec, figure_ids
+from repro.experiments.report import panel_to_csv, render_panel
+from repro.experiments.runner import RunResult, run_replications, simulate
+from repro.experiments.sweep import PanelResult, run_panel
+
+__all__ = [
+    "FIGURES",
+    "PanelResult",
+    "PanelSpec",
+    "RunResult",
+    "figure_ids",
+    "panel_to_csv",
+    "render_panel",
+    "run_panel",
+    "run_replications",
+    "simulate",
+]

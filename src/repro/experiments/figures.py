@@ -1,0 +1,264 @@
+"""Registry of every figure panel in the paper's evaluation (Section 5).
+
+Each :class:`PanelSpec` captures one plotted panel: the two algorithms
+compared, the configuration deltas against the Section 5.1 baseline
+(``N=16, Cms=1, Cps=100, Avgσ=200, DCRatio=2``) and the x-axis
+(SystemLoad ∈ {0.1, ..., 1.0} everywhere).
+
+Notes on source typos (resolved here, flagged in DESIGN.md):
+
+* Figure 7c's caption says ``Cms = 4`` while its embedded plot title reads
+  ``cms=2`` (copy-paste slip in the TR); the sweep obviously intends
+  Cms ∈ {1, 2, 4, 8}, so the registry uses 4.  Figure 11c is identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.workload.spec import SimulationConfig
+
+__all__ = ["BASELINE", "DEFAULT_LOADS", "FIGURES", "PanelSpec", "figure_ids"]
+
+#: Section 5.1 baseline parameters (everything but load/horizon/seed).
+BASELINE: Mapping[str, float | int] = {
+    "nodes": 16,
+    "cms": 1.0,
+    "cps": 100.0,
+    "avg_sigma": 200.0,
+    "dc_ratio": 2.0,
+}
+
+#: The x-axis of every figure.
+DEFAULT_LOADS: tuple[float, ...] = tuple(round(0.1 * k, 1) for k in range(1, 11))
+
+#: The paper's per-run horizon (Section 5: 10,000,000 time units) and
+#: replication count (ten runs per point).  The harness accepts overrides —
+#: benches use smaller values; EXPERIMENTS.md records what was used.
+PAPER_TOTAL_TIME: float = 10_000_000.0
+PAPER_REPLICATIONS: int = 10
+
+
+@dataclass(frozen=True, slots=True)
+class PanelSpec:
+    """One figure panel: two algorithms over a SystemLoad sweep."""
+
+    panel_id: str
+    title: str
+    algorithms: tuple[str, str]
+    overrides: Mapping[str, float | int] = field(default_factory=dict)
+    show_ci: bool = False
+    notes: str = ""
+
+    def base_config(
+        self,
+        *,
+        system_load: float,
+        total_time: float,
+        seed: int,
+    ) -> SimulationConfig:
+        """Materialize the panel's configuration at one load point."""
+        params = dict(BASELINE)
+        params.update(self.overrides)
+        return SimulationConfig(
+            nodes=int(params["nodes"]),
+            cms=float(params["cms"]),
+            cps=float(params["cps"]),
+            system_load=system_load,
+            avg_sigma=float(params["avg_sigma"]),
+            dc_ratio=float(params["dc_ratio"]),
+            total_time=total_time,
+            seed=seed,
+        )
+
+
+def _edf_iit() -> tuple[str, str]:
+    return ("EDF-DLT", "EDF-OPR-MN")
+
+
+def _fifo_iit() -> tuple[str, str]:
+    return ("FIFO-DLT", "FIFO-OPR-MN")
+
+
+def _edf_us() -> tuple[str, str]:
+    return ("EDF-DLT", "EDF-UserSplit")
+
+
+def _fifo_us() -> tuple[str, str]:
+    return ("FIFO-DLT", "FIFO-UserSplit")
+
+
+def _build_registry() -> dict[str, PanelSpec]:
+    panels: list[PanelSpec] = []
+
+    def add(
+        panel_id: str,
+        title: str,
+        algorithms: tuple[str, str],
+        overrides: Mapping[str, float | int] | None = None,
+        *,
+        show_ci: bool = False,
+        notes: str = "",
+    ) -> None:
+        panels.append(
+            PanelSpec(
+                panel_id=panel_id,
+                title=title,
+                algorithms=algorithms,
+                overrides=dict(overrides or {}),
+                show_ci=show_ci,
+                notes=notes,
+            )
+        )
+
+    # --- Figure 3: benefits of utilizing IITs (baseline, EDF) -----------
+    add("fig3a", "Benefits of Utilizing IITs — baseline", _edf_iit())
+    add(
+        "fig3b",
+        "Benefits of Utilizing IITs — baseline, 95% CI",
+        _edf_iit(),
+        show_ci=True,
+    )
+
+    # --- Figure 4: DCRatio effects (EDF) ---------------------------------
+    for panel, dc in zip("abcd", (3, 10, 20, 100)):
+        add(
+            f"fig4{panel}",
+            f"Benefits of Utilizing IITs — DCRatio = {dc}",
+            _edf_iit(),
+            {"dc_ratio": dc},
+        )
+
+    # --- Figure 5: DLT vs User-Split (EDF headline) ----------------------
+    add("fig5a", "DLT-Based vs User-Split — baseline", _edf_us())
+    add("fig5b", "DLT-Based vs User-Split — DCRatio = 10", _edf_us(), {"dc_ratio": 10})
+
+    # --- Figure 6: Avgσ effects (EDF, IIT benefit) ------------------------
+    for panel, avg in zip("abcd", (100, 200, 400, 800)):
+        add(
+            f"fig6{panel}",
+            f"Benefits of Utilizing IITs — Avgσ = {avg}",
+            _edf_iit(),
+            {"avg_sigma": avg},
+        )
+
+    # --- Figure 7: Cms effects (EDF, IIT benefit) -------------------------
+    for panel, cms in zip("abcd", (1, 2, 4, 8)):
+        add(
+            f"fig7{panel}",
+            f"Benefits of Utilizing IITs — Cms = {cms}",
+            _edf_iit(),
+            {"cms": cms},
+            notes="fig7c: TR plot header says cms=2; caption (Cms=4) is authoritative.",
+        )
+
+    # --- Figure 8: Cps effects (EDF, IIT benefit) -------------------------
+    for panel, cps in zip("abcdef", (10, 50, 500, 1000, 5000, 10000)):
+        add(
+            f"fig8{panel}",
+            f"Benefits of Utilizing IITs — Cps = {cps}",
+            _edf_iit(),
+            {"cps": cps},
+        )
+
+    # --- Figure 9: DCRatio effects (FIFO) ---------------------------------
+    for panel, dc in zip("abcd", (3, 10, 20, 100)):
+        add(
+            f"fig9{panel}",
+            f"Benefits of Utilizing IITs (FIFO) — DCRatio = {dc}",
+            _fifo_iit(),
+            {"dc_ratio": dc},
+        )
+
+    # --- Figure 10: Avgσ effects (FIFO) ------------------------------------
+    for panel, avg in zip("abcd", (100, 200, 400, 800)):
+        add(
+            f"fig10{panel}",
+            f"Benefits of Utilizing IITs (FIFO) — Avgσ = {avg}",
+            _fifo_iit(),
+            {"avg_sigma": avg},
+        )
+
+    # --- Figure 11: Cms effects (FIFO) --------------------------------------
+    for panel, cms in zip("abcd", (1, 2, 4, 8)):
+        add(
+            f"fig11{panel}",
+            f"Benefits of Utilizing IITs (FIFO) — Cms = {cms}",
+            _fifo_iit(),
+            {"cms": cms},
+            notes="fig11c inherits the same caption/plot-header typo as fig7c.",
+        )
+
+    # --- Figure 12: Cps effects (FIFO) --------------------------------------
+    for panel, cps in zip("abcdef", (10, 50, 500, 1000, 5000, 10000)):
+        add(
+            f"fig12{panel}",
+            f"Benefits of Utilizing IITs (FIFO) — Cps = {cps}",
+            _fifo_iit(),
+            {"cps": cps},
+        )
+
+    # --- Figure 13: DLT vs User-Split, Avgσ (EDF) ---------------------------
+    for panel, avg in zip("abcd", (100, 200, 400, 800)):
+        add(
+            f"fig13{panel}",
+            f"DLT-Based vs User-Split — Avgσ = {avg}",
+            _edf_us(),
+            {"avg_sigma": avg},
+        )
+
+    # --- Figure 14: DLT vs User-Split, Cps + DCRatio (EDF) ------------------
+    for panel, cps in zip("abcdef", (10, 50, 500, 1000, 5000, 10000)):
+        add(
+            f"fig14{panel}",
+            f"DLT-Based vs User-Split — Cps = {cps}",
+            _edf_us(),
+            {"cps": cps},
+        )
+    add("fig14g", "DLT-Based vs User-Split — DCRatio = 3", _edf_us(), {"dc_ratio": 3})
+    add("fig14h", "DLT-Based vs User-Split — DCRatio = 10", _edf_us(), {"dc_ratio": 10})
+
+    # --- Figure 15: DLT vs User-Split, Avgσ (FIFO) ---------------------------
+    for panel, avg in zip("abcd", (100, 200, 400, 800)):
+        add(
+            f"fig15{panel}",
+            f"DLT-Based vs User-Split (FIFO) — Avgσ = {avg}",
+            _fifo_us(),
+            {"avg_sigma": avg},
+        )
+
+    # --- Figure 16: DLT vs User-Split, Cps + DCRatio (FIFO) ------------------
+    for panel, cps in zip("abcdef", (10, 50, 500, 1000, 5000, 10000)):
+        add(
+            f"fig16{panel}",
+            f"DLT-Based vs User-Split (FIFO) — Cps = {cps}",
+            _fifo_us(),
+            {"cps": cps},
+        )
+    add(
+        "fig16g",
+        "DLT-Based vs User-Split (FIFO) — DCRatio = 3",
+        _fifo_us(),
+        {"dc_ratio": 3},
+    )
+    add(
+        "fig16h",
+        "DLT-Based vs User-Split (FIFO) — DCRatio = 10",
+        _fifo_us(),
+        {"dc_ratio": 10},
+    )
+
+    registry = {p.panel_id: p for p in panels}
+    if len(registry) != len(panels):  # pragma: no cover - construction bug
+        raise RuntimeError("duplicate panel id in figure registry")
+    return registry
+
+
+#: panel id → spec, for all 64 panels of Figures 3-16.
+FIGURES: dict[str, PanelSpec] = _build_registry()
+
+
+def figure_ids() -> list[str]:
+    """All panel ids, in registry (paper) order."""
+    return list(FIGURES)

@@ -1,0 +1,121 @@
+"""Plain-text / CSV rendering of panel results.
+
+The paper publishes curves; a terminal-friendly reproduction publishes the
+same series as aligned tables (plus CSV for downstream plotting).
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.experiments.sweep import PanelResult
+
+__all__ = ["panel_to_csv", "render_chart", "render_panel"]
+
+
+def render_panel(result: PanelResult, *, show_ci: bool | None = None) -> str:
+    """Aligned text table: one row per SystemLoad, one column per algorithm.
+
+    ``show_ci`` defaults to the panel's ``show_ci`` flag (Figure 3b).
+    """
+    spec = result.spec
+    ci = spec.show_ci if show_ci is None else show_ci
+    algs = list(spec.algorithms)
+
+    header = [f"{spec.panel_id}: {spec.title}"]
+    params = {**dict(_baseline_items()), **dict(spec.overrides)}
+    header.append(
+        "nodes={nodes}, Cms={cms}, Cps={cps}, avg data size={avg_sigma}, "
+        "dcratio={dc_ratio}".format(**params)
+    )
+    header.append(
+        f"horizon={result.total_time:g} time units, "
+        f"replications={result.replications}, metric=Task Reject Ratio"
+    )
+
+    width = 24 if ci else 12
+    cols = ["load".ljust(6)] + [a.ljust(width) for a in algs]
+    lines = header + ["", "  ".join(cols)]
+    for i, load in enumerate(result.loads):
+        row = [f"{load:<6.2f}"]
+        for a in algs:
+            p = result.series[a][i]
+            cell = f"{p.mean:.4f} ± {p.ci.half_width:.4f}" if ci else f"{p.mean:.4f}"
+            row.append(cell.ljust(width))
+        lines.append("  ".join(row))
+
+    better, worse = algs[0], algs[1]
+    gap = result.mean_gap(better, worse)
+    lines.append("")
+    lines.append(
+        f"mean gap ({worse} − {better}): {gap:+.4f}  |  "
+        f"{better} wins {result.wins(better)}/{len(result.loads)} load points"
+    )
+    if spec.notes:
+        lines.append(f"note: {spec.notes}")
+    return "\n".join(lines)
+
+
+def render_chart(result: PanelResult, *, height: int = 12, width: int = 64) -> str:
+    """ASCII line chart of the panel — the figure, in a terminal.
+
+    First algorithm plotted with ``*``, second with ``o`` (``@`` where
+    they overlap); y is Task Reject Ratio, x is SystemLoad.
+    """
+    algs = list(result.spec.algorithms)
+    ys = {a: result.mean_curve(a) for a in algs}
+    y_max = max(max(v) for v in ys.values())
+    y_max = max(y_max, 1e-6) * 1.05
+    marks = {algs[0]: "*", algs[1]: "o"}
+
+    grid = [[" "] * width for _ in range(height)]
+    n_pts = len(result.loads)
+
+    def cell(i: int, y: float) -> tuple[int, int]:
+        col = 0 if n_pts == 1 else round(i * (width - 1) / (n_pts - 1))
+        row = height - 1 - min(height - 1, round(y / y_max * (height - 1)))
+        return row, col
+
+    for alg in algs:
+        for i, y in enumerate(ys[alg]):
+            row, col = cell(i, y)
+            grid[row][col] = "@" if grid[row][col] not in (" ", marks[alg]) else marks[alg]
+
+    lines = [
+        f"{result.spec.panel_id}: Task Reject Ratio vs SystemLoad "
+        f"({marks[algs[0]]}={algs[0]}, {marks[algs[1]]}={algs[1]}, @=both)"
+    ]
+    for r, row in enumerate(grid):
+        label = y_max * (height - 1 - r) / (height - 1)
+        lines.append(f"{label:6.3f} |{''.join(row)}")
+    lines.append(" " * 7 + "+" + "-" * width)
+    lines.append(
+        " " * 8
+        + f"{result.loads[0]:<10.2f}"
+        + " " * max(width - 22, 0)
+        + f"{result.loads[-1]:>10.2f}"
+    )
+    return "\n".join(lines)
+
+
+def panel_to_csv(result: PanelResult) -> str:
+    """CSV with columns: load, then mean/ci per algorithm."""
+    algs = list(result.spec.algorithms)
+    buf = io.StringIO()
+    cols = ["system_load"]
+    for a in algs:
+        cols += [f"{a}_mean", f"{a}_ci95"]
+    buf.write(",".join(cols) + "\n")
+    for i, load in enumerate(result.loads):
+        row = [f"{load:.3f}"]
+        for a in algs:
+            p = result.series[a][i]
+            row += [f"{p.mean:.6f}", f"{p.ci.half_width:.6f}"]
+        buf.write(",".join(row) + "\n")
+    return buf.getvalue()
+
+
+def _baseline_items():
+    from repro.experiments.figures import BASELINE
+
+    return BASELINE.items()

@@ -1,0 +1,148 @@
+"""The Section 5.2 aggregate comparison: DLT-Based vs User-Split win stats.
+
+The paper ran 330 simulations across system configurations and reports:
+
+* User-Split beats the corresponding DLT algorithm 8.22% of the time;
+* when DLT wins, the reject-ratio gains are
+  average 0.121 / max 0.224 / min 0.003;
+* when User-Split wins, the gains are negligible:
+  average 0.016 / max 0.028 / min 0.003.
+
+:func:`run_win_stats` reruns that study on a configurable grid (the full
+paper grid is expensive; the bench uses a subset) and produces the same
+four-row summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.experiments.figures import BASELINE
+from repro.experiments.runner import run_replications
+from repro.workload.spec import SimulationConfig
+
+__all__ = ["WinStats", "default_grid", "render_win_stats", "run_win_stats"]
+
+
+@dataclass(frozen=True, slots=True)
+class WinStats:
+    """Aggregate outcome of the DLT vs User-Split study."""
+
+    comparisons: int
+    dlt_wins: int
+    user_split_wins: int
+    ties: int
+    dlt_gains: tuple[float, ...]
+    user_split_gains: tuple[float, ...]
+
+    @property
+    def user_split_win_fraction(self) -> float:
+        """Fraction of comparisons User-Split wins (paper: 0.0822)."""
+        if self.comparisons == 0:
+            return 0.0
+        return self.user_split_wins / self.comparisons
+
+    @staticmethod
+    def _stats(gains: tuple[float, ...]) -> tuple[float, float, float]:
+        if not gains:
+            return (0.0, 0.0, 0.0)
+        return (sum(gains) / len(gains), max(gains), min(gains))
+
+    @property
+    def dlt_gain_avg_max_min(self) -> tuple[float, float, float]:
+        """Average / max / min reject-ratio gain when DLT wins."""
+        return self._stats(self.dlt_gains)
+
+    @property
+    def user_split_gain_avg_max_min(self) -> tuple[float, float, float]:
+        """Average / max / min gain when User-Split wins."""
+        return self._stats(self.user_split_gains)
+
+
+def default_grid(
+    *,
+    loads: Sequence[float] = (0.3, 0.6, 0.9),
+    dc_ratios: Sequence[float] = (2.0, 3.0, 10.0),
+    cps_values: Sequence[float] = (100.0, 1000.0),
+) -> list[Mapping[str, float]]:
+    """A reduced version of the paper's 330-simulation grid."""
+    grid: list[Mapping[str, float]] = []
+    for dc in dc_ratios:
+        for cps in cps_values:
+            for load in loads:
+                grid.append({"dc_ratio": dc, "cps": cps, "system_load": load})
+    return grid
+
+
+def run_win_stats(
+    grid: Iterable[Mapping[str, float]],
+    *,
+    policy: str = "EDF",
+    replications: int = 2,
+    total_time: float = 60_000.0,
+    seed: int = 2007,
+    tie_tol: float = 1e-3,
+) -> WinStats:
+    """Compare <policy>-DLT against <policy>-UserSplit over a config grid.
+
+    Each grid point runs both algorithms on identical workloads (paired
+    seeds); a win requires a mean reject-ratio difference above
+    ``tie_tol``.
+    """
+    dlt_alg = f"{policy}-DLT"
+    us_alg = f"{policy}-UserSplit"
+    dlt_wins = us_wins = ties = 0
+    dlt_gains: list[float] = []
+    us_gains: list[float] = []
+    for i, overrides in enumerate(grid):
+        params = dict(BASELINE)
+        params.update(overrides)
+        cfg = SimulationConfig(
+            nodes=int(params["nodes"]),
+            cms=float(params["cms"]),
+            cps=float(params["cps"]),
+            system_load=float(params["system_load"]),
+            avg_sigma=float(params["avg_sigma"]),
+            dc_ratio=float(params["dc_ratio"]),
+            total_time=total_time,
+            seed=seed + 104_729 * i,
+        )
+        r_dlt = run_replications(cfg, dlt_alg, replications).ci.mean
+        r_us = run_replications(cfg, us_alg, replications).ci.mean
+        gap = r_us - r_dlt  # positive ⇒ DLT better
+        if gap > tie_tol:
+            dlt_wins += 1
+            dlt_gains.append(gap)
+        elif gap < -tie_tol:
+            us_wins += 1
+            us_gains.append(-gap)
+        else:
+            ties += 1
+    return WinStats(
+        comparisons=dlt_wins + us_wins + ties,
+        dlt_wins=dlt_wins,
+        user_split_wins=us_wins,
+        ties=ties,
+        dlt_gains=tuple(dlt_gains),
+        user_split_gains=tuple(us_gains),
+    )
+
+
+def render_win_stats(stats: WinStats, *, policy: str = "EDF") -> str:
+    """The Section 5.2 summary rows, paper-style."""
+    d_avg, d_max, d_min = stats.dlt_gain_avg_max_min
+    u_avg, u_max, u_min = stats.user_split_gain_avg_max_min
+    lines = [
+        f"Section 5.2 aggregate — {policy}-DLT vs {policy}-UserSplit "
+        f"over {stats.comparisons} configurations",
+        f"  User-Split wins: {stats.user_split_win_fraction:.2%} "
+        f"(paper: 8.22% over 330 sims)",
+        f"  DLT wins {stats.dlt_wins}, User-Split wins "
+        f"{stats.user_split_wins}, ties {stats.ties}",
+        f"  gains when DLT wins       avg/max/min = "
+        f"{d_avg:.3f}/{d_max:.3f}/{d_min:.3f}  (paper: 0.121/0.224/0.003)",
+        f"  gains when User-Split wins avg/max/min = "
+        f"{u_avg:.3f}/{u_max:.3f}/{u_min:.3f}  (paper: 0.016/0.028/0.003)",
+    ]
+    return "\n".join(lines)

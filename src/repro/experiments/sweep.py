@@ -1,0 +1,100 @@
+"""SystemLoad sweep driver: turn a PanelSpec into series of points."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.experiments.figures import DEFAULT_LOADS, PanelSpec
+from repro.experiments.runner import run_replications
+from repro.metrics.stats import PointEstimate
+
+__all__ = ["PanelResult", "run_panel"]
+
+#: Defaults tuned so a full panel runs in seconds; the paper-scale values
+#: (10 M time units, 10 replications) are available via parameters.
+DEFAULT_TOTAL_TIME: float = 200_000.0
+DEFAULT_REPLICATIONS: int = 3
+DEFAULT_SEED: int = 2007
+
+
+@dataclass(frozen=True, slots=True)
+class PanelResult:
+    """All series of one panel: algorithm → per-load point estimates."""
+
+    spec: PanelSpec
+    loads: tuple[float, ...]
+    series: Mapping[str, tuple[PointEstimate, ...]]
+    total_time: float
+    replications: int
+
+    def mean_curve(self, algorithm: str) -> list[float]:
+        """The mean reject-ratio curve of one algorithm."""
+        return [p.mean for p in self.series[algorithm]]
+
+    def wins(self, algorithm: str, *, tol: float = 0.0) -> int:
+        """Load points where ``algorithm``'s mean is lowest (ties excluded).
+
+        ``tol`` widens the comparison: a win requires beating every other
+        series by more than ``tol``.
+        """
+        others = [a for a in self.series if a != algorithm]
+        count = 0
+        for i in range(len(self.loads)):
+            mine = self.series[algorithm][i].mean
+            if all(self.series[o][i].mean > mine + tol for o in others):
+                count += 1
+        return count
+
+    def mean_gap(self, better: str, worse: str) -> float:
+        """Average (worse − better) reject-ratio gap across loads."""
+        diffs = [
+            self.series[worse][i].mean - self.series[better][i].mean
+            for i in range(len(self.loads))
+        ]
+        return sum(diffs) / len(diffs)
+
+
+def run_panel(
+    spec: PanelSpec,
+    *,
+    loads: Sequence[float] | None = None,
+    replications: int = DEFAULT_REPLICATIONS,
+    total_time: float = DEFAULT_TOTAL_TIME,
+    seed: int = DEFAULT_SEED,
+    metric: str = "reject_ratio",
+    validate: bool = True,
+) -> PanelResult:
+    """Run one figure panel: both algorithms over the SystemLoad grid.
+
+    Replication seeds are derived from ``(seed, load index, rep)`` so every
+    point is independent yet fully reproducible, while both algorithms of a
+    panel see *identical* task sets at each point (paired comparison, as in
+    the paper).
+    """
+    grid = tuple(loads) if loads is not None else DEFAULT_LOADS
+    series: dict[str, list[PointEstimate]] = {a: [] for a in spec.algorithms}
+    for li, load in enumerate(grid):
+        cfg = spec.base_config(
+            system_load=float(load),
+            total_time=total_time,
+            seed=seed + 7919 * li,  # distinct workload per load point
+        )
+        for algorithm in spec.algorithms:
+            agg = run_replications(
+                cfg,
+                algorithm,
+                replications,
+                metric=metric,
+                validate=validate,
+            )
+            series[algorithm].append(
+                PointEstimate(x=float(load), ci=agg.ci, samples=agg.samples)
+            )
+    return PanelResult(
+        spec=spec,
+        loads=grid,
+        series={a: tuple(pts) for a, pts in series.items()},
+        total_time=total_time,
+        replications=replications,
+    )

@@ -1,0 +1,23 @@
+"""Extensions beyond the paper.
+
+``multiround``
+    The paper's stated future work (Section 6): multi-round dispatch that
+    "can further improve the IITs utilization".  Implemented as a uniform
+    multi-round partitioner whose plan-time recursion *is* the dispatch
+    recursion, so estimates are exact.
+``ablations``
+    Drivers quantifying the under-specified model choices documented in
+    DESIGN.md §3 (eager release, fixed-point node counts, User-Split
+    redraw, shared head link).
+"""
+
+from repro.ext.multiround import MultiRoundPartitioner, register_multiround
+from repro.ext.ablations import ABLATIONS, AblationResult, run_ablation
+
+__all__ = [
+    "ABLATIONS",
+    "AblationResult",
+    "MultiRoundPartitioner",
+    "register_multiround",
+    "run_ablation",
+]

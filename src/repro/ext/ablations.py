@@ -1,0 +1,179 @@
+"""Ablation drivers for the model choices DESIGN.md §3 documents.
+
+Each ablation runs the same workload under the paper reading and the
+alternative reading, and reports both reject ratios:
+
+=====================  ========================================================
+name                   question it answers
+=====================  ========================================================
+``eager-release``      Does handing nodes back at *actual* (vs estimated)
+                       completion change acceptance?  (Theorem 4 slack)
+``fixed-point-n``      How much would resolving the n↔start-time circularity
+                       iteratively (instead of Figure 2's one-shot ñ_min(t))
+                       help both DLT and OPR?
+``user-split-redraw``  Pseudocode-literal User-Split (re-roll n on every
+                       re-plan) vs the sticky per-task draw.
+``shared-head-link``   If all transmissions serialize through one head-node
+                       link (instead of a switched fabric), how many admitted
+                       tasks would miss deadlines?
+``all-nodes``          The Section 5 "-AN" policies vs the minimum-node ones.
+``multi-round``        The future-work extension vs single-round DLT.
+=====================  ========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.algorithms import make_algorithm
+from repro.core.partition import DltIitPartitioner, UserSplitPartitioner
+from repro.ext.multiround import register_multiround
+from repro.metrics.collector import MetricsSummary, summarize
+from repro.sim.cluster_sim import ClusterSimulation
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.spec import SimulationConfig
+
+__all__ = ["ABLATIONS", "AblationResult", "run_ablation"]
+
+
+@dataclass(frozen=True, slots=True)
+class AblationResult:
+    """Paired outcome of one ablation on one configuration."""
+
+    name: str
+    baseline_label: str
+    variant_label: str
+    baseline: MetricsSummary
+    variant: MetricsSummary
+
+    @property
+    def reject_ratio_delta(self) -> float:
+        """variant − baseline reject ratio (negative = variant better)."""
+        return self.variant.reject_ratio - self.baseline.reject_ratio
+
+    def summary(self) -> str:
+        """One-line comparison."""
+        return (
+            f"{self.name}: {self.baseline_label}={self.baseline.reject_ratio:.4f} "
+            f"vs {self.variant_label}={self.variant.reject_ratio:.4f} "
+            f"(Δ={self.reject_ratio_delta:+.4f})"
+        )
+
+
+def _run(config: SimulationConfig, algorithm_name: str, **sim_kwargs) -> MetricsSummary:
+    generator = WorkloadGenerator(config)
+    tasks = generator.generate()
+    instance = make_algorithm(algorithm_name, rng=generator.algorithm_rng())
+    sim = ClusterSimulation(
+        config.cluster,
+        instance,
+        tasks,
+        horizon=config.total_time,
+        **sim_kwargs,
+    )
+    return summarize(sim.run())
+
+
+def _run_custom_partitioner(
+    config: SimulationConfig, base_algorithm: str, partitioner, **sim_kwargs
+) -> MetricsSummary:
+    """Run a named algorithm with its partitioner swapped out."""
+    from repro.core.algorithms import ALGORITHMS, AlgorithmInstance
+
+    generator = WorkloadGenerator(config)
+    tasks = generator.generate()
+    spec = ALGORITHMS[base_algorithm]
+    instance = AlgorithmInstance(
+        spec=spec, policy=spec.policy_factory(), partitioner=partitioner
+    )
+    sim = ClusterSimulation(
+        config.cluster, instance, tasks, horizon=config.total_time, **sim_kwargs
+    )
+    return summarize(sim.run())
+
+
+def _eager_release(config: SimulationConfig) -> AblationResult:
+    return AblationResult(
+        name="eager-release",
+        baseline_label="estimate-release (paper)",
+        variant_label="actual-release",
+        baseline=_run(config, "EDF-DLT"),
+        variant=_run(config, "EDF-DLT", eager_release=True),
+    )
+
+
+def _fixed_point(config: SimulationConfig) -> AblationResult:
+    return AblationResult(
+        name="fixed-point-n",
+        baseline_label="one-shot ñ_min(t) (paper)",
+        variant_label="fixed-point ñ_min",
+        baseline=_run(config, "EDF-DLT"),
+        variant=_run_custom_partitioner(
+            config, "EDF-DLT", DltIitPartitioner(fixed_point_node_count=True)
+        ),
+    )
+
+
+def _user_split_redraw(config: SimulationConfig) -> AblationResult:
+    generator = WorkloadGenerator(config)
+    redraw = UserSplitPartitioner(rng=generator.algorithm_rng(), redraw_on_replan=True)
+    return AblationResult(
+        name="user-split-redraw",
+        baseline_label="sticky draw (default)",
+        variant_label="redraw per re-plan (Fig. 2 literal)",
+        baseline=_run(config, "EDF-UserSplit"),
+        variant=_run_custom_partitioner(config, "EDF-UserSplit", redraw),
+    )
+
+
+def _shared_head_link(config: SimulationConfig) -> AblationResult:
+    return AblationResult(
+        name="shared-head-link",
+        baseline_label="switched fabric (paper)",
+        variant_label="single shared head link",
+        baseline=_run(config, "EDF-DLT"),
+        variant=_run(config, "EDF-DLT", shared_head_link=True, validate=True),
+    )
+
+
+def _all_nodes(config: SimulationConfig) -> AblationResult:
+    return AblationResult(
+        name="all-nodes",
+        baseline_label="EDF-DLT (ñ_min nodes)",
+        variant_label="EDF-DLT-AN (all N nodes)",
+        baseline=_run(config, "EDF-DLT"),
+        variant=_run(config, "EDF-DLT-AN"),
+    )
+
+
+def _multi_round(config: SimulationConfig) -> AblationResult:
+    register_multiround(rounds=4)
+    return AblationResult(
+        name="multi-round",
+        baseline_label="EDF-DLT (single round)",
+        variant_label="EDF-MR-DLT (4 rounds)",
+        baseline=_run(config, "EDF-DLT"),
+        variant=_run(config, "EDF-MR-DLT"),
+    )
+
+
+#: name → driver, each mapping one DESIGN.md §3 decision to an experiment.
+ABLATIONS: dict[str, Callable[[SimulationConfig], AblationResult]] = {
+    "eager-release": _eager_release,
+    "fixed-point-n": _fixed_point,
+    "user-split-redraw": _user_split_redraw,
+    "shared-head-link": _shared_head_link,
+    "all-nodes": _all_nodes,
+    "multi-round": _multi_round,
+}
+
+
+def run_ablation(name: str, config: SimulationConfig) -> AblationResult:
+    """Run one named ablation on ``config``."""
+    try:
+        driver = ABLATIONS[name]
+    except KeyError:
+        known = ", ".join(sorted(ABLATIONS))
+        raise KeyError(f"unknown ablation {name!r}; known: {known}") from None
+    return driver(config)

@@ -1,0 +1,17 @@
+"""Metrics and replication statistics.
+
+``collector`` reduces one simulation run to a :class:`MetricsSummary`
+(Task Reject Ratio front and centre); ``stats`` aggregates replications
+into means with 95% confidence intervals (Figure 3b).
+"""
+
+from repro.metrics.collector import MetricsSummary, summarize
+from repro.metrics.stats import ConfidenceInterval, PointEstimate, mean_ci
+
+__all__ = [
+    "ConfidenceInterval",
+    "MetricsSummary",
+    "PointEstimate",
+    "mean_ci",
+    "summarize",
+]

@@ -1,0 +1,81 @@
+"""Replication statistics: means and Student-t confidence intervals.
+
+Every point in the paper's figures "corresponds to the average performance
+of ten simulations" and Figure 3b adds 95% confidence intervals; this
+module provides exactly that aggregation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import stats as sps
+
+from repro.core.errors import InvalidParameterError
+
+__all__ = ["ConfidenceInterval", "PointEstimate", "mean_ci"]
+
+
+@dataclass(frozen=True, slots=True)
+class ConfidenceInterval:
+    """A symmetric confidence interval ``mean ± half_width``."""
+
+    mean: float
+    half_width: float
+    confidence: float
+    n: int
+
+    @property
+    def low(self) -> float:
+        """Lower bound."""
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        """Upper bound."""
+        return self.mean + self.half_width
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4f} ± {self.half_width:.4f}"
+
+
+@dataclass(frozen=True, slots=True)
+class PointEstimate:
+    """One figure point: an aggregated metric over replications."""
+
+    x: float  # the swept parameter value (SystemLoad in all figures)
+    ci: ConfidenceInterval
+    samples: tuple[float, ...]
+
+    @property
+    def mean(self) -> float:
+        """Replication mean."""
+        return self.ci.mean
+
+
+def mean_ci(
+    values: Sequence[float] | np.ndarray,
+    confidence: float = 0.95,
+) -> ConfidenceInterval:
+    """Mean with a Student-t confidence interval.
+
+    With one sample the half-width is 0 (degenerate but convenient for
+    smoke-scale runs); with zero samples an error is raised.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise InvalidParameterError("values must be a non-empty 1-D sequence")
+    if not 0.0 < confidence < 1.0:
+        raise InvalidParameterError(f"confidence must be in (0,1), got {confidence}")
+    n = int(arr.size)
+    mean = float(arr.mean())
+    if n == 1:
+        return ConfidenceInterval(mean=mean, half_width=0.0, confidence=confidence, n=n)
+    sem = float(arr.std(ddof=1)) / math.sqrt(n)
+    t_crit = float(sps.t.ppf(0.5 + confidence / 2.0, df=n - 1))
+    return ConfidenceInterval(
+        mean=mean, half_width=t_crit * sem, confidence=confidence, n=n
+    )

@@ -1,0 +1,36 @@
+"""Discrete-event simulation substrate.
+
+The paper evaluates with "a discrete simulator" (Section 5); this package
+is that simulator, built from scratch:
+
+``engine``
+    A minimal, deterministic discrete-event kernel (binary-heap event
+    queue, strict priority tie-breaking).
+``events``
+    Event kinds and their same-timestamp ordering.
+``cluster_sim``
+    The cluster executor: wires workload arrivals, the head-node scheduler
+    and chunk-level execution together and measures *actual* timings.
+``trace``
+    Optional chunk-level execution traces (Gantt-style records).
+``validate``
+    Runtime invariant checks: Theorem 4, deadline guarantees, reservation
+    consistency.
+"""
+
+from repro.sim.cluster_sim import ClusterSimulation, SimulationOutput
+from repro.sim.engine import SimulationEngine
+from repro.sim.events import EventKind
+from repro.sim.trace import ChunkTrace, TaskTrace
+from repro.sim.validate import ExecutionValidator, ValidationReport
+
+__all__ = [
+    "ChunkTrace",
+    "ClusterSimulation",
+    "EventKind",
+    "ExecutionValidator",
+    "SimulationEngine",
+    "SimulationOutput",
+    "TaskTrace",
+    "ValidationReport",
+]

@@ -1,0 +1,325 @@
+"""Cluster executor: run an admitted workload on the simulated cluster.
+
+This is the "discrete simulator" of Section 5.  It owns:
+
+* the event engine (:mod:`repro.sim.engine`),
+* the head-node scheduler (:mod:`repro.core.scheduler`),
+* the physical model — per-chunk transmission and computation windows on
+  the actual homogeneous nodes, with the head node sending a task's chunks
+  strictly in node order.
+
+Two modelling switches (both default to the paper's reading, see
+DESIGN.md):
+
+``shared_head_link``
+    ``False`` (default): the cluster is switched; transmissions of
+    *different* tasks to different nodes may overlap, only chunks of the
+    same task are serialized (this matches the paper's per-task analysis).
+    ``True``: every byte leaves through one head-node link, so chunk
+    transmissions serialize globally (ablation S19) — estimates may then be
+    exceeded, which the ablation measures.
+``eager_release`` (forwarded to the scheduler)
+    Hand nodes back at actual rather than estimated completion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.core.algorithms import AlgorithmInstance
+from repro.core.cluster import ClusterSpec
+from repro.core.errors import InvalidParameterError
+from repro.core.partition import PlacementPlan
+from repro.core.scheduler import ClusterScheduler, SchedulerStats
+from repro.core.task import DivisibleTask, TaskRecord
+from repro.sim.engine import SimulationEngine
+from repro.sim.events import EventKind
+from repro.sim.trace import ChunkTrace, TaskTrace
+from repro.sim.validate import ExecutionValidator, ValidationReport
+
+if TYPE_CHECKING:  # pragma: no cover
+    from numpy.typing import NDArray
+
+__all__ = ["ClusterSimulation", "SimulationOutput"]
+
+
+@dataclass(slots=True)
+class SimulationOutput:
+    """Everything one simulation run produced.
+
+    ``records`` covers *all* arrivals (accepted and rejected);
+    ``validation`` reports invariant checks over executed tasks;
+    ``node_busy_time`` is actual link+CPU occupancy per node;
+    ``node_allocated_time`` is reservation occupancy (busy + idle-inside-
+    allocation, i.e. the IITs); their gap quantifies how much allocated
+    capacity each algorithm wastes.
+    """
+
+    algorithm: str
+    records: dict[int, TaskRecord]
+    stats: SchedulerStats
+    validation: ValidationReport
+    node_busy_time: "NDArray[np.float64]"
+    node_allocated_time: "NDArray[np.float64]"
+    horizon: float
+    traces: list[TaskTrace] = field(default_factory=list)
+
+    @property
+    def reject_ratio(self) -> float:
+        """Task Reject Ratio of the run."""
+        return self.stats.reject_ratio
+
+    @property
+    def executed_tasks(self) -> int:
+        """Number of tasks that ran to completion."""
+        return self.validation.checked_tasks
+
+
+class ClusterSimulation:
+    """One simulation run: a task trace replayed under one algorithm.
+
+    Parameters
+    ----------
+    cluster:
+        Static cluster description.
+    algorithm:
+        A configured (policy, partitioner) pair from
+        :func:`repro.core.algorithms.make_algorithm`.
+    tasks:
+        Arrival-ordered task list (the workload generator's output).
+    horizon:
+        The nominal TotalSimulationTime used for utilization
+        normalization.  All queued work is drained past the horizon (the
+        paper's reject ratio counts arrivals; completions just need to
+        happen).
+    validate:
+        Check Theorem 4 + deadline guarantees on every executed task.
+        Automatically non-strict when ``shared_head_link=True`` (the
+        estimates are not sound under global link contention — measuring
+        that unsoundness is the point of the ablation).
+    trace:
+        Record chunk-level traces (slower, more memory).
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        algorithm: AlgorithmInstance,
+        tasks: Sequence[DivisibleTask],
+        *,
+        horizon: float,
+        validate: bool = True,
+        trace: bool = False,
+        eager_release: bool = False,
+        shared_head_link: bool = False,
+    ) -> None:
+        if horizon <= 0:
+            raise InvalidParameterError(f"horizon must be > 0, got {horizon}")
+        self.cluster = cluster
+        self.algorithm = algorithm
+        self.tasks = list(tasks)
+        self.horizon = float(horizon)
+        self.trace_enabled = trace
+        self.shared_head_link = shared_head_link
+        self._check_task_order()
+
+        self.engine = SimulationEngine()
+        self.scheduler = ClusterScheduler(
+            cluster,
+            algorithm.policy,
+            algorithm.partitioner,
+            eager_release=eager_release,
+        )
+        strict = validate and not shared_head_link
+        self.validator = ExecutionValidator(strict=strict)
+        self.validate_enabled = validate
+
+        n = cluster.nodes
+        self._node_free = np.zeros(n)  # actual per-node free times
+        self._head_free = 0.0  # only consulted in shared-link mode
+        self._busy = np.zeros(n)
+        self._allocated = np.zeros(n)
+        self._traces: list[TaskTrace] = []
+        self._done = False
+
+    def _check_task_order(self) -> None:
+        last = -np.inf
+        seen: set[int] = set()
+        for t in self.tasks:
+            if t.arrival < last:
+                raise InvalidParameterError(
+                    "tasks must be sorted by arrival time "
+                    f"(task {t.task_id} at {t.arrival} after {last})"
+                )
+            if t.task_id in seen:
+                raise InvalidParameterError(f"duplicate task id {t.task_id}")
+            seen.add(t.task_id)
+            last = t.arrival
+
+    # -- event handlers -----------------------------------------------------
+    def _handle_arrival(self, task: DivisibleTask) -> None:
+        now = self.engine.now
+        _, directives = self.scheduler.on_arrival(task, now)
+        for d in directives:
+            self.engine.schedule(
+                d.start_time,
+                EventKind.START,
+                lambda eng, t, d=d: self._handle_start(d.task_id, d.version),
+            )
+
+    def _handle_start(self, task_id: int, version: int) -> None:
+        now = self.engine.now
+        plan = self.scheduler.on_start(task_id, version, now)
+        if plan is None:  # superseded by a later re-plan
+            return
+        comp_ends = self._execute_plan(plan)
+        completion = float(comp_ends.max())
+        ends = tuple(float(v) for v in comp_ends)
+        self.engine.schedule(
+            completion,
+            EventKind.COMPLETION,
+            lambda eng, t, task_id=task_id, ends=ends: (
+                self._handle_completion(task_id, ends)
+            ),
+        )
+
+    def _execute_plan(self, plan: PlacementPlan) -> "NDArray[np.float64]":
+        """Physically execute a plan's chunk sequence; return comp ends."""
+        if plan.explicit_chunks is not None:
+            return self._replay_explicit(plan)
+        sigma = plan.task.sigma
+        cms, cps = self.cluster.cms, self.cluster.cps
+        alphas = np.asarray(plan.alphas)
+        trans = alphas * sigma * cms
+        comp = alphas * sigma * cps
+        node_ids = np.asarray(plan.node_ids, dtype=np.intp)
+        releases = np.asarray(plan.dispatch_releases)
+
+        n = len(node_ids)
+        comp_ends = np.empty(n)
+        chunks: list[ChunkTrace] = []
+        prev_end = -np.inf
+        for i in range(n):
+            node = int(node_ids[i])
+            start = max(prev_end, float(releases[i]), float(self._node_free[node]))
+            if self.shared_head_link:
+                start = max(start, self._head_free)
+            t_end = start + trans[i]
+            if self.shared_head_link:
+                self._head_free = t_end
+            c_end = t_end + comp[i]
+            prev_end = t_end
+            comp_ends[i] = c_end
+            self._node_free[node] = c_end
+            self._busy[node] += trans[i] + comp[i]
+            self._allocated[node] += plan.est_completion - plan.release_times[i]
+            if self.trace_enabled:
+                chunks.append(
+                    ChunkTrace(
+                        task_id=plan.task.task_id,
+                        node_id=node,
+                        position=i,
+                        alpha=float(alphas[i]),
+                        release=plan.release_times[i],
+                        trans_start=start,
+                        trans_end=t_end,
+                        comp_end=c_end,
+                    )
+                )
+        if self.trace_enabled:
+            self._traces.append(
+                TaskTrace(
+                    task_id=plan.task.task_id,
+                    method=plan.method,
+                    chunks=tuple(chunks),
+                )
+            )
+        return comp_ends
+
+    def _replay_explicit(self, plan: PlacementPlan) -> "NDArray[np.float64]":
+        """Replay a precomputed (multi-round) chunk schedule verbatim.
+
+        The planner built the windows against conservative node releases,
+        so in the default switched model they are consistent by
+        construction; the shared-link ablation cannot shift them and is
+        rejected for such plans.
+        """
+        if self.shared_head_link:
+            raise InvalidParameterError(
+                "shared_head_link is not supported for multi-round "
+                "(explicit-chunk) plans"
+            )
+        assert plan.explicit_chunks is not None
+        n = plan.n
+        comp_ends = np.zeros(n)
+        chunks: list[ChunkTrace] = []
+        for c in sorted(plan.explicit_chunks, key=lambda c: (c.trans_start, c.position)):
+            node = int(plan.node_ids[c.position])
+            comp_ends[c.position] = max(comp_ends[c.position], c.comp_end)
+            self._node_free[node] = max(self._node_free[node], c.comp_end)
+            self._busy[node] += (c.trans_end - c.trans_start) + (
+                c.comp_end - c.trans_end
+            )
+            if self.trace_enabled:
+                chunks.append(
+                    ChunkTrace(
+                        task_id=plan.task.task_id,
+                        node_id=node,
+                        position=c.position,
+                        alpha=c.alpha,
+                        release=plan.release_times[c.position],
+                        trans_start=c.trans_start,
+                        trans_end=c.trans_end,
+                        comp_end=c.comp_end,
+                    )
+                )
+        for i in range(n):
+            self._allocated[int(plan.node_ids[i])] += (
+                plan.est_completion - plan.release_times[i]
+            )
+        if self.trace_enabled:
+            self._traces.append(
+                TaskTrace(
+                    task_id=plan.task.task_id,
+                    method=plan.method,
+                    chunks=tuple(chunks),
+                )
+            )
+        return comp_ends
+
+    def _handle_completion(self, task_id: int, ends: tuple[float, ...]) -> None:
+        actual = max(ends)
+        record: TaskRecord = self.scheduler.on_complete(task_id, actual, ends)
+        if self.validate_enabled:
+            self.validator.check_completion(record)
+
+    # -- driver -------------------------------------------------------------
+    def run(self) -> SimulationOutput:
+        """Execute the whole workload and return the run's output."""
+        if self._done:
+            raise InvalidParameterError("a ClusterSimulation instance runs once")
+        self._done = True
+        for task in self.tasks:
+            self.engine.schedule(
+                task.arrival,
+                EventKind.ARRIVAL,
+                lambda eng, t, task=task: self._handle_arrival(task),
+            )
+        self.engine.run()  # drain: all accepted tasks complete
+
+        if self.validate_enabled and self.trace_enabled:
+            self.validator.check_traces(self._traces, self.cluster.nodes)
+
+        return SimulationOutput(
+            algorithm=self.algorithm.name,
+            records=self.scheduler.records,
+            stats=self.scheduler.stats,
+            validation=self.validator.report,
+            node_busy_time=self._busy,
+            node_allocated_time=self._allocated,
+            horizon=self.horizon,
+            traces=self._traces,
+        )

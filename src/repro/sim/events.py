@@ -1,0 +1,31 @@
+"""Event kinds and deterministic same-timestamp ordering.
+
+When several events share a timestamp the kernel processes them in
+``EventKind`` order, then insertion order.  The ordering is chosen so that
+the world is consistent at every instant:
+
+1. ``COMPLETION`` — a running task finishes; metrics and (in the
+   eager-release ablation) node hand-backs happen before anything else
+   observes time ``t``.
+2. ``START`` — a committed plan begins transmitting; a task whose start
+   coincides with a new arrival is *running* (locked, non-replannable) by
+   the time the arrival's admission test executes.
+3. ``ARRIVAL`` — a new task reaches the head node and triggers the
+   schedulability test.
+4. ``GENERIC`` — anything else (horizon markers, user callbacks).
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["EventKind"]
+
+
+class EventKind(enum.IntEnum):
+    """Priority classes; lower value = processed first at equal time."""
+
+    COMPLETION = 0
+    START = 1
+    ARRIVAL = 2
+    GENERIC = 3

@@ -1,0 +1,108 @@
+"""Chunk-level execution traces.
+
+Optional (off by default for speed): when enabled, the executor records,
+for every started task, the transmission window and computation window of
+each chunk on each node.  Traces power the validator's overlap checks, the
+example scripts' Gantt rendering and debugging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+__all__ = ["ChunkTrace", "TaskTrace", "render_gantt"]
+
+
+@dataclass(frozen=True, slots=True)
+class ChunkTrace:
+    """One chunk of one task on one node."""
+
+    task_id: int
+    node_id: int
+    position: int  # task-local index i = 0..n-1 (availability order)
+    alpha: float
+    release: float  # r_i — node available to this task
+    trans_start: float
+    trans_end: float
+    comp_end: float
+
+    @property
+    def pre_transmission_idle(self) -> float:
+        """Idle gap between node release and transmission start.
+
+        For IIT-utilizing methods this is the residual wait for the head
+        node to reach position ``i`` in the send order; for OPR it also
+        contains the full inserted idle time ``r_n - r_i``.
+        """
+        return self.trans_start - self.release
+
+    @property
+    def busy_time(self) -> float:
+        """Link + CPU time actually consumed on the node."""
+        return self.comp_end - self.trans_start
+
+
+@dataclass(frozen=True, slots=True)
+class TaskTrace:
+    """All chunks of one executed task."""
+
+    task_id: int
+    method: str
+    chunks: tuple[ChunkTrace, ...]
+
+    @property
+    def completion(self) -> float:
+        """Actual task completion (last computation end)."""
+        return max(c.comp_end for c in self.chunks)
+
+    @property
+    def start(self) -> float:
+        """First transmission start."""
+        return min(c.trans_start for c in self.chunks)
+
+    def __iter__(self) -> Iterator[ChunkTrace]:
+        return iter(self.chunks)
+
+
+def render_gantt(
+    traces: Iterable[TaskTrace],
+    *,
+    nodes: int,
+    width: int = 78,
+    t_start: float | None = None,
+    t_end: float | None = None,
+) -> str:
+    """ASCII Gantt chart of node occupancy (for examples / debugging).
+
+    Each node gets one text row; ``-`` marks transmission, ``#`` marks
+    computation, digits mark the task id (mod 10) at the chunk start.
+    """
+    all_chunks = [c for tr in traces for c in tr.chunks]
+    if not all_chunks:
+        return "(no executed chunks)"
+    lo = min(c.trans_start for c in all_chunks) if t_start is None else t_start
+    hi = max(c.comp_end for c in all_chunks) if t_end is None else t_end
+    if hi <= lo:
+        hi = lo + 1.0
+    scale = (width - 1) / (hi - lo)
+
+    rows = [[" "] * width for _ in range(nodes)]
+
+    def col(t: float) -> int:
+        return min(width - 1, max(0, int((t - lo) * scale)))
+
+    for c in all_chunks:
+        if c.node_id >= nodes:
+            continue
+        row = rows[c.node_id]
+        for x in range(col(c.trans_start), col(c.trans_end) + 1):
+            row[x] = "-"
+        for x in range(col(c.trans_end), col(c.comp_end) + 1):
+            row[x] = "#"
+        row[col(c.trans_start)] = str(c.task_id % 10)
+
+    lines = [f"t ∈ [{lo:.1f}, {hi:.1f}]  ('-' transmit, '#' compute, digit = task id % 10)"]
+    for node_id, row in enumerate(rows):
+        lines.append(f"P{node_id + 1:<3d}|{''.join(row)}|")
+    return "\n".join(lines)

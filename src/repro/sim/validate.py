@@ -1,0 +1,115 @@
+"""Runtime invariant validation.
+
+The paper's guarantees are theorems; the simulator *checks* them on every
+run instead of trusting the implementation:
+
+* **Theorem 4** — every executed task's actual completion is no later than
+  its admission-time estimate (within float tolerance).
+* **Deadline guarantee** — every *accepted* task completes by its absolute
+  deadline (follows from Theorem 4 + the schedulability test, but checked
+  independently).
+* **Node exclusivity** — no two chunks ever overlap on one node (requires
+  traces; checked in trace mode).
+
+A violation raises :class:`~repro.core.errors.TheoremViolationError` in
+``strict`` mode (default for tests) or is recorded in the report otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import TheoremViolationError
+from repro.core.task import TaskRecord
+from repro.sim.trace import TaskTrace
+
+__all__ = ["ExecutionValidator", "ValidationReport"]
+
+#: Absolute slack granted to float comparisons of simulation timestamps.
+_TOL = 1e-6
+
+
+@dataclass(slots=True)
+class ValidationReport:
+    """Aggregated validation outcome of one simulation run."""
+
+    checked_tasks: int = 0
+    theorem4_violations: list[str] = field(default_factory=list)
+    deadline_violations: list[str] = field(default_factory=list)
+    overlap_violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every invariant held."""
+        return not (
+            self.theorem4_violations
+            or self.deadline_violations
+            or self.overlap_violations
+        )
+
+    def summary(self) -> str:
+        """One-line human-readable verdict."""
+        if self.ok:
+            return f"all invariants held over {self.checked_tasks} executed tasks"
+        return (
+            f"{len(self.theorem4_violations)} Theorem-4, "
+            f"{len(self.deadline_violations)} deadline, "
+            f"{len(self.overlap_violations)} overlap violations "
+            f"over {self.checked_tasks} executed tasks"
+        )
+
+
+class ExecutionValidator:
+    """Streaming validator fed by the executor as tasks finish."""
+
+    def __init__(self, *, strict: bool = True) -> None:
+        self.strict = strict
+        self.report = ValidationReport()
+
+    def check_completion(self, record: TaskRecord) -> None:
+        """Validate one finished task (Theorem 4 + deadline)."""
+        self.report.checked_tasks += 1
+        assert record.actual_completion is not None
+        assert record.est_completion is not None
+
+        tol = _TOL * max(1.0, abs(record.est_completion))
+        if record.actual_completion > record.est_completion + tol:
+            msg = (
+                f"task {record.task.task_id}: actual completion "
+                f"{record.actual_completion:.9g} exceeds estimate "
+                f"{record.est_completion:.9g} (Theorem 4)"
+            )
+            self.report.theorem4_violations.append(msg)
+            if self.strict:
+                raise TheoremViolationError(msg)
+
+        deadline = record.task.absolute_deadline
+        if record.actual_completion > deadline + _TOL * max(1.0, abs(deadline)):
+            msg = (
+                f"task {record.task.task_id}: completed "
+                f"{record.actual_completion:.9g} after absolute deadline "
+                f"{deadline:.9g} despite admission"
+            )
+            self.report.deadline_violations.append(msg)
+            if self.strict:
+                raise TheoremViolationError(msg)
+
+    def check_traces(self, traces: list[TaskTrace], nodes: int) -> None:
+        """Verify chunk windows never overlap on any node."""
+        per_node: dict[int, list[tuple[float, float, int]]] = {
+            n: [] for n in range(nodes)
+        }
+        for tr in traces:
+            for c in tr.chunks:
+                per_node[c.node_id].append((c.trans_start, c.comp_end, c.task_id))
+        for node_id, spans in per_node.items():
+            spans.sort()
+            for (s1, e1, t1), (s2, e2, t2) in zip(spans, spans[1:]):
+                if s2 < e1 - _TOL * max(1.0, abs(e1)):
+                    msg = (
+                        f"node {node_id}: task {t2} chunk starts {s2:.9g} "
+                        f"before task {t1} chunk ends {e1:.9g}"
+                    )
+                    self.report.overlap_violations.append(msg)
+                    if self.strict:
+                        raise TheoremViolationError(msg)

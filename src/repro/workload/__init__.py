@@ -1,0 +1,19 @@
+"""Synthetic workload generation (Section 5, "Workload Generation").
+
+* inter-arrival times ~ Exponential(mean ``1/λ``);
+* data sizes ``σ_i`` ~ Normal(``Avgσ``, std = ``Avgσ``) truncated positive;
+* relative deadlines ``D_i`` ~ Uniform[``AvgD/2``, ``3AvgD/2``] with
+  ``AvgD = DCRatio × E(Avgσ, N)`` and the floor ``D_i > E(σ_i, N)``;
+* ``SystemLoad = λ · E(Avgσ, N)`` calibrates ``λ`` (see DESIGN.md for the
+  resolution of the TR's typo).
+"""
+
+from repro.workload.generator import WorkloadGenerator, generate_tasks
+from repro.workload.spec import SimulationConfig, WorkloadSpec
+
+__all__ = [
+    "SimulationConfig",
+    "WorkloadGenerator",
+    "WorkloadSpec",
+    "generate_tasks",
+]

@@ -1,0 +1,121 @@
+"""Configuration dataclasses for simulations.
+
+A simulation in the paper is specified by the tuple
+``(N, Cms, Cps, SystemLoad, Avgσ, DCRatio)`` — equivalent to specifying the
+mean inter-arrival time because ``1/λ = E(Avgσ, N) / SystemLoad``.
+:class:`SimulationConfig` is exactly that tuple plus the horizon
+(``TotalSimulationTime``) and a seed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Any
+
+from repro.core import dlt
+from repro.core.cluster import ClusterSpec
+from repro.core.errors import InvalidParameterError
+
+__all__ = ["SimulationConfig", "WorkloadSpec"]
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadSpec:
+    """Workload-side parameters (cluster-independent).
+
+    Attributes
+    ----------
+    system_load:
+        ``SystemLoad = λ · E(Avgσ, N)`` — offered load as a fraction of the
+        cluster's all-nodes drain rate for an average task.
+    avg_sigma:
+        ``Avgσ`` — nominal mean task data size (the truncated-normal draw
+        has a slightly higher effective mean; see the generator docs).
+    dc_ratio:
+        ``DCRatio = AvgD / E(Avgσ, N)`` — mean relative deadline expressed
+        as a multiple of the mean minimum execution time.
+    """
+
+    system_load: float
+    avg_sigma: float
+    dc_ratio: float
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.system_load) or self.system_load <= 0:
+            raise InvalidParameterError(
+                f"system_load must be > 0, got {self.system_load}"
+            )
+        if not math.isfinite(self.avg_sigma) or self.avg_sigma <= 0:
+            raise InvalidParameterError(
+                f"avg_sigma must be > 0, got {self.avg_sigma}"
+            )
+        if not math.isfinite(self.dc_ratio) or self.dc_ratio <= 0:
+            raise InvalidParameterError(
+                f"dc_ratio must be > 0, got {self.dc_ratio}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class SimulationConfig:
+    """One fully specified simulation: cluster + workload + horizon + seed.
+
+    The paper's baseline (Section 5.1) is::
+
+        SimulationConfig(nodes=16, cms=1.0, cps=100.0, system_load=...,
+                         avg_sigma=200.0, dc_ratio=2.0,
+                         total_time=10_000_000.0, seed=...)
+    """
+
+    nodes: int
+    cms: float
+    cps: float
+    system_load: float
+    avg_sigma: float
+    dc_ratio: float
+    total_time: float
+    seed: int
+
+    def __post_init__(self) -> None:
+        # Delegate validation to the component specs.
+        _ = self.cluster
+        _ = self.workload
+        if not math.isfinite(self.total_time) or self.total_time <= 0:
+            raise InvalidParameterError(
+                f"total_time must be > 0, got {self.total_time}"
+            )
+        if not isinstance(self.seed, int) or self.seed < 0:
+            raise InvalidParameterError(f"seed must be an int >= 0, got {self.seed}")
+
+    @property
+    def cluster(self) -> ClusterSpec:
+        """The cluster half of the configuration."""
+        return ClusterSpec(nodes=self.nodes, cms=self.cms, cps=self.cps)
+
+    @property
+    def workload(self) -> WorkloadSpec:
+        """The workload half of the configuration."""
+        return WorkloadSpec(
+            system_load=self.system_load,
+            avg_sigma=self.avg_sigma,
+            dc_ratio=self.dc_ratio,
+        )
+
+    @property
+    def min_exec_time_avg(self) -> float:
+        """``E(Avgσ, N)`` — mean minimum execution time (all N nodes)."""
+        return dlt.execution_time(self.avg_sigma, self.nodes, self.cms, self.cps)
+
+    @property
+    def mean_interarrival(self) -> float:
+        """``1/λ = E(Avgσ, N) / SystemLoad``."""
+        return self.min_exec_time_avg / self.system_load
+
+    @property
+    def avg_deadline(self) -> float:
+        """``AvgD = DCRatio × E(Avgσ, N)``."""
+        return self.dc_ratio * self.min_exec_time_avg
+
+    def with_overrides(self, **changes: Any) -> "SimulationConfig":
+        """A copy with selected fields replaced (validation re-runs)."""
+        return replace(self, **changes)

@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cluster import ClusterSpec
+from repro.core.task import DivisibleTask
+from repro.workload.spec import SimulationConfig
+
+
+@pytest.fixture
+def baseline_cluster() -> ClusterSpec:
+    """The Section 5.1 baseline cluster: N=16, Cms=1, Cps=100."""
+    return ClusterSpec(nodes=16, cms=1.0, cps=100.0)
+
+
+@pytest.fixture
+def small_cluster() -> ClusterSpec:
+    """A tiny cluster for hand-verifiable scenarios."""
+    return ClusterSpec(nodes=4, cms=1.0, cps=10.0)
+
+
+@pytest.fixture
+def baseline_config() -> SimulationConfig:
+    """A fast-running baseline-shaped configuration."""
+    return SimulationConfig(
+        nodes=16,
+        cms=1.0,
+        cps=100.0,
+        system_load=0.5,
+        avg_sigma=200.0,
+        dc_ratio=2.0,
+        total_time=60_000.0,
+        seed=1234,
+    )
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Seeded generator for deterministic stochastic tests."""
+    return np.random.default_rng(20070227)
+
+
+def make_task(
+    task_id: int = 0,
+    arrival: float = 0.0,
+    sigma: float = 100.0,
+    deadline: float = 10_000.0,
+) -> DivisibleTask:
+    """Terse task factory used across test modules."""
+    return DivisibleTask(
+        task_id=task_id, arrival=arrival, sigma=sigma, deadline=deadline
+    )

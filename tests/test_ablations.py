@@ -1,0 +1,58 @@
+"""Tests for the ablation drivers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ext.ablations import ABLATIONS, run_ablation
+from repro.workload.spec import SimulationConfig
+
+
+def small_config(**kw):
+    base = dict(
+        nodes=8,
+        cms=1.0,
+        cps=100.0,
+        system_load=0.8,
+        avg_sigma=100.0,
+        dc_ratio=2.0,
+        total_time=60_000.0,
+        seed=17,
+    )
+    base.update(kw)
+    return SimulationConfig(**base)
+
+
+class TestRunAblation:
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown ablation"):
+            run_ablation("nonsense", small_config())
+
+    @pytest.mark.parametrize("name", sorted(ABLATIONS))
+    def test_each_ablation_runs(self, name):
+        result = run_ablation(name, small_config())
+        assert result.name == name
+        assert 0.0 <= result.baseline.reject_ratio <= 1.0
+        assert 0.0 <= result.variant.reject_ratio <= 1.0
+        assert result.baseline.arrivals == result.variant.arrivals
+        assert result.summary()  # renders
+
+    def test_eager_release_never_hurts(self):
+        result = run_ablation("eager-release", small_config())
+        assert result.reject_ratio_delta <= 0.02
+
+    def test_fixed_point_never_hurts_dlt(self):
+        result = run_ablation("fixed-point-n", small_config())
+        assert result.reject_ratio_delta <= 0.02
+
+    def test_shared_head_link_reports_misses(self):
+        """Under the ablation, any overruns surface as recorded deadline
+        misses rather than exceptions."""
+        result = run_ablation("shared-head-link", small_config(cms=8.0))
+        assert result.variant.deadline_misses >= 0  # recorded, not raised
+
+    def test_delta_sign_convention(self):
+        r = run_ablation("all-nodes", small_config())
+        assert r.reject_ratio_delta == pytest.approx(
+            r.variant.reject_ratio - r.baseline.reject_ratio
+        )

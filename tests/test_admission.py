@@ -1,0 +1,131 @@
+"""Tests for the schedulability test of Figure 2."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.admission import SchedulabilityTest
+from repro.core.cluster import ClusterSpec
+from repro.core.partition import DltIitPartitioner, OprPartitioner
+from repro.core.policies import EdfPolicy, FifoPolicy
+from repro.core.reservations import NodeReservations
+from repro.core.task import DivisibleTask
+
+
+def task(tid, arrival=0.0, sigma=100.0, deadline=20_000.0):
+    return DivisibleTask(task_id=tid, arrival=arrival, sigma=sigma, deadline=deadline)
+
+
+CLUSTER = ClusterSpec(nodes=4, cms=1.0, cps=100.0)
+
+
+def fresh_test(policy=None, partitioner=None):
+    return SchedulabilityTest(
+        policy or EdfPolicy(), partitioner or DltIitPartitioner(), CLUSTER
+    )
+
+
+class TestAcceptPaths:
+    def test_single_task_on_idle_cluster(self):
+        t = fresh_test()
+        decision = t.try_admit(task(0), [], NodeReservations(4), now=0.0)
+        assert decision.accepted
+        assert set(decision.plans) == {0}
+
+    def test_plans_cover_new_plus_waiting(self):
+        t = fresh_test()
+        waiting = [task(0, deadline=40_000.0), task(1, deadline=45_000.0)]
+        decision = t.try_admit(
+            task(2, deadline=50_000.0), waiting, NodeReservations(4), now=0.0
+        )
+        assert decision.accepted
+        assert set(decision.plans) == {0, 1, 2}
+
+    def test_committed_reservations_not_mutated(self):
+        t = fresh_test()
+        res = NodeReservations(4)
+        before = list(res.release_times)
+        t.try_admit(task(0), [], res, now=0.0)
+        assert list(res.release_times) == before
+
+    def test_tasks_placed_in_policy_order(self):
+        """Under EDF the urgent task gets the earlier slot."""
+        t = fresh_test(policy=EdfPolicy())
+        relaxed = task(0, deadline=60_000.0)
+        urgent = task(1, deadline=11_000.0)
+        decision = t.try_admit(urgent, [relaxed], NodeReservations(4), now=0.0)
+        assert decision.accepted
+        assert (
+            decision.plans[1].est_completion <= decision.plans[0].est_completion
+        )
+
+
+class TestRejectPaths:
+    def test_infeasible_new_task_rejected(self):
+        t = fresh_test()
+        decision = t.try_admit(
+            task(0, sigma=100.0, deadline=90.0), [], NodeReservations(4), now=0.0
+        )
+        assert not decision.accepted
+        assert decision.failed_task_id == 0
+        assert decision.plans == {}
+
+    def test_newcomer_breaking_waiting_task_rejected(self):
+        """An urgent newcomer that would starve a queued task fails the
+        whole test (the queued task's guarantee survives).
+
+        Constants: sigma=100, Cms=1, Cps=100 ⇒ E(100,4) ≈ 2544,
+        E(100,3) ≈ 3383, so a deadline budget in [2544, 3383) forces
+        n_min = 4 (the whole cluster), and the cluster frees at t=500.
+        """
+        t = fresh_test(policy=EdfPolicy(), partitioner=OprPartitioner())
+        res = NodeReservations.from_times([500.0] * 4)
+        # Queued alone: completes 500 + 2544 = 3044 <= 3360 → accepted.
+        queued = task(0, arrival=0.0, sigma=100.0, deadline=3360.0)
+        base = t.try_admit(queued, [], res, now=0.0)
+        assert base.accepted
+        # A newcomer with an earlier absolute deadline (3301) runs first
+        # under EDF and pushes `queued` to 3044 + 2544 > 3360 ⇒ reject.
+        newcomer = task(1, arrival=1.0, sigma=100.0, deadline=3300.0)
+        decision = t.try_admit(newcomer, [queued], res, now=1.0)
+        assert not decision.accepted
+        assert decision.failed_task_id == 0  # the queued task is the casualty
+
+    def test_fifo_rejects_newcomer_directly(self):
+        """Under FIFO the newcomer is last, so it is its own casualty."""
+        t = fresh_test(policy=FifoPolicy(), partitioner=OprPartitioner())
+        res = NodeReservations.from_times([500.0] * 4)
+        queued = task(0, arrival=0.0, sigma=100.0, deadline=3360.0)
+        newcomer = task(1, arrival=1.0, sigma=100.0, deadline=3300.0)
+        decision = t.try_admit(newcomer, [queued], res, now=1.0)
+        assert not decision.accepted
+        assert decision.failed_task_id == 1
+
+
+class TestTempScheduleStacking:
+    def test_sequential_tasks_stack_on_releases(self):
+        """Two heavy tasks cannot overlap on a 4-node cluster; the second
+        must be planned after the first's estimated completion."""
+        t = fresh_test(partitioner=OprPartitioner())
+        heavy0 = task(0, sigma=400.0, deadline=60_000.0)
+        heavy1 = task(1, sigma=400.0, deadline=60_000.0)
+        decision = t.try_admit(heavy1, [heavy0], NodeReservations(4), now=0.0)
+        assert decision.accepted
+        p0, p1 = decision.plans[0], decision.plans[1]
+        # Both want many nodes; the second starts no earlier than the
+        # first's completion on at least one node.
+        assert p1.rn >= min(p0.est_completion, p1.est_completion) - 1e-9 or (
+            p0.n + p1.n <= 4
+        )
+
+    def test_determinism(self):
+        t = fresh_test()
+        waiting = [task(0), task(1, deadline=30_000.0)]
+        res = NodeReservations.from_times([0.0, 10.0, 20.0, 30.0])
+        d1 = t.try_admit(task(2), waiting, res, now=5.0)
+        d2 = t.try_admit(task(2), waiting, res, now=5.0)
+        assert d1.accepted == d2.accepted
+        for tid in d1.plans:
+            assert d1.plans[tid].node_ids == d2.plans[tid].node_ids
+            assert d1.plans[tid].est_completion == d2.plans[tid].est_completion

@@ -1,0 +1,80 @@
+"""Tests for the algorithm registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.algorithms import ALGORITHMS, algorithm_names, make_algorithm
+from repro.core.partition import (
+    DltIitPartitioner,
+    OprPartitioner,
+    UserSplitPartitioner,
+)
+from repro.core.policies import EdfPolicy, FifoPolicy
+
+PAPER_SIX = [
+    "EDF-DLT",
+    "FIFO-DLT",
+    "EDF-UserSplit",
+    "FIFO-UserSplit",
+    "EDF-OPR-MN",
+    "FIFO-OPR-MN",
+]
+
+
+class TestRegistry:
+    def test_paper_algorithms_present(self):
+        for name in PAPER_SIX:
+            assert name in ALGORITHMS
+
+    def test_an_variants_present(self):
+        for name in ("EDF-OPR-AN", "FIFO-OPR-AN", "EDF-DLT-AN", "FIFO-DLT-AN"):
+            assert name in ALGORITHMS
+
+    def test_iit_flags(self):
+        assert ALGORITHMS["EDF-DLT"].utilizes_iits
+        assert ALGORITHMS["EDF-UserSplit"].utilizes_iits
+        assert not ALGORITHMS["EDF-OPR-MN"].utilizes_iits
+
+    def test_names_sorted(self):
+        names = algorithm_names()
+        assert names == sorted(names)
+
+    def test_descriptions_nonempty(self):
+        for spec in ALGORITHMS.values():
+            assert spec.description
+
+
+class TestMakeAlgorithm:
+    @pytest.mark.parametrize("name", PAPER_SIX)
+    def test_instantiation(self, name):
+        inst = make_algorithm(name, rng=np.random.default_rng(0))
+        assert inst.name == name
+        policy_cls = EdfPolicy if name.startswith("EDF") else FifoPolicy
+        assert isinstance(inst.policy, policy_cls)
+        if "UserSplit" in name:
+            assert isinstance(inst.partitioner, UserSplitPartitioner)
+        elif "OPR" in name:
+            assert isinstance(inst.partitioner, OprPartitioner)
+        else:
+            assert isinstance(inst.partitioner, DltIitPartitioner)
+
+    def test_an_variants_configured(self):
+        assert make_algorithm("EDF-OPR-AN").partitioner.assign_all_nodes
+        assert make_algorithm("EDF-DLT-AN").partitioner.assign_all_nodes
+        assert not make_algorithm("EDF-OPR-MN").partitioner.assign_all_nodes
+
+    def test_unknown_name_lists_registry(self):
+        with pytest.raises(KeyError, match="EDF-DLT"):
+            make_algorithm("TOTALLY-FAKE")
+
+    def test_fresh_instances(self):
+        """Each call returns independent state (no shared partitioner)."""
+        a = make_algorithm("EDF-UserSplit", rng=np.random.default_rng(1))
+        b = make_algorithm("EDF-UserSplit", rng=np.random.default_rng(1))
+        assert a.partitioner is not b.partitioner
+
+    def test_needs_rng_flag(self):
+        assert ALGORITHMS["EDF-UserSplit"].needs_rng
+        assert not ALGORITHMS["EDF-DLT"].needs_rng

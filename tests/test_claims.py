@@ -1,0 +1,24 @@
+"""The claim audit: every falsifiable statement of Sections 5-6, checked.
+
+Reduced scale keeps the suite fast; `scripts/run_experiments.py` plus the
+benches re-audit at larger scales.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.claims import CLAIMS, check_claim
+
+FAST = dict(total_time=150_000.0, replications=2, loads=(0.4, 0.8))
+
+
+@pytest.mark.parametrize("claim_id", sorted(CLAIMS))
+def test_claim(claim_id):
+    result = check_claim(claim_id, **FAST)
+    assert result.holds, f"{claim_id} failed: {result.detail}"
+
+
+def test_unknown_claim():
+    with pytest.raises(KeyError, match="unknown claim"):
+        check_claim("C99")

@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestListCommands:
+    def test_list_figures(self, capsys):
+        assert main(["list-figures"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3a" in out and "fig16h" in out
+
+    def test_list_algorithms(self, capsys):
+        assert main(["list-algorithms"]) == 0
+        out = capsys.readouterr().out
+        for name in ("EDF-DLT", "FIFO-OPR-MN", "EDF-UserSplit"):
+            assert name in out
+
+
+class TestRunPoint:
+    def test_default_point(self, capsys):
+        code = main(
+            [
+                "run-point",
+                "--algorithm",
+                "EDF-DLT",
+                "--total-time",
+                "30000",
+                "--load",
+                "0.4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "task reject ratio" in out
+        assert "all invariants held" in out
+
+    def test_unknown_algorithm_exits_nonzero(self):
+        with pytest.raises(SystemExit):
+            main(["run-point", "--algorithm", "EDF-NOPE"])
+
+
+class TestRunFigure:
+    def test_table_output(self, capsys):
+        code = main(
+            [
+                "run-figure",
+                "fig3a",
+                "--total-time",
+                "30000",
+                "--replications",
+                "1",
+                "--loads",
+                "0.4",
+                "0.8",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig3a" in out
+        assert "EDF-OPR-MN" in out
+
+    def test_csv_output(self, capsys):
+        code = main(
+            [
+                "run-figure",
+                "fig5a",
+                "--csv",
+                "--total-time",
+                "30000",
+                "--replications",
+                "1",
+                "--loads",
+                "0.5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("system_load,")
+        assert "EDF-UserSplit_mean" in out
+
+    def test_unknown_panel(self):
+        with pytest.raises(SystemExit):
+            main(["run-figure", "fig99z"])

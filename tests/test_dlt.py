@@ -1,0 +1,215 @@
+"""Unit + property tests for the homogeneous DLT closed forms ([22])."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import dlt
+from repro.core.errors import InvalidParameterError
+
+# Strategy bounds chosen to cover the paper's entire parameter space
+# (Cms in [1, 8], Cps in [10, 10000], sigma around 200) with margin.
+costs = st.floats(min_value=0.01, max_value=1e5, allow_nan=False)
+sigmas = st.floats(min_value=0.01, max_value=1e5, allow_nan=False)
+node_counts = st.integers(min_value=1, max_value=128)
+
+
+class TestBeta:
+    def test_baseline_value(self):
+        assert dlt.beta(1.0, 100.0) == pytest.approx(100.0 / 101.0)
+
+    def test_symmetric_costs(self):
+        assert dlt.beta(5.0, 5.0) == pytest.approx(0.5)
+
+    @given(cms=costs, cps=costs)
+    def test_in_open_unit_interval(self, cms, cps):
+        b = dlt.beta(cms, cps)
+        assert 0.0 < b < 1.0
+
+    @pytest.mark.parametrize("cms,cps", [(0.0, 1.0), (-1.0, 1.0), (1.0, 0.0), (1.0, -2.0)])
+    def test_invalid_costs_rejected(self, cms, cps):
+        with pytest.raises(InvalidParameterError):
+            dlt.beta(cms, cps)
+
+
+class TestExecutionTime:
+    def test_single_node_is_transmit_plus_compute(self):
+        # n=1: E = sigma*(Cms+Cps) exactly.
+        assert dlt.execution_time(200.0, 1, 1.0, 100.0) == pytest.approx(
+            200.0 * 101.0
+        )
+
+    def test_paper_baseline_e_avg(self):
+        # E(200, 16) with Cms=1, Cps=100 — the quantity that calibrates
+        # every experiment's arrival rate.  Reference value from the
+        # closed form evaluated in exact arithmetic.
+        e = dlt.execution_time(200.0, 16, 1.0, 100.0)
+        assert e == pytest.approx(1358.8919364178887, rel=1e-12)
+
+    @given(sigma=sigmas, n=node_counts, cms=costs, cps=costs)
+    def test_monotone_decreasing_in_n(self, sigma, n, cms, cps):
+        e_n = dlt.execution_time(sigma, n, cms, cps)
+        e_n1 = dlt.execution_time(sigma, n + 1, cms, cps)
+        assert e_n1 <= e_n * (1 + 1e-12)
+
+    @given(sigma=sigmas, n=node_counts, cms=costs, cps=costs)
+    def test_bounded_below_by_transmission(self, sigma, n, cms, cps):
+        # E(sigma, n) >= sigma*Cms: the head must push all data serially
+        # (equality only in the float limit when beta underflows).
+        assert dlt.execution_time(sigma, n, cms, cps) >= sigma * cms * (1 - 1e-12)
+
+    @given(sigma=sigmas, cms=costs, cps=costs)
+    def test_limit_is_saturated_time(self, sigma, cms, cps):
+        e_big = dlt.execution_time(sigma, 10_000, cms, cps)
+        sat = dlt.saturated_execution_time(sigma, cms, cps)
+        assert e_big >= sat * (1 - 1e-12)
+        # With beta^10000 ~ 0 for moderate beta the limit is approached;
+        # only assert the ordering plus a generous closeness when beta is
+        # not pathologically near 1.
+        if dlt.beta(cms, cps) < 0.99:
+            assert e_big == pytest.approx(sat, rel=1e-6)
+
+    @given(sigma=sigmas, n=node_counts, cms=costs, cps=costs)
+    def test_linear_in_sigma(self, sigma, n, cms, cps):
+        e1 = dlt.execution_time(sigma, n, cms, cps)
+        e2 = dlt.execution_time(2.0 * sigma, n, cms, cps)
+        assert e2 == pytest.approx(2.0 * e1, rel=1e-9)
+
+    def test_extreme_beta_close_to_one_is_stable(self):
+        # cps >> cms: beta = 1 - 1e-8; naive (1-b)/(1-b^n) would lose
+        # precision; expm1/log1p path must stay accurate.
+        e = dlt.execution_time(100.0, 64, 1e-3, 1e5)
+        # n*log(beta) tiny => E ~ sigma*(cms+cps)/n
+        assert e == pytest.approx(100.0 * (1e-3 + 1e5) / 64, rel=1e-4)
+
+    @pytest.mark.parametrize("bad_sigma", [0.0, -5.0])
+    def test_invalid_sigma(self, bad_sigma):
+        with pytest.raises(InvalidParameterError):
+            dlt.execution_time(bad_sigma, 4, 1.0, 100.0)
+
+    def test_invalid_n(self):
+        with pytest.raises(InvalidParameterError):
+            dlt.execution_time(10.0, 0, 1.0, 100.0)
+
+
+class TestOprAlphas:
+    @given(n=node_counts, cms=costs, cps=costs)
+    def test_sum_to_one(self, n, cms, cps):
+        a = dlt.opr_alphas(n, cms, cps)
+        assert a.sum() == pytest.approx(1.0, rel=1e-12)
+
+    @given(n=node_counts, cms=costs, cps=costs)
+    def test_geometric_ratio_is_beta(self, n, cms, cps):
+        a = dlt.opr_alphas(n, cms, cps)
+        b = dlt.beta(cms, cps)
+        # Skip pairs where the geometric tail underflowed to denormals.
+        mask = a[:-1] > 1e-280
+        ratios = a[1:][mask] / a[:-1][mask]
+        assert np.allclose(ratios, b, rtol=1e-6)
+
+    @given(n=node_counts, cms=costs, cps=costs)
+    def test_non_increasing(self, n, cms, cps):
+        a = dlt.opr_alphas(n, cms, cps)
+        assert np.all(np.diff(a) <= 0)
+
+    def test_equal_finish_times(self):
+        # The OPR optimality principle: every node's finish time equals E.
+        sigma, n, cms, cps = 200.0, 8, 1.0, 100.0
+        a = dlt.opr_alphas(n, cms, cps)
+        e = dlt.execution_time(sigma, n, cms, cps)
+        cum_trans = np.cumsum(a) * sigma * cms
+        finish = cum_trans + a * sigma * cps
+        assert np.allclose(finish, e, rtol=1e-9)
+
+
+class TestMinNodes:
+    def test_exactness_against_linear_scan(self):
+        # n_min from the closed form must equal the smallest n with
+        # E(sigma, n) <= budget found by brute force.
+        sigma, cms, cps = 200.0, 1.0, 100.0
+        for budget in (250.0, 400.0, 1000.0, 2500.0, 10000.0, 25000.0):
+            got = dlt.min_nodes(sigma, cms, cps, budget)
+            brute = next(
+                (
+                    n
+                    for n in range(1, 4097)
+                    if dlt.execution_time(sigma, n, cms, cps) <= budget * (1 + 1e-9)
+                ),
+                None,
+            )
+            assert got == brute, f"budget={budget}: closed={got} brute={brute}"
+
+    def test_infeasible_budget_below_transmission(self):
+        # budget <= sigma*Cms can never work (gamma <= 0).
+        assert dlt.min_nodes(200.0, 1.0, 100.0, 200.0) is None
+        assert dlt.min_nodes(200.0, 1.0, 100.0, 199.0) is None
+        assert dlt.min_nodes(200.0, 1.0, 100.0, 0.0) is None
+        assert dlt.min_nodes(200.0, 1.0, 100.0, -5.0) is None
+
+    def test_max_nodes_cap(self):
+        sigma, cms, cps = 200.0, 1.0, 100.0
+        tight = dlt.execution_time(sigma, 16, cms, cps)  # needs exactly 16
+        assert dlt.min_nodes(sigma, cms, cps, tight, max_nodes=16) == 16
+        assert dlt.min_nodes(sigma, cms, cps, tight * 0.999, max_nodes=16) is None
+
+    def test_loose_budget_needs_one_node(self):
+        sigma, cms, cps = 10.0, 1.0, 10.0
+        assert dlt.min_nodes(sigma, cms, cps, sigma * (cms + cps) * 2) == 1
+
+    @given(
+        sigma=st.floats(min_value=1.0, max_value=1e4),
+        cms=st.floats(min_value=0.1, max_value=10.0),
+        cps=st.floats(min_value=1.0, max_value=1e4),
+        budget_factor=st.floats(min_value=1.01, max_value=50.0),
+    )
+    @settings(max_examples=200)
+    def test_returned_n_meets_budget(self, sigma, cms, cps, budget_factor):
+        budget = sigma * cms * budget_factor  # above the feasibility floor
+        n = dlt.min_nodes(sigma, cms, cps, budget)
+        if n is None:
+            # Only allowed when even infinitely many nodes cannot help.
+            assert budget <= sigma * cms * (1 + 1e-9)
+        else:
+            assert dlt.execution_time(sigma, n, cms, cps) <= budget * (1 + 1e-6)
+            if n > 1:
+                assert dlt.execution_time(sigma, n - 1, cms, cps) > budget * (
+                    1 - 1e-6
+                )
+
+    @given(
+        sigma=st.floats(min_value=1.0, max_value=1e4),
+        budget1=st.floats(min_value=1.0, max_value=1e6),
+        budget2=st.floats(min_value=1.0, max_value=1e6),
+    )
+    def test_monotone_in_budget(self, sigma, budget1, budget2):
+        lo, hi = sorted((budget1, budget2))
+        n_lo = dlt.min_nodes(sigma, 1.0, 100.0, lo)
+        n_hi = dlt.min_nodes(sigma, 1.0, 100.0, hi)
+        if n_lo is not None:
+            assert n_hi is not None and n_hi <= n_lo
+
+
+class TestGamma:
+    def test_matches_eq14(self):
+        assert dlt.gamma(200.0, 1.0, 400.0) == pytest.approx(0.5)
+
+    def test_nonpositive_budget(self):
+        assert dlt.gamma(200.0, 1.0, 0.0) == -math.inf
+        assert dlt.gamma(200.0, 1.0, -1.0) == -math.inf
+
+
+class TestExecutionTimeArray:
+    def test_matches_scalar(self):
+        sig = np.array([10.0, 200.0, 3333.0])
+        arr = dlt.execution_time_array(sig, 16, 1.0, 100.0)
+        for s, e in zip(sig, arr):
+            assert e == pytest.approx(dlt.execution_time(float(s), 16, 1.0, 100.0))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(InvalidParameterError):
+            dlt.execution_time_array(np.array([1.0, 0.0]), 4, 1.0, 100.0)

@@ -1,0 +1,135 @@
+"""Tests for the discrete-event kernel."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import SimulationError
+from repro.sim.engine import SimulationEngine
+from repro.sim.events import EventKind
+
+
+class TestOrdering:
+    def test_time_order(self):
+        eng = SimulationEngine()
+        seen = []
+        for t in (3.0, 1.0, 2.0):
+            eng.schedule(t, EventKind.GENERIC, lambda e, now: seen.append(now))
+        eng.run()
+        assert seen == [1.0, 2.0, 3.0]
+
+    def test_kind_priority_at_equal_time(self):
+        eng = SimulationEngine()
+        seen = []
+        eng.schedule(1.0, EventKind.ARRIVAL, lambda e, t: seen.append("arrival"))
+        eng.schedule(1.0, EventKind.COMPLETION, lambda e, t: seen.append("completion"))
+        eng.schedule(1.0, EventKind.START, lambda e, t: seen.append("start"))
+        eng.run()
+        assert seen == ["completion", "start", "arrival"]
+
+    def test_insertion_order_within_kind(self):
+        eng = SimulationEngine()
+        seen = []
+        for i in range(5):
+            eng.schedule(1.0, EventKind.GENERIC, lambda e, t, i=i: seen.append(i))
+        eng.run()
+        assert seen == [0, 1, 2, 3, 4]
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), max_size=64))
+    def test_monotone_clock(self, times):
+        eng = SimulationEngine()
+        stamps = []
+        for t in times:
+            eng.schedule(t, EventKind.GENERIC, lambda e, now: stamps.append(now))
+        eng.run()
+        assert stamps == sorted(stamps)
+
+
+class TestScheduling:
+    def test_schedule_in_past_raises(self):
+        eng = SimulationEngine()
+        eng.schedule(5.0, EventKind.GENERIC, lambda e, t: None)
+        eng.run()
+        assert eng.now == 5.0
+        with pytest.raises(SimulationError):
+            eng.schedule(4.0, EventKind.GENERIC, lambda e, t: None)
+
+    def test_schedule_at_now_from_callback(self):
+        eng = SimulationEngine()
+        seen = []
+
+        def first(e, t):
+            e.schedule(t, EventKind.GENERIC, lambda e2, t2: seen.append(t2))
+
+        eng.schedule(2.0, EventKind.GENERIC, first)
+        eng.run()
+        assert seen == [2.0]
+
+    def test_nonfinite_time_rejected(self):
+        eng = SimulationEngine()
+        with pytest.raises(SimulationError):
+            eng.schedule(float("inf"), EventKind.GENERIC, lambda e, t: None)
+        with pytest.raises(SimulationError):
+            eng.schedule(float("nan"), EventKind.GENERIC, lambda e, t: None)
+
+    def test_cancel(self):
+        eng = SimulationEngine()
+        seen = []
+        h = eng.schedule(1.0, EventKind.GENERIC, lambda e, t: seen.append("a"))
+        eng.schedule(2.0, EventKind.GENERIC, lambda e, t: seen.append("b"))
+        h.cancel()
+        eng.run()
+        assert seen == ["b"]
+        assert eng.processed_events == 1
+
+    def test_pending_count_excludes_cancelled(self):
+        eng = SimulationEngine()
+        h1 = eng.schedule(1.0, EventKind.GENERIC, lambda e, t: None)
+        eng.schedule(2.0, EventKind.GENERIC, lambda e, t: None)
+        h1.cancel()
+        assert eng.pending_events == 1
+
+
+class TestRunUntil:
+    def test_horizon_stops_before_later_events(self):
+        eng = SimulationEngine()
+        seen = []
+        eng.schedule(1.0, EventKind.GENERIC, lambda e, t: seen.append(t))
+        eng.schedule(10.0, EventKind.GENERIC, lambda e, t: seen.append(t))
+        eng.run(until=5.0)
+        assert seen == [1.0]
+        assert eng.now == 5.0
+        eng.run()  # drain the rest
+        assert seen == [1.0, 10.0]
+
+    def test_until_in_past_raises(self):
+        eng = SimulationEngine(start_time=10.0)
+        with pytest.raises(SimulationError):
+            eng.run(until=5.0)
+
+    def test_cascading_events(self):
+        """Events scheduling events: a 1000-step chain runs to the end."""
+        eng = SimulationEngine()
+        counter = []
+
+        def step(e, t):
+            counter.append(t)
+            if len(counter) < 1000:
+                e.schedule(t + 1.0, EventKind.GENERIC, step)
+
+        eng.schedule(0.0, EventKind.GENERIC, step)
+        eng.run()
+        assert len(counter) == 1000
+        assert eng.now == 999.0
+
+    def test_not_reentrant(self):
+        eng = SimulationEngine()
+
+        def evil(e, t):
+            e.run()
+
+        eng.schedule(1.0, EventKind.GENERIC, evil)
+        with pytest.raises(SimulationError, match="not reentrant"):
+            eng.run()

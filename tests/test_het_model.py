@@ -1,0 +1,224 @@
+"""Tests for the heterogeneous model (Section 4.1.1) — the paper's core.
+
+Covers Eq. 1-7 and Eq. 14 plus the paper's formal results:
+Assertion 1 (α_i < α_1), Lemma 2 (α_i < (Cps_1/Cps_i) α_1),
+Assertion 3, Eq. 9 (Ê <= E) and Theorem 4 (actual <= estimate).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import dlt, het_model
+from repro.core.errors import InvalidParameterError
+
+# Release-time vectors: sorted, non-negative, spread up to ~10x typical E.
+release_vectors = st.lists(
+    st.floats(min_value=0.0, max_value=50_000.0, allow_nan=False),
+    min_size=1,
+    max_size=32,
+).map(sorted)
+
+cost_pairs = st.tuples(
+    st.floats(min_value=0.1, max_value=50.0),  # cms
+    st.floats(min_value=1.0, max_value=10_000.0),  # cps
+)
+
+sigmas = st.floats(min_value=0.5, max_value=5_000.0)
+
+
+def build(sigma, releases, cms, cps):
+    return het_model.build_model(sigma, releases, cms, cps)
+
+
+class TestModelConstruction:
+    def test_simultaneous_release_reduces_to_opr(self):
+        """With all r_i equal the heterogeneous model IS the OPR model."""
+        sigma, cms, cps = 200.0, 1.0, 100.0
+        m = build(sigma, [5.0] * 8, cms, cps)
+        assert np.allclose(m.alphas, dlt.opr_alphas(8, cms, cps), rtol=1e-9)
+        assert m.exec_time == pytest.approx(
+            dlt.execution_time(sigma, 8, cms, cps), rel=1e-9
+        )
+        assert m.completion == pytest.approx(5.0 + m.exec_time)
+
+    def test_single_node(self):
+        m = build(100.0, [3.0], 1.0, 10.0)
+        assert m.alphas == (1.0,)
+        assert m.exec_time == pytest.approx(100.0 * 11.0)
+        assert m.completion == pytest.approx(3.0 + 1100.0)
+
+    def test_eq1_effective_costs(self):
+        """Cps_i = E/(E + r_n - r_i) * Cps, ending exactly at Cps."""
+        sigma, cms, cps = 200.0, 1.0, 100.0
+        releases = [0.0, 100.0, 400.0]
+        m = build(sigma, releases, cms, cps)
+        e = dlt.execution_time(sigma, 3, cms, cps)
+        for r_i, cps_i in zip(releases, m.cps_eff):
+            assert cps_i == pytest.approx(e / (e + 400.0 - r_i) * cps, rel=1e-12)
+        assert m.cps_eff[-1] == pytest.approx(cps)
+
+    def test_earlier_nodes_are_faster_in_model(self):
+        m = build(200.0, [0.0, 50.0, 200.0, 200.0], 1.0, 100.0)
+        assert list(m.cps_eff) == sorted(m.cps_eff)  # non-decreasing costs
+
+    def test_unsorted_releases_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            build(100.0, [5.0, 1.0], 1.0, 10.0)
+
+    def test_empty_releases_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            build(100.0, [], 1.0, 10.0)
+
+    def test_nonfinite_release_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            build(100.0, [0.0, np.inf], 1.0, 10.0)
+
+
+class TestPartitionProperties:
+    @given(sigma=sigmas, releases=release_vectors, costs=cost_pairs)
+    @settings(max_examples=200)
+    def test_alphas_sum_to_one_and_positive(self, sigma, releases, costs):
+        cms, cps = costs
+        m = build(sigma, releases, cms, cps)
+        a = np.asarray(m.alphas)
+        assert np.all(a > 0)
+        assert a.sum() == pytest.approx(1.0, rel=1e-9)
+
+    @given(sigma=sigmas, releases=release_vectors, costs=cost_pairs)
+    @settings(max_examples=200)
+    def test_assertion1_alpha_i_below_alpha_1(self, sigma, releases, costs):
+        """Assertion 1: α_i < α_1 for i >= 2."""
+        cms, cps = costs
+        m = build(sigma, releases, cms, cps)
+        a = m.alphas
+        assert all(a[i] < a[0] * (1 + 1e-12) for i in range(1, len(a)))
+
+    @given(sigma=sigmas, releases=release_vectors, costs=cost_pairs)
+    @settings(max_examples=200)
+    def test_lemma2_alpha_bound(self, sigma, releases, costs):
+        """Lemma 2: α_i < (Cps_1 / Cps_i) α_1 for i >= 2."""
+        cms, cps = costs
+        m = build(sigma, releases, cms, cps)
+        for i in range(1, m.n):
+            bound = m.cps_eff[0] / m.cps_eff[i] * m.alphas[0]
+            assert m.alphas[i] < bound * (1 + 1e-9)
+
+    @given(sigma=sigmas, releases=release_vectors, costs=cost_pairs)
+    @settings(max_examples=200)
+    def test_eq9_exec_time_bounded_by_no_iit(self, sigma, releases, costs):
+        """Eq. 9: Ê(σ, n) <= E(σ, n)."""
+        cms, cps = costs
+        m = build(sigma, releases, cms, cps)
+        assert m.exec_time <= m.no_iit_exec_time * (1 + 1e-9)
+
+    def test_stagger_strictly_helps(self):
+        """Any strictly earlier node makes Ê strictly smaller than E."""
+        m = build(200.0, [0.0, 500.0, 500.0], 1.0, 100.0)
+        assert m.exec_time < m.no_iit_exec_time * (1 - 1e-9)
+
+    @given(sigma=sigmas, releases=release_vectors, costs=cost_pairs)
+    @settings(max_examples=150)
+    def test_equal_finish_in_het_model(self, sigma, releases, costs):
+        """DLT optimality: in the het model all nodes finish at r_n + Ê.
+
+        Node i finishes at Σ_{j<=i} α_j σ Cms + α_i σ Cps_i after r_n.
+        """
+        cms, cps = costs
+        m = build(sigma, releases, cms, cps)
+        a = np.asarray(m.alphas)
+        cum_trans = np.cumsum(a) * sigma * cms
+        finish = cum_trans + a * sigma * np.asarray(m.cps_eff)
+        assert np.allclose(finish, m.exec_time, rtol=1e-6)
+
+
+class TestNtildeMin:
+    def test_matches_min_nodes_formula(self):
+        got = het_model.ntilde_min(200.0, 1.0, 100.0, 0.0, 3000.0, 500.0)
+        want = dlt.min_nodes(200.0, 1.0, 100.0, 3000.0 - 500.0)
+        assert got == want
+
+    def test_rejects_when_budget_gone(self):
+        assert het_model.ntilde_min(200.0, 1.0, 100.0, 0.0, 100.0, 200.0) is None
+
+    def test_rejects_when_gamma_nonpositive(self):
+        # budget 150 < sigma*cms = 200 → not even transmission fits.
+        assert het_model.ntilde_min(200.0, 1.0, 100.0, 0.0, 150.0, 0.0) is None
+
+    @given(
+        sigma=st.floats(min_value=1.0, max_value=2_000.0),
+        releases=release_vectors,
+        costs=cost_pairs,
+        slack=st.floats(min_value=1.05, max_value=30.0),
+    )
+    @settings(max_examples=150)
+    def test_allocating_ntilde_guarantees_deadline(
+        self, sigma, releases, costs, slack
+    ):
+        """The paper's guarantee: ñ_min nodes at r_n meet the deadline."""
+        cms, cps = costs
+        rn = releases[-1]
+        deadline = rn + sigma * cms * slack  # absolute, above feasibility floor
+        n = het_model.ntilde_min(sigma, cms, cps, 0.0, deadline, rn)
+        if n is None:
+            return  # infeasible from rn; nothing to guarantee
+        # Start the task on n nodes all available exactly at r_n (worst
+        # case consistent with the bound) — completion must meet deadline.
+        m = build(sigma, [rn] * n, cms, cps)
+        assert m.completion <= deadline * (1 + 1e-9)
+
+
+class TestActualSchedule:
+    def test_recursion_respects_releases_and_sequencing(self):
+        sigma, cms, cps = 100.0, 1.0, 10.0
+        m = build(sigma, [0.0, 30.0, 60.0], cms, cps)
+        sched = het_model.actual_node_schedule(
+            sigma, m.alphas, m.release_times, cms, cps
+        )
+        # First chunk starts at r_1.
+        assert sched.trans_start[0] == pytest.approx(0.0)
+        # Chunks are sequential and never precede the node's release.
+        for i in range(1, 3):
+            assert sched.trans_start[i] >= sched.trans_end[i - 1] - 1e-12
+            assert sched.trans_start[i] >= m.release_times[i] - 1e-12
+
+    @given(sigma=sigmas, releases=release_vectors, costs=cost_pairs)
+    @settings(max_examples=200)
+    def test_theorem4_actual_no_later_than_estimate(self, sigma, releases, costs):
+        """Theorem 4, the paper's soundness result, on random instances."""
+        cms, cps = costs
+        m = build(sigma, releases, cms, cps)
+        sched = het_model.actual_node_schedule(
+            sigma, m.alphas, m.release_times, cms, cps
+        )
+        assert sched.completion <= m.completion * (1 + 1e-9)
+
+    @given(sigma=sigmas, releases=release_vectors, costs=cost_pairs)
+    @settings(max_examples=100)
+    def test_theorem4_per_node_bound(self, sigma, releases, costs):
+        """The proof's stronger per-node form: every t_act_i <= t_est."""
+        cms, cps = costs
+        m = build(sigma, releases, cms, cps)
+        sched = het_model.actual_node_schedule(
+            sigma, m.alphas, m.release_times, cms, cps
+        )
+        assert np.all(sched.comp_end <= m.completion * (1 + 1e-9))
+
+    def test_not_before_floor(self):
+        sigma, cms, cps = 10.0, 1.0, 10.0
+        m = build(sigma, [0.0, 0.0], cms, cps)
+        sched = het_model.actual_node_schedule(
+            sigma, m.alphas, m.release_times, cms, cps, not_before=5.0
+        )
+        assert sched.trans_start[0] == pytest.approx(5.0)
+
+    def test_bad_alphas_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            het_model.actual_node_schedule(10.0, [0.6, 0.6], [0.0, 0.0], 1.0, 10.0)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            het_model.actual_node_schedule(10.0, [1.0], [0.0, 1.0], 1.0, 10.0)

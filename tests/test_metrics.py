@@ -1,0 +1,108 @@
+"""Tests for metrics collection and replication statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.experiments.runner import simulate
+from repro.metrics.collector import summarize
+from repro.metrics.stats import ConfidenceInterval, mean_ci
+from repro.workload.spec import SimulationConfig
+
+
+def small_config(**kw):
+    base = dict(
+        nodes=8,
+        cms=1.0,
+        cps=100.0,
+        system_load=0.6,
+        avg_sigma=100.0,
+        dc_ratio=2.0,
+        total_time=80_000.0,
+        seed=77,
+    )
+    base.update(kw)
+    return SimulationConfig(**base)
+
+
+class TestMeanCi:
+    def test_single_sample_degenerate(self):
+        ci = mean_ci([0.4])
+        assert ci.mean == 0.4
+        assert ci.half_width == 0.0
+        assert ci.n == 1
+
+    def test_constant_samples_zero_width(self):
+        ci = mean_ci([0.3, 0.3, 0.3])
+        assert ci.half_width == pytest.approx(0.0, abs=1e-12)
+
+    def test_t_quantile_two_samples(self):
+        # n=2, df=1: t_0.975 = 12.7062; sem = std/sqrt(2).
+        ci = mean_ci([0.0, 1.0])
+        sem = np.std([0.0, 1.0], ddof=1) / np.sqrt(2)
+        assert ci.mean == pytest.approx(0.5)
+        assert ci.half_width == pytest.approx(12.7062 * sem, rel=1e-4)
+
+    def test_bounds(self):
+        ci = ConfidenceInterval(mean=0.5, half_width=0.1, confidence=0.95, n=5)
+        assert ci.low == pytest.approx(0.4)
+        assert ci.high == pytest.approx(0.6)
+
+    def test_coverage_simulation(self):
+        """~95% of CIs over normal samples should cover the true mean."""
+        rng = np.random.default_rng(0)
+        covered = 0
+        trials = 400
+        for _ in range(trials):
+            xs = rng.normal(10.0, 2.0, size=10)
+            ci = mean_ci(xs)
+            if ci.low <= 10.0 <= ci.high:
+                covered += 1
+        assert covered / trials == pytest.approx(0.95, abs=0.04)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(InvalidParameterError):
+            mean_ci([])
+        with pytest.raises(InvalidParameterError):
+            mean_ci([1.0], confidence=1.5)
+
+
+class TestSummarize:
+    def test_counts_consistent(self):
+        result = simulate(small_config(), "EDF-DLT")
+        m = result.metrics
+        assert m.arrivals == m.accepted + m.rejected
+        assert m.executed == m.accepted
+        assert 0.0 <= m.reject_ratio <= 1.0
+        assert m.accept_ratio == pytest.approx(1.0 - m.reject_ratio)
+        assert m.deadline_misses == 0
+
+    def test_utilization_in_unit_range(self):
+        m = simulate(small_config(), "EDF-DLT").metrics
+        assert 0.0 <= m.utilization <= 1.0 + 1e-9
+        assert m.allocated_fraction >= m.utilization - 1e-9
+
+    def test_opr_has_iit_waste_dlt_less(self):
+        """OPR holds idle nodes inside allocations; DLT works them."""
+        cfg = small_config(system_load=0.9, total_time=120_000.0)
+        m_opr = simulate(cfg, "EDF-OPR-MN").metrics
+        m_dlt = simulate(cfg, "EDF-DLT").metrics
+        # Identical arrivals; both reserve [r_i, est]; OPR idles [r_i, r_n].
+        assert m_opr.iit_inside_allocations >= 0.0
+        assert m_dlt.iit_inside_allocations >= 0.0
+        # Per accepted task, OPR wastes at least as much reserved time.
+        per_opr = m_opr.iit_inside_allocations / max(m_opr.accepted, 1)
+        per_dlt = m_dlt.iit_inside_allocations / max(m_dlt.accepted, 1)
+        assert per_opr >= per_dlt - 1e-6
+
+    def test_slack_nonnegative(self):
+        m = simulate(small_config(), "EDF-DLT").metrics
+        assert m.mean_slack >= -1e-6
+        assert m.max_slack >= m.mean_slack - 1e-9
+
+    def test_mean_nodes_per_task_in_range(self):
+        m = simulate(small_config(), "EDF-UserSplit").metrics
+        if m.accepted:
+            assert 1.0 <= m.mean_nodes_per_task <= 8.0

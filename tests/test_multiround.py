@@ -1,0 +1,157 @@
+"""Tests for the multi-round extension (the paper's future work)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algorithms import ALGORITHMS, make_algorithm
+from repro.core.cluster import ClusterSpec
+from repro.core.errors import InvalidParameterError
+from repro.core.task import DivisibleTask
+from repro.ext.multiround import (
+    MultiRoundPartitioner,
+    register_multiround,
+    simulate_rounds,
+)
+from repro.experiments.runner import simulate
+from repro.sim.cluster_sim import ClusterSimulation
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.spec import SimulationConfig
+
+
+def task(tid=0, arrival=0.0, sigma=100.0, deadline=20_000.0):
+    return DivisibleTask(task_id=tid, arrival=arrival, sigma=sigma, deadline=deadline)
+
+
+CLUSTER = ClusterSpec(nodes=4, cms=1.0, cps=10.0)
+
+
+class TestSimulateRounds:
+    def test_single_round_single_node(self):
+        chunks = simulate_rounds(100.0, np.array([5.0]), 1.0, 10.0, 1)
+        assert len(chunks) == 1
+        c = chunks[0]
+        assert c.trans_start == pytest.approx(5.0)
+        assert c.trans_end == pytest.approx(105.0)
+        assert c.comp_end == pytest.approx(1105.0)
+
+    def test_chunk_count(self):
+        chunks = simulate_rounds(100.0, np.zeros(3), 1.0, 10.0, 4)
+        assert len(chunks) == 12
+        assert sum(c.alpha for c in chunks) == pytest.approx(1.0)
+
+    def test_head_serialization(self):
+        """Transmission windows never overlap (single head within task)."""
+        chunks = simulate_rounds(100.0, np.array([0.0, 50.0]), 1.0, 10.0, 3)
+        windows = sorted((c.trans_start, c.trans_end) for c in chunks)
+        for (s1, e1), (s2, e2) in zip(windows, windows[1:]):
+            assert s2 >= e1 - 1e-9
+
+    def test_node_never_receives_while_computing(self):
+        chunks = simulate_rounds(120.0, np.zeros(2), 1.0, 10.0, 5)
+        per_node: dict[int, list] = {}
+        for c in chunks:
+            per_node.setdefault(c.position, []).append(c)
+        for cs in per_node.values():
+            cs.sort(key=lambda c: c.round_index)
+            for a, b in zip(cs, cs[1:]):
+                assert b.trans_start >= a.comp_end - 1e-9
+
+    @given(
+        sigma=st.floats(min_value=1, max_value=1000),
+        rounds=st.integers(min_value=1, max_value=8),
+        stagger=st.floats(min_value=0, max_value=500),
+    )
+    @settings(max_examples=100)
+    def test_more_rounds_never_slower(self, sigma, rounds, stagger):
+        """Extra rounds can only improve (or match) uniform completion."""
+        releases = np.array([0.0, stagger, stagger * 2])
+        done_1 = max(
+            c.comp_end for c in simulate_rounds(sigma, releases, 1.0, 10.0, rounds)
+        )
+        done_2 = max(
+            c.comp_end
+            for c in simulate_rounds(sigma, releases, 1.0, 10.0, rounds * 2)
+        )
+        assert done_2 <= done_1 * (1 + 1e-9)
+
+    def test_invalid_rounds(self):
+        with pytest.raises(InvalidParameterError):
+            simulate_rounds(10.0, np.zeros(2), 1.0, 10.0, 0)
+
+
+class TestMultiRoundPartitioner:
+    def test_plan_estimate_is_exact_in_execution(self):
+        """The recursion is the dispatch ⇒ actual == estimate."""
+        register_multiround(rounds=4)
+        cfg = SimulationConfig(
+            nodes=8,
+            cms=1.0,
+            cps=100.0,
+            system_load=0.6,
+            avg_sigma=100.0,
+            dc_ratio=2.0,
+            total_time=60_000.0,
+            seed=9,
+        )
+        result = simulate(cfg, "EDF-MR-DLT", trace=True)
+        assert result.output.validation.ok
+        for rec in result.output.records.values():
+            if rec.actual_completion is not None:
+                assert rec.actual_completion == pytest.approx(
+                    rec.est_completion, rel=1e-9
+                )
+
+    def test_rejects_infeasible(self):
+        p = MultiRoundPartitioner(rounds=4)
+        t = task(sigma=100.0, deadline=90.0)  # below sigma*cms
+        assert p.place(t, np.zeros(4), CLUSTER, now=0.0) is None
+
+    def test_register_idempotent(self):
+        register_multiround(rounds=4)
+        register_multiround(rounds=4)
+        assert "EDF-MR-DLT" in ALGORITHMS
+        assert "FIFO-MR-DLT" in ALGORITHMS
+        inst = make_algorithm("EDF-MR-DLT")
+        assert isinstance(inst.partitioner, MultiRoundPartitioner)
+
+    def test_multiround_beats_single_round_equal_split(self):
+        """With staggered releases, 4 rounds completes no later than 1."""
+        releases = np.array([0.0, 0.0, 300.0, 300.0])
+        p1 = MultiRoundPartitioner(rounds=1)
+        p4 = MultiRoundPartitioner(rounds=4)
+        t = task(sigma=200.0, deadline=30_000.0)
+        avail = np.concatenate([releases, np.full(0, 0.0)])
+        plan1 = p1.place(t, releases, CLUSTER, now=0.0)
+        plan4 = p4.place(t, releases, CLUSTER, now=0.0)
+        assert plan1 is not None and plan4 is not None
+        assert plan4.est_completion <= plan1.est_completion * (1 + 1e-9)
+
+    def test_shared_link_mode_rejected_for_explicit_plans(self):
+        register_multiround(rounds=2)
+        gen = WorkloadGenerator(
+            SimulationConfig(
+                nodes=4,
+                cms=1.0,
+                cps=100.0,
+                system_load=0.5,
+                avg_sigma=100.0,
+                dc_ratio=3.0,
+                total_time=30_000.0,
+                seed=2,
+            )
+        )
+        tasks = gen.generate()
+        sim = ClusterSimulation(
+            ClusterSpec(nodes=4, cms=1.0, cps=100.0),
+            make_algorithm("EDF-MR-DLT"),
+            tasks,
+            horizon=30_000.0,
+            shared_head_link=True,
+        )
+        if tasks:  # at least one task must start for the error to fire
+            with pytest.raises(InvalidParameterError):
+                sim.run()

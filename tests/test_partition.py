@@ -1,0 +1,326 @@
+"""Tests for the three partitioning strategies (Section 4.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import dlt
+from repro.core.cluster import ClusterSpec
+from repro.core.errors import InvalidParameterError
+from repro.core.partition import (
+    DltIitPartitioner,
+    OprPartitioner,
+    PlacementPlan,
+    UserSplitPartitioner,
+    feasible_by,
+)
+from repro.core.task import DivisibleTask
+
+
+def task(tid=0, arrival=0.0, sigma=100.0, deadline=10_000.0):
+    return DivisibleTask(task_id=tid, arrival=arrival, sigma=sigma, deadline=deadline)
+
+
+CLUSTER = ClusterSpec(nodes=8, cms=1.0, cps=100.0)
+ALL_FREE = np.zeros(8)
+
+
+class TestPlacementPlanValidation:
+    def _kwargs(self):
+        return dict(
+            task=task(),
+            method="opr",
+            node_ids=(0, 1),
+            release_times=(0.0, 0.0),
+            dispatch_releases=(0.0, 0.0),
+            alphas=(0.5, 0.5),
+            est_completion=100.0,
+        )
+
+    def test_valid(self):
+        plan = PlacementPlan(**self._kwargs())
+        assert plan.n == 2
+        assert plan.start_time == 0.0
+        assert plan.rn == 0.0
+
+    def test_duplicate_nodes_rejected(self):
+        kw = self._kwargs()
+        kw["node_ids"] = (1, 1)
+        with pytest.raises(InvalidParameterError):
+            PlacementPlan(**kw)
+
+    def test_mismatched_lengths_rejected(self):
+        kw = self._kwargs()
+        kw["alphas"] = (1.0,)
+        with pytest.raises(InvalidParameterError):
+            PlacementPlan(**kw)
+
+    def test_empty_rejected(self):
+        kw = self._kwargs()
+        kw["node_ids"] = ()
+        kw["release_times"] = ()
+        kw["dispatch_releases"] = ()
+        kw["alphas"] = ()
+        with pytest.raises(InvalidParameterError):
+            PlacementPlan(**kw)
+
+
+class TestFeasibleBy:
+    def test_exact_boundary_passes(self):
+        assert feasible_by(100.0, 100.0)
+
+    def test_ulp_over_passes(self):
+        assert feasible_by(100.0 + 1e-10, 100.0)
+
+    def test_clearly_over_fails(self):
+        assert not feasible_by(100.1, 100.0)
+
+
+class TestDltIitPartitioner:
+    def test_all_free_reduces_to_opr_estimate(self):
+        """No stagger ⇒ DLT-IIT estimate equals OPR's r_n + E."""
+        p = DltIitPartitioner()
+        t = task(sigma=200.0, deadline=5000.0)
+        plan = p.place(t, ALL_FREE, CLUSTER, now=0.0)
+        assert plan is not None
+        e = dlt.execution_time(200.0, plan.n, 1.0, 100.0)
+        assert plan.est_completion == pytest.approx(e, rel=1e-9)
+
+    def test_uses_ntilde_min_nodes(self):
+        t = task(sigma=200.0, deadline=5000.0)
+        plan = DltIitPartitioner().place(t, ALL_FREE, CLUSTER, now=0.0)
+        want = dlt.min_nodes(200.0, 1.0, 100.0, 5000.0, max_nodes=8)
+        assert plan is not None and plan.n == want
+
+    def test_staggered_beats_opr_estimate(self):
+        """With staggered releases DLT's estimate is strictly below OPR's."""
+        # sigma=200, deadline 2950 ⇒ ñ_min = 8 (E(200,8) ≈ 2611 <= 2950
+        # < E(200,7) ≈ 2972); three nodes free now, five free at t=100.
+        avail = np.array([0.0, 0.0, 0.0, 100.0, 100.0, 100.0, 100.0, 100.0])
+        t = task(sigma=200.0, deadline=2950.0)
+        dlt_plan = DltIitPartitioner().place(t, avail, CLUSTER, now=0.0)
+        opr_plan = OprPartitioner().place(t, avail, CLUSTER, now=0.0)
+        assert dlt_plan is not None and opr_plan is not None
+        assert dlt_plan.n == opr_plan.n == 8
+        assert dlt_plan.rn == pytest.approx(100.0)
+        assert dlt_plan.est_completion < opr_plan.est_completion
+
+    def test_accepts_where_opr_rejects(self):
+        """The paper's headline mechanism: Ê <= E flips marginal tasks.
+
+        Build a scenario where r_n + Ê <= A + D < r_n + E.
+        """
+        cluster = ClusterSpec(nodes=4, cms=1.0, cps=100.0)
+        sigma = 200.0
+        # ñ_min(now) = 4 requires budget between E(σ,4) and E(σ,3).
+        e4 = dlt.execution_time(sigma, 4, 1.0, 100.0)
+        deadline = e4 * 1.02  # needs all 4 nodes, tiny slack
+        # Three nodes free now, the fourth frees a bit later: OPR's start
+        # waits for it and blows the deadline; DLT works during the wait.
+        for wait in np.linspace(5.0, e4 * 0.02 + 50.0, 10):
+            avail = np.array([0.0, 0.0, 0.0, wait])
+            t = task(sigma=sigma, deadline=float(deadline))
+            d = DltIitPartitioner().place(t, avail, cluster, now=0.0)
+            o = OprPartitioner().place(t, avail, cluster, now=0.0)
+            if d is not None and o is None:
+                return  # found the paper's flip
+        pytest.fail("no wait produced a DLT-accept / OPR-reject flip")
+
+    def test_infeasible_deadline_rejected(self):
+        t = task(sigma=200.0, deadline=150.0)  # below sigma*cms
+        assert DltIitPartitioner().place(t, ALL_FREE, CLUSTER, now=0.0) is None
+
+    def test_needs_more_than_cluster_rejected(self):
+        # Budget barely above transmission: ñ_min far beyond 8 nodes.
+        t = task(sigma=200.0, deadline=210.0)
+        assert DltIitPartitioner().place(t, ALL_FREE, CLUSTER, now=0.0) is None
+
+    def test_picks_earliest_available_nodes(self):
+        avail = np.array([50.0, 0.0, 10.0, 999.0, 0.0, 999.0, 999.0, 999.0])
+        t = task(sigma=200.0, deadline=4000.0)
+        plan = DltIitPartitioner().place(t, avail, CLUSTER, now=0.0)
+        assert plan is not None
+        # Node ids sorted by availability with id tie-break: 1, 4, 2, 0, ...
+        assert list(plan.node_ids[: min(plan.n, 4)]) == [1, 4, 2, 0][: plan.n]
+        assert list(plan.release_times) == sorted(plan.release_times)
+
+    def test_release_times_floored_at_arrival(self):
+        avail = np.zeros(8)
+        t = task(arrival=100.0, sigma=100.0, deadline=10_000.0)
+        plan = DltIitPartitioner().place(t, avail, CLUSTER, now=100.0)
+        assert plan is not None
+        assert all(r >= 100.0 for r in plan.release_times)
+
+    def test_all_nodes_variant_uses_whole_cluster(self):
+        t = task(sigma=200.0, deadline=5000.0)
+        plan = DltIitPartitioner(assign_all_nodes=True).place(
+            t, ALL_FREE, CLUSTER, now=0.0
+        )
+        assert plan is not None and plan.n == 8
+
+    def test_fixed_point_mode_plans_are_feasible(self):
+        """Every fixed-point plan meets the deadline; modes agree on an
+        idle cluster (no queueing ⇒ no circularity to resolve)."""
+        rng = np.random.default_rng(5)
+        one_shot = DltIitPartitioner()
+        fixed = DltIitPartitioner(fixed_point_node_count=True)
+        agreements = 0
+        for _ in range(200):
+            avail = rng.uniform(0, 2000, size=8)
+            t = task(
+                sigma=float(rng.uniform(20, 600)),
+                deadline=float(rng.uniform(500, 6000)),
+            )
+            fp = fixed.place(t, avail, CLUSTER, now=0.0)
+            if fp is not None:
+                assert fp.est_completion <= t.absolute_deadline * (1 + 1e-9)
+            # Idle cluster: identical decisions and node counts.
+            os_idle = one_shot.place(t, ALL_FREE, CLUSTER, now=0.0)
+            fp_idle = fixed.place(t, ALL_FREE, CLUSTER, now=0.0)
+            if os_idle is None:
+                assert fp_idle is None
+            else:
+                assert fp_idle is not None and fp_idle.n == os_idle.n
+                agreements += 1
+        assert agreements > 0  # the comparison was not vacuous
+
+
+class TestOprPartitioner:
+    def test_simultaneous_dispatch(self):
+        avail = np.array([0.0, 100.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0])
+        t = task(sigma=400.0, deadline=8000.0)
+        plan = OprPartitioner().place(t, avail, CLUSTER, now=0.0)
+        assert plan is not None
+        # All dispatch releases equal r_n: the nodes wait for the last one.
+        assert len(set(plan.dispatch_releases)) == 1
+        assert plan.dispatch_releases[0] == pytest.approx(plan.rn)
+
+    def test_estimate_is_rn_plus_e(self):
+        t = task(sigma=200.0, deadline=5000.0)
+        plan = OprPartitioner().place(t, ALL_FREE, CLUSTER, now=0.0)
+        assert plan is not None
+        e = dlt.execution_time(200.0, plan.n, 1.0, 100.0)
+        assert plan.est_completion == pytest.approx(e, rel=1e-12)
+
+    def test_geometric_alphas(self):
+        t = task(sigma=200.0, deadline=5000.0)
+        plan = OprPartitioner().place(t, ALL_FREE, CLUSTER, now=0.0)
+        assert plan is not None
+        assert np.allclose(
+            plan.alphas, dlt.opr_alphas(plan.n, 1.0, 100.0), rtol=1e-12
+        )
+
+    def test_all_nodes_variant(self):
+        t = task(sigma=200.0, deadline=5000.0)
+        plan = OprPartitioner(assign_all_nodes=True).place(
+            t, ALL_FREE, CLUSTER, now=0.0
+        )
+        assert plan is not None and plan.n == 8
+
+    @given(
+        sigma=st.floats(min_value=10, max_value=1000),
+        deadline=st.floats(min_value=100, max_value=50_000),
+        busy=st.lists(
+            st.floats(min_value=0, max_value=3000), min_size=8, max_size=8
+        ),
+    )
+    @settings(max_examples=150)
+    def test_never_beats_dlt_estimate(self, sigma, deadline, busy):
+        """Ê <= E pointwise ⇒ whenever both place, DLT's estimate wins."""
+        avail = np.asarray(busy)
+        t = task(sigma=sigma, deadline=deadline)
+        d = DltIitPartitioner().place(t, avail, CLUSTER, now=0.0)
+        o = OprPartitioner().place(t, avail, CLUSTER, now=0.0)
+        if o is not None:
+            assert d is not None, "DLT rejected where OPR accepted"
+            assert d.est_completion <= o.est_completion * (1 + 1e-9)
+
+
+class TestUserSplitPartitioner:
+    def _partitioner(self, seed=1, **kw):
+        return UserSplitPartitioner(rng=np.random.default_rng(seed), **kw)
+
+    def test_min_nodes_user_formula(self):
+        # N_min = ceil(sigma*Cps / (D - sigma*Cms)).
+        t = task(sigma=100.0, deadline=3000.0)
+        got = UserSplitPartitioner.min_nodes_user(t, CLUSTER)
+        assert got == int(np.ceil(100.0 * 100.0 / (3000.0 - 100.0)))
+
+    def test_min_nodes_user_infeasible(self):
+        assert (
+            UserSplitPartitioner.min_nodes_user(
+                task(sigma=100.0, deadline=100.0), CLUSTER
+            )
+            is None
+        )
+        # N_min > N ⇒ None.
+        assert (
+            UserSplitPartitioner.min_nodes_user(
+                task(sigma=100.0, deadline=101.0), CLUSTER
+            )
+            is None
+        )
+
+    def test_equal_chunks(self):
+        p = self._partitioner()
+        t = task(sigma=100.0, deadline=20_000.0)
+        plan = p.place(t, ALL_FREE, CLUSTER, now=0.0)
+        assert plan is not None
+        assert np.allclose(plan.alphas, 1.0 / plan.n)
+
+    def test_draw_within_range_and_sticky(self):
+        p = self._partitioner()
+        t = task(sigma=100.0, deadline=20_000.0)
+        p.on_task_arrival(t, CLUSTER)
+        n1 = p.requested_nodes(0)
+        n_min = UserSplitPartitioner.min_nodes_user(t, CLUSTER)
+        assert n_min is not None and n_min <= n1 <= CLUSTER.nodes
+        # Sticky across re-planning (default mode).
+        for _ in range(5):
+            plan = p.place(t, ALL_FREE, CLUSTER, now=0.0)
+            assert plan is not None and plan.n == n1
+
+    def test_redraw_mode_rerolls(self):
+        p = self._partitioner(seed=3, redraw_on_replan=True)
+        t = task(sigma=100.0, deadline=20_000.0)
+        seen = set()
+        for _ in range(40):
+            plan = p.place(t, ALL_FREE, CLUSTER, now=0.0)
+            assert plan is not None
+            seen.add(plan.n)
+        assert len(seen) > 1  # the request does get re-rolled
+
+    def test_eq15_completion(self):
+        """Hand-check the s_i recursion of Eq. 15."""
+        p = self._partitioner()
+        t = task(sigma=80.0, deadline=50_000.0)
+        p._requested[t.task_id] = 4  # pin n for the hand computation
+        avail = np.array([0.0, 0.0, 50.0, 100.0, 1e9, 1e9, 1e9, 1e9])
+        plan = p.place(t, avail, CLUSTER, now=0.0)
+        assert plan is not None
+        chunk_cms = 80.0 * 1.0 / 4  # 20
+        chunk_cps = 80.0 * 100.0 / 4  # 2000
+        # s1=0, s2=max(0,20)=20, s3=max(50,40)=50, s4=max(100,70)=100.
+        assert plan.est_completion == pytest.approx(100.0 + chunk_cms + chunk_cps)
+
+    def test_infeasible_task_rejected_and_consumes_draw(self):
+        p = self._partitioner()
+        bad = task(tid=0, sigma=100.0, deadline=50.0)  # D < sigma*cms
+        good = task(tid=1, sigma=100.0, deadline=20_000.0)
+        p.on_task_arrival(bad, CLUSTER)
+        p.on_task_arrival(good, CLUSTER)
+        assert p.requested_nodes(0) is None
+        assert p.place(bad, ALL_FREE, CLUSTER, now=0.0) is None
+        assert p.place(good, ALL_FREE, CLUSTER, now=0.0) is not None
+
+    def test_deadline_check_respects_queueing(self):
+        p = self._partitioner()
+        t = task(sigma=100.0, deadline=10_200.0)
+        p._requested[t.task_id] = 1
+        # One node: completion = r_1 + sigma*(cms+cps) = r_1 + 10100.
+        assert p.place(t, np.zeros(8), CLUSTER, now=0.0) is not None
+        late = np.full(8, 200.0)
+        assert p.place(t, late, CLUSTER, now=0.0) is None  # 200+10100 > 10200

@@ -1,0 +1,73 @@
+"""Tests for EDF / FIFO ordering policies."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.policies import EdfPolicy, FifoPolicy, make_policy
+from repro.core.task import DivisibleTask
+
+
+def task(tid, arrival, deadline):
+    return DivisibleTask(task_id=tid, arrival=arrival, sigma=1.0, deadline=deadline)
+
+
+class TestEdf:
+    def test_orders_by_absolute_deadline(self):
+        a = task(0, arrival=0.0, deadline=100.0)  # abs 100
+        b = task(1, arrival=50.0, deadline=10.0)  # abs 60
+        assert [t.task_id for t in EdfPolicy().order([a, b])] == [1, 0]
+
+    def test_tie_broken_by_arrival_then_id(self):
+        a = task(0, arrival=20.0, deadline=80.0)  # abs 100
+        b = task(1, arrival=10.0, deadline=90.0)  # abs 100
+        c = task(2, arrival=10.0, deadline=90.0)  # abs 100
+        assert [t.task_id for t in EdfPolicy().order([a, c, b])] == [1, 2, 0]
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=1e6),
+                st.floats(min_value=0.1, max_value=1e6),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_output_sorted_by_key(self, specs):
+        tasks = [task(i, a, d) for i, (a, d) in enumerate(specs)]
+        ordered = EdfPolicy().order(tasks)
+        deadlines = [t.absolute_deadline for t in ordered]
+        assert deadlines == sorted(deadlines)
+        assert sorted(t.task_id for t in ordered) == list(range(len(tasks)))
+
+
+class TestFifo:
+    def test_orders_by_arrival(self):
+        a = task(0, arrival=5.0, deadline=1.0)
+        b = task(1, arrival=1.0, deadline=100.0)
+        assert [t.task_id for t in FifoPolicy().order([a, b])] == [1, 0]
+
+    def test_tie_broken_by_id(self):
+        a = task(3, arrival=1.0, deadline=5.0)
+        b = task(1, arrival=1.0, deadline=2.0)
+        assert [t.task_id for t in FifoPolicy().order([a, b])] == [1, 3]
+
+    def test_deadline_irrelevant(self):
+        a = task(0, arrival=0.0, deadline=1000.0)
+        b = task(1, arrival=1.0, deadline=1.0)  # earlier abs deadline
+        assert [t.task_id for t in FifoPolicy().order([a, b])] == [0, 1]
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls", [("EDF", EdfPolicy), ("edf", EdfPolicy), ("FIFO", FifoPolicy)]
+    )
+    def test_known_names(self, name, cls):
+        assert isinstance(make_policy(name), cls)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown scheduling policy"):
+            make_policy("LIFO")

@@ -1,0 +1,80 @@
+"""Cross-cutting property tests over whole simulations.
+
+These tie the paper's claims to the *system*, not just the formulas:
+paired runs on identical task sets must preserve the dominance relations
+the analysis predicts.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.runner import simulate
+from repro.workload.spec import SimulationConfig
+
+# Small horizons keep each example fast; hypothesis explores the
+# (load, dc_ratio, seed) space.
+config_strategy = st.builds(
+    SimulationConfig,
+    nodes=st.just(8),
+    cms=st.just(1.0),
+    cps=st.sampled_from([10.0, 100.0, 1000.0]),
+    system_load=st.floats(min_value=0.2, max_value=1.0),
+    avg_sigma=st.sampled_from([50.0, 100.0, 200.0]),
+    dc_ratio=st.sampled_from([2.0, 3.0, 10.0]),
+    total_time=st.just(25_000.0),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+
+
+class TestPairedDominance:
+    @given(cfg=config_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_dlt_never_worse_than_opr_mn(self, cfg):
+        """The paper's Figure 3-4 claim, as a property over random configs.
+
+        Per admission test the DLT estimate dominates (Ê <= E), but greedy
+        admission is not globally optimal: accepting a *marginal* task
+        (which only DLT can) occasionally blocks two later ones, so strict
+        per-seed dominance is NOT a theorem — hypothesis finds seeds where
+        DLT rejects 1-2 more tasks out of ~100 (the paper's "always
+        better" claim is about replication-averaged curves, which the
+        figure benches check).  Here we assert the per-seed anomaly stays
+        bounded by a few tasks.
+        """
+        r_dlt = simulate(cfg, "EDF-DLT").metrics
+        r_opr = simulate(cfg, "EDF-OPR-MN").metrics
+        assert r_dlt.rejected <= r_opr.rejected + 4
+
+    @given(cfg=config_strategy)
+    @settings(max_examples=15, deadline=None)
+    def test_validation_holds_for_all_algorithms(self, cfg):
+        for alg in ("EDF-DLT", "FIFO-OPR-MN", "EDF-UserSplit"):
+            result = simulate(cfg, alg)
+            assert result.output.validation.ok
+            assert result.metrics.deadline_misses == 0
+
+    @given(cfg=config_strategy)
+    @settings(max_examples=15, deadline=None)
+    def test_policy_changes_order_not_safety(self, cfg):
+        """EDF vs FIFO may admit different tasks, never unsafe ones."""
+        for alg in ("EDF-DLT", "FIFO-DLT"):
+            result = simulate(cfg, alg)
+            assert result.metrics.deadline_misses == 0
+
+    @given(cfg=config_strategy)
+    @settings(max_examples=10, deadline=None)
+    def test_work_conservation(self, cfg):
+        """Busy node-seconds == Σ sigma_i (Cms+Cps) over executed tasks."""
+        result = simulate(cfg, "EDF-DLT")
+        total_sigma = sum(
+            rec.task.sigma
+            for rec in result.output.records.values()
+            if rec.actual_completion is not None
+        )
+        expected = total_sigma * (cfg.cms + cfg.cps)
+        assert result.output.node_busy_time.sum() == pytest.approx(
+            expected, rel=1e-6
+        )

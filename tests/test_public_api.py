@@ -1,0 +1,86 @@
+"""Contract tests for the package's public surface.
+
+A downstream user should be able to rely on ``repro``'s top-level names
+and the README quickstart verbatim.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    def test_version_matches_metadata(self):
+        from repro._version import __version__
+
+        assert repro.__version__ == __version__
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3 and all(p.isdigit() for p in parts)
+
+    def test_algorithm_registry_exposed(self):
+        assert "EDF-DLT" in repro.ALGORITHMS
+
+
+class TestReadmeQuickstart:
+    def test_quickstart_verbatim(self):
+        """The exact code block from README.md must work."""
+        from repro import SimulationConfig, simulate
+
+        config = SimulationConfig(
+            nodes=16,
+            cms=1.0,
+            cps=100.0,
+            system_load=0.6,
+            avg_sigma=200.0,
+            dc_ratio=2.0,
+            total_time=50_000.0,  # trimmed for test speed
+            seed=42,
+        )
+        result = simulate(config, "EDF-DLT")
+        assert 0.0 <= result.metrics.reject_ratio <= 1.0
+        assert "invariants" in result.output.validation.summary()
+
+    def test_module_doctest_example(self):
+        """The package docstring's example holds."""
+        from repro import SimulationConfig, simulate
+
+        cfg = SimulationConfig(
+            nodes=16,
+            cms=1.0,
+            cps=100.0,
+            system_load=0.5,
+            avg_sigma=200.0,
+            dc_ratio=2.0,
+            total_time=100_000.0,
+            seed=7,
+        )
+        result = simulate(cfg, "EDF-DLT")
+        assert 0.0 <= result.metrics.reject_ratio <= 1.0
+
+
+class TestErrorHierarchy:
+    def test_single_catchall(self):
+        from repro.core import errors
+
+        for cls in (
+            errors.InvalidParameterError,
+            errors.InvalidTaskError,
+            errors.InfeasibleTaskError,
+            errors.ScheduleConsistencyError,
+            errors.SimulationError,
+            errors.TheoremViolationError,
+        ):
+            assert issubclass(cls, errors.ReproError)
+
+    def test_value_error_compat(self):
+        """Parameter errors double as ValueError for ergonomic catching."""
+        from repro.core.errors import InvalidParameterError
+
+        with pytest.raises(ValueError):
+            raise InvalidParameterError("x")

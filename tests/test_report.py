@@ -1,0 +1,82 @@
+"""Tests for report rendering (tables, CSV, ASCII charts)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import FIGURES
+from repro.experiments.report import panel_to_csv, render_chart, render_panel
+from repro.experiments.sweep import PanelResult
+from repro.metrics.stats import ConfidenceInterval, PointEstimate
+
+
+def fake_result(loads=(0.2, 0.8), a="EDF-DLT", b="EDF-OPR-MN", means=None):
+    """Hand-built PanelResult so rendering tests need no simulation."""
+    spec = FIGURES["fig3a"]
+    means = means or {a: [0.1, 0.3], b: [0.15, 0.4]}
+    series = {
+        alg: tuple(
+            PointEstimate(
+                x=load,
+                ci=ConfidenceInterval(
+                    mean=means[alg][i], half_width=0.01, confidence=0.95, n=3
+                ),
+                samples=(means[alg][i],) * 3,
+            )
+            for i, load in enumerate(loads)
+        )
+        for alg in (a, b)
+    }
+    return PanelResult(
+        spec=spec, loads=tuple(loads), series=series, total_time=1e5, replications=3
+    )
+
+
+class TestPanelResultHelpers:
+    def test_mean_curve(self):
+        r = fake_result()
+        assert r.mean_curve("EDF-DLT") == [0.1, 0.3]
+
+    def test_wins_counts_strict_wins(self):
+        r = fake_result()
+        assert r.wins("EDF-DLT") == 2
+        assert r.wins("EDF-OPR-MN") == 0
+
+    def test_wins_with_tolerance(self):
+        r = fake_result(means={"EDF-DLT": [0.10, 0.30], "EDF-OPR-MN": [0.11, 0.40]})
+        assert r.wins("EDF-DLT", tol=0.05) == 1  # only the 0.1 gap counts
+
+    def test_mean_gap_sign(self):
+        r = fake_result()
+        assert r.mean_gap("EDF-DLT", "EDF-OPR-MN") == pytest.approx(0.075)
+        assert r.mean_gap("EDF-OPR-MN", "EDF-DLT") == pytest.approx(-0.075)
+
+
+class TestRenderers:
+    def test_table_without_ci(self):
+        text = render_panel(fake_result(), show_ci=False)
+        assert "0.1000" in text and "±" not in text.split("\n\n")[-2]
+
+    def test_table_with_ci(self):
+        text = render_panel(fake_result(), show_ci=True)
+        assert "0.1000 ± 0.0100" in text
+
+    def test_csv_values(self):
+        csv = panel_to_csv(fake_result())
+        rows = csv.strip().splitlines()
+        assert rows[1].startswith("0.200,0.100000,0.010000,0.150000")
+
+    def test_chart_contains_markers_and_axis(self):
+        art = render_chart(fake_result())
+        assert "*" in art or "@" in art
+        assert "o" in art or "@" in art
+        assert "Task Reject Ratio vs SystemLoad" in art
+        # y-axis labels descend from the max.
+        first_label = float(art.splitlines()[1].split("|")[0])
+        assert first_label > 0
+
+    def test_chart_single_point(self):
+        art = render_chart(fake_result(loads=(0.5,), means={
+            "EDF-DLT": [0.2], "EDF-OPR-MN": [0.2]
+        }))
+        assert "@" in art  # overlapping point marker

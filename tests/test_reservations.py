@@ -1,0 +1,124 @@
+"""Tests for the Release(node_k) reservation model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import InvalidParameterError, ScheduleConsistencyError
+from repro.core.reservations import NodeReservations
+
+
+class TestConstruction:
+    def test_starts_all_free_at_zero(self):
+        r = NodeReservations(4)
+        assert list(r.release_times) == [0.0] * 4
+
+    def test_from_times(self):
+        r = NodeReservations.from_times([1.0, 3.0, 2.0])
+        assert list(r.release_times) == [1.0, 3.0, 2.0]
+
+    def test_invalid_sizes(self):
+        with pytest.raises(InvalidParameterError):
+            NodeReservations(0)
+        with pytest.raises(InvalidParameterError):
+            NodeReservations.from_times([])
+
+    def test_copy_is_independent(self):
+        r = NodeReservations(2)
+        c = r.copy()
+        c.assign([0], 10.0)
+        assert r.release_times[0] == 0.0
+        assert c.release_times[0] == 10.0
+
+
+class TestQueries:
+    def test_availability_floors_at_now(self):
+        r = NodeReservations.from_times([1.0, 5.0])
+        assert list(r.availability(3.0)) == [3.0, 5.0]
+
+    def test_available_count(self):
+        r = NodeReservations.from_times([1.0, 5.0, 2.0])
+        assert r.available_count(0.5) == 0
+        assert r.available_count(1.0) == 1
+        assert r.available_count(2.0) == 2
+        assert r.available_count(10.0) == 3
+
+    def test_earliest_time_for(self):
+        r = NodeReservations.from_times([1.0, 5.0, 2.0])
+        assert r.earliest_time_for(1, now=0.0) == pytest.approx(1.0)
+        assert r.earliest_time_for(2, now=0.0) == pytest.approx(2.0)
+        assert r.earliest_time_for(3, now=0.0) == pytest.approx(5.0)
+        # `now` floors availability.
+        assert r.earliest_time_for(1, now=1.5) == pytest.approx(1.5)
+
+    def test_earliest_time_bounds_checked(self):
+        r = NodeReservations(2)
+        with pytest.raises(InvalidParameterError):
+            r.earliest_time_for(0, now=0.0)
+        with pytest.raises(InvalidParameterError):
+            r.earliest_time_for(3, now=0.0)
+
+    def test_release_times_read_only(self):
+        r = NodeReservations(2)
+        with pytest.raises(ValueError):
+            r.release_times[0] = 9.0  # type: ignore[index]
+
+
+class TestMutation:
+    def test_assign_extends_hold(self):
+        r = NodeReservations(3)
+        r.assign([0, 2], 7.0)
+        assert list(r.release_times) == [7.0, 0.0, 7.0]
+
+    def test_assign_cannot_shrink(self):
+        r = NodeReservations.from_times([10.0, 0.0])
+        with pytest.raises(ScheduleConsistencyError):
+            r.assign([0], 5.0)
+
+    def test_assign_validates_ids(self):
+        r = NodeReservations(2)
+        with pytest.raises(InvalidParameterError):
+            r.assign([2], 1.0)
+        with pytest.raises(InvalidParameterError):
+            r.assign([-1], 1.0)
+        with pytest.raises(InvalidParameterError):
+            r.assign([], 1.0)
+
+    def test_release_early_shrinks_only(self):
+        r = NodeReservations.from_times([10.0, 20.0])
+        r.release_early([0, 1], [12.0, 15.0])  # 12 > 10 must NOT extend
+        assert list(r.release_times) == [10.0, 15.0]
+
+    def test_release_early_validates(self):
+        r = NodeReservations(2)
+        with pytest.raises(InvalidParameterError):
+            r.release_early([0], [1.0, 2.0])
+        with pytest.raises(InvalidParameterError):
+            r.release_early([5], [1.0])
+
+
+class TestPropertyBased:
+    @given(
+        times=st.lists(
+            st.floats(min_value=0, max_value=1e6), min_size=1, max_size=32
+        ),
+        now=st.floats(min_value=0, max_value=1e6),
+    )
+    def test_availability_at_least_now_and_release(self, times, now):
+        r = NodeReservations.from_times(times)
+        avail = r.availability(now)
+        assert np.all(avail >= now)
+        assert np.all(avail >= np.asarray(times) - 1e-12)
+
+    @given(
+        times=st.lists(
+            st.floats(min_value=0, max_value=1e6), min_size=2, max_size=16
+        )
+    )
+    def test_earliest_time_monotone_in_n(self, times):
+        r = NodeReservations.from_times(times)
+        vals = [r.earliest_time_for(n, now=0.0) for n in range(1, len(times) + 1)]
+        assert vals == sorted(vals)

@@ -1,0 +1,150 @@
+"""Tests for the online dynamic scheduler (arrival → start → completion)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.algorithms import make_algorithm
+from repro.core.cluster import ClusterSpec
+from repro.core.errors import ScheduleConsistencyError
+from repro.core.scheduler import ClusterScheduler
+from repro.core.task import DivisibleTask, TaskOutcome
+
+
+def task(tid, arrival=0.0, sigma=100.0, deadline=20_000.0):
+    return DivisibleTask(task_id=tid, arrival=arrival, sigma=sigma, deadline=deadline)
+
+
+CLUSTER = ClusterSpec(nodes=4, cms=1.0, cps=100.0)
+
+
+def make_scheduler(algorithm="EDF-DLT", **kw):
+    inst = make_algorithm(algorithm)
+    return ClusterScheduler(CLUSTER, inst.policy, inst.partitioner, **kw)
+
+
+class TestArrival:
+    def test_accept_produces_directives(self):
+        s = make_scheduler()
+        decision, directives = s.on_arrival(task(0), now=0.0)
+        assert decision.accepted
+        assert len(directives) == 1
+        assert directives[0].task_id == 0
+        assert directives[0].version == s.plan_version
+        assert s.stats.accepted == 1 and s.stats.rejected == 0
+
+    def test_reject_records_outcome(self):
+        s = make_scheduler()
+        decision, directives = s.on_arrival(task(0, deadline=50.0), now=0.0)
+        assert not decision.accepted
+        assert directives == []
+        assert s.records[0].outcome is TaskOutcome.REJECTED
+        assert s.stats.reject_ratio == pytest.approx(1.0)
+
+    def test_duplicate_arrival_rejected(self):
+        s = make_scheduler()
+        s.on_arrival(task(0), now=0.0)
+        with pytest.raises(ScheduleConsistencyError):
+            s.on_arrival(task(0), now=1.0)
+
+    def test_rejection_preserves_previous_plans(self):
+        s = make_scheduler()
+        _, d1 = s.on_arrival(task(0), now=0.0)
+        v1 = s.plan_version
+        s.on_arrival(task(1, deadline=50.0), now=1.0)  # rejected
+        assert s.plan_version == v1  # old directives stay valid
+        plan = s.on_start(0, d1[0].version, now=max(d1[0].start_time, 1.0))
+        assert plan is not None
+
+    def test_time_cannot_run_backwards(self):
+        s = make_scheduler()
+        s.on_arrival(task(0), now=10.0)
+        with pytest.raises(ScheduleConsistencyError):
+            s.on_arrival(task(1, arrival=5.0), now=5.0)
+
+
+class TestStart:
+    def test_start_locks_task_and_reserves_nodes(self):
+        s = make_scheduler()
+        _, directives = s.on_arrival(task(0), now=0.0)
+        d = directives[0]
+        plan = s.on_start(d.task_id, d.version, now=d.start_time)
+        assert plan is not None
+        assert s.waiting_count == 0 and s.running_count == 1
+        for node in plan.node_ids:
+            assert s.reservations.release_times[node] == pytest.approx(
+                plan.est_completion
+            )
+
+    def test_stale_version_dropped(self):
+        s = make_scheduler()
+        _, d1 = s.on_arrival(task(0), now=0.0)
+        s.on_arrival(task(1, deadline=30_000.0), now=1.0)  # bumps version
+        assert s.on_start(0, d1[0].version, now=2.0) is None  # stale
+        assert s.waiting_count == 2  # still waiting under the new plans
+
+    def test_unknown_task_dropped(self):
+        s = make_scheduler()
+        _, d = s.on_arrival(task(0), now=0.0)
+        assert s.on_start(99, d[0].version, now=0.0) is None
+
+    def test_replan_changes_order_under_edf(self):
+        """An urgent newcomer overtakes a waiting relaxed task."""
+        s = make_scheduler("EDF-OPR-MN")
+        # Fill the cluster so both tasks must queue.
+        _, d0 = s.on_arrival(task(0, sigma=400.0, deadline=60_000.0), now=0.0)
+        s.on_start(d0[0].task_id, d0[0].version, now=d0[0].start_time)
+        _, d1 = s.on_arrival(task(1, deadline=50_000.0), now=1.0)
+        _, d2 = s.on_arrival(task(2, deadline=20_000.0), now=2.0)
+        assert {x.task_id for x in d2} == {1, 2}
+        starts = {x.task_id: x.start_time for x in d2}
+        assert starts[2] <= starts[1]
+
+
+class TestComplete:
+    def _run_one(self, s):
+        _, directives = s.on_arrival(task(0), now=0.0)
+        d = directives[0]
+        plan = s.on_start(d.task_id, d.version, now=d.start_time)
+        return plan
+
+    def test_complete_records_actual(self):
+        s = make_scheduler()
+        plan = self._run_one(s)
+        rec = s.on_complete(0, plan.est_completion - 1.0)
+        assert rec.actual_completion == pytest.approx(plan.est_completion - 1.0)
+        assert s.running_count == 0
+
+    def test_complete_unknown_task_raises(self):
+        s = make_scheduler()
+        with pytest.raises(ScheduleConsistencyError):
+            s.on_complete(5, 1.0)
+
+    def test_default_release_keeps_estimate(self):
+        s = make_scheduler()
+        plan = self._run_one(s)
+        s.on_complete(0, plan.est_completion - 50.0)
+        for node in plan.node_ids:
+            assert s.reservations.release_times[node] == pytest.approx(
+                plan.est_completion
+            )
+
+    def test_eager_release_shrinks_to_actual(self):
+        s = make_scheduler(eager_release=True)
+        plan = self._run_one(s)
+        ends = tuple(plan.est_completion - 10.0 for _ in plan.node_ids)
+        s.on_complete(0, plan.est_completion - 10.0, ends)
+        for node in plan.node_ids:
+            assert s.reservations.release_times[node] == pytest.approx(
+                plan.est_completion - 10.0
+            )
+
+    def test_start_before_plan_time_raises(self):
+        s = make_scheduler("EDF-OPR-MN")
+        _, d0 = s.on_arrival(task(0, sigma=400.0, deadline=60_000.0), now=0.0)
+        s.on_start(d0[0].task_id, d0[0].version, now=d0[0].start_time)
+        _, d1 = s.on_arrival(task(1), now=1.0)
+        queued = next(x for x in d1 if x.task_id == 1)
+        if queued.start_time > 1.0:
+            with pytest.raises(ScheduleConsistencyError):
+                s.on_start(1, queued.version, now=1.0)

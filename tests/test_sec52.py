@@ -1,0 +1,71 @@
+"""Tests for the Section 5.2 aggregate study driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.sec52 import (
+    WinStats,
+    default_grid,
+    render_win_stats,
+    run_win_stats,
+)
+
+
+class TestWinStats:
+    def test_fraction(self):
+        s = WinStats(
+            comparisons=10,
+            dlt_wins=8,
+            user_split_wins=1,
+            ties=1,
+            dlt_gains=(0.1, 0.2),
+            user_split_gains=(0.01,),
+        )
+        assert s.user_split_win_fraction == pytest.approx(0.1)
+        assert s.dlt_gain_avg_max_min == pytest.approx((0.15, 0.2, 0.1))
+        assert s.user_split_gain_avg_max_min == pytest.approx((0.01, 0.01, 0.01))
+
+    def test_empty_gains(self):
+        s = WinStats(
+            comparisons=0,
+            dlt_wins=0,
+            user_split_wins=0,
+            ties=0,
+            dlt_gains=(),
+            user_split_gains=(),
+        )
+        assert s.user_split_win_fraction == 0.0
+        assert s.dlt_gain_avg_max_min == (0.0, 0.0, 0.0)
+
+
+class TestGrid:
+    def test_default_grid_size(self):
+        grid = default_grid()
+        assert len(grid) == 3 * 2 * 3  # dc_ratios x cps x loads
+
+    def test_grid_entries_are_overrides(self):
+        for entry in default_grid():
+            assert {"dc_ratio", "cps", "system_load"} <= set(entry)
+
+
+class TestRunWinStats:
+    def test_small_study(self):
+        grid = default_grid(loads=(0.5, 0.9), dc_ratios=(2.0,), cps_values=(100.0,))
+        stats = run_win_stats(grid, replications=1, total_time=40_000.0)
+        assert stats.comparisons == 2
+        assert stats.dlt_wins + stats.user_split_wins + stats.ties == 2
+
+    def test_render(self):
+        grid = default_grid(loads=(0.6,), dc_ratios=(2.0,), cps_values=(100.0,))
+        stats = run_win_stats(grid, replications=1, total_time=40_000.0)
+        text = render_win_stats(stats)
+        assert "Section 5.2" in text
+        assert "paper: 8.22%" in text
+
+    def test_fifo_policy_variant(self):
+        grid = default_grid(loads=(0.6,), dc_ratios=(2.0,), cps_values=(100.0,))
+        stats = run_win_stats(
+            grid, policy="FIFO", replications=1, total_time=40_000.0
+        )
+        assert stats.comparisons == 1

@@ -1,0 +1,112 @@
+"""Tests for the task and cluster models (Section 3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.cluster import ClusterSpec
+from repro.core.errors import InvalidParameterError, InvalidTaskError
+from repro.core.task import DivisibleTask, TaskOutcome, TaskRecord
+
+
+class TestDivisibleTask:
+    def test_absolute_deadline(self):
+        t = DivisibleTask(task_id=1, arrival=10.0, sigma=5.0, deadline=20.0)
+        assert t.absolute_deadline == pytest.approx(30.0)
+
+    def test_immutable(self):
+        t = DivisibleTask(task_id=1, arrival=0.0, sigma=1.0, deadline=1.0)
+        with pytest.raises(AttributeError):
+            t.sigma = 2.0  # type: ignore[misc]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"task_id": -1},
+            {"arrival": -0.5},
+            {"arrival": float("nan")},
+            {"sigma": 0.0},
+            {"sigma": -1.0},
+            {"sigma": float("inf")},
+            {"deadline": 0.0},
+            {"deadline": -3.0},
+        ],
+    )
+    def test_invalid_fields_rejected(self, kwargs):
+        base = {"task_id": 0, "arrival": 0.0, "sigma": 1.0, "deadline": 1.0}
+        base.update(kwargs)
+        with pytest.raises(InvalidTaskError):
+            DivisibleTask(**base)
+
+    @given(
+        arrival=st.floats(min_value=0, max_value=1e9),
+        sigma=st.floats(min_value=1e-6, max_value=1e9),
+        deadline=st.floats(min_value=1e-6, max_value=1e9),
+    )
+    def test_valid_domain_accepted(self, arrival, sigma, deadline):
+        t = DivisibleTask(task_id=0, arrival=arrival, sigma=sigma, deadline=deadline)
+        assert t.absolute_deadline >= arrival
+
+
+class TestTaskRecord:
+    def _task(self):
+        return DivisibleTask(task_id=0, arrival=0.0, sigma=10.0, deadline=100.0)
+
+    def test_deadline_met_none_until_completed(self):
+        rec = TaskRecord(task=self._task(), outcome=TaskOutcome.ACCEPTED)
+        assert rec.deadline_met is None
+        assert rec.completion_slack is None
+
+    def test_deadline_met_true(self):
+        rec = TaskRecord(
+            task=self._task(),
+            outcome=TaskOutcome.ACCEPTED,
+            est_completion=90.0,
+            actual_completion=85.0,
+        )
+        assert rec.deadline_met is True
+        assert rec.completion_slack == pytest.approx(5.0)
+
+    def test_deadline_met_false(self):
+        rec = TaskRecord(
+            task=self._task(),
+            outcome=TaskOutcome.ACCEPTED,
+            est_completion=90.0,
+            actual_completion=150.0,
+        )
+        assert rec.deadline_met is False
+
+
+class TestClusterSpec:
+    def test_beta(self):
+        assert ClusterSpec(nodes=4, cms=1.0, cps=100.0).beta == pytest.approx(
+            100.0 / 101.0
+        )
+
+    def test_cost_functions(self):
+        c = ClusterSpec(nodes=2, cms=2.0, cps=50.0)
+        assert c.transmission_time(10.0) == pytest.approx(20.0)
+        assert c.computation_time(10.0) == pytest.approx(500.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"nodes": 0},
+            {"nodes": -4},
+            {"cms": 0.0},
+            {"cms": -1.0},
+            {"cps": 0.0},
+            {"cps": float("nan")},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        base = {"nodes": 4, "cms": 1.0, "cps": 10.0}
+        base.update(kwargs)
+        with pytest.raises(InvalidParameterError):
+            ClusterSpec(**base)
+
+    def test_non_integer_nodes_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ClusterSpec(nodes=2.5, cms=1.0, cps=10.0)  # type: ignore[arg-type]

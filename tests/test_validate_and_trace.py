@@ -1,0 +1,107 @@
+"""Tests for the runtime validator and trace rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import TheoremViolationError
+from repro.core.task import DivisibleTask, TaskOutcome, TaskRecord
+from repro.sim.trace import ChunkTrace, TaskTrace, render_gantt
+from repro.sim.validate import ExecutionValidator
+
+
+def record(est=100.0, actual=95.0, arrival=0.0, deadline=200.0):
+    return TaskRecord(
+        task=DivisibleTask(task_id=0, arrival=arrival, sigma=1.0, deadline=deadline),
+        outcome=TaskOutcome.ACCEPTED,
+        est_completion=est,
+        actual_completion=actual,
+    )
+
+
+def chunk(task_id=0, node=0, pos=0, ts=0.0, te=1.0, ce=2.0, alpha=1.0):
+    return ChunkTrace(
+        task_id=task_id,
+        node_id=node,
+        position=pos,
+        alpha=alpha,
+        release=ts,
+        trans_start=ts,
+        trans_end=te,
+        comp_end=ce,
+    )
+
+
+class TestValidator:
+    def test_ok_path(self):
+        v = ExecutionValidator(strict=True)
+        v.check_completion(record())
+        assert v.report.ok
+        assert v.report.checked_tasks == 1
+        assert "all invariants held" in v.report.summary()
+
+    def test_theorem4_violation_strict_raises(self):
+        v = ExecutionValidator(strict=True)
+        with pytest.raises(TheoremViolationError, match="Theorem 4"):
+            v.check_completion(record(est=100.0, actual=120.0))
+
+    def test_theorem4_violation_nonstrict_records(self):
+        v = ExecutionValidator(strict=False)
+        v.check_completion(record(est=100.0, actual=120.0))
+        assert not v.report.ok
+        assert len(v.report.theorem4_violations) == 1
+        assert "Theorem-4" in v.report.summary()
+
+    def test_deadline_violation_detected(self):
+        v = ExecutionValidator(strict=False)
+        v.check_completion(record(est=100.0, actual=99.0, deadline=50.0))
+        assert len(v.report.deadline_violations) == 1
+
+    def test_float_tolerance(self):
+        v = ExecutionValidator(strict=True)
+        v.check_completion(record(est=100.0, actual=100.0 + 1e-9))  # within tol
+
+    def test_overlap_detection(self):
+        v = ExecutionValidator(strict=False)
+        traces = [
+            TaskTrace(task_id=0, method="opr", chunks=(chunk(ts=0.0, te=1.0, ce=5.0),)),
+            TaskTrace(
+                task_id=1, method="opr", chunks=(chunk(task_id=1, ts=3.0, te=4.0, ce=8.0),)
+            ),
+        ]
+        v.check_traces(traces, nodes=1)
+        assert len(v.report.overlap_violations) == 1
+
+    def test_no_overlap_passes(self):
+        v = ExecutionValidator(strict=True)
+        traces = [
+            TaskTrace(task_id=0, method="opr", chunks=(chunk(ts=0.0, te=1.0, ce=5.0),)),
+            TaskTrace(
+                task_id=1, method="opr", chunks=(chunk(task_id=1, ts=5.0, te=6.0, ce=9.0),)
+            ),
+        ]
+        v.check_traces(traces, nodes=1)
+        assert v.report.ok
+
+
+class TestGantt:
+    def test_empty(self):
+        assert render_gantt([], nodes=2) == "(no executed chunks)"
+
+    def test_renders_rows_per_node(self):
+        traces = [
+            TaskTrace(
+                task_id=3,
+                method="dlt-iit",
+                chunks=(
+                    chunk(task_id=3, node=0, ts=0.0, te=2.0, ce=6.0),
+                    chunk(task_id=3, node=1, pos=1, ts=2.0, te=4.0, ce=8.0),
+                ),
+            )
+        ]
+        art = render_gantt(traces, nodes=2, width=40)
+        lines = art.splitlines()
+        assert len(lines) == 3  # header + 2 node rows
+        assert lines[1].startswith("P1")
+        assert "3" in lines[1]  # task id marker
+        assert "#" in lines[1]  # computation

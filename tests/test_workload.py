@@ -1,0 +1,147 @@
+"""Tests for workload generation (Section 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import dlt
+from repro.workload.generator import WorkloadGenerator, generate_tasks
+from repro.workload.spec import SimulationConfig
+from repro.core.errors import InvalidParameterError
+
+
+def config(**overrides):
+    base = dict(
+        nodes=16,
+        cms=1.0,
+        cps=100.0,
+        system_load=0.5,
+        avg_sigma=200.0,
+        dc_ratio=2.0,
+        total_time=300_000.0,
+        seed=42,
+    )
+    base.update(overrides)
+    return SimulationConfig(**base)
+
+
+class TestSpec:
+    def test_derived_quantities(self):
+        cfg = config()
+        e_avg = dlt.execution_time(200.0, 16, 1.0, 100.0)
+        assert cfg.min_exec_time_avg == pytest.approx(e_avg)
+        assert cfg.mean_interarrival == pytest.approx(e_avg / 0.5)
+        assert cfg.avg_deadline == pytest.approx(2.0 * e_avg)
+
+    def test_with_overrides_revalidates(self):
+        cfg = config()
+        assert cfg.with_overrides(system_load=1.0).system_load == 1.0
+        with pytest.raises(InvalidParameterError):
+            cfg.with_overrides(system_load=-1.0)
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("system_load", 0.0),
+            ("avg_sigma", -1.0),
+            ("dc_ratio", 0.0),
+            ("total_time", 0.0),
+            ("seed", -1),
+        ],
+    )
+    def test_invalid_fields(self, field, value):
+        with pytest.raises(InvalidParameterError):
+            config(**{field: value})
+
+
+class TestArrivals:
+    def test_poisson_rate_matches_system_load(self):
+        """Over a long horizon the empirical rate ≈ λ = load / E(Avgσ,N)."""
+        cfg = config(total_time=3_000_000.0, seed=1)
+        tasks = generate_tasks(cfg)
+        expected = cfg.total_time / cfg.mean_interarrival
+        assert len(tasks) == pytest.approx(expected, rel=0.1)
+
+    def test_arrivals_sorted_within_horizon(self):
+        tasks = generate_tasks(config())
+        arr = [t.arrival for t in tasks]
+        assert arr == sorted(arr)
+        assert arr[0] > 0.0
+        assert arr[-1] < config().total_time
+
+    def test_ids_are_arrival_order(self):
+        tasks = generate_tasks(config())
+        assert [t.task_id for t in tasks] == list(range(len(tasks)))
+
+    def test_exponential_gaps(self):
+        """Kolmogorov-style sanity: gap CV ≈ 1 for an exponential."""
+        cfg = config(total_time=3_000_000.0, seed=2)
+        tasks = generate_tasks(cfg)
+        gaps = np.diff([t.arrival for t in tasks])
+        cv = gaps.std() / gaps.mean()
+        assert cv == pytest.approx(1.0, abs=0.1)
+
+
+class TestSigmas:
+    def test_all_positive(self):
+        tasks = generate_tasks(config(seed=3))
+        assert all(t.sigma > 0 for t in tasks)
+
+    def test_truncated_normal_mean(self):
+        """Truncation at 0 of N(μ, μ) lifts the mean to ≈ 1.288 μ."""
+        cfg = config(total_time=5_000_000.0, seed=4)
+        sig = np.array([t.sigma for t in generate_tasks(cfg)])
+        lifted = 200.0 * (1.0 + 0.2420 / 0.8413)  # μ(1 + φ(1)/Φ(1))
+        assert sig.mean() == pytest.approx(lifted, rel=0.05)
+
+
+class TestDeadlines:
+    def test_floor_above_min_execution(self):
+        """Every D_i exceeds E(σ_i, N) — the Section 5 requirement."""
+        cfg = config(seed=5)
+        for t in generate_tasks(cfg):
+            assert t.deadline > dlt.execution_time(t.sigma, 16, 1.0, 100.0) * (
+                1 - 1e-12
+            )
+
+    def test_uniform_range_when_unclamped(self):
+        cfg = config(total_time=5_000_000.0, seed=6)
+        tasks = generate_tasks(cfg)
+        avg_d = cfg.avg_deadline
+        ds = np.array([t.deadline for t in tasks])
+        # The clamp only moves values up, so the support bounds are
+        # [AvgD/2, max(3AvgD/2, clamps)] and most mass is inside.
+        assert ds.min() >= avg_d / 2.0 * (1 - 1e-9)
+        inside = ((ds >= avg_d / 2) & (ds <= 1.5 * avg_d)).mean()
+        assert inside > 0.95
+
+    def test_dc_ratio_scales_deadlines(self):
+        d2 = np.mean([t.deadline for t in generate_tasks(config(seed=7))])
+        d20 = np.mean(
+            [t.deadline for t in generate_tasks(config(seed=7, dc_ratio=20.0))]
+        )
+        assert d20 == pytest.approx(10.0 * d2, rel=0.15)
+
+
+class TestReproducibility:
+    def test_same_seed_same_tasks(self):
+        t1 = generate_tasks(config(seed=11))
+        t2 = generate_tasks(config(seed=11))
+        assert len(t1) == len(t2)
+        for a, b in zip(t1, t2):
+            assert a == b
+
+    def test_different_seed_different_tasks(self):
+        t1 = generate_tasks(config(seed=11))
+        t2 = generate_tasks(config(seed=12))
+        assert any(a != b for a, b in zip(t1, t2)) or len(t1) != len(t2)
+
+    def test_algorithm_rng_independent_of_generation(self):
+        """Consuming the algorithm stream must not change the task set."""
+        gen = WorkloadGenerator(config(seed=13))
+        rng = gen.algorithm_rng()
+        rng.integers(0, 100, size=1000)  # burn algorithm-side draws
+        t1 = gen.generate()
+        t2 = WorkloadGenerator(config(seed=13)).generate()
+        assert t1 == t2
