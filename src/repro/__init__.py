@@ -6,6 +6,10 @@ A complete, from-scratch reproduction of
     "Real-Time Divisible Load Scheduling with Different Processor Available
     Times."  University of Nebraska-Lincoln, TR-UNL-CSE-2007-0013 (2007).
 
+grown into an experiment platform: experiments are described by composable
+:class:`Scenario` objects and executed — serially or across worker
+processes — by the :class:`BatchRunner`.
+
 The package is organised the way the paper is:
 
 ``repro.core``
@@ -20,16 +24,24 @@ The package is organised the way the paper is:
     and records actual chunk-level timings.
 
 ``repro.workload``
-    Synthetic workload generation exactly as Section 5 describes (Poisson
-    arrivals, truncated-normal data sizes, DCRatio-derived deadlines).
+    Experiment descriptions.  ``Scenario = ClusterProfile + WorkloadModel +
+    horizon + seed``, where the :class:`WorkloadModel` is assembled from
+    pluggable ``ArrivalProcess`` (Poisson, bursty MMPP, trace replay),
+    ``SizeModel`` (truncated-normal, uniform, heavy-tail Pareto) and
+    ``DeadlineModel`` (uniform window, proportional) components.
+    ``Scenario.paper_baseline(...)`` is the paper's Section 5 workload;
+    the legacy flat :class:`SimulationConfig` remains as a bit-identical
+    adapter.
 
 ``repro.metrics``
     Task Reject Ratio, utilization / Inserted-Idle-Time accounting, and
     replication statistics with 95% confidence intervals.
 
 ``repro.experiments``
-    The evaluation harness: a registry with one entry per figure panel of the
-    paper, sweep drivers and plain-text report rendering.
+    The evaluation harness: the :class:`BatchRunner`/:class:`ResultSet`
+    batch engine (parallel over ``concurrent.futures``, deterministic per
+    spec, JSON/CSV export), a registry with one entry per figure panel of
+    the paper, sweep drivers and plain-text report rendering.
 
 ``repro.ext``
     Extensions beyond the paper: multi-round dispatch (the paper's stated
@@ -37,12 +49,48 @@ The package is organised the way the paper is:
 
 Quickstart
 ----------
->>> from repro import make_algorithm, SimulationConfig, simulate
+Describe an experiment with a scenario and run it:
+
+>>> from repro import Scenario, simulate
+>>> scenario = Scenario.paper_baseline(system_load=0.5,
+...                                    total_time=100_000.0, seed=7)
+>>> result = simulate(scenario, "EDF-DLT")
+>>> 0.0 <= result.metrics.reject_ratio <= 1.0
+True
+
+Swap in a bursty, heavy-tailed workload — same cluster, same seed
+discipline:
+
+>>> from repro import (ClusterProfile, MMPPProcess, ParetoSizes,
+...                    UniformDeadlines, WorkloadModel)
+>>> cluster = ClusterProfile(nodes=16, cms=1.0, cps=100.0)
+>>> scenario = Scenario(
+...     cluster=cluster,
+...     workload=WorkloadModel(
+...         arrivals=MMPPProcess.balanced(3000.0, burst_factor=4.0),
+...         sizes=ParetoSizes(mean=200.0, alpha=2.5),
+...         deadlines=UniformDeadlines.from_dc_ratio(2.0, 200.0, cluster),
+...     ),
+...     total_time=100_000.0, seed=7)
+>>> simulate(scenario, "EDF-DLT").output.validation.ok
+True
+
+Fan replications out over worker processes (results are bit-identical to
+the serial path):
+
+>>> from repro import run_replications
+>>> agg = run_replications(scenario, "EDF-DLT", 4, workers=2)
+>>> len(agg.samples)
+4
+
+The legacy flat configuration still works and produces the same numbers
+(deprecated; it adapts through ``Scenario.from_config``):
+
+>>> from repro import SimulationConfig
 >>> cfg = SimulationConfig(nodes=16, cms=1.0, cps=100.0, system_load=0.5,
 ...                        avg_sigma=200.0, dc_ratio=2.0,
 ...                        total_time=100_000.0, seed=7)
->>> result = simulate(cfg, "EDF-DLT")
->>> 0.0 <= result.metrics.reject_ratio <= 1.0
+>>> simulate(cfg, "EDF-DLT").metrics == simulate(cfg.to_scenario(), "EDF-DLT").metrics
 True
 """
 
@@ -56,20 +104,60 @@ from repro.core.algorithms import (
 )
 from repro.core.cluster import ClusterSpec
 from repro.core.task import DivisibleTask, TaskOutcome, TaskRecord
-from repro.experiments.runner import RunResult, simulate
+from repro.experiments.batch import BatchRunner, ResultSet, RunRecord, RunSpec
+from repro.experiments.runner import (
+    ReplicatedResult,
+    RunResult,
+    run_replications,
+    simulate,
+)
+from repro.workload.models import (
+    ArrivalProcess,
+    DeadlineModel,
+    MMPPProcess,
+    ParetoSizes,
+    PoissonProcess,
+    ProportionalDeadlines,
+    SizeModel,
+    TraceArrivals,
+    TruncatedNormalSizes,
+    UniformDeadlines,
+    UniformSizes,
+)
+from repro.workload.scenario import ClusterProfile, Scenario, WorkloadModel
 from repro.workload.spec import SimulationConfig, WorkloadSpec
 
 __all__ = [
     "ALGORITHMS",
     "AlgorithmSpec",
+    "ArrivalProcess",
+    "BatchRunner",
+    "ClusterProfile",
     "ClusterSpec",
+    "DeadlineModel",
     "DivisibleTask",
+    "MMPPProcess",
+    "ParetoSizes",
+    "PoissonProcess",
+    "ProportionalDeadlines",
+    "ReplicatedResult",
+    "ResultSet",
+    "RunRecord",
     "RunResult",
+    "RunSpec",
+    "Scenario",
     "SimulationConfig",
+    "SizeModel",
     "TaskOutcome",
     "TaskRecord",
+    "TraceArrivals",
+    "TruncatedNormalSizes",
+    "UniformDeadlines",
+    "UniformSizes",
+    "WorkloadModel",
     "WorkloadSpec",
     "__version__",
     "make_algorithm",
+    "run_replications",
     "simulate",
 ]

@@ -12,20 +12,43 @@ Regenerate one panel at bench scale and print the series table::
 
 Run a single point and dump all metrics::
 
-    python -m repro run-point --algorithm EDF-DLT --load 0.5 --seed 42
+    python -m repro run-point --algorithm EDF-DLT --load 0.5 --seed 42 --json
+
+Run a composed scenario — bursty arrivals, heavy-tailed sizes — with four
+replications fanned out over two worker processes::
+
+    python -m repro run-scenario --arrivals bursty --sizes pareto \\
+        --load 0.6 --replications 4 --workers 2 --json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
+from repro.core import dlt
 from repro.core.algorithms import ALGORITHMS, algorithm_names
+from repro.core.cluster import ClusterSpec
+from repro.core.errors import InvalidParameterError, ReproError
+from repro.experiments.batch import BatchRunner, RunSpec
 from repro.experiments.figures import DEFAULT_LOADS, FIGURES
 from repro.experiments.report import panel_to_csv, render_chart, render_panel
-from repro.experiments.runner import simulate
+from repro.experiments.runner import replication_seed, simulate
 from repro.experiments.sweep import run_panel
+from repro.metrics.collector import metric_names, validate_metric
+from repro.workload.models import (
+    MMPPProcess,
+    ParetoSizes,
+    PoissonProcess,
+    ProportionalDeadlines,
+    TraceArrivals,
+    TruncatedNormalSizes,
+    UniformDeadlines,
+    UniformSizes,
+)
+from repro.workload.scenario import Scenario, WorkloadModel
 from repro.workload.spec import SimulationConfig
 
 __all__ = ["main"]
@@ -45,6 +68,20 @@ def _add_scale_args(p: argparse.ArgumentParser) -> None:
         help="independent runs per point (paper: 10)",
     )
     p.add_argument("--seed", type=int, default=2007, help="base seed")
+
+
+def _add_sim_flag_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--eager-release",
+        action="store_true",
+        help="hand nodes back at actual rather than estimated completion",
+    )
+    p.add_argument(
+        "--shared-head-link",
+        action="store_true",
+        help="serialize all chunk transmissions through one head-node link "
+        "(ablation; estimates may be exceeded)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -70,6 +107,12 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="SystemLoad grid (default: 0.1..1.0)",
     )
+    p_fig.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the sweep (default: serial)",
+    )
     p_fig.add_argument("--csv", action="store_true", help="emit CSV instead of a table")
     p_fig.add_argument(
         "--chart", action="store_true", help="also draw an ASCII chart of the panel"
@@ -85,6 +128,110 @@ def _build_parser() -> argparse.ArgumentParser:
     p_pt.add_argument("--dc-ratio", type=float, default=2.0)
     p_pt.add_argument("--total-time", type=float, default=200_000.0)
     p_pt.add_argument("--seed", type=int, default=2007)
+    p_pt.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable JSON metrics dump",
+    )
+    _add_sim_flag_args(p_pt)
+
+    p_sc = sub.add_parser(
+        "run-scenario",
+        help="run a composed scenario (pluggable arrival/size/deadline models)",
+    )
+    p_sc.add_argument(
+        "--algorithm",
+        dest="algorithms",
+        choices=sorted(ALGORITHMS),
+        action="append",
+        default=None,
+        metavar="ALGO",
+        help="algorithm to run (repeatable; default: EDF-DLT)",
+    )
+    p_sc.add_argument("--name", default="cli-scenario", help="scenario label")
+    p_sc.add_argument("--nodes", type=int, default=16)
+    p_sc.add_argument("--cms", type=float, default=1.0)
+    p_sc.add_argument("--cps", type=float, default=100.0)
+    p_sc.add_argument(
+        "--arrivals",
+        choices=("poisson", "bursty", "trace"),
+        default="poisson",
+        help="arrival process (default: the paper's Poisson)",
+    )
+    p_sc.add_argument(
+        "--load",
+        type=float,
+        default=0.5,
+        help="SystemLoad calibrating the long-run arrival rate",
+    )
+    p_sc.add_argument(
+        "--mean-interarrival",
+        type=float,
+        default=None,
+        help="override the calibrated mean inter-arrival time",
+    )
+    p_sc.add_argument(
+        "--burst-factor",
+        type=float,
+        default=4.0,
+        help="bursty arrivals: burst-to-calm rate ratio (> 1)",
+    )
+    p_sc.add_argument(
+        "--trace-file",
+        default=None,
+        help="trace arrivals: file with one arrival time per line",
+    )
+    p_sc.add_argument(
+        "--sizes",
+        choices=("normal", "uniform", "pareto"),
+        default="normal",
+        help="data-size model (default: the paper's truncated normal)",
+    )
+    p_sc.add_argument("--avg-sigma", type=float, default=200.0)
+    p_sc.add_argument(
+        "--size-range",
+        type=float,
+        nargs=2,
+        default=None,
+        metavar=("LO", "HI"),
+        help="uniform sizes: bounds (default: [Avgσ/2, 3Avgσ/2])",
+    )
+    p_sc.add_argument(
+        "--pareto-alpha",
+        type=float,
+        default=2.5,
+        help="pareto sizes: tail index alpha > 1",
+    )
+    p_sc.add_argument(
+        "--deadlines",
+        choices=("uniform", "proportional"),
+        default="uniform",
+        help="deadline model (default: the paper's uniform window)",
+    )
+    p_sc.add_argument("--dc-ratio", type=float, default=2.0)
+    p_sc.add_argument(
+        "--deadline-factor",
+        type=float,
+        default=None,
+        help="proportional deadlines: D_i = factor × E(σ_i, N) "
+        "(default: --dc-ratio)",
+    )
+    _add_scale_args(p_sc)
+    p_sc.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the batch (default: serial)",
+    )
+    p_sc.add_argument(
+        "--metric",
+        default="reject_ratio",
+        help="metric to aggregate (see repro.metrics.metric_names())",
+    )
+    _add_sim_flag_args(p_sc)
+    fmt = p_sc.add_mutually_exclusive_group()
+    fmt.add_argument("--json", action="store_true", help="emit all records as JSON")
+    fmt.add_argument("--csv", action="store_true", help="emit all records as CSV")
 
     return parser
 
@@ -109,6 +256,7 @@ def _cmd_run_figure(args: argparse.Namespace) -> int:
         replications=args.replications,
         total_time=args.total_time,
         seed=args.seed,
+        workers=args.workers,
     )
     print(panel_to_csv(result) if args.csv else render_panel(result))
     if args.chart and not args.csv:
@@ -128,8 +276,18 @@ def _cmd_run_point(args: argparse.Namespace) -> int:
         total_time=args.total_time,
         seed=args.seed,
     )
-    result = simulate(cfg, args.algorithm)
+    result = simulate(
+        cfg,
+        args.algorithm,
+        eager_release=args.eager_release,
+        shared_head_link=args.shared_head_link,
+    )
     m = result.metrics
+    if args.json:
+        payload = m.as_dict()
+        payload["validation"] = result.output.validation.summary()
+        print(json.dumps(payload, indent=2))
+        return 0
     print(f"algorithm            : {m.algorithm}")
     print(f"arrivals             : {m.arrivals}")
     print(f"accepted / rejected  : {m.accepted} / {m.rejected}")
@@ -145,6 +303,114 @@ def _cmd_run_point(args: argparse.Namespace) -> int:
     return 0
 
 
+def _scenario_from_args(args: argparse.Namespace) -> Scenario:
+    """Compose the Scenario a ``run-scenario`` invocation describes."""
+    cluster = ClusterSpec(nodes=args.nodes, cms=args.cms, cps=args.cps)
+    if args.mean_interarrival is not None:
+        mean_gap = args.mean_interarrival
+    else:
+        if args.load <= 0:
+            raise InvalidParameterError(f"--load must be > 0, got {args.load}")
+        mean_exec = dlt.execution_time(
+            args.avg_sigma, cluster.nodes, cluster.cms, cluster.cps
+        )
+        mean_gap = mean_exec / args.load
+
+    if args.arrivals == "poisson":
+        arrivals = PoissonProcess(mean_interarrival=mean_gap)
+    elif args.arrivals == "bursty":
+        arrivals = MMPPProcess.balanced(mean_gap, burst_factor=args.burst_factor)
+    else:  # trace
+        if args.trace_file is None:
+            raise ReproError("--arrivals trace requires --trace-file")
+        with open(args.trace_file, encoding="utf-8") as fh:
+            times = [float(line) for line in fh if line.strip()]
+        arrivals = TraceArrivals.from_sequence(times)
+
+    if args.sizes == "normal":
+        sizes = TruncatedNormalSizes(mean=args.avg_sigma)
+    elif args.sizes == "uniform":
+        lo, hi = (
+            tuple(args.size_range)
+            if args.size_range is not None
+            else (args.avg_sigma / 2.0, 1.5 * args.avg_sigma)
+        )
+        sizes = UniformSizes(low=lo, high=hi)
+    else:  # pareto
+        sizes = ParetoSizes(mean=args.avg_sigma, alpha=args.pareto_alpha)
+
+    if args.deadlines == "uniform":
+        deadlines = UniformDeadlines.from_dc_ratio(
+            args.dc_ratio, args.avg_sigma, cluster
+        )
+    else:  # proportional
+        factor = (
+            args.deadline_factor if args.deadline_factor is not None else args.dc_ratio
+        )
+        deadlines = ProportionalDeadlines(factor=factor)
+
+    return Scenario(
+        cluster=cluster,
+        workload=WorkloadModel(arrivals=arrivals, sizes=sizes, deadlines=deadlines),
+        total_time=args.total_time,
+        seed=args.seed,
+        name=args.name,
+    )
+
+
+def _cmd_run_scenario(args: argparse.Namespace) -> int:
+    validate_metric(args.metric)
+    if args.replications < 1:
+        raise InvalidParameterError(
+            f"--replications must be >= 1, got {args.replications}"
+        )
+    scenario = _scenario_from_args(args)
+    algorithms = args.algorithms or ["EDF-DLT"]
+
+    specs = [
+        RunSpec(
+            scenario=scenario.with_seed(replication_seed(scenario.seed, rep)),
+            algorithm=algorithm,
+            labels={"replication": rep},
+            eager_release=args.eager_release,
+            shared_head_link=args.shared_head_link,
+        )
+        for algorithm in algorithms
+        for rep in range(args.replications)
+    ]
+    results = BatchRunner(workers=args.workers).run(specs)
+
+    if args.json:
+        print(results.to_json())
+        return 0
+    if args.csv:
+        print(results.to_csv(), end="")
+        return 0
+
+    d = scenario.describe()
+    print(
+        f"scenario {scenario.name!r}: N={d['nodes']}, Cms={d['cms']:g}, "
+        f"Cps={d['cps']:g}, arrivals={d['arrivals']}, sizes={d['sizes']}, "
+        f"deadlines={d['deadlines']}"
+    )
+    print(
+        f"horizon={scenario.total_time:g}, replications={args.replications}, "
+        f"base seed={scenario.seed}, metric={args.metric}"
+    )
+    print()
+    width = max(len(a) for a in algorithms)
+    for algorithm in algorithms:
+        sub = results.filter(algorithm=algorithm)
+        ci = sub.aggregate(args.metric)
+        mean_arrivals = sum(r.metrics.arrivals for r in sub) / len(sub)
+        print(
+            f"{algorithm:<{width}s}  {args.metric} = {ci.mean:.4f} "
+            f"± {ci.half_width:.4f}  (n={ci.n}, mean arrivals/run "
+            f"{mean_arrivals:.0f})"
+        )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -156,6 +422,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_run_figure(args)
     if args.command == "run-point":
         return _cmd_run_point(args)
+    if args.command == "run-scenario":
+        return _cmd_run_scenario(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -1,22 +1,45 @@
-"""Evaluation harness: one registry entry per figure panel of the paper.
+"""Evaluation harness: figure registry, batch engine, sweep drivers.
 
 Typical use::
 
     from repro.experiments import FIGURES, run_panel, render_panel
     result = run_panel(FIGURES["fig3a"], replications=3, total_time=300_000)
     print(render_panel(result))
+
+Scenario batches::
+
+    from repro import Scenario
+    from repro.experiments import BatchRunner, RunSpec
+
+    scenario = Scenario.paper_baseline(system_load=0.6,
+                                       total_time=200_000.0, seed=7)
+    specs = [RunSpec(scenario=scenario.with_seed(s), algorithm="EDF-DLT",
+                     labels={"seed": s}) for s in range(8)]
+    results = BatchRunner(workers=4).run(specs)
+    print(results.aggregate("reject_ratio"))
 """
 
+from repro.experiments.batch import BatchRunner, ResultSet, RunRecord, RunSpec
 from repro.experiments.figures import FIGURES, PanelSpec, figure_ids
 from repro.experiments.report import panel_to_csv, render_panel
-from repro.experiments.runner import RunResult, run_replications, simulate
+from repro.experiments.runner import (
+    ReplicatedResult,
+    RunResult,
+    run_replications,
+    simulate,
+)
 from repro.experiments.sweep import PanelResult, run_panel
 
 __all__ = [
+    "BatchRunner",
     "FIGURES",
     "PanelResult",
     "PanelSpec",
+    "ReplicatedResult",
+    "ResultSet",
+    "RunRecord",
     "RunResult",
+    "RunSpec",
     "figure_ids",
     "panel_to_csv",
     "render_panel",

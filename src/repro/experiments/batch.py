@@ -1,0 +1,253 @@
+"""Batch execution: fan simulation runs out over worker processes.
+
+:class:`BatchRunner` is the single execution engine behind
+:func:`repro.experiments.runner.run_replications`,
+:func:`repro.experiments.sweep.run_panel` and the ``repro run-scenario``
+CLI subcommand.  It takes a flat list of :class:`RunSpec` (scenario +
+algorithm + labels), executes each one — serially, or across a
+:class:`concurrent.futures.ProcessPoolExecutor` — and returns a
+:class:`ResultSet` of structured :class:`RunRecord` rows with JSON/CSV
+export.
+
+Determinism
+-----------
+Each :class:`RunSpec` carries a fully seeded
+:class:`~repro.workload.scenario.Scenario`, so a run's result depends only
+on its spec, never on scheduling order or worker count.  ``ex.map``
+preserves submission order; the parallel path is therefore *bit-identical*
+to the serial path (the test suite asserts this).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Iterable, Iterator, Mapping
+
+from repro.core.algorithms import ALGORITHMS
+from repro.core.errors import InvalidParameterError
+from repro.metrics.collector import MetricsSummary, validate_metric
+from repro.metrics.stats import ConfidenceInterval, mean_ci
+from repro.sim.cluster_sim import SimulationOutput
+from repro.workload.scenario import Scenario
+
+__all__ = ["BatchRunner", "ResultSet", "RunRecord", "RunSpec"]
+
+#: Label value types that survive the JSON/CSV round trip unchanged.
+LabelValue = float | int | str
+
+
+@dataclass(frozen=True, slots=True)
+class RunSpec:
+    """One unit of batch work: run ``algorithm`` on ``scenario``.
+
+    ``labels`` are free-form coordinates (sweep point, replication index,
+    …) carried through to the :class:`RunRecord` and its exports —
+    :class:`BatchRunner` never interprets them.
+    """
+
+    scenario: Scenario
+    algorithm: str
+    labels: Mapping[str, LabelValue] = field(default_factory=dict)
+    validate: bool = True
+    trace: bool = False
+    eager_release: bool = False
+    shared_head_link: bool = False
+    keep_output: bool = False
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.scenario, Scenario):
+            raise InvalidParameterError(
+                f"scenario must be a Scenario, got {self.scenario!r}"
+            )
+        if self.algorithm not in ALGORITHMS:
+            raise InvalidParameterError(
+                f"unknown algorithm {self.algorithm!r}; "
+                f"valid: {', '.join(sorted(ALGORITHMS))}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class RunRecord:
+    """One completed run: its spec coordinates plus the metrics.
+
+    ``output`` is populated only when the spec asked to ``keep_output``
+    (the raw :class:`SimulationOutput` is memory-heavy for big sweeps).
+    """
+
+    scenario: Scenario
+    algorithm: str
+    labels: Mapping[str, LabelValue]
+    metrics: MetricsSummary
+    output: SimulationOutput | None = None
+
+    def value(self, metric: str) -> float:
+        """One numeric metric of this run (name validated)."""
+        return float(getattr(self.metrics, validate_metric(metric)))
+
+    def to_dict(self) -> dict[str, Any]:
+        """Flat, JSON-friendly row: labels + scenario summary + metrics."""
+        row: dict[str, Any] = {"algorithm": self.algorithm}
+        row.update(self.labels)
+        for key, val in self.scenario.describe().items():
+            row.setdefault(f"scenario_{key}", val)
+        row.update(self.metrics.as_dict())
+        return row
+
+
+def _execute_spec(spec: RunSpec) -> RunRecord:
+    """Run one spec to completion (top-level so worker processes can pickle it)."""
+    # Imported lazily: runner imports this module for BatchRunner.
+    from repro.experiments.runner import simulate
+
+    result = simulate(
+        spec.scenario,
+        spec.algorithm,
+        validate=spec.validate,
+        trace=spec.trace,
+        eager_release=spec.eager_release,
+        shared_head_link=spec.shared_head_link,
+    )
+    return RunRecord(
+        scenario=spec.scenario,
+        algorithm=spec.algorithm,
+        labels=dict(spec.labels),
+        metrics=result.metrics,
+        output=result.output if spec.keep_output else None,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class ResultSet:
+    """An ordered collection of :class:`RunRecord` with export helpers."""
+
+    records: tuple[RunRecord, ...]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[RunRecord]:
+        return iter(self.records)
+
+    def __getitem__(self, index: int) -> RunRecord:
+        return self.records[index]
+
+    # -- selection ---------------------------------------------------------
+    def filter(
+        self,
+        predicate: Callable[[RunRecord], bool] | None = None,
+        **labels: LabelValue,
+    ) -> "ResultSet":
+        """Records matching a predicate and/or exact label values.
+
+        ``algorithm`` is accepted as a label-like keyword alongside the
+        free-form labels: ``results.filter(algorithm="EDF-DLT", load=0.5)``.
+        """
+        algorithm = labels.pop("algorithm", None)
+
+        def keep(rec: RunRecord) -> bool:
+            if algorithm is not None and rec.algorithm != algorithm:
+                return False
+            if any(rec.labels.get(k) != v for k, v in labels.items()):
+                return False
+            return predicate is None or predicate(rec)
+
+        return ResultSet(records=tuple(r for r in self.records if keep(r)))
+
+    def group_by(self, key: str) -> dict[LabelValue, "ResultSet"]:
+        """Partition by a label (or ``"algorithm"``), insertion-ordered."""
+        groups: dict[LabelValue, list[RunRecord]] = {}
+        for rec in self.records:
+            value = rec.algorithm if key == "algorithm" else rec.labels.get(key)
+            if value is None:
+                raise InvalidParameterError(
+                    f"record missing group_by label {key!r}: {sorted(rec.labels)}"
+                )
+            groups.setdefault(value, []).append(rec)
+        return {v: ResultSet(records=tuple(rs)) for v, rs in groups.items()}
+
+    # -- aggregation -------------------------------------------------------
+    def values(self, metric: str = "reject_ratio") -> tuple[float, ...]:
+        """One metric across all records, in record order."""
+        validate_metric(metric)
+        return tuple(float(getattr(r.metrics, metric)) for r in self.records)
+
+    def aggregate(self, metric: str = "reject_ratio") -> ConfidenceInterval:
+        """Mean ± 95% CI of one metric over all records."""
+        return mean_ci(self.values(metric))
+
+    # -- export ------------------------------------------------------------
+    def to_records(self) -> list[dict[str, Any]]:
+        """All rows as flat dicts (see :meth:`RunRecord.to_dict`)."""
+        return [rec.to_dict() for rec in self.records]
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        """The result set as a JSON array of flat row objects."""
+        return json.dumps(self.to_records(), indent=indent)
+
+    def to_csv(self) -> str:
+        """The result set as CSV (columns = union of row keys, first-seen order)."""
+        rows = self.to_records()
+        columns: list[str] = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+        buf = io.StringIO()
+        writer = csv.DictWriter(buf, fieldnames=columns, lineterminator="\n")
+        writer.writeheader()
+        writer.writerows(rows)
+        return buf.getvalue()
+
+
+@dataclass(frozen=True, slots=True)
+class BatchRunner:
+    """Executes :class:`RunSpec` lists, optionally across processes.
+
+    Parameters
+    ----------
+    workers:
+        ``None``, ``0`` or ``1`` → run serially in-process (the default:
+        always available, no pickling round trip).  ``>= 2`` → fan out
+        over a :class:`ProcessPoolExecutor` with that many workers
+        (capped at the number of specs).  Results are identical either
+        way; parallelism only buys wall-clock time.
+    chunksize:
+        Specs per inter-process message in parallel mode; raise it for
+        very large batches of very short runs.
+    """
+
+    workers: int | None = None
+    chunksize: int = 1
+
+    def __post_init__(self) -> None:
+        if self.workers is not None and self.workers < 0:
+            raise InvalidParameterError(
+                f"workers must be >= 0 (0/1 = serial), got {self.workers}"
+            )
+        if self.chunksize < 1:
+            raise InvalidParameterError(
+                f"chunksize must be >= 1, got {self.chunksize}"
+            )
+
+    def with_workers(self, workers: int | None) -> "BatchRunner":
+        """A copy targeting a different worker count."""
+        return replace(self, workers=workers)
+
+    def run(self, specs: Iterable[RunSpec]) -> ResultSet:
+        """Execute every spec and return the records in submission order."""
+        todo = tuple(specs)
+        for spec in todo:
+            if not isinstance(spec, RunSpec):
+                raise InvalidParameterError(f"expected RunSpec, got {spec!r}")
+        n_workers = min(self.workers or 1, len(todo))
+        if n_workers <= 1:
+            return ResultSet(records=tuple(_execute_spec(s) for s in todo))
+        with ProcessPoolExecutor(max_workers=n_workers) as executor:
+            records = tuple(
+                executor.map(_execute_spec, todo, chunksize=self.chunksize)
+            )
+        return ResultSet(records=records)

@@ -1,10 +1,18 @@
 """Single-run and replicated-run drivers.
 
 ``simulate`` = generate workload → instantiate algorithm → execute DES →
-summarize.  ``run_replications`` repeats it with independent seeds and
-aggregates one metric into a confidence interval, exactly like each point
-of the paper's figures ("the average performance of ten simulations ...
-same parameters ... different random numbers").
+summarize.  It accepts either the composable
+:class:`~repro.workload.scenario.Scenario` (the primary API) or a legacy
+:class:`~repro.workload.spec.SimulationConfig` (adapted through
+``Scenario.from_config`` — bit-identical results).
+
+``run_replications`` repeats it with independent seeds and aggregates one
+metric into a confidence interval, exactly like each point of the paper's
+figures ("the average performance of ten simulations ... same parameters
+... different random numbers").  Execution goes through the
+:class:`~repro.experiments.batch.BatchRunner`, so replications can fan out
+over worker processes (``workers=4``) with results bit-identical to the
+serial path.
 """
 
 from __future__ import annotations
@@ -14,30 +22,47 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.algorithms import make_algorithm
-from repro.metrics.collector import MetricsSummary, summarize
+from repro.experiments.batch import BatchRunner, RunSpec
+from repro.metrics.collector import MetricsSummary, summarize, validate_metric
 from repro.metrics.stats import ConfidenceInterval, mean_ci
 from repro.sim.cluster_sim import ClusterSimulation, SimulationOutput
-from repro.workload.generator import WorkloadGenerator
+from repro.workload.scenario import Scenario
 from repro.workload.spec import SimulationConfig
 
 __all__ = ["ReplicatedResult", "RunResult", "run_replications", "simulate"]
+
+#: Either experiment description: the composable Scenario or the legacy
+#: flat config (which adapts to the equivalent Scenario).
+ExperimentInput = SimulationConfig | Scenario
+
+
+def as_scenario(config: ExperimentInput) -> Scenario:
+    """Normalize an experiment description to a :class:`Scenario`."""
+    if isinstance(config, Scenario):
+        return config
+    return Scenario.from_config(config)
 
 
 @dataclass(frozen=True, slots=True)
 class RunResult:
     """Output + metrics of a single simulation run."""
 
-    config: SimulationConfig
+    config: ExperimentInput
     algorithm: str
     output: SimulationOutput
     metrics: MetricsSummary
+
+    @property
+    def scenario(self) -> Scenario:
+        """The run's description as a scenario."""
+        return as_scenario(self.config)
 
 
 @dataclass(frozen=True, slots=True)
 class ReplicatedResult:
     """Aggregated metric over R independent replications."""
 
-    config: SimulationConfig
+    config: ExperimentInput
     algorithm: str
     metric: str
     ci: ConfidenceInterval
@@ -46,7 +71,7 @@ class ReplicatedResult:
 
 
 def simulate(
-    config: SimulationConfig,
+    config: ExperimentInput,
     algorithm: str,
     *,
     validate: bool = True,
@@ -56,19 +81,19 @@ def simulate(
 ) -> RunResult:
     """Run one simulation of ``algorithm`` under ``config``.
 
-    The workload (arrivals, sizes, deadlines) depends only on the config's
-    seed — every algorithm sees the identical task set; algorithm-side
-    randomness (User-Split) draws from a separate child stream of the same
-    seed.
+    The workload (arrivals, sizes, deadlines) depends only on the
+    scenario's seed — every algorithm sees the identical task set;
+    algorithm-side randomness (User-Split) draws from a separate child
+    stream of the same seed.
     """
-    generator = WorkloadGenerator(config)
-    tasks = generator.generate()
-    instance = make_algorithm(algorithm, rng=generator.algorithm_rng())
+    scenario = as_scenario(config)
+    tasks = scenario.generate_tasks()
+    instance = make_algorithm(algorithm, rng=scenario.algorithm_rng())
     sim = ClusterSimulation(
-        config.cluster,
+        scenario.cluster,
         instance,
         tasks,
-        horizon=config.total_time,
+        horizon=scenario.total_time,
         validate=validate,
         trace=trace,
         eager_release=eager_release,
@@ -94,35 +119,75 @@ def replication_seed(base_seed: int, replication: int) -> int:
 
 
 def run_replications(
-    config: SimulationConfig,
+    config: ExperimentInput,
     algorithm: str,
     replications: int,
     *,
     metric: str = "reject_ratio",
     validate: bool = True,
     keep_runs: bool = False,
-    **sim_kwargs: bool,
+    trace: bool = False,
+    eager_release: bool = False,
+    shared_head_link: bool = False,
+    workers: int | None = None,
 ) -> ReplicatedResult:
     """Run ``replications`` independent simulations and aggregate ``metric``.
 
     Parameters
     ----------
     metric:
-        Attribute name of :class:`~repro.metrics.collector.MetricsSummary`
-        to aggregate (default the paper's Task Reject Ratio).
+        Name of a numeric :class:`~repro.metrics.collector.MetricsSummary`
+        metric to aggregate (default the paper's Task Reject Ratio).
+        Validated up front — a typo raises ``InvalidParameterError``
+        before any simulation time is spent.
     keep_runs:
         Retain the full per-run outputs (memory-heavy for big sweeps).
+    workers:
+        Worker processes for the underlying
+        :class:`~repro.experiments.batch.BatchRunner`; ``None``/``0``/``1``
+        run serially.  Results are identical for every worker count.
     """
     if replications < 1:
         raise ValueError(f"replications must be >= 1, got {replications}")
-    samples: list[float] = []
-    runs: list[RunResult] = []
+    validate_metric(metric)
+
+    per_rep: list[ExperimentInput] = []
+    specs: list[RunSpec] = []
     for rep in range(replications):
-        cfg = config.with_overrides(seed=replication_seed(config.seed, rep))
-        result = simulate(cfg, algorithm, validate=validate, **sim_kwargs)
-        samples.append(float(getattr(result.metrics, metric)))
-        if keep_runs:
-            runs.append(result)
+        seed = replication_seed(config.seed, rep)
+        rep_config: ExperimentInput = (
+            config.with_seed(seed)
+            if isinstance(config, Scenario)
+            else config.with_overrides(seed=seed)
+        )
+        per_rep.append(rep_config)
+        specs.append(
+            RunSpec(
+                scenario=as_scenario(rep_config),
+                algorithm=algorithm,
+                labels={"replication": rep},
+                validate=validate,
+                trace=trace,
+                eager_release=eager_release,
+                shared_head_link=shared_head_link,
+                keep_output=keep_runs,
+            )
+        )
+
+    results = BatchRunner(workers=workers).run(specs)
+    samples = [float(getattr(rec.metrics, metric)) for rec in results]
+    runs: list[RunResult] = []
+    if keep_runs:
+        for rep_config, rec in zip(per_rep, results):
+            assert rec.output is not None  # keep_output was set on the spec
+            runs.append(
+                RunResult(
+                    config=rep_config,
+                    algorithm=algorithm,
+                    output=rec.output,
+                    metrics=rec.metrics,
+                )
+            )
     return ReplicatedResult(
         config=config,
         algorithm=algorithm,

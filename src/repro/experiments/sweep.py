@@ -1,13 +1,23 @@
-"""SystemLoad sweep driver: turn a PanelSpec into series of points."""
+"""SystemLoad sweep driver: turn a PanelSpec into series of points.
+
+All (load, algorithm, replication) runs of a panel flatten into one batch
+and execute through the :class:`~repro.experiments.batch.BatchRunner`, so
+a panel can fan out over worker processes (``workers=4``) — per-point
+seeding is deterministic, so the parallel sweep is bit-identical to the
+serial one.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+from repro.experiments.batch import BatchRunner, RunSpec
 from repro.experiments.figures import DEFAULT_LOADS, PanelSpec
-from repro.experiments.runner import run_replications
-from repro.metrics.stats import PointEstimate
+from repro.experiments.runner import replication_seed
+from repro.metrics.collector import validate_metric
+from repro.metrics.stats import PointEstimate, mean_ci
+from repro.workload.scenario import Scenario
 
 __all__ = ["PanelResult", "run_panel"]
 
@@ -64,32 +74,55 @@ def run_panel(
     seed: int = DEFAULT_SEED,
     metric: str = "reject_ratio",
     validate: bool = True,
+    workers: int | None = None,
 ) -> PanelResult:
     """Run one figure panel: both algorithms over the SystemLoad grid.
 
     Replication seeds are derived from ``(seed, load index, rep)`` so every
     point is independent yet fully reproducible, while both algorithms of a
     panel see *identical* task sets at each point (paired comparison, as in
-    the paper).
+    the paper).  ``workers`` fans the whole panel's runs out over processes.
     """
+    if replications < 1:
+        raise ValueError(f"replications must be >= 1, got {replications}")
+    validate_metric(metric)
     grid = tuple(loads) if loads is not None else DEFAULT_LOADS
-    series: dict[str, list[PointEstimate]] = {a: [] for a in spec.algorithms}
+
+    specs: list[RunSpec] = []
     for li, load in enumerate(grid):
         cfg = spec.base_config(
             system_load=float(load),
             total_time=total_time,
             seed=seed + 7919 * li,  # distinct workload per load point
         )
+        point = Scenario.from_config(cfg, name=spec.panel_id)
         for algorithm in spec.algorithms:
-            agg = run_replications(
-                cfg,
-                algorithm,
-                replications,
-                metric=metric,
-                validate=validate,
-            )
+            for rep in range(replications):
+                specs.append(
+                    RunSpec(
+                        scenario=point.with_seed(replication_seed(cfg.seed, rep)),
+                        algorithm=algorithm,
+                        # Grouped by grid index, not load value — a grid may
+                        # legitimately repeat a load (each entry gets its own
+                        # seed and its own point).
+                        labels={
+                            "load": float(load),
+                            "load_index": li,
+                            "replication": rep,
+                        },
+                        validate=validate,
+                    )
+                )
+
+    results = BatchRunner(workers=workers).run(specs)
+
+    series: dict[str, list[PointEstimate]] = {a: [] for a in spec.algorithms}
+    for li, load in enumerate(grid):
+        at_load = results.filter(load_index=li)
+        for algorithm in spec.algorithms:
+            samples = at_load.filter(algorithm=algorithm).values(metric)
             series[algorithm].append(
-                PointEstimate(x=float(load), ci=agg.ci, samples=agg.samples)
+                PointEstimate(x=float(load), ci=mean_ci(samples), samples=samples)
             )
     return PanelResult(
         spec=spec,

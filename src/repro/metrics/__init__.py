@@ -5,7 +5,12 @@
 into means with 95% confidence intervals (Figure 3b).
 """
 
-from repro.metrics.collector import MetricsSummary, summarize
+from repro.metrics.collector import (
+    MetricsSummary,
+    metric_names,
+    summarize,
+    validate_metric,
+)
 from repro.metrics.stats import ConfidenceInterval, PointEstimate, mean_ci
 
 __all__ = [
@@ -13,5 +18,7 @@ __all__ = [
     "MetricsSummary",
     "PointEstimate",
     "mean_ci",
+    "metric_names",
     "summarize",
+    "validate_metric",
 ]

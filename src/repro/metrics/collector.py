@@ -14,14 +14,15 @@ plot, so the examples and ablations can show them:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 import numpy as np
 
+from repro.core.errors import InvalidParameterError
 from repro.core.task import TaskOutcome
 from repro.sim.cluster_sim import SimulationOutput
 
-__all__ = ["MetricsSummary", "summarize"]
+__all__ = ["MetricsSummary", "metric_names", "summarize", "validate_metric"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -47,6 +48,38 @@ class MetricsSummary:
     def accept_ratio(self) -> float:
         """1 − reject ratio."""
         return 1.0 - self.reject_ratio
+
+    def as_dict(self) -> dict[str, float | int | str]:
+        """All metrics (fields plus derived ratios) as a flat dict."""
+        out: dict[str, float | int | str] = {
+            f.name: getattr(self, f.name) for f in fields(self)
+        }
+        out["accept_ratio"] = self.accept_ratio
+        return out
+
+
+def metric_names() -> tuple[str, ...]:
+    """Names of all numeric metrics an aggregation may target."""
+    return tuple(f.name for f in fields(MetricsSummary) if f.name != "algorithm") + (
+        "accept_ratio",
+    )
+
+
+def validate_metric(metric: str) -> str:
+    """Return ``metric`` if it names a numeric metric, else raise.
+
+    Raises
+    ------
+    InvalidParameterError
+        With the full list of valid names — callers validate up front so a
+        typo fails before any simulation time is spent.
+    """
+    valid = metric_names()
+    if metric not in valid:
+        raise InvalidParameterError(
+            f"unknown metric {metric!r}; valid metrics: {', '.join(valid)}"
+        )
+    return metric
 
 
 def summarize(output: SimulationOutput) -> MetricsSummary:

@@ -1,19 +1,59 @@
-"""Synthetic workload generation (Section 5, "Workload Generation").
+"""Workload description and generation.
 
-* inter-arrival times ~ Exponential(mean ``1/λ``);
-* data sizes ``σ_i`` ~ Normal(``Avgσ``, std = ``Avgσ``) truncated positive;
-* relative deadlines ``D_i`` ~ Uniform[``AvgD/2``, ``3AvgD/2``] with
-  ``AvgD = DCRatio × E(Avgσ, N)`` and the floor ``D_i > E(σ_i, N)``;
-* ``SystemLoad = λ · E(Avgσ, N)`` calibrates ``λ`` (see DESIGN.md for the
-  resolution of the TR's typo).
+Two layers:
+
+* **Composable scenarios** (the primary API) — :class:`Scenario` binds a
+  :class:`ClusterProfile`, a :class:`WorkloadModel` (pluggable
+  :class:`ArrivalProcess` / :class:`SizeModel` / :class:`DeadlineModel`
+  components), a horizon and a seed.  ``Scenario.paper_baseline(...)`` is
+  the paper's Section 5 workload:
+
+  - inter-arrival times ~ Exponential(mean ``1/λ``);
+  - data sizes ``σ_i`` ~ Normal(``Avgσ``, std = ``Avgσ``) truncated positive;
+  - relative deadlines ``D_i`` ~ Uniform[``AvgD/2``, ``3AvgD/2``] with
+    ``AvgD = DCRatio × E(Avgσ, N)`` and the floor ``D_i > E(σ_i, N)``;
+  - ``SystemLoad = λ · E(Avgσ, N)`` calibrates ``λ`` (see DESIGN.md for the
+    resolution of the TR's typo).
+
+* **Legacy flat configs** — :class:`SimulationConfig` (deprecated in favour
+  of scenarios, kept as a bit-identical adapter) and the
+  :class:`WorkloadGenerator` facade over it.
 """
 
 from repro.workload.generator import WorkloadGenerator, generate_tasks
+from repro.workload.models import (
+    ArrivalProcess,
+    DeadlineModel,
+    MMPPProcess,
+    ParetoSizes,
+    PoissonProcess,
+    ProportionalDeadlines,
+    SizeModel,
+    TraceArrivals,
+    TruncatedNormalSizes,
+    UniformDeadlines,
+    UniformSizes,
+)
+from repro.workload.scenario import ClusterProfile, Scenario, WorkloadModel
 from repro.workload.spec import SimulationConfig, WorkloadSpec
 
 __all__ = [
+    "ArrivalProcess",
+    "ClusterProfile",
+    "DeadlineModel",
+    "MMPPProcess",
+    "ParetoSizes",
+    "PoissonProcess",
+    "ProportionalDeadlines",
+    "Scenario",
     "SimulationConfig",
+    "SizeModel",
+    "TraceArrivals",
+    "TruncatedNormalSizes",
+    "UniformDeadlines",
+    "UniformSizes",
     "WorkloadGenerator",
+    "WorkloadModel",
     "WorkloadSpec",
     "generate_tasks",
 ]

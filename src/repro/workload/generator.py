@@ -1,7 +1,16 @@
-"""Task-set generation following Section 5 exactly.
+"""Legacy task-set generation facade (Section 5 workload).
 
-Distributions
--------------
+The drawing logic now lives in the composable model layer:
+:mod:`repro.workload.models` holds the distributions (Poisson arrivals,
+truncated-normal sizes, uniform deadlines — plus bursty/trace arrivals and
+uniform/Pareto sizes the paper does not use) and
+:class:`repro.workload.scenario.Scenario` binds them to a cluster, horizon
+and seed.  :class:`WorkloadGenerator` remains as a thin adapter over the
+scenario equivalent of its :class:`SimulationConfig`, producing
+bit-identical task sets to every release since the seed.
+
+Distributions (the paper's Section 5 choices)
+---------------------------------------------
 * **Arrivals** — Poisson process: exponential inter-arrival times with mean
   ``1/λ = E(Avgσ, N)/SystemLoad``; arrivals fill ``[0, total_time)``.
 * **Data sizes** — ``σ_i ~ Normal(Avgσ, Avgσ)`` *truncated to σ > 0* by
@@ -12,8 +21,7 @@ Distributions
   prescribes (documented substitution, DESIGN.md §3).
 * **Deadlines** — ``D_i ~ Uniform[AvgD/2, 3AvgD/2]`` with
   ``AvgD = DCRatio × E(Avgσ, N)``, floored at the task's minimum possible
-  execution time ``E(σ_i, N)`` ("a task relative deadline D_i is chosen to
-  be larger than its minimum execution time").
+  execution time ``E(σ_i, N)``.
 
 Reproducibility
 ---------------
@@ -29,35 +37,30 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core import dlt
-from repro.core.errors import InvalidParameterError
 from repro.core.task import DivisibleTask
+from repro.workload.scenario import Scenario
 from repro.workload.spec import SimulationConfig
 
 __all__ = ["WorkloadGenerator", "generate_tasks"]
 
-#: Smallest admissible data size after truncation (guards the σ > 0 domain).
-_SIGMA_FLOOR = 1e-9
-
-#: Relative margin by which a clamped deadline exceeds E(σ_i, N).
-_DEADLINE_MARGIN = 1e-9
-
-#: Stream indices within the run's SeedSequence.
-_STREAM_ARRIVALS = 0
-_STREAM_SIZES = 1
-_STREAM_DEADLINES = 2
-_STREAM_ALGORITHM = 3
-
 
 @dataclass(frozen=True, slots=True)
 class WorkloadGenerator:
-    """Reusable generator bound to one :class:`SimulationConfig`."""
+    """Reusable generator bound to one :class:`SimulationConfig`.
+
+    Equivalent to ``Scenario.from_config(config)``; kept for backward
+    compatibility with the flat-config API.
+    """
 
     config: SimulationConfig
 
+    def scenario(self) -> Scenario:
+        """The composable :class:`Scenario` this generator wraps."""
+        return Scenario.from_config(self.config)
+
     def seed_sequence(self) -> np.random.SeedSequence:
         """Root seed sequence of the run."""
-        return np.random.SeedSequence(self.config.seed)
+        return self.scenario().seed_sequence()
 
     def algorithm_rng(self) -> np.random.Generator:
         """The RNG stream reserved for algorithm-side randomness.
@@ -66,75 +69,11 @@ class WorkloadGenerator:
         independent of the workload streams so the *same tasks* arrive no
         matter which algorithm consumes it.
         """
-        children = self.seed_sequence().spawn(4)
-        return np.random.default_rng(children[_STREAM_ALGORITHM])
+        return self.scenario().algorithm_rng()
 
     def generate(self) -> list[DivisibleTask]:
         """Generate the arrival-ordered task list for the configured run."""
-        children = self.seed_sequence().spawn(4)
-        rng_arrivals = np.random.default_rng(children[_STREAM_ARRIVALS])
-        rng_sizes = np.random.default_rng(children[_STREAM_SIZES])
-        rng_deadlines = np.random.default_rng(children[_STREAM_DEADLINES])
-
-        arrivals = self._draw_arrivals(rng_arrivals)
-        n = arrivals.size
-        if n == 0:
-            return []
-        sigmas = self._draw_sigmas(rng_sizes, n)
-        deadlines = self._draw_deadlines(rng_deadlines, sigmas)
-
-        return [
-            DivisibleTask(
-                task_id=i,
-                arrival=float(arrivals[i]),
-                sigma=float(sigmas[i]),
-                deadline=float(deadlines[i]),
-            )
-            for i in range(n)
-        ]
-
-    # -- pieces ------------------------------------------------------------
-    def _draw_arrivals(self, rng: np.random.Generator) -> np.ndarray:
-        """Cumulative exponential gaps until the horizon is exceeded."""
-        cfg = self.config
-        mean_gap = cfg.mean_interarrival
-        # Draw in growing batches; expected count is total_time / mean_gap.
-        expected = max(int(cfg.total_time / mean_gap * 1.2) + 16, 16)
-        gaps = rng.exponential(mean_gap, size=expected)
-        total = gaps.sum()
-        while total < cfg.total_time:
-            extra = rng.exponential(mean_gap, size=max(expected // 4, 16))
-            gaps = np.concatenate([gaps, extra])
-            total += extra.sum()
-        arrivals = np.cumsum(gaps)
-        return arrivals[arrivals < cfg.total_time]
-
-    def _draw_sigmas(self, rng: np.random.Generator, n: int) -> np.ndarray:
-        """Truncated Normal(Avgσ, Avgσ): redraw non-positive values."""
-        avg = self.config.avg_sigma
-        sig = rng.normal(avg, avg, size=n)
-        bad = sig <= _SIGMA_FLOOR
-        guard = 0
-        while bad.any():
-            sig[bad] = rng.normal(avg, avg, size=int(bad.sum()))
-            bad = sig <= _SIGMA_FLOOR
-            guard += 1
-            if guard > 10_000:  # pragma: no cover - mathematically absurd
-                raise InvalidParameterError(
-                    "sigma redraw loop failed to terminate; check avg_sigma"
-                )
-        return sig
-
-    def _draw_deadlines(
-        self, rng: np.random.Generator, sigmas: np.ndarray
-    ) -> np.ndarray:
-        """Uniform[AvgD/2, 3AvgD/2], floored at E(σ_i, N)."""
-        cfg = self.config
-        avg_d = cfg.avg_deadline
-        draws = rng.uniform(avg_d / 2.0, 1.5 * avg_d, size=sigmas.size)
-        min_exec = dlt.execution_time_array(sigmas, cfg.nodes, cfg.cms, cfg.cps)
-        floor = min_exec * (1.0 + _DEADLINE_MARGIN)
-        return np.maximum(draws, floor)
+        return self.scenario().generate_tasks()
 
 
 def generate_tasks(config: SimulationConfig) -> list[DivisibleTask]:

@@ -1,0 +1,458 @@
+"""Pluggable workload-model components: arrivals, sizes, deadlines.
+
+A :class:`~repro.workload.scenario.WorkloadModel` is assembled from three
+independent pieces, each behind a small protocol:
+
+:class:`ArrivalProcess`
+    Produces the sorted arrival times in ``[0, horizon)``.  Built-ins:
+    :class:`PoissonProcess` (the paper's Section 5 process),
+    :class:`MMPPProcess` (a two-state Markov-modulated Poisson process for
+    bursty traffic, cf. resource-sharing network models) and
+    :class:`TraceArrivals` (replay of a recorded arrival trace).
+
+:class:`SizeModel`
+    Draws one data size ``sigma_i > 0`` per arrival.  Built-ins:
+    :class:`TruncatedNormalSizes` (the paper's ``Normal(Avgσ, Avgσ)``
+    truncated positive), :class:`UniformSizes` and the heavy-tailed
+    :class:`ParetoSizes`.
+
+:class:`DeadlineModel`
+    Draws one relative deadline per task, given the sizes and the cluster
+    (every sensible deadline model floors at the task's minimum possible
+    execution time ``E(sigma_i, N)``).  Built-ins:
+    :class:`UniformDeadlines` (the paper's ``Uniform[AvgD/2, 3AvgD/2]``)
+    and :class:`ProportionalDeadlines`.
+
+Every component is a frozen dataclass: hashable, picklable (the parallel
+:class:`~repro.experiments.batch.BatchRunner` ships scenarios to worker
+processes) and comparable by value.  All randomness comes in through the
+``rng`` argument, so determinism is entirely the caller's seed discipline.
+
+The paper-shaped components reproduce the legacy generator's draw sequence
+bit for bit: same batching, same redraw loop, same floor arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import ClassVar, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.core import dlt
+from repro.core.cluster import ClusterSpec
+from repro.core.errors import InvalidParameterError
+
+__all__ = [
+    "ArrivalProcess",
+    "DeadlineModel",
+    "MMPPProcess",
+    "ParetoSizes",
+    "PoissonProcess",
+    "ProportionalDeadlines",
+    "SizeModel",
+    "TraceArrivals",
+    "TruncatedNormalSizes",
+    "UniformDeadlines",
+    "UniformSizes",
+]
+
+#: Smallest admissible data size after truncation (guards the σ > 0 domain).
+_SIGMA_FLOOR = 1e-9
+
+#: Relative margin by which a clamped deadline exceeds E(σ_i, N).
+_DEADLINE_MARGIN = 1e-9
+
+
+def _require_positive(name: str, value: float) -> None:
+    if not math.isfinite(value) or value <= 0:
+        raise InvalidParameterError(f"{name} must be finite and > 0, got {value}")
+
+
+# ---------------------------------------------------------------------------
+# Protocols
+# ---------------------------------------------------------------------------
+
+
+@runtime_checkable
+class ArrivalProcess(Protocol):
+    """Produces sorted arrival times filling ``[0, horizon)``.
+
+    ``role`` must be the literal ``"arrivals"`` — all three workload
+    protocols share the ``sample`` method name, so the role marker is what
+    lets :class:`~repro.workload.scenario.WorkloadModel` reject swapped
+    components at construction time.
+    """
+
+    role: ClassVar[str]
+
+    def sample(self, rng: np.random.Generator, horizon: float) -> np.ndarray:
+        """Arrival times as a float array, strictly increasing, < horizon."""
+        ...  # pragma: no cover - protocol
+
+
+@runtime_checkable
+class SizeModel(Protocol):
+    """Draws ``n`` positive data sizes (``role = "sizes"``)."""
+
+    role: ClassVar[str]
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """``n`` draws of ``sigma_i > 0``."""
+        ...  # pragma: no cover - protocol
+
+
+@runtime_checkable
+class DeadlineModel(Protocol):
+    """Draws one relative deadline per task (``role = "deadlines"``)."""
+
+    role: ClassVar[str]
+
+    def sample(
+        self,
+        rng: np.random.Generator,
+        sigmas: np.ndarray,
+        cluster: ClusterSpec,
+    ) -> np.ndarray:
+        """Relative deadlines, each > ``E(sigma_i, N)`` on ``cluster``."""
+        ...  # pragma: no cover - protocol
+
+
+# ---------------------------------------------------------------------------
+# Arrival processes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class PoissonProcess:
+    """Poisson arrivals: i.i.d. exponential gaps with a fixed mean.
+
+    This is the paper's Section 5 process.  The batched drawing scheme is
+    byte-identical to the legacy generator, so a given RNG stream yields the
+    same arrival times it always has.
+    """
+
+    role: ClassVar[str] = "arrivals"
+
+    mean_interarrival: float
+
+    def __post_init__(self) -> None:
+        _require_positive("mean_interarrival", self.mean_interarrival)
+
+    def sample(self, rng: np.random.Generator, horizon: float) -> np.ndarray:
+        mean_gap = self.mean_interarrival
+        # Draw in growing batches; expected count is horizon / mean_gap.
+        expected = max(int(horizon / mean_gap * 1.2) + 16, 16)
+        gaps = rng.exponential(mean_gap, size=expected)
+        total = gaps.sum()
+        while total < horizon:
+            extra = rng.exponential(mean_gap, size=max(expected // 4, 16))
+            gaps = np.concatenate([gaps, extra])
+            total += extra.sum()
+        arrivals = np.cumsum(gaps)
+        return arrivals[arrivals < horizon]
+
+
+@dataclass(frozen=True, slots=True)
+class MMPPProcess:
+    """Two-state Markov-modulated Poisson process (bursty traffic).
+
+    The process alternates between a *calm* state 0 and a *burst* state 1;
+    within each state arrivals are Poisson with that state's mean gap, and
+    sojourn times in each state are exponential.  Crossing a state boundary
+    discards the in-flight gap and redraws at the new rate — valid by
+    memorylessness of the exponential.
+
+    With equal mean sojourns the long-run mean inter-arrival time is the
+    harmonic balance ``2 / (1/g0 + 1/g1)``; :meth:`balanced` picks the two
+    state gaps so that long-run rate matches a target while the burst state
+    runs ``burst_factor`` times hotter than the calm state.
+    """
+
+    role: ClassVar[str] = "arrivals"
+
+    mean_interarrival_calm: float
+    mean_interarrival_burst: float
+    mean_sojourn_calm: float
+    mean_sojourn_burst: float
+
+    def __post_init__(self) -> None:
+        _require_positive("mean_interarrival_calm", self.mean_interarrival_calm)
+        _require_positive("mean_interarrival_burst", self.mean_interarrival_burst)
+        _require_positive("mean_sojourn_calm", self.mean_sojourn_calm)
+        _require_positive("mean_sojourn_burst", self.mean_sojourn_burst)
+
+    @classmethod
+    def balanced(
+        cls,
+        mean_interarrival: float,
+        *,
+        burst_factor: float = 4.0,
+        sojourn_gaps: float = 50.0,
+    ) -> "MMPPProcess":
+        """An MMPP whose long-run rate equals ``1/mean_interarrival``.
+
+        ``burst_factor`` is the burst-to-calm rate ratio (> 1); each state's
+        mean sojourn spans about ``sojourn_gaps`` mean gaps.
+        """
+        _require_positive("mean_interarrival", mean_interarrival)
+        if not math.isfinite(burst_factor) or burst_factor <= 1.0:
+            raise InvalidParameterError(
+                f"burst_factor must be > 1, got {burst_factor}"
+            )
+        _require_positive("sojourn_gaps", sojourn_gaps)
+        # Equal sojourns: average rate = (r0 + r1)/2 with r1 = burst * r0.
+        rate = 1.0 / mean_interarrival
+        rate_calm = 2.0 * rate / (1.0 + burst_factor)
+        sojourn = sojourn_gaps * mean_interarrival
+        return cls(
+            mean_interarrival_calm=1.0 / rate_calm,
+            mean_interarrival_burst=1.0 / (burst_factor * rate_calm),
+            mean_sojourn_calm=sojourn,
+            mean_sojourn_burst=sojourn,
+        )
+
+    def sample(self, rng: np.random.Generator, horizon: float) -> np.ndarray:
+        gap_by_state = (self.mean_interarrival_calm, self.mean_interarrival_burst)
+        sojourn_by_state = (self.mean_sojourn_calm, self.mean_sojourn_burst)
+        times: list[float] = []
+        t = 0.0
+        state = 0
+        boundary = float(rng.exponential(sojourn_by_state[state]))
+        while True:
+            gap = float(rng.exponential(gap_by_state[state]))
+            if t + gap < boundary:
+                t += gap
+                if t >= horizon:
+                    break
+                times.append(t)
+            else:
+                t = boundary
+                if t >= horizon:
+                    break
+                state = 1 - state
+                boundary = t + float(rng.exponential(sojourn_by_state[state]))
+        return np.asarray(times, dtype=np.float64)
+
+
+@dataclass(frozen=True, slots=True)
+class TraceArrivals:
+    """Replay of a recorded arrival trace (consumes no randomness)."""
+
+    role: ClassVar[str] = "arrivals"
+
+    times: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        prev = -math.inf
+        for t in self.times:
+            if not math.isfinite(t) or t < 0:
+                raise InvalidParameterError(
+                    f"trace times must be finite and >= 0, got {t}"
+                )
+            if t <= prev:
+                raise InvalidParameterError(
+                    "trace times must be strictly increasing"
+                )
+            prev = t
+
+    @classmethod
+    def from_sequence(cls, times: Sequence[float]) -> "TraceArrivals":
+        """Build from any sequence (validated, stored as a tuple)."""
+        return cls(times=tuple(float(t) for t in times))
+
+    def sample(self, rng: np.random.Generator, horizon: float) -> np.ndarray:
+        arr = np.asarray(self.times, dtype=np.float64)
+        return arr[arr < horizon]
+
+
+# ---------------------------------------------------------------------------
+# Size models
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class TruncatedNormalSizes:
+    """``Normal(mean, std)`` truncated to ``sigma > 0`` by redrawing.
+
+    The paper's model has ``std = mean`` (``Normal(Avgσ, Avgσ)``); leaving
+    ``std`` at ``None`` selects that.  Truncating a Normal whose std equals
+    its mean raises the effective mean to ``mean · (1 + φ(1)/Φ(1)) ≈
+    1.288 · mean`` (documented substitution, DESIGN.md §3).
+    """
+
+    role: ClassVar[str] = "sizes"
+
+    mean: float
+    std: float | None = None
+
+    def __post_init__(self) -> None:
+        _require_positive("mean", self.mean)
+        if self.std is not None:
+            _require_positive("std", self.std)
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        std = self.mean if self.std is None else self.std
+        sig = rng.normal(self.mean, std, size=n)
+        bad = sig <= _SIGMA_FLOOR
+        guard = 0
+        while bad.any():
+            sig[bad] = rng.normal(self.mean, std, size=int(bad.sum()))
+            bad = sig <= _SIGMA_FLOOR
+            guard += 1
+            if guard > 10_000:  # pragma: no cover - mathematically absurd
+                raise InvalidParameterError(
+                    "sigma redraw loop failed to terminate; check the size model"
+                )
+        return sig
+
+
+@dataclass(frozen=True, slots=True)
+class UniformSizes:
+    """``Uniform[low, high]`` data sizes with ``0 < low <= high``."""
+
+    role: ClassVar[str] = "sizes"
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        _require_positive("low", self.low)
+        _require_positive("high", self.high)
+        if self.high < self.low:
+            raise InvalidParameterError(
+                f"high must be >= low, got [{self.low}, {self.high}]"
+            )
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.uniform(self.low, self.high, size=n)
+
+
+@dataclass(frozen=True, slots=True)
+class ParetoSizes:
+    """Heavy-tailed Pareto sizes with a given mean and shape ``alpha > 1``.
+
+    The scale is ``x_m = mean · (alpha - 1) / alpha`` so that
+    ``E[sigma] = mean``; smaller ``alpha`` means a heavier tail (the
+    variance is infinite for ``alpha <= 2``).
+    """
+
+    role: ClassVar[str] = "sizes"
+
+    mean: float
+    alpha: float = 2.5
+
+    def __post_init__(self) -> None:
+        _require_positive("mean", self.mean)
+        if not math.isfinite(self.alpha) or self.alpha <= 1.0:
+            raise InvalidParameterError(
+                f"alpha must be > 1 for a finite mean, got {self.alpha}"
+            )
+
+    @property
+    def scale(self) -> float:
+        """The Pareto minimum ``x_m`` implied by (mean, alpha)."""
+        return self.mean * (self.alpha - 1.0) / self.alpha
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return self.scale * (1.0 + rng.pareto(self.alpha, size=n))
+
+
+# ---------------------------------------------------------------------------
+# Deadline models
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class UniformDeadlines:
+    """``Uniform[low, high]`` relative deadlines, floored at ``E(σ_i, N)``.
+
+    The paper's model is ``Uniform[AvgD/2, 3AvgD/2]`` with ``AvgD =
+    DCRatio × E(Avgσ, N)``; :meth:`from_dc_ratio` computes exactly those
+    bounds.  The floor enforces "a task relative deadline D_i is chosen to
+    be larger than its minimum execution time".
+    """
+
+    role: ClassVar[str] = "deadlines"
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        _require_positive("low", self.low)
+        _require_positive("high", self.high)
+        if self.high < self.low:
+            raise InvalidParameterError(
+                f"high must be >= low, got [{self.low}, {self.high}]"
+            )
+
+    @classmethod
+    def from_dc_ratio(
+        cls,
+        dc_ratio: float,
+        avg_sigma: float,
+        cluster: ClusterSpec,
+    ) -> "UniformDeadlines":
+        """The paper's bounds for a given ``DCRatio`` on ``cluster``."""
+        _require_positive("dc_ratio", dc_ratio)
+        _require_positive("avg_sigma", avg_sigma)
+        avg_d = dc_ratio * dlt.execution_time(
+            avg_sigma, cluster.nodes, cluster.cms, cluster.cps
+        )
+        return cls(low=avg_d / 2.0, high=1.5 * avg_d)
+
+    def sample(
+        self,
+        rng: np.random.Generator,
+        sigmas: np.ndarray,
+        cluster: ClusterSpec,
+    ) -> np.ndarray:
+        draws = rng.uniform(self.low, self.high, size=sigmas.size)
+        min_exec = dlt.execution_time_array(
+            sigmas, cluster.nodes, cluster.cms, cluster.cps
+        )
+        floor = min_exec * (1.0 + _DEADLINE_MARGIN)
+        return np.maximum(draws, floor)
+
+
+@dataclass(frozen=True, slots=True)
+class ProportionalDeadlines:
+    """``D_i = factor × E(σ_i, N)`` with optional uniform jitter.
+
+    ``jitter = j`` multiplies each deadline by ``Uniform[1-j, 1+j]``; the
+    result is floored just above ``E(σ_i, N)`` so every task stays
+    individually feasible.  ``jitter = 0`` consumes no randomness.
+    """
+
+    role: ClassVar[str] = "deadlines"
+
+    factor: float
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.factor) or self.factor <= 1.0:
+            raise InvalidParameterError(
+                f"factor must be > 1 (deadline beyond E(sigma, N)), got {self.factor}"
+            )
+        if not math.isfinite(self.jitter) or not 0.0 <= self.jitter < 1.0:
+            raise InvalidParameterError(
+                f"jitter must be in [0, 1), got {self.jitter}"
+            )
+
+    def sample(
+        self,
+        rng: np.random.Generator,
+        sigmas: np.ndarray,
+        cluster: ClusterSpec,
+    ) -> np.ndarray:
+        min_exec = dlt.execution_time_array(
+            sigmas, cluster.nodes, cluster.cms, cluster.cps
+        )
+        deadlines = self.factor * min_exec
+        if self.jitter > 0.0:
+            deadlines = deadlines * rng.uniform(
+                1.0 - self.jitter, 1.0 + self.jitter, size=sigmas.size
+            )
+        floor = min_exec * (1.0 + _DEADLINE_MARGIN)
+        return np.maximum(deadlines, floor)

@@ -1,0 +1,262 @@
+"""Composable experiment descriptions: ``Scenario`` and ``WorkloadModel``.
+
+A :class:`Scenario` is the package's experiment-description object::
+
+    Scenario = ClusterProfile + WorkloadModel + horizon + seed
+
+where :class:`WorkloadModel` bundles three pluggable components —
+an :class:`~repro.workload.models.ArrivalProcess`, a
+:class:`~repro.workload.models.SizeModel` and a
+:class:`~repro.workload.models.DeadlineModel`.  The paper's Section 5
+workload is the canonical built-in, :meth:`Scenario.paper_baseline`; the
+legacy flat :class:`~repro.workload.spec.SimulationConfig` converts through
+:meth:`Scenario.from_config` and produces bit-identical task sets.
+
+Reproducibility contract
+------------------------
+All randomness flows from one :class:`numpy.random.SeedSequence` rooted at
+``Scenario.seed``.  Arrivals, sizes, deadlines and the algorithm stream
+(User-Split draws) use *separate children*, so redraw loops in one stream
+never perturb another and the same seed yields the same task set under
+every algorithm.  Scenarios are frozen and picklable, so the parallel
+:class:`~repro.experiments.batch.BatchRunner` can ship them to worker
+processes without any loss of determinism.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.core import dlt
+from repro.core.cluster import ClusterSpec
+from repro.core.errors import InvalidParameterError
+from repro.core.task import DivisibleTask
+from repro.workload.models import (
+    ArrivalProcess,
+    DeadlineModel,
+    PoissonProcess,
+    SizeModel,
+    TruncatedNormalSizes,
+    UniformDeadlines,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.workload.spec import SimulationConfig
+
+__all__ = ["ClusterProfile", "Scenario", "WorkloadModel"]
+
+#: The cluster half of a scenario.  Today this is the paper's homogeneous
+#: cluster description; heterogeneous per-node speeds are a planned
+#: extension (ROADMAP "Open items") and will widen this alias.
+ClusterProfile = ClusterSpec
+
+#: Stream indices within the run's SeedSequence (same split as the legacy
+#: generator, so seeds keep their meaning across the API redesign).
+_STREAM_ARRIVALS = 0
+_STREAM_SIZES = 1
+_STREAM_DEADLINES = 2
+_STREAM_ALGORITHM = 3
+_N_STREAMS = 4
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadModel:
+    """Arrival + size + deadline components of a scenario."""
+
+    arrivals: ArrivalProcess
+    sizes: SizeModel
+    deadlines: DeadlineModel
+
+    def __post_init__(self) -> None:
+        # The three protocols share the `sample` method name, so a bare
+        # isinstance check cannot tell them apart; the `role` marker can,
+        # and catches swapped components (sizes passed as arrivals, ...).
+        for attr, component, protocol in (
+            ("arrivals", self.arrivals, ArrivalProcess),
+            ("sizes", self.sizes, SizeModel),
+            ("deadlines", self.deadlines, DeadlineModel),
+        ):
+            if not isinstance(component, protocol) or (
+                getattr(component, "role", None) != attr
+            ):
+                raise InvalidParameterError(
+                    f"{attr} must implement {protocol.__name__} "
+                    f"(role={attr!r}), got {component!r}"
+                )
+
+    @classmethod
+    def paper(
+        cls,
+        *,
+        system_load: float,
+        avg_sigma: float,
+        dc_ratio: float,
+        cluster: ClusterSpec,
+    ) -> "WorkloadModel":
+        """The Section 5 workload calibrated for ``cluster``.
+
+        ``1/λ = E(Avgσ, N) / SystemLoad``; sizes are truncated-normal with
+        nominal mean ``Avgσ``; deadlines uniform around
+        ``AvgD = DCRatio × E(Avgσ, N)``.
+        """
+        if not math.isfinite(system_load) or system_load <= 0:
+            raise InvalidParameterError(
+                f"system_load must be > 0, got {system_load}"
+            )
+        mean_exec = dlt.execution_time(
+            avg_sigma, cluster.nodes, cluster.cms, cluster.cps
+        )
+        return cls(
+            arrivals=PoissonProcess(mean_interarrival=mean_exec / system_load),
+            sizes=TruncatedNormalSizes(mean=avg_sigma),
+            deadlines=UniformDeadlines.from_dc_ratio(dc_ratio, avg_sigma, cluster),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class Scenario:
+    """One fully specified experiment: cluster + workload + horizon + seed.
+
+    ``name`` is a free-form label carried into batch records and exports.
+    """
+
+    cluster: ClusterProfile
+    workload: WorkloadModel
+    total_time: float
+    seed: int
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.cluster, ClusterSpec):
+            raise InvalidParameterError(
+                f"cluster must be a ClusterProfile, got {self.cluster!r}"
+            )
+        if not isinstance(self.workload, WorkloadModel):
+            raise InvalidParameterError(
+                f"workload must be a WorkloadModel, got {self.workload!r}"
+            )
+        if not math.isfinite(self.total_time) or self.total_time <= 0:
+            raise InvalidParameterError(
+                f"total_time must be > 0, got {self.total_time}"
+            )
+        if not isinstance(self.seed, int) or self.seed < 0:
+            raise InvalidParameterError(f"seed must be an int >= 0, got {self.seed}")
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def paper_baseline(
+        cls,
+        *,
+        system_load: float,
+        total_time: float,
+        seed: int,
+        nodes: int = 16,
+        cms: float = 1.0,
+        cps: float = 100.0,
+        avg_sigma: float = 200.0,
+        dc_ratio: float = 2.0,
+        name: str = "paper-baseline",
+    ) -> "Scenario":
+        """The canonical Section 5.1 scenario (overridable parameter set).
+
+        Defaults are the paper's baseline cluster and workload:
+        ``N=16, Cms=1, Cps=100, Avgσ=200, DCRatio=2``.
+        """
+        cluster = ClusterSpec(nodes=nodes, cms=cms, cps=cps)
+        return cls(
+            cluster=cluster,
+            workload=WorkloadModel.paper(
+                system_load=system_load,
+                avg_sigma=avg_sigma,
+                dc_ratio=dc_ratio,
+                cluster=cluster,
+            ),
+            total_time=total_time,
+            seed=seed,
+            name=name,
+        )
+
+    @classmethod
+    def from_config(cls, config: "SimulationConfig", *, name: str = "") -> "Scenario":
+        """The scenario equivalent to a legacy :class:`SimulationConfig`.
+
+        Produces bit-identical task sets and algorithm streams for the same
+        seed — the adapter behind ``simulate(cfg, algo)``.
+        """
+        return cls.paper_baseline(
+            system_load=config.system_load,
+            total_time=config.total_time,
+            seed=config.seed,
+            nodes=config.nodes,
+            cms=config.cms,
+            cps=config.cps,
+            avg_sigma=config.avg_sigma,
+            dc_ratio=config.dc_ratio,
+            name=name,
+        )
+
+    # -- derived views -----------------------------------------------------
+    def with_overrides(self, **changes: Any) -> "Scenario":
+        """A copy with selected fields replaced (validation re-runs)."""
+        return replace(self, **changes)
+
+    def with_seed(self, seed: int) -> "Scenario":
+        """The same scenario under a different seed."""
+        return replace(self, seed=seed)
+
+    # -- generation --------------------------------------------------------
+    def seed_sequence(self) -> np.random.SeedSequence:
+        """Root seed sequence of the run."""
+        return np.random.SeedSequence(self.seed)
+
+    def algorithm_rng(self) -> np.random.Generator:
+        """The RNG stream reserved for algorithm-side randomness.
+
+        User-Split draws its per-task node requests from this stream; it is
+        independent of the workload streams so the *same tasks* arrive no
+        matter which algorithm consumes it.
+        """
+        children = self.seed_sequence().spawn(_N_STREAMS)
+        return np.random.default_rng(children[_STREAM_ALGORITHM])
+
+    def generate_tasks(self) -> list[DivisibleTask]:
+        """Generate the arrival-ordered task list for this scenario."""
+        children = self.seed_sequence().spawn(_N_STREAMS)
+        rng_arrivals = np.random.default_rng(children[_STREAM_ARRIVALS])
+        rng_sizes = np.random.default_rng(children[_STREAM_SIZES])
+        rng_deadlines = np.random.default_rng(children[_STREAM_DEADLINES])
+
+        arrivals = self.workload.arrivals.sample(rng_arrivals, self.total_time)
+        n = int(arrivals.size)
+        if n == 0:
+            return []
+        sigmas = self.workload.sizes.sample(rng_sizes, n)
+        deadlines = self.workload.deadlines.sample(rng_deadlines, sigmas, self.cluster)
+
+        return [
+            DivisibleTask(
+                task_id=i,
+                arrival=float(arrivals[i]),
+                sigma=float(sigmas[i]),
+                deadline=float(deadlines[i]),
+            )
+            for i in range(n)
+        ]
+
+    def describe(self) -> dict[str, Any]:
+        """A flat, JSON-friendly summary (used by batch exports)."""
+        return {
+            "name": self.name,
+            "nodes": self.cluster.nodes,
+            "cms": self.cluster.cms,
+            "cps": self.cluster.cps,
+            "arrivals": type(self.workload.arrivals).__name__,
+            "sizes": type(self.workload.sizes).__name__,
+            "deadlines": type(self.workload.deadlines).__name__,
+            "total_time": self.total_time,
+            "seed": self.seed,
+        }

@@ -11,11 +11,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.core import dlt
 from repro.core.cluster import ClusterSpec
 from repro.core.errors import InvalidParameterError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.workload.scenario import Scenario
 
 __all__ = ["SimulationConfig", "WorkloadSpec"]
 
@@ -65,6 +68,16 @@ class SimulationConfig:
         SimulationConfig(nodes=16, cms=1.0, cps=100.0, system_load=...,
                          avg_sigma=200.0, dc_ratio=2.0,
                          total_time=10_000_000.0, seed=...)
+
+    .. deprecated::
+        ``SimulationConfig`` can only express the paper's homogeneous
+        cluster with the Section 5 Poisson/truncated-normal workload.  New
+        code should describe experiments with the composable
+        :class:`repro.workload.scenario.Scenario` API
+        (``Scenario.paper_baseline(...)`` is this exact configuration);
+        this class remains as a thin adapter — :meth:`to_scenario` builds
+        the equivalent scenario, and the two paths produce bit-identical
+        task sets and metrics for the same seed.
     """
 
     nodes: int
@@ -119,3 +132,9 @@ class SimulationConfig:
     def with_overrides(self, **changes: Any) -> "SimulationConfig":
         """A copy with selected fields replaced (validation re-runs)."""
         return replace(self, **changes)
+
+    def to_scenario(self, *, name: str = "") -> "Scenario":
+        """The equivalent composable :class:`Scenario` (same seed semantics)."""
+        from repro.workload.scenario import Scenario
+
+        return Scenario.from_config(self, name=name)

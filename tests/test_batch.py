@@ -1,0 +1,235 @@
+"""Tests for the BatchRunner/ResultSet layer and its integration points."""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.experiments.batch import BatchRunner, ResultSet, RunSpec
+from repro.experiments.figures import FIGURES
+from repro.experiments.runner import replication_seed, run_replications
+from repro.experiments.sweep import run_panel
+from repro.workload.scenario import Scenario
+from repro.workload.spec import SimulationConfig
+
+
+def fast_scenario(**kw) -> Scenario:
+    base = dict(system_load=0.6, total_time=40_000.0, seed=3, nodes=8, avg_sigma=100.0)
+    base.update(kw)
+    return Scenario.paper_baseline(**base)
+
+
+def fast_config(**kw) -> SimulationConfig:
+    base = dict(
+        nodes=8,
+        cms=1.0,
+        cps=100.0,
+        system_load=0.6,
+        avg_sigma=100.0,
+        dc_ratio=2.0,
+        total_time=40_000.0,
+        seed=3,
+    )
+    base.update(kw)
+    return SimulationConfig(**base)
+
+
+def spec_grid(n_points: int = 8, **kw) -> list[RunSpec]:
+    scenario = fast_scenario(**kw)
+    return [
+        RunSpec(
+            scenario=scenario.with_seed(replication_seed(scenario.seed, i)),
+            algorithm="EDF-DLT" if i % 2 == 0 else "EDF-OPR-MN",
+            labels={"point": i},
+        )
+        for i in range(n_points)
+    ]
+
+
+class TestRunSpec:
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(InvalidParameterError, match="unknown algorithm"):
+            RunSpec(scenario=fast_scenario(), algorithm="EDF-NOPE")
+
+    def test_rejects_non_scenario(self):
+        with pytest.raises(InvalidParameterError, match="Scenario"):
+            RunSpec(scenario=fast_config(), algorithm="EDF-DLT")  # type: ignore[arg-type]
+
+
+class TestBatchRunner:
+    def test_serial_preserves_submission_order(self):
+        results = BatchRunner().run(spec_grid(6))
+        assert [r.labels["point"] for r in results] == list(range(6))
+
+    def test_parallel_bit_identical_to_serial(self):
+        """Acceptance: 4-worker batch of >= 8 points matches serial exactly."""
+        specs = spec_grid(8)
+        serial = BatchRunner(workers=None).run(specs)
+        parallel = BatchRunner(workers=4).run(specs)
+        assert len(serial) == len(parallel) == 8
+        for s_rec, p_rec in zip(serial, parallel):
+            assert s_rec.labels == p_rec.labels
+            assert s_rec.metrics == p_rec.metrics
+            assert s_rec.scenario == p_rec.scenario
+
+    def test_workers_capped_at_spec_count(self):
+        results = BatchRunner(workers=64).run(spec_grid(2))
+        assert len(results) == 2
+
+    def test_keep_output(self):
+        spec = RunSpec(
+            scenario=fast_scenario(), algorithm="EDF-DLT", keep_output=True
+        )
+        rec = BatchRunner().run([spec])[0]
+        assert rec.output is not None
+        assert rec.output.validation.ok
+        lean = BatchRunner().run([RunSpec(scenario=fast_scenario(), algorithm="EDF-DLT")])[0]
+        assert lean.output is None
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            BatchRunner(workers=-1)
+        with pytest.raises(InvalidParameterError):
+            BatchRunner(chunksize=0)
+        with pytest.raises(InvalidParameterError):
+            BatchRunner().run([object()])  # type: ignore[list-item]
+
+    @pytest.mark.skipif(
+        (os.cpu_count() or 1) < 4, reason="needs >= 4 CPUs for a speedup"
+    )
+    def test_parallel_measurably_faster(self):
+        """Acceptance: the 4-worker path beats serial wall-clock."""
+        specs = spec_grid(8, total_time=150_000.0)
+        t0 = time.perf_counter()
+        serial = BatchRunner().run(specs)
+        t_serial = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        parallel = BatchRunner(workers=4).run(specs)
+        t_parallel = time.perf_counter() - t0
+        assert [r.metrics for r in serial] == [r.metrics for r in parallel]
+        assert t_parallel < t_serial * 0.9, (t_serial, t_parallel)
+
+
+class TestResultSet:
+    @pytest.fixture(scope="class")
+    def results(self) -> ResultSet:
+        return BatchRunner().run(spec_grid(6))
+
+    def test_filter_by_algorithm_and_label(self, results):
+        edf = results.filter(algorithm="EDF-DLT")
+        assert len(edf) == 3
+        assert all(r.algorithm == "EDF-DLT" for r in edf)
+        assert len(results.filter(point=2)) == 1
+        assert len(results.filter(lambda r: r.labels["point"] >= 4)) == 2
+
+    def test_group_by(self, results):
+        groups = results.group_by("algorithm")
+        assert set(groups) == {"EDF-DLT", "EDF-OPR-MN"}
+        assert sum(len(g) for g in groups.values()) == len(results)
+        with pytest.raises(InvalidParameterError):
+            results.group_by("no_such_label")
+
+    def test_values_and_aggregate_validate_metric(self, results):
+        values = results.values("reject_ratio")
+        assert len(values) == len(results)
+        assert all(0.0 <= v <= 1.0 for v in values)
+        ci = results.aggregate("utilization")
+        assert ci.n == len(results)
+        with pytest.raises(InvalidParameterError, match="valid metrics"):
+            results.values("not_a_metric")
+
+    def test_json_round_trip(self, results):
+        rows = json.loads(results.to_json())
+        assert len(rows) == len(results)
+        for row, rec in zip(rows, results):
+            assert row["algorithm"] == rec.algorithm
+            assert row["reject_ratio"] == rec.metrics.reject_ratio
+            assert row["scenario_seed"] == rec.scenario.seed
+
+    def test_csv_shape(self, results):
+        lines = results.to_csv().splitlines()
+        header = lines[0].split(",")
+        assert len(lines) == len(results) + 1
+        assert "algorithm" in header
+        assert "reject_ratio" in header
+        assert "scenario_nodes" in header
+
+
+class TestRunReplications:
+    def test_metric_validated_up_front(self):
+        # A typo fails fast — even with an enormous horizon nothing runs.
+        cfg = fast_config(total_time=10_000_000_000.0)
+        with pytest.raises(InvalidParameterError, match="valid metrics"):
+            run_replications(cfg, "EDF-DLT", 3, metric="reject_ratioo")
+
+    def test_accepts_scenario_input(self):
+        scenario = fast_scenario()
+        agg = run_replications(scenario, "EDF-DLT", 3)
+        assert agg.config is scenario
+        assert len(agg.samples) == 3
+
+    def test_parallel_matches_serial(self):
+        cfg = fast_config()
+        serial = run_replications(cfg, "EDF-DLT", 4)
+        parallel = run_replications(cfg, "EDF-DLT", 4, workers=4)
+        assert serial.samples == parallel.samples
+        assert serial.ci == parallel.ci
+
+    def test_scenario_and_config_inputs_agree(self):
+        cfg = fast_config()
+        a = run_replications(cfg, "EDF-DLT", 3)
+        b = run_replications(cfg.to_scenario(), "EDF-DLT", 3)
+        assert a.samples == b.samples
+
+    def test_keep_runs_retains_outputs(self):
+        cfg = fast_config()
+        agg = run_replications(cfg, "EDF-DLT", 2, keep_runs=True)
+        assert len(agg.runs) == 2
+        seeds = {r.config.seed for r in agg.runs}
+        assert seeds == {replication_seed(cfg.seed, 0), replication_seed(cfg.seed, 1)}
+        for run in agg.runs:
+            assert run.output.validation.ok
+
+    def test_explicit_sim_flags(self):
+        cfg = fast_config()
+        eager = run_replications(cfg, "EDF-DLT", 2, eager_release=True)
+        assert len(eager.samples) == 2
+        with pytest.raises(TypeError):
+            run_replications(cfg, "EDF-DLT", 2, bogus_flag=True)
+
+
+class TestRunPanelWorkers:
+    def test_parallel_sweep_matches_serial(self):
+        """Acceptance: parallel sweep of >= 8 points == serial sweep."""
+        kwargs = dict(
+            loads=[0.2, 0.4, 0.6, 0.8],  # x 2 algorithms x 2 reps = 16 runs
+            replications=2,
+            total_time=30_000.0,
+        )
+        serial = run_panel(FIGURES["fig3a"], **kwargs)
+        parallel = run_panel(FIGURES["fig3a"], **kwargs, workers=4)
+        assert serial.loads == parallel.loads
+        for algorithm in serial.series:
+            assert serial.series[algorithm] == parallel.series[algorithm]
+
+    def test_metric_validated_up_front(self):
+        with pytest.raises(InvalidParameterError, match="valid metrics"):
+            run_panel(FIGURES["fig3a"], loads=[0.5], metric="nope")
+
+    def test_duplicate_loads_stay_independent_points(self):
+        """A repeated load in the grid gets its own seed and its own point."""
+        panel = run_panel(
+            FIGURES["fig3a"],
+            loads=[0.5, 0.5],
+            replications=2,
+            total_time=20_000.0,
+        )
+        for algorithm in panel.series:
+            first, second = panel.series[algorithm]
+            assert len(first.samples) == len(second.samples) == 2
+            # Distinct seeds per grid entry → distinct samples (not merged).
+            assert first.samples != second.samples

@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import main
+from repro.core.errors import InvalidParameterError
 
 
 class TestListCommands:
@@ -41,6 +44,28 @@ class TestRunPoint:
     def test_unknown_algorithm_exits_nonzero(self):
         with pytest.raises(SystemExit):
             main(["run-point", "--algorithm", "EDF-NOPE"])
+
+    def test_json_output(self, capsys):
+        code = main(["run-point", "--total-time", "20000", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["algorithm"] == "EDF-DLT"
+        assert 0.0 <= payload["reject_ratio"] <= 1.0
+        assert "invariants" in payload["validation"]
+
+    def test_sim_flags_accepted(self, capsys):
+        code = main(
+            [
+                "run-point",
+                "--total-time",
+                "20000",
+                "--eager-release",
+                "--shared-head-link",
+                "--json",
+            ]
+        )
+        assert code == 0
+        assert json.loads(capsys.readouterr().out)["arrivals"] > 0
 
 
 class TestRunFigure:
@@ -85,3 +110,112 @@ class TestRunFigure:
     def test_unknown_panel(self):
         with pytest.raises(SystemExit):
             main(["run-figure", "fig99z"])
+
+    def test_workers_option(self, capsys):
+        code = main(
+            [
+                "run-figure",
+                "fig3a",
+                "--total-time",
+                "20000",
+                "--replications",
+                "1",
+                "--loads",
+                "0.5",
+                "--workers",
+                "2",
+            ]
+        )
+        assert code == 0
+        assert "fig3a" in capsys.readouterr().out
+
+
+class TestRunScenario:
+    def test_default_table(self, capsys):
+        code = main(
+            [
+                "run-scenario",
+                "--total-time",
+                "20000",
+                "--replications",
+                "2",
+                "--load",
+                "0.6",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PoissonProcess" in out
+        assert "EDF-DLT" in out
+        assert "reject_ratio" in out
+
+    def test_multiple_algorithms_json(self, capsys):
+        code = main(
+            [
+                "run-scenario",
+                "--algorithm",
+                "EDF-DLT",
+                "--algorithm",
+                "EDF-OPR-MN",
+                "--total-time",
+                "20000",
+                "--replications",
+                "2",
+                "--json",
+            ]
+        )
+        assert code == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 4
+        assert {r["algorithm"] for r in rows} == {"EDF-DLT", "EDF-OPR-MN"}
+        assert all("reject_ratio" in r for r in rows)
+
+    def test_composed_models_csv(self, capsys):
+        code = main(
+            [
+                "run-scenario",
+                "--arrivals",
+                "bursty",
+                "--sizes",
+                "pareto",
+                "--deadlines",
+                "proportional",
+                "--total-time",
+                "20000",
+                "--replications",
+                "2",
+                "--workers",
+                "2",
+                "--csv",
+            ]
+        )
+        assert code == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert len(lines) == 3  # header + 2 replications
+        assert "scenario_arrivals" in lines[0]
+        assert "MMPPProcess" in lines[1]
+
+    def test_trace_arrivals(self, capsys, tmp_path):
+        trace = tmp_path / "arrivals.txt"
+        trace.write_text("100.0\n5000.0\n9000.0\n")
+        code = main(
+            [
+                "run-scenario",
+                "--arrivals",
+                "trace",
+                "--trace-file",
+                str(trace),
+                "--total-time",
+                "20000",
+                "--replications",
+                "1",
+                "--json",
+            ]
+        )
+        assert code == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows[0]["arrivals"] == 3
+
+    def test_bad_metric_fails_fast(self):
+        with pytest.raises(InvalidParameterError, match="valid metrics"):
+            main(["run-scenario", "--metric", "not_a_metric", "--total-time", "20000"])

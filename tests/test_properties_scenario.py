@@ -1,0 +1,86 @@
+"""Property-based determinism tests for the Scenario API.
+
+Uses hypothesis when available (it is in the dev environment); the
+properties assert the redesign's core contract: identical ``Scenario`` +
+seed ⇒ identical task sets and metrics, with the legacy flat-config path
+and the parallel batch path both bit-identical to the serial scenario
+path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.experiments.batch import BatchRunner, RunSpec  # noqa: E402
+from repro.experiments.runner import simulate  # noqa: E402
+from repro.workload.generator import generate_tasks  # noqa: E402
+from repro.workload.scenario import Scenario  # noqa: E402
+from repro.workload.spec import SimulationConfig  # noqa: E402
+
+#: Small, fast parameter space — generation properties need breadth, not scale.
+config_strategy = st.builds(
+    SimulationConfig,
+    nodes=st.integers(min_value=2, max_value=16),
+    cms=st.sampled_from([1.0, 2.0, 4.0]),
+    cps=st.sampled_from([10.0, 100.0, 1000.0]),
+    system_load=st.floats(min_value=0.1, max_value=1.0, allow_nan=False),
+    avg_sigma=st.floats(min_value=20.0, max_value=400.0, allow_nan=False),
+    dc_ratio=st.floats(min_value=1.5, max_value=20.0, allow_nan=False),
+    total_time=st.floats(min_value=2_000.0, max_value=20_000.0, allow_nan=False),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(config=config_strategy)
+def test_scenario_generation_deterministic(config):
+    """Same Scenario + seed ⇒ the identical task set, every time."""
+    scenario = Scenario.from_config(config)
+    first = scenario.generate_tasks()
+    second = scenario.generate_tasks()
+    assert first == second
+
+
+@settings(max_examples=25, deadline=None)
+@given(config=config_strategy)
+def test_scenario_matches_legacy_generator(config):
+    """The composable path reproduces the flat-config path bit for bit."""
+    assert Scenario.from_config(config).generate_tasks() == generate_tasks(config)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    config=config_strategy,
+    algorithm=st.sampled_from(["EDF-DLT", "EDF-OPR-MN", "FIFO-DLT"]),
+)
+def test_simulation_metrics_deterministic(config, algorithm):
+    """End-to-end: identical scenario + seed ⇒ identical metrics."""
+    scenario = Scenario.from_config(config)
+    assert simulate(scenario, algorithm).metrics == simulate(config, algorithm).metrics
+
+
+@settings(max_examples=5, deadline=None)
+@given(
+    seeds=st.lists(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        min_size=2,
+        max_size=4,
+        unique=True,
+    )
+)
+def test_parallel_batch_bit_identical_to_serial(seeds):
+    """BatchRunner results never depend on the worker count."""
+    base = Scenario.paper_baseline(
+        system_load=0.7, total_time=10_000.0, seed=0, nodes=4, avg_sigma=50.0
+    )
+    specs = [
+        RunSpec(scenario=base.with_seed(s), algorithm="EDF-DLT", labels={"seed": s})
+        for s in seeds
+    ]
+    serial = BatchRunner().run(specs)
+    parallel = BatchRunner(workers=2).run(specs)
+    assert [r.metrics for r in serial] == [r.metrics for r in parallel]
+    assert [r.labels for r in serial] == [r.labels for r in parallel]

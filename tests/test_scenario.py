@@ -1,0 +1,302 @@
+"""Tests for the composable Scenario API and its workload models."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.cluster import ClusterSpec
+from repro.core.errors import InvalidParameterError
+from repro.core import dlt
+from repro.experiments.runner import simulate
+from repro.workload.generator import WorkloadGenerator, generate_tasks
+from repro.workload.models import (
+    MMPPProcess,
+    ParetoSizes,
+    PoissonProcess,
+    ProportionalDeadlines,
+    TraceArrivals,
+    TruncatedNormalSizes,
+    UniformDeadlines,
+    UniformSizes,
+)
+from repro.workload.scenario import Scenario, WorkloadModel
+from repro.workload.spec import SimulationConfig
+
+
+def fast_config(**kw) -> SimulationConfig:
+    base = dict(
+        nodes=8,
+        cms=1.0,
+        cps=100.0,
+        system_load=0.6,
+        avg_sigma=100.0,
+        dc_ratio=2.0,
+        total_time=50_000.0,
+        seed=11,
+    )
+    base.update(kw)
+    return SimulationConfig(**base)
+
+
+class TestLegacyParity:
+    """Scenario path ≡ legacy SimulationConfig path, bit for bit."""
+
+    def test_task_sets_identical(self):
+        cfg = fast_config()
+        legacy = generate_tasks(cfg)
+        via_scenario = Scenario.from_config(cfg).generate_tasks()
+        assert legacy == via_scenario
+        assert len(legacy) > 0
+
+    def test_to_scenario_equals_from_config_and_paper_baseline(self):
+        cfg = fast_config()
+        assert cfg.to_scenario() == Scenario.from_config(cfg)
+        assert cfg.to_scenario() == Scenario.paper_baseline(
+            system_load=cfg.system_load,
+            total_time=cfg.total_time,
+            seed=cfg.seed,
+            nodes=cfg.nodes,
+            cms=cfg.cms,
+            cps=cfg.cps,
+            avg_sigma=cfg.avg_sigma,
+            dc_ratio=cfg.dc_ratio,
+            name="",
+        )
+
+    def test_metrics_byte_identical(self):
+        """Acceptance: Scenario.paper_baseline reproduces the legacy path."""
+        cfg = fast_config()
+        scenario = Scenario.paper_baseline(
+            system_load=cfg.system_load,
+            total_time=cfg.total_time,
+            seed=cfg.seed,
+            nodes=cfg.nodes,
+            cms=cfg.cms,
+            cps=cfg.cps,
+            avg_sigma=cfg.avg_sigma,
+            dc_ratio=cfg.dc_ratio,
+        )
+        for algorithm in ("EDF-DLT", "EDF-UserSplit"):
+            legacy = simulate(cfg, algorithm)
+            composed = simulate(scenario, algorithm)
+            assert legacy.metrics == composed.metrics
+
+    def test_algorithm_stream_identical(self):
+        cfg = fast_config()
+        a = WorkloadGenerator(cfg).algorithm_rng().random(16)
+        b = Scenario.from_config(cfg).algorithm_rng().random(16)
+        assert (a == b).all()
+
+
+class TestScenario:
+    def test_determinism_same_seed(self):
+        scenario = Scenario.paper_baseline(
+            system_load=0.5, total_time=40_000.0, seed=99
+        )
+        assert scenario.generate_tasks() == scenario.generate_tasks()
+
+    def test_different_seed_differs(self):
+        scenario = Scenario.paper_baseline(
+            system_load=0.5, total_time=40_000.0, seed=99
+        )
+        assert scenario.generate_tasks() != scenario.with_seed(100).generate_tasks()
+
+    def test_with_overrides_revalidates(self):
+        scenario = Scenario.paper_baseline(
+            system_load=0.5, total_time=40_000.0, seed=1
+        )
+        with pytest.raises(InvalidParameterError):
+            scenario.with_overrides(total_time=-1.0)
+        with pytest.raises(InvalidParameterError):
+            scenario.with_seed(-3)
+
+    def test_component_type_validation(self):
+        cluster = ClusterSpec(nodes=4, cms=1.0, cps=10.0)
+        with pytest.raises(InvalidParameterError):
+            WorkloadModel(
+                arrivals=object(),  # type: ignore[arg-type]
+                sizes=TruncatedNormalSizes(mean=10.0),
+                deadlines=ProportionalDeadlines(factor=2.0),
+            )
+        with pytest.raises(InvalidParameterError):
+            Scenario(
+                cluster="not-a-cluster",  # type: ignore[arg-type]
+                workload=WorkloadModel.paper(
+                    system_load=0.5, avg_sigma=10.0, dc_ratio=2.0, cluster=cluster
+                ),
+                total_time=100.0,
+                seed=0,
+            )
+
+    def test_swapped_components_rejected(self):
+        """All protocols share `sample`; the role marker tells them apart."""
+        with pytest.raises(InvalidParameterError, match="arrivals"):
+            WorkloadModel(
+                arrivals=TruncatedNormalSizes(mean=10.0),  # type: ignore[arg-type]
+                sizes=PoissonProcess(mean_interarrival=5.0),  # type: ignore[arg-type]
+                deadlines=ProportionalDeadlines(factor=2.0),
+            )
+        with pytest.raises(InvalidParameterError, match="deadlines"):
+            WorkloadModel(
+                arrivals=PoissonProcess(mean_interarrival=5.0),
+                sizes=TruncatedNormalSizes(mean=10.0),
+                deadlines=TruncatedNormalSizes(mean=10.0),  # type: ignore[arg-type]
+            )
+
+    def test_describe_is_flat_and_json_friendly(self):
+        scenario = Scenario.paper_baseline(
+            system_load=0.5, total_time=40_000.0, seed=1
+        )
+        d = scenario.describe()
+        assert d["nodes"] == 16
+        assert d["arrivals"] == "PoissonProcess"
+        assert d["seed"] == 1
+        assert all(isinstance(v, (str, int, float)) for v in d.values())
+
+    def test_scenario_pickles(self):
+        scenario = Scenario.paper_baseline(
+            system_load=0.5, total_time=40_000.0, seed=1
+        )
+        assert pickle.loads(pickle.dumps(scenario)) == scenario
+
+
+class TestArrivalProcesses:
+    def test_poisson_fills_horizon(self, rng):
+        arr = PoissonProcess(mean_interarrival=10.0).sample(rng, 10_000.0)
+        assert arr.size > 0
+        assert (np.diff(arr) > 0).all()
+        assert arr[-1] < 10_000.0
+        # Long-run rate within 10% of the nominal 1/10.
+        assert arr.size == pytest.approx(1_000, rel=0.10)
+
+    def test_poisson_rejects_bad_mean(self):
+        with pytest.raises(InvalidParameterError):
+            PoissonProcess(mean_interarrival=0.0)
+
+    def test_mmpp_balanced_matches_target_rate(self, rng):
+        proc = MMPPProcess.balanced(10.0, burst_factor=4.0, sojourn_gaps=25.0)
+        arr = proc.sample(rng, 200_000.0)
+        assert (np.diff(arr) > 0).all()
+        # Long-run mean gap calibrated to 10 (tolerance: finite horizon).
+        assert arr.size == pytest.approx(20_000, rel=0.15)
+
+    def test_mmpp_is_burstier_than_poisson(self, rng):
+        """Gap coefficient of variation exceeds the Poisson value 1."""
+        proc = MMPPProcess.balanced(10.0, burst_factor=8.0, sojourn_gaps=50.0)
+        gaps = np.diff(proc.sample(rng, 200_000.0))
+        cv = gaps.std() / gaps.mean()
+        assert cv > 1.1
+
+    def test_mmpp_rejects_bad_burst_factor(self):
+        with pytest.raises(InvalidParameterError):
+            MMPPProcess.balanced(10.0, burst_factor=1.0)
+
+    def test_trace_replay_clips_to_horizon(self, rng):
+        trace = TraceArrivals.from_sequence([1.0, 5.0, 9.5, 20.0])
+        arr = trace.sample(rng, 10.0)
+        assert arr.tolist() == [1.0, 5.0, 9.5]
+
+    def test_trace_requires_strictly_increasing(self):
+        with pytest.raises(InvalidParameterError):
+            TraceArrivals.from_sequence([1.0, 1.0])
+        with pytest.raises(InvalidParameterError):
+            TraceArrivals.from_sequence([-1.0, 2.0])
+
+
+class TestSizeModels:
+    def test_truncated_normal_positive_and_calibrated(self, rng):
+        sig = TruncatedNormalSizes(mean=100.0).sample(rng, 20_000)
+        assert (sig > 0).all()
+        # Truncation inflates the mean to ≈ 1.288 × nominal.
+        assert sig.mean() == pytest.approx(128.8, rel=0.03)
+
+    def test_uniform_sizes_within_bounds(self, rng):
+        sig = UniformSizes(low=10.0, high=20.0).sample(rng, 5_000)
+        assert (sig >= 10.0).all() and (sig <= 20.0).all()
+        with pytest.raises(InvalidParameterError):
+            UniformSizes(low=20.0, high=10.0)
+
+    def test_pareto_sizes_heavy_tail_with_given_mean(self, rng):
+        model = ParetoSizes(mean=100.0, alpha=2.5)
+        sig = model.sample(rng, 200_000)
+        assert (sig >= model.scale).all()
+        assert sig.mean() == pytest.approx(100.0, rel=0.05)
+        with pytest.raises(InvalidParameterError):
+            ParetoSizes(mean=100.0, alpha=1.0)
+
+
+class TestDeadlineModels:
+    def test_uniform_deadlines_floor_at_min_exec(self, rng, small_cluster):
+        sigmas = np.asarray([10.0, 100.0, 1000.0])
+        model = UniformDeadlines(low=1.0, high=2.0)  # absurdly tight window
+        deadlines = model.sample(rng, sigmas, small_cluster)
+        min_exec = dlt.execution_time_array(
+            sigmas, small_cluster.nodes, small_cluster.cms, small_cluster.cps
+        )
+        assert (deadlines > min_exec).all()
+
+    def test_from_dc_ratio_matches_paper_window(self, baseline_cluster):
+        model = UniformDeadlines.from_dc_ratio(2.0, 200.0, baseline_cluster)
+        avg_d = 2.0 * dlt.execution_time(200.0, 16, 1.0, 100.0)
+        assert model.low == avg_d / 2.0
+        assert model.high == 1.5 * avg_d
+
+    def test_proportional_deadlines(self, rng, small_cluster):
+        sigmas = np.asarray([10.0, 50.0])
+        model = ProportionalDeadlines(factor=3.0)
+        deadlines = model.sample(rng, sigmas, small_cluster)
+        min_exec = dlt.execution_time_array(
+            sigmas, small_cluster.nodes, small_cluster.cms, small_cluster.cps
+        )
+        np.testing.assert_allclose(deadlines, 3.0 * min_exec)
+        with pytest.raises(InvalidParameterError):
+            ProportionalDeadlines(factor=1.0)
+
+    def test_proportional_jitter_stays_feasible(self, rng, small_cluster):
+        sigmas = np.full(1_000, 25.0)
+        model = ProportionalDeadlines(factor=1.05, jitter=0.5)
+        deadlines = model.sample(rng, sigmas, small_cluster)
+        min_exec = dlt.execution_time_array(
+            sigmas, small_cluster.nodes, small_cluster.cms, small_cluster.cps
+        )
+        assert (deadlines > min_exec).all()
+
+
+class TestComposedScenarios:
+    """Non-paper workloads run end-to-end through the simulator."""
+
+    @pytest.mark.parametrize(
+        "workload_kind", ["bursty", "pareto", "uniform", "proportional"]
+    )
+    def test_end_to_end(self, workload_kind):
+        cluster = ClusterSpec(nodes=8, cms=1.0, cps=100.0)
+        mean_exec = dlt.execution_time(100.0, 8, 1.0, 100.0)
+        arrivals = PoissonProcess(mean_interarrival=mean_exec / 0.6)
+        sizes = TruncatedNormalSizes(mean=100.0)
+        deadlines = UniformDeadlines.from_dc_ratio(2.0, 100.0, cluster)
+        if workload_kind == "bursty":
+            arrivals = MMPPProcess.balanced(mean_exec / 0.6, burst_factor=4.0)
+        elif workload_kind == "pareto":
+            sizes = ParetoSizes(mean=100.0, alpha=2.5)
+        elif workload_kind == "uniform":
+            sizes = UniformSizes(low=50.0, high=150.0)
+        else:
+            deadlines = ProportionalDeadlines(factor=2.0, jitter=0.2)
+        scenario = Scenario(
+            cluster=cluster,
+            workload=WorkloadModel(
+                arrivals=arrivals, sizes=sizes, deadlines=deadlines
+            ),
+            total_time=40_000.0,
+            seed=5,
+            name=workload_kind,
+        )
+        result = simulate(scenario, "EDF-DLT")
+        assert result.output.validation.ok
+        assert 0.0 <= result.metrics.reject_ratio <= 1.0
+        assert result.metrics.deadline_misses == 0
+        # Determinism end-to-end, not just at the task-set level.
+        assert simulate(scenario, "EDF-DLT").metrics == result.metrics
