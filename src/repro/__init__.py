@@ -63,7 +63,7 @@ discipline:
 
 >>> from repro import (ClusterProfile, MMPPProcess, ParetoSizes,
 ...                    UniformDeadlines, WorkloadModel)
->>> cluster = ClusterProfile(nodes=16, cms=1.0, cps=100.0)
+>>> cluster = ClusterProfile.homogeneous(16, cms=1.0, cps=100.0)
 >>> scenario = Scenario(
 ...     cluster=cluster,
 ...     workload=WorkloadModel(
@@ -102,7 +102,7 @@ from repro.core.algorithms import (
     AlgorithmSpec,
     make_algorithm,
 )
-from repro.core.cluster import ClusterSpec
+from repro.core.cluster import ClusterProfile, ClusterSpec
 from repro.core.task import DivisibleTask, TaskOutcome, TaskRecord
 from repro.experiments.batch import BatchRunner, ResultSet, RunRecord, RunSpec
 from repro.experiments.runner import (
@@ -124,7 +124,7 @@ from repro.workload.models import (
     UniformDeadlines,
     UniformSizes,
 )
-from repro.workload.scenario import ClusterProfile, Scenario, WorkloadModel
+from repro.workload.scenario import Scenario, WorkloadModel
 from repro.workload.spec import SimulationConfig, WorkloadSpec
 
 __all__ = [

@@ -28,15 +28,14 @@ import json
 import sys
 from typing import Sequence
 
-from repro.core import dlt
 from repro.core.algorithms import ALGORITHMS, algorithm_names
-from repro.core.cluster import ClusterSpec
+from repro.core.cluster import ClusterProfile
 from repro.core.errors import InvalidParameterError, ReproError
 from repro.experiments.batch import BatchRunner, RunSpec
 from repro.experiments.figures import DEFAULT_LOADS, FIGURES
 from repro.experiments.report import panel_to_csv, render_chart, render_panel
 from repro.experiments.runner import replication_seed, simulate
-from repro.experiments.sweep import run_panel
+from repro.experiments.sweep import run_panel, run_spread_sweep
 from repro.metrics.collector import metric_names, validate_metric
 from repro.workload.models import (
     MMPPProcess,
@@ -49,7 +48,6 @@ from repro.workload.models import (
     UniformSizes,
 )
 from repro.workload.scenario import Scenario, WorkloadModel
-from repro.workload.spec import SimulationConfig
 
 __all__ = ["main"]
 
@@ -68,6 +66,78 @@ def _add_scale_args(p: argparse.ArgumentParser) -> None:
         help="independent runs per point (paper: 10)",
     )
     p.add_argument("--seed", type=int, default=2007, help="base seed")
+
+
+#: Node count used when neither --nodes nor a cost vector is given.
+_DEFAULT_NODES = 16
+
+
+def _add_cluster_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--nodes",
+        type=int,
+        default=None,
+        help=f"cluster size (default {_DEFAULT_NODES}; must match any "
+        "--cps-vector/--cms-vector length)",
+    )
+    p.add_argument("--cms", type=float, default=1.0)
+    p.add_argument("--cps", type=float, default=100.0)
+    p.add_argument(
+        "--cps-vector",
+        type=float,
+        nargs="+",
+        default=None,
+        metavar="CPS_I",
+        help="per-node processing costs (heterogeneous cluster; "
+        "overrides --nodes/--cps)",
+    )
+    p.add_argument(
+        "--cms-vector",
+        type=float,
+        nargs="+",
+        default=None,
+        metavar="CMS_I",
+        help="per-link transmission costs (requires/implies the same "
+        "node count as --cps-vector or --nodes)",
+    )
+    p.add_argument(
+        "--speed-spread",
+        type=float,
+        default=0.0,
+        help="deterministic linear heterogeneity: node cps spans "
+        "[cps(1-s/2), cps(1+s/2)] (0 = homogeneous, < 2)",
+    )
+
+
+def _cluster_from_args(args: argparse.Namespace) -> ClusterProfile:
+    """Build the ClusterProfile a CLI invocation describes."""
+    if args.cps_vector is not None or args.cms_vector is not None:
+        if args.speed_spread:
+            raise InvalidParameterError(
+                "--speed-spread cannot be combined with explicit cost vectors"
+            )
+        if args.cps_vector is not None:
+            cps: list[float] | float = list(args.cps_vector)
+            nodes = len(args.cps_vector)
+        else:
+            cps = [args.cps] * len(args.cms_vector)
+            nodes = len(args.cms_vector)
+        cms: list[float] | float = (
+            list(args.cms_vector) if args.cms_vector is not None else args.cms
+        )
+        if isinstance(cms, list) and len(cms) != nodes:
+            raise InvalidParameterError(
+                f"--cms-vector length {len(cms)} != --cps-vector length {nodes}"
+            )
+        if args.nodes is not None and args.nodes != nodes:
+            raise InvalidParameterError(
+                f"--nodes {args.nodes} contradicts the cost vector length {nodes}"
+            )
+        return ClusterProfile.from_vectors(cps=cps, cms=cms)
+    nodes = args.nodes if args.nodes is not None else _DEFAULT_NODES
+    return ClusterProfile.with_spread(
+        nodes, args.cms, args.cps, speed_spread=args.speed_spread
+    )
 
 
 def _add_sim_flag_args(p: argparse.ArgumentParser) -> None:
@@ -120,9 +190,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p_pt = sub.add_parser("run-point", help="run a single simulation")
     p_pt.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="EDF-DLT")
-    p_pt.add_argument("--nodes", type=int, default=16)
-    p_pt.add_argument("--cms", type=float, default=1.0)
-    p_pt.add_argument("--cps", type=float, default=100.0)
+    _add_cluster_args(p_pt)
     p_pt.add_argument("--load", type=float, default=0.5)
     p_pt.add_argument("--avg-sigma", type=float, default=200.0)
     p_pt.add_argument("--dc-ratio", type=float, default=2.0)
@@ -149,9 +217,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="algorithm to run (repeatable; default: EDF-DLT)",
     )
     p_sc.add_argument("--name", default="cli-scenario", help="scenario label")
-    p_sc.add_argument("--nodes", type=int, default=16)
-    p_sc.add_argument("--cms", type=float, default=1.0)
-    p_sc.add_argument("--cps", type=float, default=100.0)
+    _add_cluster_args(p_sc)
     p_sc.add_argument(
         "--arrivals",
         choices=("poisson", "bursty", "trace"),
@@ -179,7 +245,8 @@ def _build_parser() -> argparse.ArgumentParser:
     p_sc.add_argument(
         "--trace-file",
         default=None,
-        help="trace arrivals: file with one arrival time per line",
+        help="trace arrivals: file with one arrival time per line, or a "
+        ".csv trace (first/'arrival_time' column)",
     )
     p_sc.add_argument(
         "--sizes",
@@ -224,6 +291,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker processes for the batch (default: serial)",
     )
     p_sc.add_argument(
+        "--workers-mode",
+        choices=("process", "thread"),
+        default="process",
+        help="parallel executor kind (thread = fork-free environments)",
+    )
+    p_sc.add_argument(
         "--metric",
         default="reject_ratio",
         help="metric to aggregate (see repro.metrics.metric_names())",
@@ -232,6 +305,59 @@ def _build_parser() -> argparse.ArgumentParser:
     fmt = p_sc.add_mutually_exclusive_group()
     fmt.add_argument("--json", action="store_true", help="emit all records as JSON")
     fmt.add_argument("--csv", action="store_true", help="emit all records as CSV")
+
+    p_sw = sub.add_parser(
+        "sweep",
+        help="sweep a scenario axis (currently: cluster heterogeneity spread)",
+    )
+    p_sw.add_argument(
+        "--axis",
+        choices=("speed-spread",),
+        default="speed-spread",
+        help="the swept axis (per-node speed spread of the cluster)",
+    )
+    p_sw.add_argument(
+        "--values",
+        type=float,
+        nargs="+",
+        default=(0.0, 0.25, 0.5, 0.75, 1.0),
+        metavar="V",
+        help="axis grid (speed-spread values in [0, 2))",
+    )
+    p_sw.add_argument(
+        "--algorithm",
+        dest="algorithms",
+        choices=sorted(ALGORITHMS),
+        action="append",
+        default=None,
+        metavar="ALGO",
+        help="algorithm to sweep (repeatable; default: EDF-DLT vs EDF-OPR-MN)",
+    )
+    p_sw.add_argument("--nodes", type=int, default=16)
+    p_sw.add_argument("--cms", type=float, default=1.0)
+    p_sw.add_argument("--cps", type=float, default=100.0)
+    p_sw.add_argument("--load", type=float, default=0.6)
+    p_sw.add_argument("--avg-sigma", type=float, default=200.0)
+    p_sw.add_argument("--dc-ratio", type=float, default=2.0)
+    _add_scale_args(p_sw)
+    p_sw.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the sweep (default: serial)",
+    )
+    p_sw.add_argument(
+        "--workers-mode",
+        choices=("process", "thread"),
+        default="process",
+        help="parallel executor kind (thread = fork-free environments)",
+    )
+    p_sw.add_argument(
+        "--metric",
+        default="reject_ratio",
+        help="metric to aggregate (see repro.metrics.metric_names())",
+    )
+    p_sw.add_argument("--csv", action="store_true", help="emit CSV instead of a table")
 
     return parser
 
@@ -266,18 +392,21 @@ def _cmd_run_figure(args: argparse.Namespace) -> int:
 
 
 def _cmd_run_point(args: argparse.Namespace) -> int:
-    cfg = SimulationConfig(
-        nodes=args.nodes,
-        cms=args.cms,
-        cps=args.cps,
-        system_load=args.load,
-        avg_sigma=args.avg_sigma,
-        dc_ratio=args.dc_ratio,
+    cluster = _cluster_from_args(args)
+    scenario = Scenario(
+        cluster=cluster,
+        workload=WorkloadModel.paper(
+            system_load=args.load,
+            avg_sigma=args.avg_sigma,
+            dc_ratio=args.dc_ratio,
+            cluster=cluster,
+        ),
         total_time=args.total_time,
         seed=args.seed,
+        name="cli-point",
     )
     result = simulate(
-        cfg,
+        scenario,
         args.algorithm,
         eager_release=args.eager_release,
         shared_head_link=args.shared_head_link,
@@ -305,15 +434,13 @@ def _cmd_run_point(args: argparse.Namespace) -> int:
 
 def _scenario_from_args(args: argparse.Namespace) -> Scenario:
     """Compose the Scenario a ``run-scenario`` invocation describes."""
-    cluster = ClusterSpec(nodes=args.nodes, cms=args.cms, cps=args.cps)
+    cluster = _cluster_from_args(args)
     if args.mean_interarrival is not None:
         mean_gap = args.mean_interarrival
     else:
         if args.load <= 0:
             raise InvalidParameterError(f"--load must be > 0, got {args.load}")
-        mean_exec = dlt.execution_time(
-            args.avg_sigma, cluster.nodes, cluster.cms, cluster.cps
-        )
+        mean_exec = cluster.min_execution_time(args.avg_sigma)
         mean_gap = mean_exec / args.load
 
     if args.arrivals == "poisson":
@@ -323,9 +450,12 @@ def _scenario_from_args(args: argparse.Namespace) -> Scenario:
     else:  # trace
         if args.trace_file is None:
             raise ReproError("--arrivals trace requires --trace-file")
-        with open(args.trace_file, encoding="utf-8") as fh:
-            times = [float(line) for line in fh if line.strip()]
-        arrivals = TraceArrivals.from_sequence(times)
+        if args.trace_file.endswith(".csv"):
+            arrivals = TraceArrivals.from_csv(args.trace_file)
+        else:
+            with open(args.trace_file, encoding="utf-8") as fh:
+                times = [float(line) for line in fh if line.strip()]
+            arrivals = TraceArrivals.from_sequence(times)
 
     if args.sizes == "normal":
         sizes = TruncatedNormalSizes(mean=args.avg_sigma)
@@ -378,7 +508,9 @@ def _cmd_run_scenario(args: argparse.Namespace) -> int:
         for algorithm in algorithms
         for rep in range(args.replications)
     ]
-    results = BatchRunner(workers=args.workers).run(specs)
+    results = BatchRunner(workers=args.workers, workers_mode=args.workers_mode).run(
+        specs
+    )
 
     if args.json:
         print(results.to_json())
@@ -389,9 +521,9 @@ def _cmd_run_scenario(args: argparse.Namespace) -> int:
 
     d = scenario.describe()
     print(
-        f"scenario {scenario.name!r}: N={d['nodes']}, Cms={d['cms']:g}, "
-        f"Cps={d['cps']:g}, arrivals={d['arrivals']}, sizes={d['sizes']}, "
-        f"deadlines={d['deadlines']}"
+        f"scenario {scenario.name!r}: N={d['nodes']}, Cms={_fmt_cost(d['cms'])}, "
+        f"Cps={_fmt_cost(d['cps'])}, arrivals={d['arrivals']}, "
+        f"sizes={d['sizes']}, deadlines={d['deadlines']}"
     )
     print(
         f"horizon={scenario.total_time:g}, replications={args.replications}, "
@@ -411,6 +543,55 @@ def _cmd_run_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fmt_cost(value: float | int | str) -> str:
+    """Render a describe() cost: scalar → %g, vector string → as-is."""
+    return f"{value:g}" if isinstance(value, (int, float)) else str(value)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    validate_metric(args.metric)
+    algorithms = tuple(args.algorithms or ("EDF-DLT", "EDF-OPR-MN"))
+    result = run_spread_sweep(
+        spreads=args.values,
+        algorithms=algorithms,
+        system_load=args.load,
+        nodes=args.nodes,
+        cms=args.cms,
+        cps=args.cps,
+        avg_sigma=args.avg_sigma,
+        dc_ratio=args.dc_ratio,
+        replications=args.replications,
+        total_time=args.total_time,
+        seed=args.seed,
+        metric=args.metric,
+        workers=args.workers,
+        workers_mode=args.workers_mode,
+    )
+    if args.csv:
+        print(f"speed_spread,{','.join(algorithms)}")
+        for i, spread in enumerate(result.spreads):
+            cells = ",".join(
+                f"{result.series[a][i].mean:.6f}" for a in algorithms
+            )
+            print(f"{spread:g},{cells}")
+        return 0
+    print(
+        f"axis={args.axis}, load={args.load:g}, N={args.nodes}, "
+        f"metric={args.metric}, replications={args.replications}, "
+        f"horizon={args.total_time:g}"
+    )
+    print()
+    width = max(len(a) for a in algorithms)
+    header = "spread".rjust(8) + "  " + "  ".join(a.rjust(width) for a in algorithms)
+    print(header)
+    for i, spread in enumerate(result.spreads):
+        cells = "  ".join(
+            f"{result.series[a][i].mean:.4f}".rjust(width) for a in algorithms
+        )
+        print(f"{spread:8g}  {cells}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -424,6 +605,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_run_point(args)
     if args.command == "run-scenario":
         return _cmd_run_scenario(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -29,7 +29,7 @@ Sub-modules
 
 from repro.core.admission import SchedulabilityTest
 from repro.core.algorithms import ALGORITHMS, AlgorithmSpec, make_algorithm
-from repro.core.cluster import ClusterSpec
+from repro.core.cluster import ClusterProfile, ClusterSpec
 from repro.core.partition import (
     DltIitPartitioner,
     OprPartitioner,
@@ -45,6 +45,7 @@ from repro.core.task import DivisibleTask, TaskOutcome, TaskRecord
 __all__ = [
     "ALGORITHMS",
     "AlgorithmSpec",
+    "ClusterProfile",
     "ClusterScheduler",
     "ClusterSpec",
     "DivisibleTask",

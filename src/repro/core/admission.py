@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.core.cluster import ClusterSpec
+from repro.core.cluster import ClusterProfile
 from repro.core.partition import Partitioner, PlacementPlan
 from repro.core.policies import SchedulingPolicy
 from repro.core.reservations import NodeReservations
@@ -56,7 +56,7 @@ class SchedulabilityTest:
         self,
         policy: SchedulingPolicy,
         partitioner: Partitioner,
-        cluster: ClusterSpec,
+        cluster: ClusterProfile,
     ) -> None:
         self.policy = policy
         self.partitioner = partitioner

@@ -1,13 +1,20 @@
-"""Cluster model: a head node and N identical processing nodes behind a switch.
+"""Cluster model: a head node and N processing nodes behind a switch.
 
 Section 3 of the paper: the head node ``P0`` accepts/rejects tasks, runs the
 scheduling algorithm, divides the workload and ships data chunks
-*sequentially* (within a task) to the processing nodes ``P1..PN``.  All
-nodes have identical computational power, all switch→node links identical
-bandwidth.  Linear cost model:
+*sequentially* (within a task) to the processing nodes ``P1..PN``.  Linear
+cost model per node ``P_i``:
 
-* computing a load ``sigma`` on one node takes ``Cp(sigma) = sigma * Cps``;
-* transmitting it over one link takes ``Cm(sigma) = sigma * Cms``.
+* computing a load ``sigma`` on node ``i`` takes ``Cp(sigma) = sigma * Cps_i``;
+* transmitting it over the switch→node link takes ``Cm(sigma) = sigma * Cms_i``.
+
+The paper studies the *homogeneous* cluster (all ``Cps_i`` equal, all
+``Cms_i`` equal) and models staggered availability as artificial per-node
+heterogeneity (Section 4.1.1).  :class:`ClusterProfile` makes the per-node
+cost vectors first-class, so the same analysis covers genuinely
+heterogeneous resource-sharing networks (cf. arXiv:1902.01898); the uniform
+constructor :meth:`ClusterProfile.homogeneous` reproduces the paper's
+cluster bit-for-bit.
 
 Output-data transfer is not modelled (negligible; see Section 3).
 """
@@ -15,51 +22,305 @@ Output-data transfer is not modelled (negligible; see Section 3).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Sequence
+
+import numpy as np
 
 from repro.core.errors import InvalidParameterError
 
-__all__ = ["ClusterSpec"]
+if TYPE_CHECKING:  # pragma: no cover
+    from numpy.typing import NDArray
+
+__all__ = ["ClusterProfile", "ClusterSpec"]
+
+
+def _validated_vector(name: str, values: Sequence[float]) -> tuple[float, ...]:
+    vec = tuple(float(v) for v in values)
+    if not vec:
+        raise InvalidParameterError(f"{name} must be non-empty")
+    for v in vec:
+        if not math.isfinite(v) or v <= 0:
+            raise InvalidParameterError(
+                f"every {name} entry must be finite and > 0, got {v}"
+            )
+    return vec
+
+
+def _uniform_value(vec: tuple[float, ...]) -> float | None:
+    """The single value of a uniform vector, or ``None`` if entries differ."""
+    first = vec[0]
+    return first if all(v == first for v in vec) else None
 
 
 @dataclass(frozen=True, slots=True)
-class ClusterSpec:
-    """Static description of a homogeneous cluster.
+class ClusterProfile:
+    """Static description of a (possibly heterogeneous) cluster.
 
     Parameters
     ----------
-    nodes:
-        ``N`` — number of processing nodes (head node excluded), >= 1.
-    cms:
-        Cost of transmitting one unit of workload head→node (> 0).  The
-        closed forms of the paper divide by ``ln(beta)`` with
-        ``beta = Cps/(Cms+Cps)``; ``Cms = 0`` would make ``beta = 1`` and is
-        rejected (the paper always uses ``Cms >= 1``).
-    cps:
-        Cost of processing one unit of workload on one node (> 0).
+    cms_vector:
+        Per-link transmission costs ``Cms_1 .. Cms_N`` (> 0).  The closed
+        forms divide by ``ln(beta_i)`` with ``beta_i = Cps_i/(Cms_i+Cps_i)``;
+        ``Cms_i = 0`` would make ``beta_i = 1`` and is rejected.
+    cps_vector:
+        Per-node processing costs ``Cps_1 .. Cps_N`` (> 0).  Lower cost =
+        faster node.
+
+    Vectors are indexed by *node id* (0-based).  Use
+    :meth:`homogeneous` for the paper's uniform cluster — it preserves the
+    pre-vector behaviour bit-for-bit because every uniform profile
+    dispatches to the original scalar closed forms.
     """
 
-    nodes: int
-    cms: float
-    cps: float
+    cms_vector: tuple[float, ...]
+    cps_vector: tuple[float, ...]
+    #: Cached uniform scalars (``None`` when the vector is non-uniform).
+    _cms_uniform: float | None = field(
+        init=False, repr=False, compare=False, default=None
+    )
+    _cps_uniform: float | None = field(
+        init=False, repr=False, compare=False, default=None
+    )
+    #: Cached array views of the cost tuples (placement hot path).
+    _cms_array: "NDArray[np.float64]" = field(
+        init=False, repr=False, compare=False, default=None  # type: ignore[assignment]
+    )
+    _cps_array: "NDArray[np.float64]" = field(
+        init=False, repr=False, compare=False, default=None  # type: ignore[assignment]
+    )
 
     def __post_init__(self) -> None:
-        if not isinstance(self.nodes, int) or self.nodes < 1:
-            raise InvalidParameterError(f"nodes must be an int >= 1, got {self.nodes}")
-        if not math.isfinite(self.cms) or self.cms <= 0:
-            raise InvalidParameterError(f"cms must be finite and > 0, got {self.cms}")
-        if not math.isfinite(self.cps) or self.cps <= 0:
-            raise InvalidParameterError(f"cps must be finite and > 0, got {self.cps}")
+        object.__setattr__(
+            self, "cms_vector", _validated_vector("cms_vector", self.cms_vector)
+        )
+        object.__setattr__(
+            self, "cps_vector", _validated_vector("cps_vector", self.cps_vector)
+        )
+        if len(self.cms_vector) != len(self.cps_vector):
+            raise InvalidParameterError(
+                f"cms_vector and cps_vector must have equal length, got "
+                f"{len(self.cms_vector)} != {len(self.cps_vector)}"
+            )
+        object.__setattr__(self, "_cms_uniform", _uniform_value(self.cms_vector))
+        object.__setattr__(self, "_cps_uniform", _uniform_value(self.cps_vector))
+        object.__setattr__(
+            self, "_cms_array", np.asarray(self.cms_vector, dtype=np.float64)
+        )
+        object.__setattr__(
+            self, "_cps_array", np.asarray(self.cps_vector, dtype=np.float64)
+        )
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def homogeneous(cls, nodes: int, cms: float, cps: float) -> "ClusterProfile":
+        """The paper's uniform cluster: ``N`` identical nodes and links."""
+        if not isinstance(nodes, int) or isinstance(nodes, bool) or nodes < 1:
+            raise InvalidParameterError(f"nodes must be an int >= 1, got {nodes}")
+        if not isinstance(cms, (int, float)) or not math.isfinite(cms) or cms <= 0:
+            raise InvalidParameterError(f"cms must be finite and > 0, got {cms}")
+        if not isinstance(cps, (int, float)) or not math.isfinite(cps) or cps <= 0:
+            raise InvalidParameterError(f"cps must be finite and > 0, got {cps}")
+        return cls(
+            cms_vector=(float(cms),) * nodes,
+            cps_vector=(float(cps),) * nodes,
+        )
+
+    @classmethod
+    def from_vectors(
+        cls,
+        *,
+        cps: Sequence[float],
+        cms: Sequence[float] | float = 1.0,
+    ) -> "ClusterProfile":
+        """Build from explicit per-node costs; scalar ``cms`` broadcasts."""
+        cps_vec = _validated_vector("cps_vector", cps)
+        if isinstance(cms, (int, float)):
+            cms_vec: Sequence[float] = (float(cms),) * len(cps_vec)
+        else:
+            cms_vec = cms
+        return cls(cms_vector=tuple(cms_vec), cps_vector=cps_vec)
+
+    @classmethod
+    def with_spread(
+        cls,
+        nodes: int,
+        cms: float,
+        cps: float,
+        *,
+        speed_spread: float = 0.0,
+        bandwidth_spread: float = 0.0,
+    ) -> "ClusterProfile":
+        """Deterministic linear heterogeneity around nominal costs.
+
+        ``speed_spread = s`` places node ``i``'s processing cost linearly in
+        ``[cps·(1 - s/2), cps·(1 + s/2)]`` (node 0 fastest), keeping the
+        mean cost at ``cps``; ``bandwidth_spread`` does the same for the
+        link costs.  ``s = 0`` returns exactly :meth:`homogeneous` — the
+        natural sweep axis from the paper's cluster into genuinely
+        heterogeneous ones.  Both spreads must lie in ``[0, 2)`` so every
+        cost stays positive.
+        """
+        for name, s in (
+            ("speed_spread", speed_spread),
+            ("bandwidth_spread", bandwidth_spread),
+        ):
+            if not math.isfinite(s) or not 0.0 <= s < 2.0:
+                raise InvalidParameterError(f"{name} must be in [0, 2), got {s}")
+        if speed_spread == 0.0 and bandwidth_spread == 0.0:
+            return cls.homogeneous(nodes, cms, cps)
+        if not isinstance(nodes, int) or nodes < 1:
+            raise InvalidParameterError(f"nodes must be an int >= 1, got {nodes}")
+
+        def spread_vec(nominal: float, s: float) -> tuple[float, ...]:
+            if s == 0.0 or nodes == 1:
+                return (float(nominal),) * nodes
+            lo = nominal * (1.0 - s / 2.0)
+            return tuple(
+                lo + nominal * s * i / (nodes - 1) for i in range(nodes)
+            )
+
+        return cls(
+            cms_vector=spread_vec(cms, bandwidth_spread),
+            cps_vector=spread_vec(cps, speed_spread),
+        )
+
+    # -- shape -------------------------------------------------------------
+    @property
+    def nodes(self) -> int:
+        """``N`` — number of processing nodes (head node excluded)."""
+        return len(self.cps_vector)
+
+    @property
+    def is_homogeneous(self) -> bool:
+        """True when every node and every link has identical costs."""
+        return self._cms_uniform is not None and self._cps_uniform is not None
+
+    # -- scalar views (homogeneous clusters only) --------------------------
+    @property
+    def cms(self) -> float:
+        """The uniform link cost; raises on heterogeneous links."""
+        if self._cms_uniform is None:
+            raise InvalidParameterError(
+                "cluster links are heterogeneous; use cms_vector"
+            )
+        return self._cms_uniform
+
+    @property
+    def cps(self) -> float:
+        """The uniform node cost; raises on heterogeneous nodes."""
+        if self._cps_uniform is None:
+            raise InvalidParameterError(
+                "cluster nodes are heterogeneous; use cps_vector"
+            )
+        return self._cps_uniform
 
     @property
     def beta(self) -> float:
-        """``beta = Cps / (Cms + Cps)`` (Eq. 8), in (0, 1)."""
+        """``beta = Cps / (Cms + Cps)`` (Eq. 8), in (0, 1); uniform clusters."""
         return self.cps / (self.cms + self.cps)
 
-    def transmission_time(self, sigma: float) -> float:
-        """``Cm(sigma) = sigma * Cms`` — one-link transfer time."""
-        return sigma * self.cms
+    # -- worst-case views (safe bounds on any node subset) -----------------
+    @property
+    def worst_cms(self) -> float:
+        """Largest link cost — safe scalar bound for any node subset."""
+        return self._cms_uniform if self._cms_uniform is not None else max(
+            self.cms_vector
+        )
 
-    def computation_time(self, sigma: float) -> float:
-        """``Cp(sigma) = sigma * Cps`` — single-node compute time."""
-        return sigma * self.cps
+    @property
+    def worst_cps(self) -> float:
+        """Largest node cost — safe scalar bound for any node subset."""
+        return self._cps_uniform if self._cps_uniform is not None else max(
+            self.cps_vector
+        )
+
+    # -- per-node access ---------------------------------------------------
+    def costs_for(
+        self, node_ids: Sequence[int] | "NDArray[np.intp]"
+    ) -> tuple["NDArray[np.float64]", "NDArray[np.float64]"]:
+        """``(Cms_i, Cps_i)`` arrays for the given node ids, in id order given."""
+        ids = np.asarray(node_ids, dtype=np.intp)
+        return self._cms_array[ids], self._cps_array[ids]
+
+    def transmission_time(self, sigma: float, node: int = 0) -> float:
+        """``Cm(sigma) = sigma * Cms_i`` — one-link transfer time."""
+        return sigma * self.cms_vector[node]
+
+    def computation_time(self, sigma: float, node: int = 0) -> float:
+        """``Cp(sigma) = sigma * Cps_i`` — single-node compute time."""
+        return sigma * self.cps_vector[node]
+
+    # -- analysis façade ---------------------------------------------------
+    def min_execution_time(self, sigma: float) -> float:
+        """``E(sigma, N)`` with all ``N`` nodes free at time 0.
+
+        Homogeneous clusters dispatch to the exact closed form of [22]
+        (bit-identical to the pre-vector code path); heterogeneous clusters
+        use the generalized equal-finish recurrence over the id-ordered
+        cost vectors.
+        """
+        from repro.core import dlt
+
+        if self.is_homogeneous:
+            return dlt.execution_time(sigma, self.nodes, self.cms, self.cps)
+        return dlt.het_execution_time(sigma, self.cms_vector, self.cps_vector)
+
+    def min_execution_time_array(
+        self, sigmas: "NDArray[np.float64] | float"
+    ) -> "NDArray[np.float64]":
+        """Vectorized :meth:`min_execution_time` over data sizes.
+
+        ``E`` is linear in ``sigma`` for a fixed node set, so the
+        heterogeneous branch scales one unit-load solve.
+        """
+        from repro.core import dlt
+
+        if self.is_homogeneous:
+            return dlt.execution_time_array(sigmas, self.nodes, self.cms, self.cps)
+        sig = np.asarray(sigmas, dtype=np.float64)
+        if np.any(sig <= 0):
+            raise InvalidParameterError("all sigma values must be > 0")
+        unit = dlt.het_execution_time(1.0, self.cms_vector, self.cps_vector)
+        return unit * sig
+
+    # -- exports -----------------------------------------------------------
+    def describe(self) -> dict[str, Any]:
+        """Flat, JSON/CSV-friendly summary of the cluster.
+
+        Uniform costs export as scalars (byte-compatible with the
+        homogeneous-era exports); non-uniform vectors join into a
+        comma-separated string so every value stays flat.
+        """
+
+        def flat(uniform: float | None, vec: tuple[float, ...]) -> float | str:
+            return uniform if uniform is not None else ",".join(
+                f"{v:g}" for v in vec
+            )
+
+        return {
+            "nodes": self.nodes,
+            "cms": flat(self._cms_uniform, self.cms_vector),
+            "cps": flat(self._cps_uniform, self.cps_vector),
+            "heterogeneous": int(not self.is_homogeneous),
+        }
+
+
+def ClusterSpec(nodes: int, cms: float, cps: float) -> ClusterProfile:  # noqa: N802
+    """Deprecated constructor for the paper's homogeneous cluster.
+
+    .. deprecated::
+        ``ClusterSpec`` described only uniform clusters; per-node cost
+        vectors are now first-class in :class:`ClusterProfile`.  This thin
+        wrapper keeps old call sites working — it returns
+        ``ClusterProfile.homogeneous(nodes, cms, cps)`` and will be removed
+        in a future release.
+    """
+    warnings.warn(
+        "ClusterSpec is deprecated; use ClusterProfile.homogeneous(nodes, cms, cps) "
+        "or a ClusterProfile with per-node cost vectors",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return ClusterProfile.homogeneous(nodes, cms, cps)

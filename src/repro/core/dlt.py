@@ -22,7 +22,7 @@ by the workload generator live at the bottom.
 from __future__ import annotations
 
 import math
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -36,6 +36,8 @@ __all__ = [
     "execution_time",
     "execution_time_array",
     "gamma",
+    "het_alphas",
+    "het_execution_time",
     "min_nodes",
     "opr_alphas",
     "saturated_execution_time",
@@ -179,6 +181,94 @@ def min_nodes(
     if max_nodes is not None and n > max_nodes:
         return None
     return n
+
+
+def _check_cost_vectors(
+    cms: "Sequence[float] | NDArray[np.float64]",
+    cps: "Sequence[float] | NDArray[np.float64]",
+) -> tuple["NDArray[np.float64]", "NDArray[np.float64]"]:
+    cms_vec = np.asarray(cms, dtype=np.float64)
+    cps_vec = np.asarray(cps, dtype=np.float64)
+    if cms_vec.ndim != 1 or cps_vec.ndim != 1 or cms_vec.size == 0:
+        raise InvalidParameterError(
+            "cost vectors must be non-empty 1-D sequences"
+        )
+    if cms_vec.shape != cps_vec.shape:
+        raise InvalidParameterError(
+            f"cms and cps vectors must match, got {cms_vec.size} != {cps_vec.size}"
+        )
+    if not (np.all(np.isfinite(cms_vec)) and np.all(cms_vec > 0)):
+        raise InvalidParameterError("every cms entry must be finite and > 0")
+    if not (np.all(np.isfinite(cps_vec)) and np.all(cps_vec > 0)):
+        raise InvalidParameterError("every cps entry must be finite and > 0")
+    return cms_vec, cps_vec
+
+
+def het_alphas(
+    cms: "Sequence[float] | NDArray[np.float64]",
+    cps: "Sequence[float] | NDArray[np.float64]",
+) -> "NDArray[np.float64]":
+    """Optimal chunk fractions for heterogeneous nodes, simultaneous start.
+
+    Generalizes the geometric :func:`opr_alphas` to per-node cost vectors
+    ``(Cms_i, Cps_i)`` in dispatch order.  The optimality principle (all
+    nodes finish computing at the same instant under sequential chunk
+    distribution) yields the recurrence
+
+    .. math:: \\alpha_i = X_i\\,\\alpha_{i-1}, \\qquad
+              X_i = \\frac{Cps_{i-1}}{Cms_i + Cps_i}
+
+    normalized so the fractions sum to 1.  With uniform vectors every
+    ``X_i`` collapses to ``beta = Cps/(Cms+Cps)`` and the result is the
+    classic geometric partition of [22].
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(n,)`` fractions, positive, summing to 1.
+    """
+    cms_vec, cps_vec = _check_cost_vectors(cms, cps)
+    n = int(cms_vec.size)
+    if n == 1:
+        return np.ones(1)
+    x = cps_vec[:-1] / (cms_vec[1:] + cps_vec[1:])
+    prods = np.cumprod(x)  # prod_{j=2..i} X_j for i = 2..n
+    denom = 1.0 + prods.sum()
+    alphas = np.empty(n)
+    alphas[0] = 1.0 / denom
+    alphas[1:] = prods / denom
+    return alphas
+
+
+def het_execution_time(
+    sigma: float,
+    cms: "Sequence[float] | NDArray[np.float64]",
+    cps: "Sequence[float] | NDArray[np.float64]",
+    *,
+    alphas: "NDArray[np.float64] | None" = None,
+) -> float:
+    """``E(sigma)`` on heterogeneous nodes all free at time 0.
+
+    Under the equal-finish partition of :func:`het_alphas`, node ``n``'s
+    completion is the full sequential transmission plus its own compute:
+
+    .. math:: E = \\sigma \\sum_i \\alpha_i Cms_i
+                  + \\alpha_n \\sigma Cps_n
+
+    (every node finishes at this same instant).  With uniform vectors the
+    value agrees with the closed form :func:`execution_time` to float
+    round-off; homogeneous callers should keep using the closed form,
+    which is what :meth:`ClusterProfile.min_execution_time` dispatches to.
+
+    ``alphas`` may be supplied to reuse an already-computed partition.
+    """
+    if sigma <= 0:
+        raise InvalidParameterError(f"sigma must be > 0, got {sigma}")
+    cms_vec, cps_vec = _check_cost_vectors(cms, cps)
+    if alphas is None:
+        alphas = het_alphas(cms_vec, cps_vec)
+    a = np.asarray(alphas, dtype=np.float64)
+    return float(sigma * (a * cms_vec).sum() + a[-1] * sigma * cps_vec[-1])
 
 
 def execution_time_array(

@@ -2,30 +2,40 @@
 
 This module is the paper's first contribution (Section 4.1.1):
 
-**A — model construction.**  ``n`` homogeneous processors become available
-to a task at times ``r_1 <= r_2 <= ... <= r_n``.  They are recast as ``n``
+**A — model construction.**  ``n`` processors become available to a task at
+times ``r_1 <= r_2 <= ... <= r_n``.  They are recast as ``n``
 *heterogeneous* processors all allocated at ``r_n``; a node that was free
 ``r_n - r_i`` earlier is modelled as proportionally faster (Eq. 1):
 
-.. math::  Cps_i = \\frac{E}{E + r_n - r_i} Cps, \\qquad Cms_i = Cms
+.. math::  Cps_i^{eff} = \\frac{E}{E + r_n - r_i} Cps_i, \\qquad
+           Cms_i^{eff} = Cms_i
 
-where ``E = E(sigma, n)`` is the no-IIT execution time from [22].
+where ``E`` is the no-IIT execution time of the chosen nodes — the closed
+form of [22] for the paper's homogeneous cluster, or the generalized
+equal-finish recurrence (:func:`repro.core.dlt.het_execution_time`) when
+the nodes carry *intrinsic* per-node costs.  Availability-induced speedup
+and intrinsic heterogeneity therefore compose into one model.
 
 **B — DLT analysis on the model.**  The classic optimality principle (all
 nodes finish simultaneously) yields chunk-fraction recurrences
-``alpha_i = X_i alpha_{i-1}`` with ``X_i = Cps_{i-1}/(Cms + Cps_i)``
-(Eq. 4-5), an execution time estimate (Eq. 6)
+``alpha_i = X_i alpha_{i-1}`` with ``X_i = Cps_{i-1}/(Cms_i + Cps_i)``
+(Eq. 4-5) over the effective cost vectors, an execution time estimate
+(Eq. 6)
 
-.. math::  \\hat E(\\sigma, n) = \\sigma Cms + \\alpha_n \\sigma Cps
+.. math::  \\hat E(\\sigma, n) = \\sigma \\textstyle\\sum_i \\alpha_i Cms_i
+           + \\alpha_n \\sigma Cps_n
 
-(the last node has ``Cps_n = Cps`` since ``r_n - r_n = 0``), a completion
-time ``C(n) = r_n + Ê`` (Eq. 7), and — because ``X_i <= beta`` — the safe
-node-count bound ``ñ_min = ceil(ln gamma / ln beta)`` (Eq. 14).
+(the last node keeps its intrinsic ``Cps_n`` since ``r_n - r_n = 0``), a
+completion time ``C(n) = r_n + Ê`` (Eq. 7), and — because every
+``X_i <= beta_i^{worst}`` — the safe node-count bound
+``ñ_min = ceil(ln gamma / ln beta)`` (Eq. 14) evaluated at the cluster's
+worst-case per-node costs.
 
-**C — soundness.**  Theorem 4 proves the *actual* homogeneous-cluster
-execution (sequential chunk distribution, staggered starts) finishes no
-later than ``r_n + Ê``.  :func:`actual_node_schedule` implements the real
-recursion so the simulator can verify the theorem run by run.
+**C — soundness.**  Theorem 4 proves the *actual* cluster execution
+(sequential chunk distribution, staggered starts) finishes no later than
+``r_n + Ê``.  :func:`actual_node_schedule` implements the real recursion —
+now over per-node cost vectors — so the simulator can verify the theorem
+run by run on homogeneous and heterogeneous clusters alike.
 """
 
 from __future__ import annotations
@@ -51,6 +61,28 @@ __all__ = [
 ]
 
 
+def _as_cost_vector(
+    name: str, value: "float | Sequence[float] | NDArray[np.float64]", n: int
+) -> "NDArray[np.float64]":
+    """Broadcast a scalar cost to ``n`` nodes; validate a given vector."""
+    arr = np.asarray(value, dtype=np.float64)
+    if arr.ndim == 0:
+        arr = np.full(n, float(arr))
+    if arr.ndim != 1 or arr.size != n:
+        raise InvalidParameterError(
+            f"{name} must be a scalar or a length-{n} vector, got shape {arr.shape}"
+        )
+    if not (np.all(np.isfinite(arr)) and np.all(arr > 0)):
+        raise InvalidParameterError(f"every {name} entry must be finite and > 0")
+    return arr
+
+
+def _worst_cost(value: "float | Sequence[float] | NDArray[np.float64]") -> float:
+    """Scalar worst case (max cost) of a scalar-or-vector argument."""
+    arr = np.asarray(value, dtype=np.float64)
+    return float(arr) if arr.ndim == 0 else float(arr.max())
+
+
 @dataclass(frozen=True, slots=True)
 class HeterogeneousModel:
     """The constructed model plus everything DLT derives from it.
@@ -59,9 +91,14 @@ class HeterogeneousModel:
     ----------
     release_times:
         Sorted available times ``r_1 <= ... <= r_n`` of the chosen nodes.
+    cms_vec, cps_vec:
+        Intrinsic per-node costs of the chosen nodes (uniform for the
+        paper's homogeneous cluster).
     cps_eff:
-        Effective unit-processing costs ``Cps_i`` of the heterogeneous
-        nodes (Eq. 1); non-decreasing, ending exactly at ``Cps``.
+        Effective unit-processing costs ``Cps_i^{eff}`` of the
+        heterogeneous model (Eq. 1): intrinsic cost scaled by the
+        availability speedup; ends exactly at the last node's intrinsic
+        ``Cps_n``.
     alphas:
         Optimal chunk fractions (Eq. 4-5); sum to 1, ``alpha_i < alpha_1``
         for i >= 2 (Assertion 1).
@@ -70,12 +107,13 @@ class HeterogeneousModel:
     completion:
         ``C(n) = r_n + Ê`` (Eq. 7) — the estimate Theorem 4 guarantees.
     no_iit_exec_time:
-        ``E(sigma, n)`` from [22]; satisfies ``Ê <= E`` (Eq. 9).
+        ``E(sigma, n)`` with simultaneous allocation; satisfies ``Ê <= E``
+        (Eq. 9).
     """
 
     sigma: float
-    cms: float
-    cps: float
+    cms_vec: tuple[float, ...]
+    cps_vec: tuple[float, ...]
     release_times: tuple[float, ...]
     cps_eff: tuple[float, ...]
     alphas: tuple[float, ...]
@@ -89,6 +127,22 @@ class HeterogeneousModel:
         return len(self.release_times)
 
     @property
+    def cms(self) -> float:
+        """Uniform intrinsic link cost (homogeneous models only)."""
+        first = self.cms_vec[0]
+        if any(v != first for v in self.cms_vec):
+            raise InvalidParameterError("model links are heterogeneous; use cms_vec")
+        return first
+
+    @property
+    def cps(self) -> float:
+        """Uniform intrinsic node cost (homogeneous models only)."""
+        first = self.cps_vec[0]
+        if any(v != first for v in self.cps_vec):
+            raise InvalidParameterError("model nodes are heterogeneous; use cps_vec")
+        return first
+
+    @property
     def chunk_sizes(self) -> "NDArray[np.float64]":
         """Absolute data chunk sizes ``alpha_i * sigma`` (Eq. 4-5)."""
         return np.asarray(self.alphas) * self.sigma
@@ -97,8 +151,8 @@ class HeterogeneousModel:
 def build_model(
     sigma: float,
     release_times: Sequence[float] | "NDArray[np.float64]",
-    cms: float,
-    cps: float,
+    cms: "float | Sequence[float] | NDArray[np.float64]",
+    cps: "float | Sequence[float] | NDArray[np.float64]",
 ) -> HeterogeneousModel:
     """Construct the heterogeneous model and run the DLT analysis on it.
 
@@ -107,11 +161,15 @@ def build_model(
     sigma:
         Task data size (> 0).
     release_times:
-        Available times of the ``n`` chosen homogeneous nodes.  Must be
-        non-decreasing (callers sort candidates by availability; the paper
-        orders ``P_1`` earliest ... ``P_n`` latest).
+        Available times of the ``n`` chosen nodes.  Must be non-decreasing
+        (callers sort candidates by availability; the paper orders ``P_1``
+        earliest ... ``P_n`` latest).
     cms, cps:
-        Unit transmission / processing costs of the homogeneous cluster.
+        Unit transmission / processing costs.  Scalars describe the paper's
+        homogeneous cluster (that code path is unchanged bit-for-bit);
+        per-node vectors — aligned with ``release_times`` — describe
+        intrinsic heterogeneity, which composes with the availability
+        speedup of Eq. 1.
 
     Returns
     -------
@@ -120,7 +178,7 @@ def build_model(
     Raises
     ------
     InvalidParameterError
-        On empty/unsorted release times or invalid scalar parameters.
+        On empty/unsorted release times or invalid cost parameters.
     """
     r = np.asarray(release_times, dtype=np.float64)
     if r.ndim != 1 or r.size == 0:
@@ -133,33 +191,48 @@ def build_model(
         raise InvalidParameterError("release_times must all be finite")
 
     n = int(r.size)
-    e_no_iit = dlt.execution_time(sigma, n, cms, cps)
     rn = float(r[-1])
-
-    # Eq. 1: earlier-available nodes gain processing power proportional to
-    # their inserted idle time r_n - r_i.
     iit = rn - r
-    cps_eff = (e_no_iit / (e_no_iit + iit)) * cps
 
-    if n == 1:
-        alphas = np.ones(1)
+    scalar_costs = np.ndim(cms) == 0 and np.ndim(cps) == 0
+    if scalar_costs:
+        # Homogeneous cluster: the paper's exact path (closed-form E from
+        # [22], Eq. 1 speedup, Eq. 4-6 recurrence) — preserved bit-for-bit.
+        cms_s, cps_s = float(cms), float(cps)
+        e_no_iit = dlt.execution_time(sigma, n, cms_s, cps_s)
+        cps_eff = (e_no_iit / (e_no_iit + iit)) * cps_s
+        cms_vec = np.full(n, cms_s)
+        cps_vec = np.full(n, cps_s)
+
+        # Eq. 4-5 over (uniform Cms, effective Cps) — bitwise identical to
+        # the historical inline recurrence (scalar+array add == array+array
+        # add element-wise for equal values).
+        alphas = dlt.het_alphas(cms_vec, cps_eff)
+
+        # Eq. 6: Ê = sigma*Cms + alpha_n*sigma*Cps   (Cps_n == Cps exactly).
+        exec_time = sigma * cms_s + float(alphas[-1]) * sigma * cps_s
     else:
-        # Eq. 4-5 via the recurrence X_i = Cps_{i-1} / (Cms + Cps_i).
-        x = cps_eff[:-1] / (cms + cps_eff[1:])
-        prods = np.cumprod(x)  # prod_{j=2..i} X_j for i = 2..n
-        denom = 1.0 + prods.sum()
-        alphas = np.empty(n)
-        alphas[0] = 1.0 / denom
-        alphas[1:] = prods / denom
+        cms_vec = _as_cost_vector("cms", cms, n)
+        cps_vec = _as_cost_vector("cps", cps, n)
+        # Intrinsic no-IIT execution time of these nodes in this order.
+        e_no_iit = dlt.het_execution_time(sigma, cms_vec, cps_vec)
+        # Eq. 1 composed with intrinsic speed: earlier-available nodes gain
+        # processing power proportional to their inserted idle time.
+        cps_eff = (e_no_iit / (e_no_iit + iit)) * cps_vec
+        alphas = dlt.het_alphas(cms_vec, cps_eff)
+        # Eq. 6 generalized: total sequential transmission + the last
+        # node's compute (its speedup factor is exactly 1).
+        exec_time = float(
+            sigma * (alphas * cms_vec).sum()
+            + float(alphas[-1]) * sigma * float(cps_vec[-1])
+        )
 
-    # Eq. 6: Ê = sigma*Cms + alpha_n * sigma * Cps   (Cps_n == Cps exactly).
-    exec_time = sigma * cms + float(alphas[-1]) * sigma * cps
     completion = rn + exec_time
 
     return HeterogeneousModel(
         sigma=float(sigma),
-        cms=float(cms),
-        cps=float(cps),
+        cms_vec=tuple(float(v) for v in cms_vec),
+        cps_vec=tuple(float(v) for v in cps_vec),
         release_times=tuple(float(v) for v in r),
         cps_eff=tuple(float(v) for v in cps_eff),
         alphas=tuple(float(v) for v in alphas),
@@ -171,8 +244,8 @@ def build_model(
 
 def ntilde_min(
     sigma: float,
-    cms: float,
-    cps: float,
+    cms: "float | Sequence[float] | NDArray[np.float64]",
+    cps: "float | Sequence[float] | NDArray[np.float64]",
     arrival: float,
     relative_deadline: float,
     rn: float,
@@ -187,18 +260,27 @@ def ntilde_min(
     ``gamma = 1 - sigma*Cms/(A + D - r_n)``.  Allocating at least ``ñ_min``
     nodes at (or before) ``r_n`` guarantees the deadline.
 
+    With per-node cost vectors the bound is evaluated at the *worst-case*
+    costs ``Cms = max_i Cms_i`` and ``Cps = max_i Cps_i``: the equal-finish
+    execution time is monotone in every per-node cost, so for any subset
+    and order of ``n`` real nodes ``Ê <= E <= E_hom(n, Cms^max, Cps^max)``
+    (every ``X_i <= beta_i^{worst}``), and the homogeneous inversion stays
+    a safe upper bound on the node count.
+
     Returns ``None`` when the task must be rejected from start time ``rn``:
     either ``A + D - r_n <= 0`` (no budget at all) or ``gamma <= 0`` (budget
     cannot even cover sequential transmission) or the bound exceeds
     ``max_nodes``.
     """
     budget = arrival + relative_deadline - rn
-    return dlt.min_nodes(sigma, cms, cps, budget, max_nodes=max_nodes)
+    return dlt.min_nodes(
+        sigma, _worst_cost(cms), _worst_cost(cps), budget, max_nodes=max_nodes
+    )
 
 
 @dataclass(frozen=True, slots=True)
 class NodeSchedule:
-    """Chunk-level timing of one task on the *homogeneous* cluster.
+    """Chunk-level timing of one task on the *actual* cluster.
 
     Produced by :func:`actual_node_schedule`; all arrays are indexed by the
     task-local node position ``i = 0..n-1`` (availability order).
@@ -223,8 +305,8 @@ def actual_node_schedule(
     sigma: float,
     alphas: Sequence[float] | "NDArray[np.float64]",
     release_times: Sequence[float] | "NDArray[np.float64]",
-    cms: float,
-    cps: float,
+    cms: "float | Sequence[float] | NDArray[np.float64]",
+    cps: "float | Sequence[float] | NDArray[np.float64]",
     *,
     not_before: float | None = None,
 ) -> NodeSchedule:
@@ -233,7 +315,9 @@ def actual_node_schedule(
     This is the ground truth Theorem 4 speaks about: chunk ``i`` starts
     transmitting at ``max(end of chunk i-1, r_i)`` (optionally also not
     before ``not_before``, e.g. a dispatch instant), takes
-    ``alpha_i*sigma*Cms`` on the wire and ``alpha_i*sigma*Cps`` to compute.
+    ``alpha_i*sigma*Cms_i`` on the wire and ``alpha_i*sigma*Cps_i`` to
+    compute.  ``cms``/``cps`` accept scalars (homogeneous cluster) or
+    per-node vectors aligned with ``alphas``.
 
     Returns
     -------
@@ -247,9 +331,11 @@ def actual_node_schedule(
     if np.any(a <= 0) or not math.isclose(float(a.sum()), 1.0, rel_tol=1e-9):
         raise InvalidParameterError("alphas must be positive and sum to 1")
 
-    trans = a * sigma * cms
-    comp = a * sigma * cps
     n = a.size
+    cms_vec = _as_cost_vector("cms", cms, n)
+    cps_vec = _as_cost_vector("cps", cps, n)
+    trans = a * sigma * cms_vec
+    comp = a * sigma * cps_vec
     trans_start = np.empty(n)
     trans_end = np.empty(n)
     floor = -math.inf if not_before is None else not_before

@@ -34,7 +34,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.core import dlt, het_model
-from repro.core.cluster import ClusterSpec
+from repro.core.cluster import ClusterProfile
 from repro.core.dlt import FEASIBILITY_RTOL
 from repro.core.errors import InvalidParameterError
 from repro.core.task import DivisibleTask
@@ -173,7 +173,7 @@ class Partitioner(ABC):
     #: Human-readable method tag stamped on produced plans.
     method: str = "abstract"
 
-    def on_task_arrival(self, task: DivisibleTask, cluster: ClusterSpec) -> None:
+    def on_task_arrival(self, task: DivisibleTask, cluster: ClusterProfile) -> None:
         """Hook called exactly once when a task first arrives.
 
         Lets stateful strategies (User-Split's per-task random ``n``) make
@@ -186,7 +186,7 @@ class Partitioner(ABC):
         self,
         task: DivisibleTask,
         avail: "NDArray[np.float64]",
-        cluster: ClusterSpec,
+        cluster: ClusterProfile,
         now: float,
     ) -> PlacementPlan | None:
         """Try to place ``task`` given per-node availability ``avail``.
@@ -260,10 +260,15 @@ class DltIitPartitioner(Partitioner):
         order: "NDArray[np.intp]",
         sorted_avail: "NDArray[np.float64]",
         n: int,
-        cluster: ClusterSpec,
+        cluster: ClusterProfile,
     ) -> PlacementPlan | None:
         releases = sorted_avail[:n]
-        model = het_model.build_model(task.sigma, releases, cluster.cms, cluster.cps)
+        if cluster.is_homogeneous:
+            cms, cps = cluster.cms, cluster.cps
+        else:
+            # Intrinsic per-node costs of the chosen nodes, availability order.
+            cms, cps = cluster.costs_for(order[:n])
+        model = het_model.build_model(task.sigma, releases, cms, cps)
         if not feasible_by(model.completion, task.absolute_deadline):
             return None
         release_t = tuple(float(v) for v in releases)
@@ -281,7 +286,7 @@ class DltIitPartitioner(Partitioner):
         self,
         task: DivisibleTask,
         avail: "NDArray[np.float64]",
-        cluster: ClusterSpec,
+        cluster: ClusterProfile,
         now: float,
     ) -> PlacementPlan | None:
         avail = np.maximum(np.asarray(avail, dtype=np.float64), task.arrival)
@@ -297,8 +302,8 @@ class DltIitPartitioner(Partitioner):
             for k in range(1, big_n + 1):
                 n_req = het_model.ntilde_min(
                     task.sigma,
-                    cluster.cms,
-                    cluster.cps,
+                    cluster.worst_cms,
+                    cluster.worst_cps,
                     task.arrival,
                     task.deadline,
                     float(sorted_avail[k - 1]),
@@ -315,8 +320,8 @@ class DltIitPartitioner(Partitioner):
         t_test = max(now, task.arrival)
         n_req = het_model.ntilde_min(
             task.sigma,
-            cluster.cms,
-            cluster.cps,
+            cluster.worst_cms,
+            cluster.worst_cps,
             task.arrival,
             task.deadline,
             t_test,
@@ -362,15 +367,27 @@ class OprPartitioner(Partitioner):
         order: "NDArray[np.intp]",
         sorted_avail: "NDArray[np.float64]",
         n: int,
-        cluster: ClusterSpec,
+        cluster: ClusterProfile,
     ) -> PlacementPlan | None:
         releases = sorted_avail[:n]
         rn = float(releases[-1])
-        exec_time = dlt.execution_time(task.sigma, n, cluster.cms, cluster.cps)
-        completion = rn + exec_time
-        if not feasible_by(completion, task.absolute_deadline):
-            return None
-        alphas = dlt.opr_alphas(n, cluster.cms, cluster.cps)
+        if cluster.is_homogeneous:
+            exec_time = dlt.execution_time(task.sigma, n, cluster.cms, cluster.cps)
+            completion = rn + exec_time
+            if not feasible_by(completion, task.absolute_deadline):
+                return None
+            alphas = dlt.opr_alphas(n, cluster.cms, cluster.cps)
+        else:
+            # Simultaneous allocation at r_n over the chosen nodes' intrinsic
+            # costs: the equal-finish recurrence replaces the geometric rule.
+            cms_sel, cps_sel = cluster.costs_for(order[:n])
+            alphas = dlt.het_alphas(cms_sel, cps_sel)
+            exec_time = dlt.het_execution_time(
+                task.sigma, cms_sel, cps_sel, alphas=alphas
+            )
+            completion = rn + exec_time
+            if not feasible_by(completion, task.absolute_deadline):
+                return None
         return PlacementPlan(
             task=task,
             method=self.method,
@@ -385,7 +402,7 @@ class OprPartitioner(Partitioner):
         self,
         task: DivisibleTask,
         avail: "NDArray[np.float64]",
-        cluster: ClusterSpec,
+        cluster: ClusterProfile,
         now: float,
     ) -> PlacementPlan | None:
         avail = np.maximum(np.asarray(avail, dtype=np.float64), task.arrival)
@@ -399,8 +416,8 @@ class OprPartitioner(Partitioner):
             for k in range(1, big_n + 1):
                 n_req = dlt.min_nodes(
                     task.sigma,
-                    cluster.cms,
-                    cluster.cps,
+                    cluster.worst_cms,
+                    cluster.worst_cps,
                     task.arrival + task.deadline - float(sorted_avail[k - 1]),
                     max_nodes=big_n,
                 )
@@ -415,8 +432,8 @@ class OprPartitioner(Partitioner):
         t_test = max(now, task.arrival)
         n_req = dlt.min_nodes(
             task.sigma,
-            cluster.cms,
-            cluster.cps,
+            cluster.worst_cms,
+            cluster.worst_cps,
             task.arrival + task.deadline - t_test,
             max_nodes=big_n,
         )
@@ -467,22 +484,22 @@ class UserSplitPartitioner(Partitioner):
         self._requested: dict[int, int | None] = {}
 
     @staticmethod
-    def min_nodes_user(task: DivisibleTask, cluster: ClusterSpec) -> int | None:
+    def min_nodes_user(task: DivisibleTask, cluster: ClusterProfile) -> int | None:
         """``N_min = ceil(sigma*Cps / (D - sigma*Cms))`` (Section 4.1.2).
 
         ``None`` when no node count can work: ``D <= sigma*Cms`` (deadline
         below sequential transmission) or ``N_min > N``.
         """
-        slack = task.deadline - task.sigma * cluster.cms
+        slack = task.deadline - task.sigma * cluster.worst_cms
         if slack <= 0:
             return None
-        n_min = math.ceil(task.sigma * cluster.cps / slack - FEASIBILITY_RTOL)
+        n_min = math.ceil(task.sigma * cluster.worst_cps / slack - FEASIBILITY_RTOL)
         n_min = max(n_min, 1)
         if n_min > cluster.nodes:
             return None
         return n_min
 
-    def on_task_arrival(self, task: DivisibleTask, cluster: ClusterSpec) -> None:
+    def on_task_arrival(self, task: DivisibleTask, cluster: ClusterProfile) -> None:
         """Draw the user's node request when the task first arrives."""
         if task.task_id in self._requested:
             return
@@ -492,7 +509,7 @@ class UserSplitPartitioner(Partitioner):
         """The node count the 'user' asked for (``None`` = infeasible)."""
         return self._requested.get(task_id)
 
-    def _draw(self, task: DivisibleTask, cluster: ClusterSpec) -> int | None:
+    def _draw(self, task: DivisibleTask, cluster: ClusterProfile) -> int | None:
         """One uniform draw from [N_min, N] (None = infeasible task)."""
         n_min = self.min_nodes_user(task, cluster)
         if n_min is None:
@@ -506,7 +523,7 @@ class UserSplitPartitioner(Partitioner):
         self,
         task: DivisibleTask,
         avail: "NDArray[np.float64]",
-        cluster: ClusterSpec,
+        cluster: ClusterProfile,
         now: float,
     ) -> PlacementPlan | None:
         if task.task_id not in self._requested:
@@ -527,12 +544,24 @@ class UserSplitPartitioner(Partitioner):
         releases = sorted_avail[:n]
 
         # Eq. 15: sequential transmission of n equal chunks.
-        chunk_cms = task.sigma * cluster.cms / n
-        chunk_cps = task.sigma * cluster.cps / n
-        s = float(releases[0])
-        for i in range(1, n):
-            s = max(float(releases[i]), s + chunk_cms)
-        completion = s + chunk_cms + chunk_cps
+        if cluster.is_homogeneous:
+            chunk_cms = task.sigma * cluster.cms / n
+            chunk_cps = task.sigma * cluster.cps / n
+            s = float(releases[0])
+            for i in range(1, n):
+                s = max(float(releases[i]), s + chunk_cms)
+            completion = s + chunk_cms + chunk_cps
+        else:
+            # Per-node costs: chunk i rides link Cms_i and computes at
+            # Cps_i, so the slowest node — not the last — may finish last.
+            cms_sel, cps_sel = cluster.costs_for(order[:n])
+            chunk = task.sigma / n
+            completion = -math.inf
+            trans_end = -math.inf
+            for i in range(n):
+                start = max(float(releases[i]), trans_end)
+                trans_end = start + chunk * float(cms_sel[i])
+                completion = max(completion, trans_end + chunk * float(cps_sel[i]))
         if not feasible_by(completion, task.absolute_deadline):
             return None
 

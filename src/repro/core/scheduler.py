@@ -27,7 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.admission import AdmissionDecision, SchedulabilityTest
-from repro.core.cluster import ClusterSpec
+from repro.core.cluster import ClusterProfile
 from repro.core.errors import ScheduleConsistencyError
 from repro.core.partition import Partitioner, PlacementPlan
 from repro.core.policies import SchedulingPolicy
@@ -87,7 +87,7 @@ class ClusterScheduler:
 
     def __init__(
         self,
-        cluster: ClusterSpec,
+        cluster: ClusterProfile,
         policy: SchedulingPolicy,
         partitioner: Partitioner,
         *,

@@ -23,7 +23,7 @@ from __future__ import annotations
 import csv
 import io
 import json
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Iterable, Iterator, Mapping
 
@@ -212,16 +212,25 @@ class BatchRunner:
     workers:
         ``None``, ``0`` or ``1`` → run serially in-process (the default:
         always available, no pickling round trip).  ``>= 2`` → fan out
-        over a :class:`ProcessPoolExecutor` with that many workers
-        (capped at the number of specs).  Results are identical either
-        way; parallelism only buys wall-clock time.
+        over an executor with that many workers (capped at the number of
+        specs).  Results are identical either way; parallelism only buys
+        wall-clock time.
     chunksize:
         Specs per inter-process message in parallel mode; raise it for
         very large batches of very short runs.
+    workers_mode:
+        ``"process"`` (default) → :class:`ProcessPoolExecutor`, the fast
+        path on platforms with cheap fork.  ``"thread"`` →
+        :class:`ThreadPoolExecutor` for environments where fork/spawn is
+        unavailable or prohibitively slow (sandboxes, some embedded
+        interpreters).  The simulation kernel holds the GIL, so threads
+        mostly buy overlap with I/O — but the results are bit-identical
+        across all three execution paths (the test suite asserts it).
     """
 
     workers: int | None = None
     chunksize: int = 1
+    workers_mode: str = "process"
 
     def __post_init__(self) -> None:
         if self.workers is not None and self.workers < 0:
@@ -231,6 +240,11 @@ class BatchRunner:
         if self.chunksize < 1:
             raise InvalidParameterError(
                 f"chunksize must be >= 1, got {self.chunksize}"
+            )
+        if self.workers_mode not in ("process", "thread"):
+            raise InvalidParameterError(
+                f"workers_mode must be 'process' or 'thread', "
+                f"got {self.workers_mode!r}"
             )
 
     def with_workers(self, workers: int | None) -> "BatchRunner":
@@ -246,7 +260,10 @@ class BatchRunner:
         n_workers = min(self.workers or 1, len(todo))
         if n_workers <= 1:
             return ResultSet(records=tuple(_execute_spec(s) for s in todo))
-        with ProcessPoolExecutor(max_workers=n_workers) as executor:
+        executor_cls: type[Executor] = (
+            ThreadPoolExecutor if self.workers_mode == "thread" else ProcessPoolExecutor
+        )
+        with executor_cls(max_workers=n_workers) as executor:
             records = tuple(
                 executor.map(_execute_spec, todo, chunksize=self.chunksize)
             )

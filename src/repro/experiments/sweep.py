@@ -19,7 +19,7 @@ from repro.metrics.collector import validate_metric
 from repro.metrics.stats import PointEstimate, mean_ci
 from repro.workload.scenario import Scenario
 
-__all__ = ["PanelResult", "run_panel"]
+__all__ = ["PanelResult", "SpreadSweepResult", "run_panel", "run_spread_sweep"]
 
 #: Defaults tuned so a full panel runs in seconds; the paper-scale values
 #: (10 M time units, 10 replications) are available via parameters.
@@ -128,6 +128,111 @@ def run_panel(
         spec=spec,
         loads=grid,
         series={a: tuple(pts) for a, pts in series.items()},
+        total_time=total_time,
+        replications=replications,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class SpreadSweepResult:
+    """One heterogeneity sweep: algorithm → per-spread point estimates.
+
+    ``spreads`` is the swept ``speed_spread`` grid (0 = the paper's
+    homogeneous cluster); every series shares the task sets point-wise, so
+    algorithm comparisons are paired exactly like the paper's load sweeps.
+    """
+
+    spreads: tuple[float, ...]
+    series: Mapping[str, tuple[PointEstimate, ...]]
+    metric: str
+    total_time: float
+    replications: int
+
+    def mean_curve(self, algorithm: str) -> list[float]:
+        """The mean metric curve of one algorithm across spreads."""
+        return [p.mean for p in self.series[algorithm]]
+
+
+def run_spread_sweep(
+    *,
+    spreads: Sequence[float],
+    algorithms: Sequence[str] = ("EDF-DLT", "EDF-OPR-MN"),
+    system_load: float = 0.6,
+    nodes: int = 16,
+    cms: float = 1.0,
+    cps: float = 100.0,
+    avg_sigma: float = 200.0,
+    dc_ratio: float = 2.0,
+    replications: int = DEFAULT_REPLICATIONS,
+    total_time: float = DEFAULT_TOTAL_TIME,
+    seed: int = DEFAULT_SEED,
+    metric: str = "reject_ratio",
+    validate: bool = True,
+    workers: int | None = None,
+    workers_mode: str = "process",
+) -> SpreadSweepResult:
+    """Sweep intrinsic cluster heterogeneity at a fixed SystemLoad.
+
+    Each grid point runs :meth:`Scenario.paper_baseline` with
+    ``speed_spread = s``: node processing costs span
+    ``[cps·(1-s/2), cps·(1+s/2)]`` linearly while the workload stays
+    calibrated against that cluster's actual ``E(Avgσ, N)`` — so the sweep
+    isolates the *scheduling* cost of heterogeneity from the capacity
+    shift.  All runs of the sweep flatten into one batch and fan out over
+    the :class:`~repro.experiments.batch.BatchRunner`.
+    """
+    if replications < 1:
+        raise ValueError(f"replications must be >= 1, got {replications}")
+    validate_metric(metric)
+    grid = tuple(float(s) for s in spreads)
+    if not grid:
+        raise ValueError("spreads must be non-empty")
+
+    specs: list[RunSpec] = []
+    for si, spread in enumerate(grid):
+        point = Scenario.paper_baseline(
+            system_load=system_load,
+            total_time=total_time,
+            seed=seed + 7919 * si,  # distinct workload per grid point
+            nodes=nodes,
+            cms=cms,
+            cps=cps,
+            avg_sigma=avg_sigma,
+            dc_ratio=dc_ratio,
+            speed_spread=spread,
+            name=f"spread-{spread:g}",
+        )
+        for algorithm in algorithms:
+            for rep in range(replications):
+                specs.append(
+                    RunSpec(
+                        scenario=point.with_seed(
+                            replication_seed(seed + 7919 * si, rep)
+                        ),
+                        algorithm=algorithm,
+                        labels={
+                            "speed_spread": spread,
+                            "spread_index": si,
+                            "replication": rep,
+                        },
+                        validate=validate,
+                    )
+                )
+
+    results = BatchRunner(workers=workers, workers_mode=workers_mode).run(specs)
+
+    series: dict[str, list[PointEstimate]] = {a: [] for a in algorithms}
+    for si, spread in enumerate(grid):
+        at_point = results.filter(spread_index=si)
+        for algorithm in algorithms:
+            samples = at_point.filter(algorithm=algorithm).values(metric)
+            series[algorithm].append(
+                PointEstimate(x=spread, ci=mean_ci(samples), samples=samples)
+            )
+    return SpreadSweepResult(
+        spreads=grid,
+        series={a: tuple(pts) for a, pts in series.items()},
+        metric=metric,
         total_time=total_time,
         replications=replications,
     )

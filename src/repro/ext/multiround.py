@@ -39,7 +39,7 @@ import numpy as np
 
 from repro.core import het_model
 from repro.core.algorithms import ALGORITHMS, AlgorithmSpec
-from repro.core.cluster import ClusterSpec
+from repro.core.cluster import ClusterProfile
 from repro.core.errors import InvalidParameterError
 from repro.core.partition import (
     ExplicitChunk,
@@ -59,8 +59,8 @@ __all__ = ["MultiRoundPartitioner", "register_multiround", "simulate_rounds"]
 def simulate_rounds(
     sigma: float,
     releases: "NDArray[np.float64]",
-    cms: float,
-    cps: float,
+    cms: "float | NDArray[np.float64]",
+    cps: "float | NDArray[np.float64]",
     rounds: int,
 ) -> list[ExplicitChunk]:
     """Exact uniform multi-round dispatch recursion.
@@ -70,14 +70,18 @@ def simulate_rounds(
     previous chunk of this task, and the destination node finished
     computing its previous chunk (and is past its release).
 
+    ``cms``/``cps`` accept scalars (homogeneous cluster) or per-node cost
+    vectors aligned with ``releases`` (heterogeneous cluster) — the chunk
+    *data* stays uniform, the per-chunk wire/compute times do not.
+
     Returns the full explicit chunk schedule (absolute times).
     """
     if rounds < 1:
         raise InvalidParameterError(f"rounds must be >= 1, got {rounds}")
     n = int(releases.size)
     chunk = sigma / (rounds * n)
-    trans = chunk * cms
-    comp = chunk * cps
+    trans = np.broadcast_to(np.asarray(cms, dtype=np.float64), (n,)) * chunk
+    comp = np.broadcast_to(np.asarray(cps, dtype=np.float64), (n,)) * chunk
     node_free = releases.astype(np.float64).copy()
     head_free = -np.inf
     out: list[ExplicitChunk] = []
@@ -85,8 +89,8 @@ def simulate_rounds(
     for r in range(rounds):
         for i in range(n):
             start = max(head_free, float(node_free[i]))
-            t_end = start + trans
-            c_end = t_end + comp
+            t_end = start + trans[i]
+            c_end = t_end + comp[i]
             head_free = t_end
             node_free[i] = c_end
             out.append(
@@ -123,7 +127,7 @@ class MultiRoundPartitioner(Partitioner):
         self,
         task: DivisibleTask,
         avail: "NDArray[np.float64]",
-        cluster: ClusterSpec,
+        cluster: ClusterProfile,
         now: float,
     ) -> PlacementPlan | None:
         avail = np.maximum(np.asarray(avail, dtype=np.float64), task.arrival)
@@ -133,8 +137,8 @@ class MultiRoundPartitioner(Partitioner):
         t_test = max(now, task.arrival)
         n_req = het_model.ntilde_min(
             task.sigma,
-            cluster.cms,
-            cluster.cps,
+            cluster.worst_cms,
+            cluster.worst_cps,
             task.arrival,
             task.deadline,
             t_test,
@@ -143,9 +147,11 @@ class MultiRoundPartitioner(Partitioner):
         if n_req is None:
             return None
         releases = sorted_avail[:n_req]
-        chunks = simulate_rounds(
-            task.sigma, releases, cluster.cms, cluster.cps, self.rounds
-        )
+        if cluster.is_homogeneous:
+            cms, cps = cluster.cms, cluster.cps
+        else:
+            cms, cps = cluster.costs_for(order[:n_req])
+        chunks = simulate_rounds(task.sigma, releases, cms, cps, self.rounds)
         completion = max(c.comp_end for c in chunks)
         if not feasible_by(completion, task.absolute_deadline):
             return None

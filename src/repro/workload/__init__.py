@@ -34,12 +34,14 @@ from repro.workload.models import (
     UniformDeadlines,
     UniformSizes,
 )
-from repro.workload.scenario import ClusterProfile, Scenario, WorkloadModel
+from repro.core.cluster import ClusterProfile, ClusterSpec
+from repro.workload.scenario import Scenario, WorkloadModel
 from repro.workload.spec import SimulationConfig, WorkloadSpec
 
 __all__ = [
     "ArrivalProcess",
     "ClusterProfile",
+    "ClusterSpec",
     "DeadlineModel",
     "MMPPProcess",
     "ParetoSizes",

@@ -34,14 +34,15 @@ bit for bit: same batching, same redraw loop, same floor arithmetic.
 
 from __future__ import annotations
 
+import csv
 import math
+import os
 from dataclasses import dataclass
 from typing import ClassVar, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
-from repro.core import dlt
-from repro.core.cluster import ClusterSpec
+from repro.core.cluster import ClusterProfile
 from repro.core.errors import InvalidParameterError
 
 __all__ = [
@@ -113,7 +114,7 @@ class DeadlineModel(Protocol):
         self,
         rng: np.random.Generator,
         sigmas: np.ndarray,
-        cluster: ClusterSpec,
+        cluster: ClusterProfile,
     ) -> np.ndarray:
         """Relative deadlines, each > ``E(sigma_i, N)`` on ``cluster``."""
         ...  # pragma: no cover - protocol
@@ -262,6 +263,59 @@ class TraceArrivals:
         """Build from any sequence (validated, stored as a tuple)."""
         return cls(times=tuple(float(t) for t in times))
 
+    @classmethod
+    def from_csv(
+        cls,
+        path: "str | os.PathLike[str]",
+        *,
+        column: str = "arrival_time",
+    ) -> "TraceArrivals":
+        """Load a recorded arrival trace from a CSV file.
+
+        Accepts the two shapes real cluster traces come in:
+
+        * a headered CSV — arrival times are read from ``column``
+          (default ``"arrival_time"``), other columns are ignored;
+        * a bare single/multi-column CSV with no header — the first
+          column is taken verbatim.
+
+        The header is detected by whether the first row's relevant cell
+        parses as a float.  Values go through the same validation as
+        :meth:`from_sequence` (finite, >= 0, strictly increasing).
+        """
+        with open(path, newline="", encoding="utf-8") as fh:
+            reader = csv.reader(fh)
+            rows = [row for row in reader if row and any(c.strip() for c in row)]
+        if not rows:
+            raise InvalidParameterError(f"trace file {path!r} is empty")
+        index = 0
+        first = rows[0]
+        try:
+            float(first[index])
+            start = 0
+        except ValueError:
+            if column in first:
+                index = first.index(column)
+            elif len(first) > 1:
+                # Guessing a column of a multi-column trace would silently
+                # load non-time data (task ids sort ascending too) — refuse.
+                raise InvalidParameterError(
+                    f"trace file {path!r} has no {column!r} column "
+                    f"(header: {first}); pass column=<name>"
+                ) from None
+            start = 1
+            if len(rows) == 1:
+                raise InvalidParameterError(
+                    f"trace file {path!r} has a header but no data rows"
+                ) from None
+        try:
+            times = [float(row[index]) for row in rows[start:]]
+        except (ValueError, IndexError) as exc:
+            raise InvalidParameterError(
+                f"trace file {path!r}: malformed arrival value ({exc})"
+            ) from exc
+        return cls.from_sequence(times)
+
     def sample(self, rng: np.random.Generator, horizon: float) -> np.ndarray:
         arr = np.asarray(self.times, dtype=np.float64)
         return arr[arr < horizon]
@@ -392,26 +446,22 @@ class UniformDeadlines:
         cls,
         dc_ratio: float,
         avg_sigma: float,
-        cluster: ClusterSpec,
+        cluster: ClusterProfile,
     ) -> "UniformDeadlines":
         """The paper's bounds for a given ``DCRatio`` on ``cluster``."""
         _require_positive("dc_ratio", dc_ratio)
         _require_positive("avg_sigma", avg_sigma)
-        avg_d = dc_ratio * dlt.execution_time(
-            avg_sigma, cluster.nodes, cluster.cms, cluster.cps
-        )
+        avg_d = dc_ratio * cluster.min_execution_time(avg_sigma)
         return cls(low=avg_d / 2.0, high=1.5 * avg_d)
 
     def sample(
         self,
         rng: np.random.Generator,
         sigmas: np.ndarray,
-        cluster: ClusterSpec,
+        cluster: ClusterProfile,
     ) -> np.ndarray:
         draws = rng.uniform(self.low, self.high, size=sigmas.size)
-        min_exec = dlt.execution_time_array(
-            sigmas, cluster.nodes, cluster.cms, cluster.cps
-        )
+        min_exec = cluster.min_execution_time_array(sigmas)
         floor = min_exec * (1.0 + _DEADLINE_MARGIN)
         return np.maximum(draws, floor)
 
@@ -444,11 +494,9 @@ class ProportionalDeadlines:
         self,
         rng: np.random.Generator,
         sigmas: np.ndarray,
-        cluster: ClusterSpec,
+        cluster: ClusterProfile,
     ) -> np.ndarray:
-        min_exec = dlt.execution_time_array(
-            sigmas, cluster.nodes, cluster.cms, cluster.cps
-        )
+        min_exec = cluster.min_execution_time_array(sigmas)
         deadlines = self.factor * min_exec
         if self.jitter > 0.0:
             deadlines = deadlines * rng.uniform(

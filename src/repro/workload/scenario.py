@@ -31,8 +31,7 @@ from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
-from repro.core import dlt
-from repro.core.cluster import ClusterSpec
+from repro.core.cluster import ClusterProfile
 from repro.core.errors import InvalidParameterError
 from repro.core.task import DivisibleTask
 from repro.workload.models import (
@@ -48,11 +47,6 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.workload.spec import SimulationConfig
 
 __all__ = ["ClusterProfile", "Scenario", "WorkloadModel"]
-
-#: The cluster half of a scenario.  Today this is the paper's homogeneous
-#: cluster description; heterogeneous per-node speeds are a planned
-#: extension (ROADMAP "Open items") and will widen this alias.
-ClusterProfile = ClusterSpec
 
 #: Stream indices within the run's SeedSequence (same split as the legacy
 #: generator, so seeds keep their meaning across the API redesign).
@@ -95,7 +89,7 @@ class WorkloadModel:
         system_load: float,
         avg_sigma: float,
         dc_ratio: float,
-        cluster: ClusterSpec,
+        cluster: ClusterProfile,
     ) -> "WorkloadModel":
         """The Section 5 workload calibrated for ``cluster``.
 
@@ -107,9 +101,7 @@ class WorkloadModel:
             raise InvalidParameterError(
                 f"system_load must be > 0, got {system_load}"
             )
-        mean_exec = dlt.execution_time(
-            avg_sigma, cluster.nodes, cluster.cms, cluster.cps
-        )
+        mean_exec = cluster.min_execution_time(avg_sigma)
         return cls(
             arrivals=PoissonProcess(mean_interarrival=mean_exec / system_load),
             sizes=TruncatedNormalSizes(mean=avg_sigma),
@@ -131,7 +123,7 @@ class Scenario:
     name: str = ""
 
     def __post_init__(self) -> None:
-        if not isinstance(self.cluster, ClusterSpec):
+        if not isinstance(self.cluster, ClusterProfile):
             raise InvalidParameterError(
                 f"cluster must be a ClusterProfile, got {self.cluster!r}"
             )
@@ -159,14 +151,21 @@ class Scenario:
         cps: float = 100.0,
         avg_sigma: float = 200.0,
         dc_ratio: float = 2.0,
+        speed_spread: float = 0.0,
         name: str = "paper-baseline",
     ) -> "Scenario":
         """The canonical Section 5.1 scenario (overridable parameter set).
 
         Defaults are the paper's baseline cluster and workload:
-        ``N=16, Cms=1, Cps=100, Avgσ=200, DCRatio=2``.
+        ``N=16, Cms=1, Cps=100, Avgσ=200, DCRatio=2``.  A non-zero
+        ``speed_spread`` swaps in a deterministically heterogeneous cluster
+        (:meth:`ClusterProfile.with_spread`) while the workload stays
+        calibrated against that cluster's actual ``E(Avgσ, N)`` — the
+        sweep axis from the paper's cluster into heterogeneous ones.
         """
-        cluster = ClusterSpec(nodes=nodes, cms=cms, cps=cps)
+        cluster = ClusterProfile.with_spread(
+            nodes, cms, cps, speed_spread=speed_spread
+        )
         return cls(
             cluster=cluster,
             workload=WorkloadModel.paper(
@@ -251,9 +250,7 @@ class Scenario:
         """A flat, JSON-friendly summary (used by batch exports)."""
         return {
             "name": self.name,
-            "nodes": self.cluster.nodes,
-            "cms": self.cluster.cms,
-            "cps": self.cluster.cps,
+            **self.cluster.describe(),
             "arrivals": type(self.workload.arrivals).__name__,
             "sizes": type(self.workload.sizes).__name__,
             "deadlines": type(self.workload.deadlines).__name__,

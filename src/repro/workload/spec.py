@@ -14,7 +14,7 @@ from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Any
 
 from repro.core import dlt
-from repro.core.cluster import ClusterSpec
+from repro.core.cluster import ClusterProfile
 from repro.core.errors import InvalidParameterError
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -101,9 +101,14 @@ class SimulationConfig:
             raise InvalidParameterError(f"seed must be an int >= 0, got {self.seed}")
 
     @property
-    def cluster(self) -> ClusterSpec:
-        """The cluster half of the configuration."""
-        return ClusterSpec(nodes=self.nodes, cms=self.cms, cps=self.cps)
+    def cluster(self) -> ClusterProfile:
+        """The cluster half of the configuration (always homogeneous).
+
+        Heterogeneous clusters cannot be expressed by this legacy config —
+        build a :class:`ClusterProfile` with per-node vectors and describe
+        the experiment as a :class:`~repro.workload.scenario.Scenario`.
+        """
+        return ClusterProfile.homogeneous(self.nodes, self.cms, self.cps)
 
     @property
     def workload(self) -> WorkloadSpec:

@@ -2,9 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
-
 from repro.core.admission import SchedulabilityTest
 from repro.core.cluster import ClusterSpec
 from repro.core.partition import DltIitPartitioner, OprPartitioner

@@ -98,6 +98,21 @@ class TestBatchRunner:
         with pytest.raises(InvalidParameterError):
             BatchRunner().run([object()])  # type: ignore[list-item]
 
+    def test_thread_mode_bit_identical_to_serial(self):
+        """workers_mode="thread" (fork-free environments) == serial."""
+        specs = spec_grid(8)
+        serial = BatchRunner(workers=None).run(specs)
+        threaded = BatchRunner(workers=4, workers_mode="thread").run(specs)
+        assert len(serial) == len(threaded) == 8
+        for s_rec, t_rec in zip(serial, threaded):
+            assert s_rec.metrics == t_rec.metrics
+            assert s_rec.labels == t_rec.labels
+            assert s_rec.algorithm == t_rec.algorithm
+
+    def test_workers_mode_validated(self):
+        with pytest.raises(InvalidParameterError, match="workers_mode"):
+            BatchRunner(workers_mode="greenlet")
+
     @pytest.mark.skipif(
         (os.cpu_count() or 1) < 4, reason="needs >= 4 CPUs for a speedup"
     )

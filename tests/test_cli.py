@@ -219,3 +219,152 @@ class TestRunScenario:
     def test_bad_metric_fails_fast(self):
         with pytest.raises(InvalidParameterError, match="valid metrics"):
             main(["run-scenario", "--metric", "not_a_metric", "--total-time", "20000"])
+
+    def test_csv_trace_file(self, capsys, tmp_path):
+        trace = tmp_path / "arrivals.csv"
+        trace.write_text("task_id,arrival_time\n0,100.0\n1,5000.0\n2,9000.0\n")
+        code = main(
+            [
+                "run-scenario",
+                "--arrivals",
+                "trace",
+                "--trace-file",
+                str(trace),
+                "--total-time",
+                "20000",
+                "--replications",
+                "1",
+                "--json",
+            ]
+        )
+        assert code == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows[0]["arrivals"] == 3
+
+
+class TestHeterogeneousCli:
+    def test_run_point_cps_vector(self, capsys):
+        code = main(
+            [
+                "run-point",
+                "--cps-vector",
+                *(str(v) for v in (60, 80, 100, 120, 160, 200)),
+                "--total-time",
+                "20000",
+                "--load",
+                "0.5",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "all invariants held" in payload["validation"]
+
+    def test_run_scenario_speed_spread(self, capsys):
+        code = main(
+            [
+                "run-scenario",
+                "--speed-spread",
+                "0.8",
+                "--total-time",
+                "20000",
+                "--replications",
+                "1",
+                "--json",
+            ]
+        )
+        assert code == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows[0]["scenario_heterogeneous"] == 1
+        assert isinstance(rows[0]["scenario_cps"], str)  # vector export
+
+    def test_vectors_exclusive_with_spread(self):
+        with pytest.raises(InvalidParameterError, match="speed-spread"):
+            main(
+                [
+                    "run-point",
+                    "--cps-vector",
+                    "50",
+                    "100",
+                    "--speed-spread",
+                    "0.5",
+                    "--total-time",
+                    "20000",
+                ]
+            )
+
+    def test_explicit_nodes_must_match_vector_length(self):
+        with pytest.raises(InvalidParameterError, match="contradicts"):
+            main(
+                [
+                    "run-point",
+                    "--nodes",
+                    "8",
+                    "--cms-vector",
+                    "1",
+                    "1",
+                    "1",
+                    "--total-time",
+                    "20000",
+                ]
+            )
+
+    def test_mismatched_vector_lengths_rejected(self):
+        with pytest.raises(InvalidParameterError, match="length"):
+            main(
+                [
+                    "run-point",
+                    "--cps-vector",
+                    "50",
+                    "100",
+                    "--cms-vector",
+                    "1",
+                    "--total-time",
+                    "20000",
+                ]
+            )
+
+
+class TestSweepCommand:
+    def test_spread_sweep_table(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--values",
+                "0",
+                "0.5",
+                "--nodes",
+                "6",
+                "--total-time",
+                "20000",
+                "--replications",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "spread" in out
+        assert "EDF-DLT" in out and "EDF-OPR-MN" in out
+
+    def test_spread_sweep_csv(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--values",
+                "0",
+                "1.0",
+                "--nodes",
+                "6",
+                "--total-time",
+                "20000",
+                "--replications",
+                "1",
+                "--algorithm",
+                "EDF-DLT",
+                "--csv",
+            ]
+        )
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0] == "speed_spread,EDF-DLT"
+        assert len(lines) == 3

@@ -1,0 +1,289 @@
+"""Heterogeneous-cluster coverage: ClusterProfile, analysis, soundness.
+
+Three layers of guarantees:
+
+* **Construction** — ``ClusterProfile`` vector validation, the deprecated
+  ``ClusterSpec`` wrapper, spread/vector constructors.
+* **Homogeneous parity** — a profile with uniform vectors must reproduce
+  the homogeneous closed forms (``execution_time``, ``opr_alphas``,
+  ``ñ_min``) *exactly* (the dispatch is bit-for-bit), and the general
+  vector recurrences must agree with the closed forms to float round-off.
+* **Soundness** — the Theorem-4 estimate remains an upper bound on the
+  actual sequential dispatch for arbitrary per-node cost vectors, both at
+  the single-task model level and over full randomized end-to-end runs
+  with the strict validator armed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.core import dlt, het_model  # noqa: E402
+from repro.core.cluster import ClusterProfile, ClusterSpec  # noqa: E402
+from repro.core.errors import InvalidParameterError  # noqa: E402
+from repro.experiments.runner import simulate  # noqa: E402
+from repro.experiments.sweep import run_spread_sweep  # noqa: E402
+from repro.workload.scenario import Scenario, WorkloadModel  # noqa: E402
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+cost_value = st.floats(min_value=0.5, max_value=8.0, allow_nan=False)
+cps_value = st.floats(min_value=20.0, max_value=400.0, allow_nan=False)
+
+
+@st.composite
+def het_profiles(draw, min_nodes=2, max_nodes=8):
+    n = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+    cps = draw(
+        st.lists(cps_value, min_size=n, max_size=n).filter(
+            lambda v: len(set(v)) > 1
+        )
+    )
+    cms = draw(st.lists(cost_value, min_size=n, max_size=n))
+    return ClusterProfile(cms_vector=tuple(cms), cps_vector=tuple(cps))
+
+
+# ---------------------------------------------------------------------------
+# Construction
+# ---------------------------------------------------------------------------
+
+
+class TestClusterProfile:
+    def test_homogeneous_roundtrip(self):
+        p = ClusterProfile.homogeneous(4, 1.0, 100.0)
+        assert p.nodes == 4
+        assert p.is_homogeneous
+        assert p.cms == 1.0 and p.cps == 100.0
+        assert p.worst_cms == 1.0 and p.worst_cps == 100.0
+        assert p.beta == pytest.approx(100.0 / 101.0)
+
+    def test_vectors_validated(self):
+        with pytest.raises(InvalidParameterError):
+            ClusterProfile(cms_vector=(), cps_vector=())
+        with pytest.raises(InvalidParameterError):
+            ClusterProfile(cms_vector=(1.0,), cps_vector=(1.0, 2.0))
+        with pytest.raises(InvalidParameterError):
+            ClusterProfile(cms_vector=(0.0,), cps_vector=(1.0,))
+        with pytest.raises(InvalidParameterError):
+            ClusterProfile(cms_vector=(1.0,), cps_vector=(float("nan"),))
+
+    def test_scalar_views_raise_on_heterogeneous(self):
+        p = ClusterProfile.from_vectors(cps=[50.0, 100.0], cms=1.0)
+        assert not p.is_homogeneous
+        assert p.cms == 1.0  # links are still uniform
+        with pytest.raises(InvalidParameterError):
+            _ = p.cps
+        assert p.worst_cps == 100.0
+
+    def test_with_spread_zero_is_homogeneous(self):
+        assert ClusterProfile.with_spread(
+            8, 1.0, 100.0, speed_spread=0.0
+        ) == ClusterProfile.homogeneous(8, 1.0, 100.0)
+
+    def test_with_spread_mean_and_bounds(self):
+        p = ClusterProfile.with_spread(5, 1.0, 100.0, speed_spread=1.0)
+        cps = np.asarray(p.cps_vector)
+        assert cps[0] == pytest.approx(50.0)
+        assert cps[-1] == pytest.approx(150.0)
+        assert cps.mean() == pytest.approx(100.0)
+        assert not p.is_homogeneous
+        with pytest.raises(InvalidParameterError):
+            ClusterProfile.with_spread(4, 1.0, 100.0, speed_spread=2.0)
+
+    def test_costs_for_gathers_by_id(self):
+        p = ClusterProfile.from_vectors(cps=[10.0, 20.0, 30.0], cms=[1.0, 2.0, 3.0])
+        cms, cps = p.costs_for([2, 0])
+        assert cms.tolist() == [3.0, 1.0]
+        assert cps.tolist() == [30.0, 10.0]
+
+    def test_cluster_spec_deprecated_wrapper(self):
+        with pytest.warns(DeprecationWarning, match="ClusterProfile"):
+            spec = ClusterSpec(nodes=4, cms=1.0, cps=100.0)
+        assert spec == ClusterProfile.homogeneous(4, 1.0, 100.0)
+        with pytest.warns(DeprecationWarning), pytest.raises(InvalidParameterError):
+            ClusterSpec(nodes=0, cms=1.0, cps=100.0)
+
+
+# ---------------------------------------------------------------------------
+# Homogeneous parity: uniform vectors ≡ closed forms
+# ---------------------------------------------------------------------------
+
+
+class TestUniformParity:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=32),
+        cms=cost_value,
+        cps=cps_value,
+        sigma=st.floats(min_value=1.0, max_value=500.0, allow_nan=False),
+    )
+    def test_execution_time_exact(self, n, cms, cps, sigma):
+        """Uniform profile dispatches to the closed form bit-for-bit."""
+        p = ClusterProfile.homogeneous(n, cms, cps)
+        assert p.min_execution_time(sigma) == dlt.execution_time(sigma, n, cms, cps)
+        sig = np.array([sigma, 2.0 * sigma, 3.0 * sigma])
+        assert (
+            p.min_execution_time_array(sig)
+            == dlt.execution_time_array(sig, n, cms, cps)
+        ).all()
+
+    @settings(max_examples=40, deadline=None)
+    @given(n=st.integers(min_value=1, max_value=32), cms=cost_value, cps=cps_value)
+    def test_opr_alphas_match_het_recurrence(self, n, cms, cps):
+        """The general recurrence collapses to the geometric rule."""
+        geometric = dlt.opr_alphas(n, cms, cps)
+        general = dlt.het_alphas((cms,) * n, (cps,) * n)
+        np.testing.assert_allclose(general, geometric, rtol=1e-12)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=32),
+        cms=cost_value,
+        cps=cps_value,
+        sigma=st.floats(min_value=1.0, max_value=500.0, allow_nan=False),
+    )
+    def test_het_execution_time_matches_closed_form(self, n, cms, cps, sigma):
+        closed = dlt.execution_time(sigma, n, cms, cps)
+        general = dlt.het_execution_time(sigma, (cms,) * n, (cps,) * n)
+        assert general == pytest.approx(closed, rel=1e-12)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        cms=cost_value,
+        cps=cps_value,
+        sigma=st.floats(min_value=1.0, max_value=500.0, allow_nan=False),
+        budget=st.floats(min_value=10.0, max_value=100_000.0, allow_nan=False),
+    )
+    def test_ntilde_min_vector_equals_scalar(self, cms, cps, sigma, budget):
+        """Uniform cost vectors give exactly the scalar ñ_min (Eq. 14)."""
+        scalar = het_model.ntilde_min(sigma, cms, cps, 0.0, budget, 0.0)
+        vector = het_model.ntilde_min(
+            sigma, (cms,) * 6, (cps,) * 6, 0.0, budget, 0.0
+        )
+        assert scalar == vector
+
+    def test_build_model_uniform_vector_matches_scalars(self):
+        """Vector input with equal entries ≈ the scalar fast path."""
+        releases = [0.0, 3.0, 7.0, 7.0]
+        scalar = het_model.build_model(100.0, releases, 1.0, 50.0)
+        vector = het_model.build_model(100.0, releases, (1.0,) * 4, (50.0,) * 4)
+        np.testing.assert_allclose(vector.alphas, scalar.alphas, rtol=1e-12)
+        assert vector.completion == pytest.approx(scalar.completion, rel=1e-12)
+        assert vector.no_iit_exec_time == pytest.approx(
+            scalar.no_iit_exec_time, rel=1e-12
+        )
+
+
+# ---------------------------------------------------------------------------
+# Heterogeneous analysis soundness
+# ---------------------------------------------------------------------------
+
+
+class TestHeterogeneousModel:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        profile=het_profiles(),
+        sigma=st.floats(min_value=5.0, max_value=400.0, allow_nan=False),
+        data=st.data(),
+    )
+    def test_estimate_bounds_actual_dispatch(self, profile, sigma, data):
+        """Theorem 4 generalized: actual completion <= r_n + Ê."""
+        n = profile.nodes
+        releases = sorted(
+            data.draw(
+                st.lists(
+                    st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+                    min_size=n,
+                    max_size=n,
+                )
+            )
+        )
+        cms, cps = profile.costs_for(range(n))
+        model = het_model.build_model(sigma, releases, cms, cps)
+        assert abs(sum(model.alphas) - 1.0) < 1e-9
+        schedule = het_model.actual_node_schedule(
+            sigma, model.alphas, releases, cms, cps
+        )
+        tol = 1e-6 * max(1.0, abs(model.completion))
+        assert schedule.completion <= model.completion + tol
+
+    @settings(max_examples=60, deadline=None)
+    @given(profile=het_profiles(), sigma=st.floats(min_value=5.0, max_value=400.0))
+    def test_het_execution_time_below_worst_case_bound(self, profile, sigma):
+        """E_het <= E_hom at worst-case costs — what makes ñ_min safe."""
+        actual = dlt.het_execution_time(sigma, profile.cms_vector, profile.cps_vector)
+        bound = dlt.execution_time(
+            sigma, profile.nodes, profile.worst_cms, profile.worst_cps
+        )
+        assert actual <= bound * (1.0 + 1e-9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(profile=het_profiles())
+    def test_het_alphas_positive_and_normalized(self, profile):
+        alphas = dlt.het_alphas(profile.cms_vector, profile.cps_vector)
+        assert (alphas > 0).all()
+        assert alphas.sum() == pytest.approx(1.0)
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: randomized heterogeneous runs under the strict validator
+# ---------------------------------------------------------------------------
+
+
+class TestHeterogeneousEndToEnd:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        profile=het_profiles(min_nodes=3, max_nodes=8),
+        algorithm=st.sampled_from(
+            ["EDF-DLT", "FIFO-DLT", "EDF-OPR-MN", "EDF-UserSplit", "EDF-DLT-AN"]
+        ),
+        load=st.floats(min_value=0.2, max_value=1.0, allow_nan=False),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_theorem4_holds_on_random_heterogeneous_runs(
+        self, profile, algorithm, load, seed
+    ):
+        """The strict validator (raises on violation) passes every run."""
+        scenario = Scenario(
+            cluster=profile,
+            workload=WorkloadModel.paper(
+                system_load=load, avg_sigma=100.0, dc_ratio=3.0, cluster=profile
+            ),
+            total_time=15_000.0,
+            seed=seed,
+            name="het-prop",
+        )
+        result = simulate(scenario, algorithm, validate=True, trace=True)
+        assert result.output.validation.ok
+        assert result.metrics.deadline_misses == 0
+
+    def test_spread_sweep_runs_and_is_paired(self):
+        r = run_spread_sweep(
+            spreads=[0.0, 1.0],
+            algorithms=("EDF-DLT", "EDF-OPR-MN"),
+            replications=2,
+            total_time=20_000.0,
+            nodes=6,
+        )
+        assert r.spreads == (0.0, 1.0)
+        for pts in r.series.values():
+            assert len(pts) == 2
+            assert all(0.0 <= p.mean <= 1.0 for p in pts)
+
+    def test_paper_baseline_spread_calibrates_against_het_capacity(self):
+        hom = Scenario.paper_baseline(system_load=0.5, total_time=10_000.0, seed=1)
+        het = Scenario.paper_baseline(
+            system_load=0.5, total_time=10_000.0, seed=1, speed_spread=1.0
+        )
+        assert hom.cluster.is_homogeneous
+        assert not het.cluster.is_homogeneous
+        # The calibrated mean inter-arrival follows the het cluster's E.
+        assert het.workload.arrivals.mean_interarrival == pytest.approx(
+            het.cluster.min_execution_time(200.0) / 0.5
+        )

@@ -80,7 +80,7 @@ class TestModelConstruction:
 
 class TestPartitionProperties:
     @given(sigma=sigmas, releases=release_vectors, costs=cost_pairs)
-    @settings(max_examples=200)
+    @settings(max_examples=200, deadline=None)
     def test_alphas_sum_to_one_and_positive(self, sigma, releases, costs):
         cms, cps = costs
         m = build(sigma, releases, cms, cps)
@@ -89,7 +89,7 @@ class TestPartitionProperties:
         assert a.sum() == pytest.approx(1.0, rel=1e-9)
 
     @given(sigma=sigmas, releases=release_vectors, costs=cost_pairs)
-    @settings(max_examples=200)
+    @settings(max_examples=200, deadline=None)
     def test_assertion1_alpha_i_below_alpha_1(self, sigma, releases, costs):
         """Assertion 1: α_i < α_1 for i >= 2."""
         cms, cps = costs
@@ -98,7 +98,7 @@ class TestPartitionProperties:
         assert all(a[i] < a[0] * (1 + 1e-12) for i in range(1, len(a)))
 
     @given(sigma=sigmas, releases=release_vectors, costs=cost_pairs)
-    @settings(max_examples=200)
+    @settings(max_examples=200, deadline=None)
     def test_lemma2_alpha_bound(self, sigma, releases, costs):
         """Lemma 2: α_i < (Cps_1 / Cps_i) α_1 for i >= 2."""
         cms, cps = costs
@@ -108,7 +108,7 @@ class TestPartitionProperties:
             assert m.alphas[i] < bound * (1 + 1e-9)
 
     @given(sigma=sigmas, releases=release_vectors, costs=cost_pairs)
-    @settings(max_examples=200)
+    @settings(max_examples=200, deadline=None)
     def test_eq9_exec_time_bounded_by_no_iit(self, sigma, releases, costs):
         """Eq. 9: Ê(σ, n) <= E(σ, n)."""
         cms, cps = costs
@@ -121,7 +121,7 @@ class TestPartitionProperties:
         assert m.exec_time < m.no_iit_exec_time * (1 - 1e-9)
 
     @given(sigma=sigmas, releases=release_vectors, costs=cost_pairs)
-    @settings(max_examples=150)
+    @settings(max_examples=150, deadline=None)
     def test_equal_finish_in_het_model(self, sigma, releases, costs):
         """DLT optimality: in the het model all nodes finish at r_n + Ê.
 
@@ -154,7 +154,7 @@ class TestNtildeMin:
         costs=cost_pairs,
         slack=st.floats(min_value=1.05, max_value=30.0),
     )
-    @settings(max_examples=150)
+    @settings(max_examples=150, deadline=None)
     def test_allocating_ntilde_guarantees_deadline(
         self, sigma, releases, costs, slack
     ):
@@ -186,7 +186,7 @@ class TestActualSchedule:
             assert sched.trans_start[i] >= m.release_times[i] - 1e-12
 
     @given(sigma=sigmas, releases=release_vectors, costs=cost_pairs)
-    @settings(max_examples=200)
+    @settings(max_examples=200, deadline=None)
     def test_theorem4_actual_no_later_than_estimate(self, sigma, releases, costs):
         """Theorem 4, the paper's soundness result, on random instances."""
         cms, cps = costs
@@ -197,7 +197,7 @@ class TestActualSchedule:
         assert sched.completion <= m.completion * (1 + 1e-9)
 
     @given(sigma=sigmas, releases=release_vectors, costs=cost_pairs)
-    @settings(max_examples=100)
+    @settings(max_examples=100, deadline=None)
     def test_theorem4_per_node_bound(self, sigma, releases, costs):
         """The proof's stronger per-node form: every t_act_i <= t_est."""
         cms, cps = costs

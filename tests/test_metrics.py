@@ -7,7 +7,6 @@ import pytest
 
 from repro.core.errors import InvalidParameterError
 from repro.experiments.runner import simulate
-from repro.metrics.collector import summarize
 from repro.metrics.stats import ConfidenceInterval, mean_ci
 from repro.workload.spec import SimulationConfig
 

@@ -7,7 +7,7 @@ import pickle
 import numpy as np
 import pytest
 
-from repro.core.cluster import ClusterSpec
+from repro.core.cluster import ClusterProfile, ClusterSpec
 from repro.core.errors import InvalidParameterError
 from repro.core import dlt
 from repro.experiments.runner import simulate
@@ -204,6 +204,84 @@ class TestArrivalProcesses:
             TraceArrivals.from_sequence([1.0, 1.0])
         with pytest.raises(InvalidParameterError):
             TraceArrivals.from_sequence([-1.0, 2.0])
+
+    def test_trace_from_csv_with_header(self, tmp_path, rng):
+        path = tmp_path / "trace.csv"
+        path.write_text(
+            "task_id,arrival_time,source\n"
+            "0,1.5,siteA\n"
+            "1,4.0,siteB\n"
+            "2,9.25,siteA\n"
+        )
+        trace = TraceArrivals.from_csv(path)
+        assert trace.times == (1.5, 4.0, 9.25)
+        assert trace.sample(rng, 5.0).tolist() == [1.5, 4.0]
+
+    def test_trace_from_csv_headerless_first_column(self, tmp_path):
+        path = tmp_path / "bare.csv"
+        path.write_text("2.0\n3.5\n10.0\n")
+        assert TraceArrivals.from_csv(path).times == (2.0, 3.5, 10.0)
+
+    def test_trace_from_csv_rejects_bad_files(self, tmp_path):
+        empty = tmp_path / "empty.csv"
+        empty.write_text("")
+        with pytest.raises(InvalidParameterError):
+            TraceArrivals.from_csv(empty)
+        header_only = tmp_path / "header.csv"
+        header_only.write_text("arrival_time\n")
+        with pytest.raises(InvalidParameterError):
+            TraceArrivals.from_csv(header_only)
+        garbled = tmp_path / "bad.csv"
+        garbled.write_text("arrival_time\n1.0\nnot-a-number\n")
+        with pytest.raises(InvalidParameterError):
+            TraceArrivals.from_csv(garbled)
+
+    def test_trace_from_csv_refuses_to_guess_among_columns(self, tmp_path):
+        """A multi-column header without the time column must not fall
+        back to column 0 (task ids sort ascending and would pass)."""
+        path = tmp_path / "renamed.csv"
+        path.write_text("task_id,timestamp\n0,100.5\n1,250.0\n2,900.0\n")
+        with pytest.raises(InvalidParameterError, match="arrival_time"):
+            TraceArrivals.from_csv(path)
+        trace = TraceArrivals.from_csv(path, column="timestamp")
+        assert trace.times == (100.5, 250.0, 900.0)
+
+    def test_trace_from_csv_single_renamed_column_still_loads(self, tmp_path):
+        path = tmp_path / "single.csv"
+        path.write_text("ts\n1.0\n2.0\n")
+        assert TraceArrivals.from_csv(path).times == (1.0, 2.0)
+
+    def test_sample_trace_example_loads_and_runs(self):
+        """The shipped examples/sample_arrivals.csv replays end to end."""
+        import pathlib
+
+        from repro.experiments.runner import simulate
+        from repro.workload.models import ProportionalDeadlines
+
+        path = (
+            pathlib.Path(__file__).resolve().parent.parent
+            / "examples"
+            / "sample_arrivals.csv"
+        )
+        trace = TraceArrivals.from_csv(path)
+        assert len(trace.times) >= 20
+        cluster = ClusterProfile.homogeneous(8, 1.0, 100.0)
+        scenario = Scenario(
+            cluster=cluster,
+            workload=WorkloadModel(
+                arrivals=trace,
+                sizes=TruncatedNormalSizes(mean=100.0),
+                deadlines=ProportionalDeadlines(factor=4.0),
+            ),
+            total_time=30_000.0,
+            seed=5,
+            name="csv-trace",
+        )
+        result = simulate(scenario, "EDF-DLT")
+        assert result.output.validation.ok
+        assert result.metrics.arrivals == sum(
+            1 for t in trace.times if t < 30_000.0
+        )
 
 
 class TestSizeModels:
