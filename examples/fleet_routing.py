@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Fleet routing: shard one arrival stream across four clusters.
+
+Walkthrough of the ``repro.fleet`` layer:
+
+1. a 1-cluster fleet reproduces the single-cluster simulation *exactly*
+   (same seed → bit-identical records under every routing policy);
+2. a heterogeneous 4-cluster fleet (fast → slow members) compares all
+   four routing policies on the identical shared stream;
+3. the documented configuration where the DLT-aware ``earliest-finish``
+   router beats blind ``round-robin`` on fleet reject ratio — asserted
+   here and in ``tests/test_fleet.py``.
+
+Usage::
+
+    python examples/fleet_routing.py
+"""
+
+from __future__ import annotations
+
+from repro import FleetScenario, simulate, simulate_fleet
+from repro.fleet import routing_policy_names
+
+#: The documented configuration (see docs/fleet.md): four 8-node clusters
+#: whose nominal per-node cost spans cps·[0.6, 1.4] (cluster 0 fastest),
+#: fed at 0.6 per-cluster load.
+FLEET_KWARGS = dict(
+    n_clusters=4,
+    system_load=0.6,
+    total_time=100_000.0,
+    seed=2007,
+    nodes=8,
+    cluster_spread=0.8,
+)
+
+
+def show_single_cluster_equivalence() -> None:
+    """A 1-cluster fleet is the single-cluster simulation, bit for bit."""
+    print("1. single-cluster equivalence")
+    print("-" * 60)
+    for policy in routing_policy_names():
+        fleet = FleetScenario.uniform(
+            n_clusters=1,
+            system_load=0.6,
+            total_time=60_000.0,
+            seed=42,
+            policy=policy,
+        )
+        fleet_out = simulate_fleet(fleet, "EDF-DLT")
+        single_out = simulate(fleet.stream_scenario(), "EDF-DLT")
+        assert fleet_out.metrics == single_out.metrics
+        print(
+            f"  policy={policy:<16s} fleet rr={fleet_out.reject_ratio:.4f} "
+            f"== single rr={single_out.metrics.reject_ratio:.4f}"
+        )
+    print()
+
+
+def compare_policies() -> None:
+    """All four policies on the identical heterogeneous 4-cluster stream."""
+    print("2. routing policies on a heterogeneous 4-cluster fleet")
+    print("-" * 60)
+    base = FleetScenario.uniform(**FLEET_KWARGS)
+    print(
+        f"  {base.n_clusters} clusters x {base.clusters[0].nodes} nodes, "
+        f"cluster_spread=0.8 (cluster 0 fastest), "
+        f"per-cluster load {0.6:g}, seed {base.seed}"
+    )
+    print()
+    results: dict[str, float] = {}
+    for policy in routing_policy_names():
+        out = simulate_fleet(base.with_policy(policy), "EDF-DLT")
+        results[policy] = out.reject_ratio
+        routed = "/".join(str(c) for c in out.routed_counts)
+        print(
+            f"  {policy:<16s} fleet rr={out.reject_ratio:.4f}  "
+            f"util={out.metrics.utilization:.3f}  routed {routed}"
+        )
+        for m in out.per_cluster:
+            assert m.deadline_misses == 0  # Theorem 4 held on every member
+    print()
+
+    # The headline claim, asserted: the DLT-aware router sees through the
+    # speed spread that blind cycling cannot.
+    assert results["earliest-finish"] <= results["round-robin"], results
+    gain = results["round-robin"] - results["earliest-finish"]
+    print(
+        f"  earliest-finish rejects {gain:.1%} fewer arrivals than "
+        "round-robin on this fleet."
+    )
+    print()
+
+
+def main() -> None:
+    """Run the full walkthrough."""
+    show_single_cluster_equivalence()
+    compare_policies()
+    print("All fleet assertions held (equivalence + earliest-finish win).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Documentation gate: intra-repo links + fleet docstring coverage.
+
+Two checks, both dependency-free so they run anywhere the package does:
+
+1. **Links** — every relative (intra-repo) Markdown link target in
+   ``README.md`` and ``docs/*.md`` must exist on disk.  External links
+   (``http(s)://``, ``mailto:``) and pure in-page anchors are skipped;
+   an anchor on a file link only requires the file.
+2. **Docstrings** — every public symbol of ``repro.fleet`` (every module,
+   every name in each module's ``__all__``, and the public
+   methods/properties of public classes) must carry a docstring.
+
+Exit code 0 = clean; 1 = problems (each printed on its own line).
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_docs.py
+"""
+
+from __future__ import annotations
+
+import inspect
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Markdown inline links: [text](target) — images too.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Link schemes that are not files in this repo.
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def iter_markdown_files() -> list[Path]:
+    """README.md plus every Markdown file under docs/."""
+    files = [REPO / "README.md"]
+    files.extend(sorted((REPO / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def check_links() -> list[str]:
+    """Return one problem string per broken intra-repo link."""
+    problems: list[str] = []
+    for md in iter_markdown_files():
+        text = md.read_text(encoding="utf-8")
+        for match in _LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            resolved = (md.parent / path_part).resolve()
+            if not resolved.exists():
+                rel = md.relative_to(REPO)
+                problems.append(f"{rel}: broken link -> {target}")
+    return problems
+
+
+def _public_members(obj: object, qualname: str) -> list[tuple[str, object]]:
+    """(qualname, member) pairs for an object's public attributes."""
+    members = []
+    for name, member in vars(obj).items():
+        if name.startswith("_"):
+            continue
+        if isinstance(member, property):
+            members.append((f"{qualname}.{name}", member))
+        elif inspect.isfunction(member):
+            members.append((f"{qualname}.{name}", member))
+    return members
+
+
+def check_fleet_docstrings() -> list[str]:
+    """Return one problem string per missing repro.fleet docstring."""
+    import importlib
+    import pkgutil
+
+    import repro.fleet
+
+    problems: list[str] = []
+    todo: list[tuple[str, object]] = [("repro.fleet", repro.fleet)]
+    for info in pkgutil.iter_modules(repro.fleet.__path__):
+        name = f"repro.fleet.{info.name}"
+        todo.append((name, importlib.import_module(name)))
+
+    for mod_name, module in todo:
+        if not inspect.getdoc(module):
+            problems.append(f"{mod_name}: missing module docstring")
+        for symbol in getattr(module, "__all__", []):
+            obj = getattr(module, symbol)
+            qualname = f"{mod_name}.{symbol}"
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                if not inspect.getdoc(obj):
+                    problems.append(f"{qualname}: missing docstring")
+                if inspect.isclass(obj):
+                    for member_name, member in _public_members(obj, qualname):
+                        doc = (
+                            member.fget.__doc__
+                            if isinstance(member, property) and member.fget
+                            else getattr(member, "__doc__", None)
+                        )
+                        if not doc:
+                            problems.append(
+                                f"{member_name}: missing docstring"
+                            )
+    return problems
+
+
+def main() -> int:
+    """Run both checks; print problems; return the exit code."""
+    problems = check_links() + check_fleet_docstrings()
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"\n{len(problems)} documentation problem(s)", file=sys.stderr)
+        return 1
+    md_count = len(iter_markdown_files())
+    print(f"docs OK: links resolve across {md_count} Markdown files; "
+          "all public repro.fleet symbols are documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,6 +43,14 @@ The package is organised the way the paper is:
     spec, JSON/CSV export), a registry with one entry per figure panel of
     the paper, sweep drivers and plain-text report rendering.
 
+``repro.fleet``
+    The multi-cluster layer: :class:`FleetScenario` shards one shared
+    workload stream across several member clusters behind a pluggable
+    routing policy (round-robin, random-weighted, least-loaded,
+    earliest-finish), and :class:`FleetSimulation` drives the members'
+    independent simulations in lockstep.  A 1-cluster fleet is
+    bit-identical to the corresponding single-cluster run.
+
 ``repro.ext``
     Extensions beyond the paper: multi-round dispatch (the paper's stated
     future work) and ablations of under-specified model choices.
@@ -111,6 +119,15 @@ from repro.experiments.runner import (
     run_replications,
     simulate,
 )
+from repro.fleet import (
+    ROUTING_POLICIES,
+    FleetOutput,
+    FleetScenario,
+    FleetSimulation,
+    RoutingPolicy,
+    run_fleet_sweep,
+    simulate_fleet,
+)
 from repro.workload.models import (
     ArrivalProcess,
     DeadlineModel,
@@ -129,6 +146,7 @@ from repro.workload.spec import SimulationConfig, WorkloadSpec
 
 __all__ = [
     "ALGORITHMS",
+    "ROUTING_POLICIES",
     "AlgorithmSpec",
     "ArrivalProcess",
     "BatchRunner",
@@ -136,12 +154,16 @@ __all__ = [
     "ClusterSpec",
     "DeadlineModel",
     "DivisibleTask",
+    "FleetOutput",
+    "FleetScenario",
+    "FleetSimulation",
     "MMPPProcess",
     "ParetoSizes",
     "PoissonProcess",
     "ProportionalDeadlines",
     "ReplicatedResult",
     "ResultSet",
+    "RoutingPolicy",
     "RunRecord",
     "RunResult",
     "RunSpec",
@@ -158,6 +180,8 @@ __all__ = [
     "WorkloadSpec",
     "__version__",
     "make_algorithm",
+    "run_fleet_sweep",
     "run_replications",
     "simulate",
+    "simulate_fleet",
 ]

@@ -31,11 +31,14 @@ from typing import Sequence
 from repro.core.algorithms import ALGORITHMS, algorithm_names
 from repro.core.cluster import ClusterProfile
 from repro.core.errors import InvalidParameterError, ReproError
+from repro.core.partition import NODE_ORDERS
 from repro.experiments.batch import BatchRunner, RunSpec
 from repro.experiments.figures import DEFAULT_LOADS, FIGURES
 from repro.experiments.report import panel_to_csv, render_chart, render_panel
 from repro.experiments.runner import replication_seed, simulate
 from repro.experiments.sweep import run_panel, run_spread_sweep
+from repro.fleet.routing import routing_policy_names
+from repro.fleet.scenario import FleetScenario
 from repro.metrics.collector import metric_names, validate_metric
 from repro.workload.models import (
     MMPPProcess,
@@ -151,6 +154,13 @@ def _add_sim_flag_args(p: argparse.ArgumentParser) -> None:
         action="store_true",
         help="serialize all chunk transmissions through one head-node link "
         "(ablation; estimates may be exceeded)",
+    )
+    p.add_argument(
+        "--node-order",
+        choices=NODE_ORDERS,
+        default="availability",
+        help="tie-break among simultaneously available nodes "
+        "(default: the paper's node-id order)",
     )
 
 
@@ -359,6 +369,80 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_sw.add_argument("--csv", action="store_true", help="emit CSV instead of a table")
 
+    p_fl = sub.add_parser(
+        "fleet",
+        help="shard one workload stream across several simulated clusters",
+    )
+    p_fl.add_argument(
+        "--clusters",
+        type=int,
+        default=4,
+        help="number of member clusters (default: 4)",
+    )
+    p_fl.add_argument(
+        "--policy",
+        dest="policies",
+        choices=routing_policy_names(),
+        action="append",
+        default=None,
+        metavar="POLICY",
+        help="routing policy (repeatable; default: all policies)",
+    )
+    p_fl.add_argument(
+        "--algorithm", choices=sorted(ALGORITHMS), default="EDF-DLT"
+    )
+    p_fl.add_argument("--nodes", type=int, default=16, help="nodes per cluster")
+    p_fl.add_argument("--cms", type=float, default=1.0)
+    p_fl.add_argument("--cps", type=float, default=100.0)
+    p_fl.add_argument(
+        "--load",
+        type=float,
+        default=0.6,
+        help="per-cluster SystemLoad (the shared stream runs at "
+        "clusters x this rate)",
+    )
+    p_fl.add_argument("--avg-sigma", type=float, default=200.0)
+    p_fl.add_argument("--dc-ratio", type=float, default=2.0)
+    p_fl.add_argument(
+        "--speed-spread",
+        type=float,
+        default=0.0,
+        help="per-node heterogeneity within each cluster (see run-point)",
+    )
+    p_fl.add_argument(
+        "--cluster-spread",
+        type=float,
+        default=0.0,
+        help="heterogeneity across clusters: member j's nominal cps spans "
+        "[cps(1-s/2), cps(1+s/2)] (0 = identical clusters, < 2)",
+    )
+    _add_scale_args(p_fl)
+    p_fl.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the batch (default: serial)",
+    )
+    p_fl.add_argument(
+        "--workers-mode",
+        choices=("process", "thread"),
+        default="process",
+        help="parallel executor kind (thread = fork-free environments)",
+    )
+    p_fl.add_argument(
+        "--metric",
+        default="reject_ratio",
+        help="metric to aggregate (see repro.metrics.metric_names())",
+    )
+    p_fl.add_argument(
+        "--per-cluster",
+        action="store_true",
+        help="also print a per-cluster breakdown of the first replication",
+    )
+    fmt_fl = p_fl.add_mutually_exclusive_group()
+    fmt_fl.add_argument("--json", action="store_true", help="emit all records as JSON")
+    fmt_fl.add_argument("--csv", action="store_true", help="emit all records as CSV")
+
     return parser
 
 
@@ -410,6 +494,7 @@ def _cmd_run_point(args: argparse.Namespace) -> int:
         args.algorithm,
         eager_release=args.eager_release,
         shared_head_link=args.shared_head_link,
+        node_order=args.node_order,
     )
     m = result.metrics
     if args.json:
@@ -504,6 +589,7 @@ def _cmd_run_scenario(args: argparse.Namespace) -> int:
             labels={"replication": rep},
             eager_release=args.eager_release,
             shared_head_link=args.shared_head_link,
+            node_order=args.node_order,
         )
         for algorithm in algorithms
         for rep in range(args.replications)
@@ -546,6 +632,91 @@ def _cmd_run_scenario(args: argparse.Namespace) -> int:
 def _fmt_cost(value: float | int | str) -> str:
     """Render a describe() cost: scalar → %g, vector string → as-is."""
     return f"{value:g}" if isinstance(value, (int, float)) else str(value)
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    validate_metric(args.metric)
+    if args.replications < 1:
+        raise InvalidParameterError(
+            f"--replications must be >= 1, got {args.replications}"
+        )
+    policies = tuple(args.policies) if args.policies else routing_policy_names()
+    base = FleetScenario.uniform(
+        n_clusters=args.clusters,
+        system_load=args.load,
+        total_time=args.total_time,
+        seed=args.seed,
+        nodes=args.nodes,
+        cms=args.cms,
+        cps=args.cps,
+        avg_sigma=args.avg_sigma,
+        dc_ratio=args.dc_ratio,
+        speed_spread=args.speed_spread,
+        cluster_spread=args.cluster_spread,
+        name=f"cli-fleet-{args.clusters}x{args.nodes}",
+    )
+
+    specs = [
+        RunSpec(
+            scenario=base.with_policy(policy).with_seed(
+                replication_seed(base.seed, rep)
+            ),
+            algorithm=args.algorithm,
+            labels={"policy": policy, "replication": rep},
+            # --per-cluster prints the rep-0 breakdown from these outputs
+            # instead of re-simulating.
+            keep_output=args.per_cluster and rep == 0,
+        )
+        for policy in policies
+        for rep in range(args.replications)
+    ]
+    results = BatchRunner(workers=args.workers, workers_mode=args.workers_mode).run(
+        specs
+    )
+
+    if args.json:
+        print(results.to_json())
+        return 0
+    if args.csv:
+        print(results.to_csv(), end="")
+        return 0
+
+    d = base.describe()
+    print(
+        f"fleet {base.name!r}: {d['clusters']} clusters x {args.nodes} nodes, "
+        f"policy x {len(policies)}, algorithm={args.algorithm}"
+    )
+    print(
+        f"per-cluster load={args.load:g}, cluster_spread={args.cluster_spread:g}, "
+        f"horizon={base.total_time:g}, replications={args.replications}, "
+        f"base seed={base.seed}, metric={args.metric}"
+    )
+    print()
+    width = max(len(p) for p in policies)
+    for policy in policies:
+        sub = results.filter(policy=policy)
+        ci = sub.aggregate(args.metric)
+        mean_arrivals = sum(r.metrics.arrivals for r in sub) / len(sub)
+        print(
+            f"{policy:<{width}s}  {args.metric} = {ci.mean:.4f} "
+            f"± {ci.half_width:.4f}  (n={ci.n}, mean arrivals/run "
+            f"{mean_arrivals:.0f})"
+        )
+    if args.per_cluster:
+        print()
+        for policy in policies:
+            [record] = results.filter(policy=policy, replication=0)
+            out = record.output
+            assert out is not None  # keep_output was set on rep-0 specs
+            cells = "  ".join(
+                f"[{i}] rr={m.reject_ratio:.3f} util={m.utilization:.3f} "
+                f"n={count}"
+                for i, (m, count) in enumerate(
+                    zip(out.per_cluster, out.routed_counts)
+                )
+            )
+            print(f"{policy:<{width}s}  {cells}")
+    return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -607,6 +778,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_run_scenario(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "fleet":
+        return _cmd_fleet(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -44,7 +44,7 @@ class AlgorithmSpec:
 
     name: str
     policy_factory: Callable[[], SchedulingPolicy]
-    partitioner_factory: Callable[[np.random.Generator | None], Partitioner]
+    partitioner_factory: Callable[[np.random.Generator | None, str], Partitioner]
     utilizes_iits: bool
     description: str
 
@@ -71,7 +71,7 @@ class AlgorithmInstance:
 def _spec(
     name: str,
     policy_factory: Callable[[], SchedulingPolicy],
-    partitioner_factory: Callable[[np.random.Generator | None], Partitioner],
+    partitioner_factory: Callable[[np.random.Generator | None, str], Partitioner],
     utilizes_iits: bool,
     description: str,
 ) -> AlgorithmSpec:
@@ -84,24 +84,24 @@ def _spec(
     )
 
 
-def _dlt(_rng: np.random.Generator | None) -> Partitioner:
-    return DltIitPartitioner()
+def _dlt(_rng: np.random.Generator | None, node_order: str) -> Partitioner:
+    return DltIitPartitioner(node_order=node_order)
 
 
-def _dlt_an(_rng: np.random.Generator | None) -> Partitioner:
-    return DltIitPartitioner(assign_all_nodes=True)
+def _dlt_an(_rng: np.random.Generator | None, node_order: str) -> Partitioner:
+    return DltIitPartitioner(assign_all_nodes=True, node_order=node_order)
 
 
-def _opr_mn(_rng: np.random.Generator | None) -> Partitioner:
-    return OprPartitioner()
+def _opr_mn(_rng: np.random.Generator | None, node_order: str) -> Partitioner:
+    return OprPartitioner(node_order=node_order)
 
 
-def _opr_an(_rng: np.random.Generator | None) -> Partitioner:
-    return OprPartitioner(assign_all_nodes=True)
+def _opr_an(_rng: np.random.Generator | None, node_order: str) -> Partitioner:
+    return OprPartitioner(assign_all_nodes=True, node_order=node_order)
 
 
-def _user_split(rng: np.random.Generator | None) -> Partitioner:
-    return UserSplitPartitioner(rng=rng)
+def _user_split(rng: np.random.Generator | None, node_order: str) -> Partitioner:
+    return UserSplitPartitioner(rng=rng, node_order=node_order)
 
 
 #: Registry of every algorithm the harness can run, keyed by paper name.
@@ -189,6 +189,7 @@ def make_algorithm(
     name: str,
     *,
     rng: np.random.Generator | None = None,
+    node_order: str = "availability",
 ) -> AlgorithmInstance:
     """Instantiate a named algorithm.
 
@@ -202,6 +203,10 @@ def make_algorithm(
         node request).  Ignored by deterministic algorithms; required
         seeding discipline is the caller's (the experiment runner derives
         it from the run seed).
+    node_order:
+        Tie-breaking among simultaneously available nodes (see
+        :data:`repro.core.partition.NODE_ORDERS`); the default reproduces
+        the paper's (availability, node id) ordering bit-for-bit.
 
     Raises
     ------
@@ -216,7 +221,7 @@ def make_algorithm(
     return AlgorithmInstance(
         spec=spec,
         policy=spec.policy_factory(),
-        partitioner=spec.partitioner_factory(rng),
+        partitioner=spec.partitioner_factory(rng, node_order),
     )
 
 

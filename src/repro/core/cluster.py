@@ -237,6 +237,20 @@ class ClusterProfile:
         )
 
     # -- per-node access ---------------------------------------------------
+    @property
+    def cms_array(self) -> "NDArray[np.float64]":
+        """Read-only per-link cost vector as an ndarray (by node id)."""
+        view = self._cms_array.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def cps_array(self) -> "NDArray[np.float64]":
+        """Read-only per-node cost vector as an ndarray (by node id)."""
+        view = self._cps_array.view()
+        view.flags.writeable = False
+        return view
+
     def costs_for(
         self, node_ids: Sequence[int] | "NDArray[np.intp]"
     ) -> tuple["NDArray[np.float64]", "NDArray[np.float64]"]:

@@ -43,13 +43,36 @@ if TYPE_CHECKING:  # pragma: no cover
     from numpy.typing import NDArray
 
 __all__ = [
+    "NODE_ORDERS",
     "DltIitPartitioner",
     "OprPartitioner",
     "Partitioner",
     "PlacementPlan",
     "UserSplitPartitioner",
     "feasible_by",
+    "sorted_candidates",
 ]
+
+#: Valid node-ordering policies for heterogeneous placement.  Candidates
+#: are always ordered by availability first; the policy chooses the
+#: tie-break among simultaneously available nodes:
+#:
+#: ``"availability"``
+#:     Node id (the paper's ordering — bit-for-bit the historical default).
+#: ``"fastest-first"``
+#:     Lower processing cost ``Cps_i`` first (then node id).
+#: ``"bandwidth-first"``
+#:     Lower link cost ``Cms_i`` first (then node id).
+NODE_ORDERS: tuple[str, ...] = ("availability", "fastest-first", "bandwidth-first")
+
+
+def validate_node_order(order: str) -> str:
+    """Return ``order`` if it names a node-ordering policy, else raise."""
+    if order not in NODE_ORDERS:
+        raise InvalidParameterError(
+            f"unknown node order {order!r}; valid: {', '.join(NODE_ORDERS)}"
+        )
+    return order
 
 
 def feasible_by(completion: float, absolute_deadline: float) -> bool:
@@ -159,11 +182,28 @@ class PlacementPlan:
         return self.release_times[-1]
 
 
-def _sorted_candidates(
+def sorted_candidates(
     avail: "NDArray[np.float64]",
+    cluster: ClusterProfile | None = None,
+    node_order: str = "availability",
 ) -> tuple["NDArray[np.intp]", "NDArray[np.float64]"]:
-    """Node ids sorted by availability (stable → node-id tie-break)."""
-    order = np.argsort(avail, kind="stable")
+    """Node ids sorted by availability, ties broken per ``node_order``.
+
+    The default reproduces the paper's ordering bit-for-bit (stable sort →
+    node-id tie-break).  ``"fastest-first"`` / ``"bandwidth-first"`` break
+    availability ties toward cheaper ``Cps_i`` / ``Cms_i`` nodes, which only
+    matters on heterogeneous clusters where several nodes free up at the
+    same instant (always the case at time 0).
+    """
+    if node_order == "availability" or cluster is None:
+        order = np.argsort(avail, kind="stable")
+        return order, avail[order]
+    validate_node_order(node_order)
+    tiebreak = (
+        cluster.cps_array if node_order == "fastest-first" else cluster.cms_array
+    )
+    # lexsort: last key is primary; stable, so full ties fall back to node id.
+    order = np.lexsort((tiebreak, avail))
     return order, avail[order]
 
 
@@ -242,6 +282,9 @@ class DltIitPartitioner(Partitioner):
         re-evaluating ``ñ_min(avail_k)`` at each — a strictly more generous
         node-count rule that benefits DLT and OPR alike (see
         ``benchmarks/test_bench_ablations.py``).
+    node_order:
+        Candidate ordering among simultaneously available nodes (see
+        :data:`NODE_ORDERS`); the default is the paper's node-id tie-break.
     """
 
     def __init__(
@@ -249,9 +292,11 @@ class DltIitPartitioner(Partitioner):
         *,
         assign_all_nodes: bool = False,
         fixed_point_node_count: bool = False,
+        node_order: str = "availability",
     ) -> None:
         self.assign_all_nodes = assign_all_nodes
         self.fixed_point_node_count = fixed_point_node_count
+        self.node_order = validate_node_order(node_order)
         self.method = "dlt-iit-an" if assign_all_nodes else "dlt-iit"
 
     def _plan_for(
@@ -290,7 +335,7 @@ class DltIitPartitioner(Partitioner):
         now: float,
     ) -> PlacementPlan | None:
         avail = np.maximum(np.asarray(avail, dtype=np.float64), task.arrival)
-        order, sorted_avail = _sorted_candidates(avail)
+        order, sorted_avail = sorted_candidates(avail, cluster, self.node_order)
         big_n = cluster.nodes
 
         if self.assign_all_nodes:
@@ -349,6 +394,9 @@ class OprPartitioner(Partitioner):
     fixed_point_node_count:
         Same ablation switch as on :class:`DltIitPartitioner`, applied to
         the baseline so the ablation compares like with like.
+    node_order:
+        Candidate ordering among simultaneously available nodes (see
+        :data:`NODE_ORDERS`).
     """
 
     def __init__(
@@ -356,9 +404,11 @@ class OprPartitioner(Partitioner):
         *,
         assign_all_nodes: bool = False,
         fixed_point_node_count: bool = False,
+        node_order: str = "availability",
     ) -> None:
         self.assign_all_nodes = assign_all_nodes
         self.fixed_point_node_count = fixed_point_node_count
+        self.node_order = validate_node_order(node_order)
         self.method = "opr-an" if assign_all_nodes else "opr"
 
     def _plan_for(
@@ -406,7 +456,7 @@ class OprPartitioner(Partitioner):
         now: float,
     ) -> PlacementPlan | None:
         avail = np.maximum(np.asarray(avail, dtype=np.float64), task.arrival)
-        order, sorted_avail = _sorted_candidates(avail)
+        order, sorted_avail = sorted_candidates(avail, cluster, self.node_order)
         big_n = cluster.nodes
 
         if self.assign_all_nodes:
@@ -469,6 +519,9 @@ class UserSplitPartitioner(Partitioner):
         reproduces Figure 5a's "DLT always wins at DCRatio=2" and the
         Section 5.2 gain magnitudes better, so ``False`` is the default;
         the pseudocode-literal behaviour is benchmarked as an ablation.
+    node_order:
+        Candidate ordering among simultaneously available nodes (see
+        :data:`NODE_ORDERS`).
     """
 
     method = "user-split"
@@ -478,9 +531,11 @@ class UserSplitPartitioner(Partitioner):
         rng: np.random.Generator | None = None,
         *,
         redraw_on_replan: bool = False,
+        node_order: str = "availability",
     ) -> None:
         self.rng = rng if rng is not None else np.random.default_rng()
         self.redraw_on_replan = redraw_on_replan
+        self.node_order = validate_node_order(node_order)
         self._requested: dict[int, int | None] = {}
 
     @staticmethod
@@ -540,7 +595,7 @@ class UserSplitPartitioner(Partitioner):
             return None
 
         avail = np.maximum(np.asarray(avail, dtype=np.float64), task.arrival)
-        order, sorted_avail = _sorted_candidates(avail)
+        order, sorted_avail = sorted_candidates(avail, cluster, self.node_order)
         releases = sorted_avail[:n]
 
         # Eq. 15: sequential transmission of n equal chunks.

@@ -29,6 +29,7 @@ from typing import Any, Callable, Iterable, Iterator, Mapping
 
 from repro.core.algorithms import ALGORITHMS
 from repro.core.errors import InvalidParameterError
+from repro.core.partition import validate_node_order
 from repro.metrics.collector import MetricsSummary, validate_metric
 from repro.metrics.stats import ConfidenceInterval, mean_ci
 from repro.sim.cluster_sim import SimulationOutput
@@ -44,6 +45,11 @@ LabelValue = float | int | str
 class RunSpec:
     """One unit of batch work: run ``algorithm`` on ``scenario``.
 
+    ``scenario`` may be a single-cluster :class:`Scenario` or a
+    :class:`~repro.fleet.scenario.FleetScenario` — fleet points execute
+    through :func:`repro.fleet.sim.simulate_fleet` and fan out over
+    workers exactly like single-cluster points.
+
     ``labels`` are free-form coordinates (sweep point, replication index,
     …) carried through to the :class:`RunRecord` and its exports —
     :class:`BatchRunner` never interprets them.
@@ -57,17 +63,23 @@ class RunSpec:
     eager_release: bool = False
     shared_head_link: bool = False
     keep_output: bool = False
+    node_order: str = "availability"
 
     def __post_init__(self) -> None:
-        if not isinstance(self.scenario, Scenario):
+        # Imported lazily: the fleet layer builds on this module.
+        from repro.fleet.scenario import FleetScenario
+
+        if not isinstance(self.scenario, (Scenario, FleetScenario)):
             raise InvalidParameterError(
-                f"scenario must be a Scenario, got {self.scenario!r}"
+                f"scenario must be a Scenario or FleetScenario, "
+                f"got {self.scenario!r}"
             )
         if self.algorithm not in ALGORITHMS:
             raise InvalidParameterError(
                 f"unknown algorithm {self.algorithm!r}; "
                 f"valid: {', '.join(sorted(ALGORITHMS))}"
             )
+        validate_node_order(self.node_order)
 
 
 @dataclass(frozen=True, slots=True)
@@ -75,14 +87,16 @@ class RunRecord:
     """One completed run: its spec coordinates plus the metrics.
 
     ``output`` is populated only when the spec asked to ``keep_output``
-    (the raw :class:`SimulationOutput` is memory-heavy for big sweeps).
+    (the raw :class:`SimulationOutput` — or
+    :class:`~repro.fleet.sim.FleetOutput` for fleet points — is
+    memory-heavy for big sweeps).
     """
 
     scenario: Scenario
     algorithm: str
     labels: Mapping[str, LabelValue]
     metrics: MetricsSummary
-    output: SimulationOutput | None = None
+    output: SimulationOutput | Any | None = None
 
     def value(self, metric: str) -> float:
         """One numeric metric of this run (name validated)."""
@@ -100,7 +114,29 @@ class RunRecord:
 
 def _execute_spec(spec: RunSpec) -> RunRecord:
     """Run one spec to completion (top-level so worker processes can pickle it)."""
-    # Imported lazily: runner imports this module for BatchRunner.
+    # Imported lazily: runner/fleet import this module for BatchRunner.
+    from repro.fleet.scenario import FleetScenario
+
+    if isinstance(spec.scenario, FleetScenario):
+        from repro.fleet.sim import simulate_fleet
+
+        fleet_out = simulate_fleet(
+            spec.scenario,
+            spec.algorithm,
+            validate=spec.validate,
+            trace=spec.trace,
+            eager_release=spec.eager_release,
+            shared_head_link=spec.shared_head_link,
+            node_order=spec.node_order,
+        )
+        return RunRecord(
+            scenario=spec.scenario,
+            algorithm=spec.algorithm,
+            labels=dict(spec.labels),
+            metrics=fleet_out.metrics,
+            output=fleet_out if spec.keep_output else None,
+        )
+
     from repro.experiments.runner import simulate
 
     result = simulate(
@@ -110,6 +146,7 @@ def _execute_spec(spec: RunSpec) -> RunRecord:
         trace=spec.trace,
         eager_release=spec.eager_release,
         shared_head_link=spec.shared_head_link,
+        node_order=spec.node_order,
     )
     return RunRecord(
         scenario=spec.scenario,

@@ -78,17 +78,21 @@ def simulate(
     trace: bool = False,
     eager_release: bool = False,
     shared_head_link: bool = False,
+    node_order: str = "availability",
 ) -> RunResult:
     """Run one simulation of ``algorithm`` under ``config``.
 
     The workload (arrivals, sizes, deadlines) depends only on the
     scenario's seed — every algorithm sees the identical task set;
     algorithm-side randomness (User-Split) draws from a separate child
-    stream of the same seed.
+    stream of the same seed.  ``node_order`` selects the tie-break among
+    simultaneously available nodes (default: the paper's node-id order).
     """
     scenario = as_scenario(config)
     tasks = scenario.generate_tasks()
-    instance = make_algorithm(algorithm, rng=scenario.algorithm_rng())
+    instance = make_algorithm(
+        algorithm, rng=scenario.algorithm_rng(), node_order=node_order
+    )
     sim = ClusterSimulation(
         scenario.cluster,
         instance,

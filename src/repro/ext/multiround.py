@@ -175,7 +175,11 @@ def register_multiround(*, rounds: int = 4) -> None:
     entries.
     """
 
-    def _factory(_rng: np.random.Generator | None) -> Partitioner:
+    def _factory(
+        _rng: np.random.Generator | None, _node_order: str = "availability"
+    ) -> Partitioner:
+        # Multi-round plans always use the paper's (availability, node id)
+        # candidate ordering; node-order policies are a single-round feature.
         return MultiRoundPartitioner(rounds=rounds)
 
     for policy_name, policy_factory in (("EDF", EdfPolicy), ("FIFO", FifoPolicy)):

@@ -1,0 +1,60 @@
+"""Multi-cluster fleet layer: routed sharding of one workload stream.
+
+The paper schedules one real-time divisible-load stream on a *single*
+cluster whose nodes free up at different times.  This package scales the
+same machinery out one level: a :class:`FleetScenario` describes several
+member clusters behind an ingress router, a pluggable
+:class:`~repro.fleet.routing.RoutingPolicy` decides which cluster's head
+node receives each arrival, and a :class:`FleetSimulation` drives the
+member clusters' independent discrete-event simulations in lockstep over
+the shared seeded stream.
+
+Layer map::
+
+    FleetScenario  = [ClusterProfile, ...] + WorkloadModel + policy + seed
+    FleetSimulation = N × ClusterSimulation + RoutingPolicy
+    FleetOutput     = per-cluster SimulationOutput + pooled MetricsSummary
+
+Fleet points ride the existing batch engine: put a ``FleetScenario`` in a
+:class:`~repro.experiments.batch.RunSpec` and the
+:class:`~repro.experiments.batch.BatchRunner` fans fleet runs out over
+workers exactly like single-cluster runs;
+:func:`~repro.fleet.sweep.run_fleet_sweep` builds policy × cluster-count
+grids on top.  See ``docs/fleet.md`` for the full guide.
+"""
+
+from __future__ import annotations
+
+from repro.fleet.routing import (
+    ROUTING_POLICIES,
+    ClusterView,
+    EarliestFinish,
+    LeastLoaded,
+    RandomWeighted,
+    RoundRobin,
+    RoutingPolicy,
+    make_routing_policy,
+    routing_policy_names,
+)
+from repro.fleet.scenario import FleetScenario, fleet_member_seed
+from repro.fleet.sim import FleetOutput, FleetSimulation, simulate_fleet
+from repro.fleet.sweep import FleetSweepResult, run_fleet_sweep
+
+__all__ = [
+    "ROUTING_POLICIES",
+    "ClusterView",
+    "EarliestFinish",
+    "FleetOutput",
+    "FleetScenario",
+    "FleetSimulation",
+    "FleetSweepResult",
+    "LeastLoaded",
+    "RandomWeighted",
+    "RoundRobin",
+    "RoutingPolicy",
+    "fleet_member_seed",
+    "make_routing_policy",
+    "routing_policy_names",
+    "run_fleet_sweep",
+    "simulate_fleet",
+]

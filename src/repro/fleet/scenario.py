@@ -1,0 +1,319 @@
+"""Fleet experiment descriptions: one workload stream, many clusters.
+
+A :class:`FleetScenario` is the multi-cluster analogue of a
+:class:`~repro.workload.scenario.Scenario`::
+
+    FleetScenario = [ClusterProfile, ...] + WorkloadModel + routing policy
+                    + horizon + seed
+
+One *shared* arrival stream — generated exactly like a single-cluster
+scenario's, from the same seed-sequence discipline — is sharded across the
+member clusters by a pluggable :class:`~repro.fleet.routing.RoutingPolicy`.
+Each member cluster runs its own independent head-node scheduler (its own
+:class:`~repro.sim.cluster_sim.ClusterSimulation`), so the fleet models a
+federation of autonomous clusters behind one ingress router rather than one
+giant cluster.
+
+Reproducibility contract
+------------------------
+All randomness flows from ``FleetScenario.seed``:
+
+* the shared stream uses the *identical* child-stream split as a
+  single-cluster :class:`Scenario` with the same seed (streams 0-2), so a
+  1-cluster fleet replays the exact same task set;
+* member cluster ``0`` draws its algorithm randomness from the same stream
+  a single-cluster run would (stream 3) — the bit-for-bit equivalence
+  anchor — while members ``i >= 1`` use well-spread derived seeds;
+* the routing policy's randomness (``random-weighted``) comes from one
+  more derived stream, independent of everything above.
+
+Scenarios are frozen and picklable, so fleet points fan out over the
+parallel :class:`~repro.experiments.batch.BatchRunner` exactly like
+single-cluster points.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Any
+
+import numpy as np
+
+from repro.core.cluster import ClusterProfile
+from repro.core.errors import InvalidParameterError
+from repro.workload.scenario import Scenario, WorkloadModel
+
+__all__ = ["FleetScenario", "fleet_member_seed"]
+
+#: Salt separating fleet-derived seed material from replication seeds.
+_MEMBER_SALT = 0x666C6565  # "flee"
+_ROUTING_SALT = 0x726F7574  # "rout"
+
+
+def fleet_member_seed(base_seed: int, member: int) -> int:
+    """Deterministic, well-spread seed for member cluster ``member``.
+
+    Member ``0`` keeps ``base_seed`` unchanged — that is what makes a
+    1-cluster fleet bit-identical to the corresponding single-cluster
+    run.  Higher members derive through a salted
+    :class:`numpy.random.SeedSequence` so nearby bases or indices do not
+    produce correlated algorithm streams.
+    """
+    if member == 0:
+        return int(base_seed)
+    ss = np.random.SeedSequence([int(base_seed), _MEMBER_SALT, int(member)])
+    return int(ss.generate_state(1, dtype=np.uint32)[0])
+
+
+@dataclass(frozen=True, slots=True)
+class FleetScenario:
+    """One fully specified fleet experiment.
+
+    Parameters
+    ----------
+    clusters:
+        Ordered member cluster profiles (at least one).  Cluster ``0`` is
+        the *reference* cluster: deadline models that consult a cluster
+        (``UniformDeadlines``/``ProportionalDeadlines``) calibrate against
+        it, exactly as in a single-cluster scenario.
+    workload:
+        The shared arrival + size + deadline stream feeding the router.
+    total_time:
+        Arrival horizon (accepted work drains past it, as in
+        :class:`~repro.sim.cluster_sim.ClusterSimulation`).
+    seed:
+        Root seed of the run (stream split documented in the module
+        docstring).
+    policy:
+        Routing policy name from
+        :data:`repro.fleet.routing.ROUTING_POLICIES`.
+    name:
+        Free-form label carried into batch records and exports.
+    """
+
+    clusters: tuple[ClusterProfile, ...]
+    workload: WorkloadModel
+    total_time: float
+    seed: int
+    policy: str = "round-robin"
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        # Imported here: routing imports this module for type hints.
+        from repro.fleet.routing import validate_routing_policy
+
+        if not self.clusters:
+            raise InvalidParameterError("a fleet needs at least one cluster")
+        object.__setattr__(self, "clusters", tuple(self.clusters))
+        for c in self.clusters:
+            if not isinstance(c, ClusterProfile):
+                raise InvalidParameterError(
+                    f"every fleet member must be a ClusterProfile, got {c!r}"
+                )
+        if not isinstance(self.workload, WorkloadModel):
+            raise InvalidParameterError(
+                f"workload must be a WorkloadModel, got {self.workload!r}"
+            )
+        if not math.isfinite(self.total_time) or self.total_time <= 0:
+            raise InvalidParameterError(
+                f"total_time must be > 0, got {self.total_time}"
+            )
+        if not isinstance(self.seed, int) or self.seed < 0:
+            raise InvalidParameterError(f"seed must be an int >= 0, got {self.seed}")
+        validate_routing_policy(self.policy)
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def uniform(
+        cls,
+        *,
+        n_clusters: int,
+        system_load: float,
+        total_time: float,
+        seed: int,
+        policy: str = "round-robin",
+        nodes: int = 16,
+        cms: float = 1.0,
+        cps: float = 100.0,
+        avg_sigma: float = 200.0,
+        dc_ratio: float = 2.0,
+        speed_spread: float = 0.0,
+        cluster_spread: float = 0.0,
+        name: str = "fleet",
+    ) -> "FleetScenario":
+        """A fleet of ``n_clusters`` paper-baseline-shaped clusters.
+
+        ``system_load`` is the *per-cluster* offered load: the shared
+        Poisson stream runs at ``n_clusters`` times the single-cluster
+        rate, so each member sees the paper's load when routing spreads
+        tasks evenly.  ``speed_spread`` applies *within* each cluster
+        (per-node heterogeneity, :meth:`ClusterProfile.with_spread`);
+        ``cluster_spread`` applies *across* clusters — member ``j``'s
+        nominal processing cost spans ``[cps·(1-s/2), cps·(1+s/2)]``
+        linearly (cluster 0 fastest), which is the axis where routing
+        policy choice starts to matter.
+        """
+        if not isinstance(n_clusters, int) or n_clusters < 1:
+            raise InvalidParameterError(
+                f"n_clusters must be an int >= 1, got {n_clusters}"
+            )
+        if not math.isfinite(cluster_spread) or not 0.0 <= cluster_spread < 2.0:
+            raise InvalidParameterError(
+                f"cluster_spread must be in [0, 2), got {cluster_spread}"
+            )
+        if not math.isfinite(system_load) or system_load <= 0:
+            raise InvalidParameterError(
+                f"system_load must be > 0, got {system_load}"
+            )
+
+        members: list[ClusterProfile] = []
+        for j in range(n_clusters):
+            if cluster_spread == 0.0 or n_clusters == 1:
+                nominal = cps
+            else:
+                lo = cps * (1.0 - cluster_spread / 2.0)
+                nominal = lo + cps * cluster_spread * j / (n_clusters - 1)
+            members.append(
+                ClusterProfile.with_spread(
+                    nodes, cms, nominal, speed_spread=speed_spread
+                )
+            )
+        reference = members[0]
+        workload = WorkloadModel.paper(
+            system_load=system_load * n_clusters,
+            avg_sigma=avg_sigma,
+            dc_ratio=dc_ratio,
+            cluster=reference,
+        )
+        return cls(
+            clusters=tuple(members),
+            workload=workload,
+            total_time=total_time,
+            seed=seed,
+            policy=policy,
+            name=name,
+        )
+
+    @classmethod
+    def from_scenarios(
+        cls,
+        members: "tuple[Scenario, ...] | list[Scenario]",
+        *,
+        policy: str = "round-robin",
+        name: str = "",
+    ) -> "FleetScenario":
+        """Build a fleet from existing single-cluster scenarios.
+
+        The first member supplies the shared workload stream, horizon and
+        seed (its cluster becomes the reference cluster); the remaining
+        members contribute only their cluster profiles.  This is the
+        one-line upgrade path from a `Scenario` to a fleet:
+        ``FleetScenario.from_scenarios([s, s, s], policy="least-loaded")``.
+        """
+        members = tuple(members)
+        if not members:
+            raise InvalidParameterError("from_scenarios needs at least one member")
+        for m in members:
+            if not isinstance(m, Scenario):
+                raise InvalidParameterError(
+                    f"every member must be a Scenario, got {m!r}"
+                )
+        head = members[0]
+        return cls(
+            clusters=tuple(m.cluster for m in members),
+            workload=head.workload,
+            total_time=head.total_time,
+            seed=head.seed,
+            policy=policy,
+            name=name or head.name,
+        )
+
+    # -- shape -------------------------------------------------------------
+    @property
+    def n_clusters(self) -> int:
+        """Number of member clusters."""
+        return len(self.clusters)
+
+    @property
+    def total_nodes(self) -> int:
+        """Total processing nodes across the fleet."""
+        return sum(c.nodes for c in self.clusters)
+
+    # -- derived views -----------------------------------------------------
+    def with_policy(self, policy: str) -> "FleetScenario":
+        """The same fleet under a different routing policy."""
+        return replace(self, policy=policy)
+
+    def with_seed(self, seed: int) -> "FleetScenario":
+        """The same fleet under a different seed."""
+        return replace(self, seed=seed)
+
+    def stream_scenario(self) -> Scenario:
+        """The shared arrival stream as a single-cluster scenario.
+
+        Uses the reference cluster (member 0), so its
+        :meth:`~repro.workload.scenario.Scenario.generate_tasks` output is
+        bit-identical to the corresponding single-cluster run — the whole
+        fleet shards exactly that task list.
+        """
+        return Scenario(
+            cluster=self.clusters[0],
+            workload=self.workload,
+            total_time=self.total_time,
+            seed=self.seed,
+            name=self.name,
+        )
+
+    def member_scenario(self, index: int) -> Scenario:
+        """Member ``index``'s view as a single-cluster scenario.
+
+        Carries the member's algorithm seed
+        (:func:`fleet_member_seed`) — member 0 keeps the fleet seed, so
+        its algorithm RNG stream matches the single-cluster run exactly.
+        """
+        if not 0 <= index < self.n_clusters:
+            raise InvalidParameterError(
+                f"member index {index} out of range [0, {self.n_clusters})"
+            )
+        return Scenario(
+            cluster=self.clusters[index],
+            workload=self.workload,
+            total_time=self.total_time,
+            seed=fleet_member_seed(self.seed, index),
+            name=f"{self.name}/cluster-{index}" if self.name else f"cluster-{index}",
+        )
+
+    def routing_rng(self) -> np.random.Generator:
+        """The RNG stream reserved for routing-side randomness.
+
+        Independent of the workload and algorithm streams, so swapping
+        ``random-weighted`` in or out never perturbs the task set.
+        """
+        ss = np.random.SeedSequence([int(self.seed), _ROUTING_SALT])
+        return np.random.default_rng(ss)
+
+    def describe(self) -> dict[str, Any]:
+        """A flat, JSON-friendly summary (used by batch exports).
+
+        ``heterogeneous`` is 1 when any member is internally heterogeneous
+        *or* the members differ from one another (a fleet of unequal
+        uniform clusters is still a heterogeneous fleet).
+        """
+        heterogeneous = (
+            any(not c.is_homogeneous for c in self.clusters)
+            or len(set(self.clusters)) > 1
+        )
+        return {
+            "name": self.name,
+            "clusters": self.n_clusters,
+            "nodes": self.total_nodes,
+            "nodes_per_cluster": ",".join(str(c.nodes) for c in self.clusters),
+            "policy": self.policy,
+            "heterogeneous": int(heterogeneous),
+            "arrivals": type(self.workload.arrivals).__name__,
+            "sizes": type(self.workload.sizes).__name__,
+            "deadlines": type(self.workload.deadlines).__name__,
+            "total_time": self.total_time,
+            "seed": self.seed,
+        }

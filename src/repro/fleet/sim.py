@@ -1,0 +1,224 @@
+"""Fleet executor: shard one arrival stream across N cluster simulations.
+
+:class:`FleetSimulation` owns one :class:`~repro.sim.cluster_sim.
+ClusterSimulation` per member cluster and drives them in lockstep over the
+shared task stream:
+
+1. generate the stream once (bit-identical to the single-cluster path);
+2. for each arrival, advance every member's clock to the arrival instant,
+   snapshot per-cluster :class:`~repro.fleet.routing.ClusterView` state,
+   ask the routing policy for a destination, and submit the task there;
+3. when the stream ends, finalize every member (all accepted work drains)
+   and pool the outputs into fleet-level metrics.
+
+Because member clusters never interact — no task migration, no shared
+links — each member's event sequence is exactly what a standalone
+:class:`ClusterSimulation` would execute on its routed sub-stream.  A
+1-cluster fleet is therefore *bit-identical* to the corresponding
+single-cluster run under every routing policy (the test suite asserts it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.algorithms import make_algorithm
+from repro.core.errors import InvalidParameterError
+from repro.core.task import DivisibleTask
+from repro.fleet.routing import ClusterView, RoutingPolicy, make_routing_policy
+from repro.fleet.scenario import FleetScenario
+from repro.metrics.collector import MetricsSummary, summarize, summarize_pooled
+from repro.sim.cluster_sim import ClusterSimulation, SimulationOutput
+
+__all__ = ["FleetOutput", "FleetSimulation", "simulate_fleet"]
+
+
+@dataclass(frozen=True, slots=True)
+class FleetOutput:
+    """Everything one fleet run produced.
+
+    ``outputs`` holds the raw per-member :class:`SimulationOutput` in
+    member order; ``per_cluster`` the corresponding summaries;
+    ``metrics`` the fleet-level pooled summary (total rejections over
+    total arrivals, capacity-weighted utilization);
+    ``assignments`` maps stream position → member index, so any slice of
+    the routing decision sequence can be reconstructed.
+    """
+
+    algorithm: str
+    scenario: FleetScenario
+    outputs: tuple[SimulationOutput, ...]
+    assignments: tuple[int, ...]
+    metrics: MetricsSummary
+    per_cluster: tuple[MetricsSummary, ...]
+
+    @property
+    def reject_ratio(self) -> float:
+        """Fleet-level Task Reject Ratio (rejections over all arrivals)."""
+        return self.metrics.reject_ratio
+
+    @property
+    def routed_counts(self) -> tuple[int, ...]:
+        """Number of stream tasks routed to each member cluster."""
+        counts = [0] * len(self.outputs)
+        for index in self.assignments:
+            counts[index] += 1
+        return tuple(counts)
+
+
+class FleetSimulation:
+    """One fleet run: a shared task stream routed across member clusters.
+
+    Parameters
+    ----------
+    scenario:
+        The fleet description (clusters + shared workload + policy + seed).
+    algorithm:
+        Per-cluster scheduling algorithm name (every member runs the same
+        algorithm; heterogeneity lives in the cluster profiles).
+    validate:
+        Arm the Theorem-4 validator on every member.
+    trace:
+        Record chunk-level traces on every member (slower, more memory).
+    eager_release / shared_head_link:
+        Modelling switches forwarded to every member simulation.
+    node_order:
+        Node-ordering policy forwarded to every member's partitioner.
+    """
+
+    def __init__(
+        self,
+        scenario: FleetScenario,
+        algorithm: str,
+        *,
+        validate: bool = True,
+        trace: bool = False,
+        eager_release: bool = False,
+        shared_head_link: bool = False,
+        node_order: str = "availability",
+    ) -> None:
+        self.scenario = scenario
+        self.algorithm = algorithm
+        self.sims: list[ClusterSimulation] = []
+        for i in range(scenario.n_clusters):
+            member = scenario.member_scenario(i)
+            instance = make_algorithm(
+                algorithm, rng=member.algorithm_rng(), node_order=node_order
+            )
+            self.sims.append(
+                ClusterSimulation(
+                    member.cluster,
+                    instance,
+                    horizon=scenario.total_time,
+                    validate=validate,
+                    trace=trace,
+                    eager_release=eager_release,
+                    shared_head_link=shared_head_link,
+                )
+            )
+        self.policy: RoutingPolicy = make_routing_policy(
+            scenario.policy, rng=scenario.routing_rng()
+        )
+        self._capacities = [
+            float(np.sum(1.0 / c.cps_array)) for c in scenario.clusters
+        ]
+        self._done = False
+
+    # -- routing state ------------------------------------------------------
+    def _view(self, index: int, now: float) -> ClusterView:
+        """Snapshot member ``index`` for one routing decision."""
+        sim = self.sims[index]
+        scheduler = sim.scheduler
+        release = scheduler.reservations.release_times
+        backlog = float(np.mean(np.maximum(release - now, 0.0)))
+
+        def probe(task: DivisibleTask, _sim: ClusterSimulation = sim) -> float | None:
+            """What-if admission: the cluster's estimate, or None on reject."""
+            decision = _sim.scheduler.test.try_admit(
+                task,
+                list(_sim.scheduler.waiting.values()),
+                _sim.scheduler.reservations,
+                now,
+            )
+            if not decision.accepted:
+                return None
+            return decision.plans[task.task_id].est_completion
+
+        return ClusterView(
+            index=index,
+            nodes=sim.cluster.nodes,
+            capacity=self._capacities[index],
+            outstanding=scheduler.waiting_count + scheduler.running_count,
+            backlog=backlog,
+            busy_time=sim.busy_time,
+            probe=probe,
+        )
+
+    # -- driver -------------------------------------------------------------
+    def run(self) -> FleetOutput:
+        """Execute the whole shared stream and return the fleet output."""
+        if self._done:
+            raise InvalidParameterError("a FleetSimulation instance runs once")
+        self._done = True
+
+        stream = self.scenario.stream_scenario()
+        tasks: Sequence[DivisibleTask] = stream.generate_tasks()
+        n_members = len(self.sims)
+        assignments: list[int] = []
+        for task in tasks:
+            for sim in self.sims:
+                sim.advance_to(task.arrival)
+            views = [self._view(i, task.arrival) for i in range(n_members)]
+            index = self.policy.route(task, views)
+            if not 0 <= index < n_members:
+                raise InvalidParameterError(
+                    f"routing policy {self.policy.name!r} returned cluster "
+                    f"{index}, valid range [0, {n_members})"
+                )
+            assignments.append(index)
+            target = self.sims[index]
+            target.submit(task)
+            # Process the arrival now so the admission decision is visible
+            # to the very next routing decision (even at equal timestamps).
+            target.advance_to(task.arrival)
+
+        outputs = tuple(sim.finalize() for sim in self.sims)
+        per_cluster = tuple(summarize(o) for o in outputs)
+        return FleetOutput(
+            algorithm=self.algorithm,
+            scenario=self.scenario,
+            outputs=outputs,
+            assignments=tuple(assignments),
+            metrics=summarize_pooled(outputs),
+            per_cluster=per_cluster,
+        )
+
+
+def simulate_fleet(
+    scenario: FleetScenario,
+    algorithm: str,
+    *,
+    validate: bool = True,
+    trace: bool = False,
+    eager_release: bool = False,
+    shared_head_link: bool = False,
+    node_order: str = "availability",
+) -> FleetOutput:
+    """Run one fleet simulation of ``algorithm`` under ``scenario``.
+
+    The shared stream depends only on the fleet seed — every routing
+    policy and every algorithm shards the identical task set, so policy
+    comparisons are paired exactly like the paper's algorithm comparisons.
+    """
+    return FleetSimulation(
+        scenario,
+        algorithm,
+        validate=validate,
+        trace=trace,
+        eager_release=eager_release,
+        shared_head_link=shared_head_link,
+        node_order=node_order,
+    ).run()

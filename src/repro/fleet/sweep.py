@@ -1,0 +1,149 @@
+"""Fleet sweep driver: policy × cluster-count grids through the batch engine.
+
+Fleet points are ordinary :class:`~repro.experiments.batch.RunSpec` rows —
+a :class:`~repro.fleet.scenario.FleetScenario` in the ``scenario`` slot —
+so one sweep flattens into a single :class:`BatchRunner` batch and fans
+out over worker processes with bit-identical serial/parallel results,
+exactly like the single-cluster panels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.errors import InvalidParameterError
+from repro.experiments.batch import BatchRunner, ResultSet, RunSpec
+from repro.experiments.runner import replication_seed
+from repro.fleet.routing import routing_policy_names
+from repro.fleet.scenario import FleetScenario
+from repro.metrics.collector import validate_metric
+from repro.metrics.stats import ConfidenceInterval, mean_ci
+
+__all__ = ["FleetSweepResult", "run_fleet_sweep"]
+
+
+@dataclass(frozen=True, slots=True)
+class FleetSweepResult:
+    """One policy × cluster-count sweep with replicated fleet points.
+
+    ``table`` maps ``(policy, n_clusters)`` to the confidence interval of
+    the swept metric; ``results`` keeps every raw
+    :class:`~repro.experiments.batch.RunRecord` for custom slicing.
+    """
+
+    policies: tuple[str, ...]
+    cluster_counts: tuple[int, ...]
+    table: Mapping[tuple[str, int], ConfidenceInterval]
+    metric: str
+    results: ResultSet
+
+    def ci(self, policy: str, n_clusters: int) -> ConfidenceInterval:
+        """The metric's CI at one (policy, cluster-count) grid point."""
+        try:
+            return self.table[(policy, n_clusters)]
+        except KeyError:
+            raise InvalidParameterError(
+                f"no grid point (policy={policy!r}, n_clusters={n_clusters})"
+            ) from None
+
+    def mean(self, policy: str, n_clusters: int) -> float:
+        """The metric's mean at one (policy, cluster-count) grid point."""
+        return self.ci(policy, n_clusters).mean
+
+    def best_policy(self, n_clusters: int) -> str:
+        """The policy with the lowest mean metric at one cluster count."""
+        return min(self.policies, key=lambda p: self.mean(p, n_clusters))
+
+
+def run_fleet_sweep(
+    *,
+    policies: Sequence[str] | None = None,
+    cluster_counts: Sequence[int] = (4,),
+    algorithm: str = "EDF-DLT",
+    system_load: float = 0.6,
+    nodes: int = 16,
+    cms: float = 1.0,
+    cps: float = 100.0,
+    avg_sigma: float = 200.0,
+    dc_ratio: float = 2.0,
+    speed_spread: float = 0.0,
+    cluster_spread: float = 0.0,
+    replications: int = 3,
+    total_time: float = 200_000.0,
+    seed: int = 2007,
+    metric: str = "reject_ratio",
+    validate: bool = True,
+    workers: int | None = None,
+    workers_mode: str = "process",
+) -> FleetSweepResult:
+    """Sweep routing policies (× cluster counts) on uniform fleets.
+
+    Every grid point builds :meth:`FleetScenario.uniform` with the same
+    cluster parameters, so within one cluster count all policies shard the
+    *identical* task stream at each replication (paired comparison);
+    across cluster counts the stream rate scales with the fleet (the
+    per-cluster offered load stays ``system_load``).  All runs flatten
+    into one batch; ``workers`` fans them out.
+    """
+    grid_policies = tuple(policies) if policies is not None else routing_policy_names()
+    counts = tuple(int(k) for k in cluster_counts)
+    if not grid_policies:
+        raise InvalidParameterError("policies must be non-empty")
+    if not counts:
+        raise InvalidParameterError("cluster_counts must be non-empty")
+    if replications < 1:
+        raise InvalidParameterError(
+            f"replications must be >= 1, got {replications}"
+        )
+    validate_metric(metric)
+
+    specs: list[RunSpec] = []
+    for ki, k in enumerate(counts):
+        base = FleetScenario.uniform(
+            n_clusters=k,
+            system_load=system_load,
+            total_time=total_time,
+            seed=seed + 7919 * ki,  # distinct stream per cluster count
+            nodes=nodes,
+            cms=cms,
+            cps=cps,
+            avg_sigma=avg_sigma,
+            dc_ratio=dc_ratio,
+            speed_spread=speed_spread,
+            cluster_spread=cluster_spread,
+            name=f"fleet-{k}x{nodes}",
+        )
+        for policy in grid_policies:
+            point = base.with_policy(policy)
+            for rep in range(replications):
+                specs.append(
+                    RunSpec(
+                        scenario=point.with_seed(
+                            replication_seed(base.seed, rep)
+                        ),
+                        algorithm=algorithm,
+                        labels={
+                            "policy": policy,
+                            "clusters": k,
+                            "replication": rep,
+                        },
+                        validate=validate,
+                    )
+                )
+
+    results = BatchRunner(workers=workers, workers_mode=workers_mode).run(specs)
+
+    table: dict[tuple[str, int], ConfidenceInterval] = {}
+    for k in counts:
+        at_count = results.filter(clusters=k)
+        for policy in grid_policies:
+            samples = at_count.filter(policy=policy).values(metric)
+            table[(policy, k)] = mean_ci(samples)
+    return FleetSweepResult(
+        policies=grid_policies,
+        cluster_counts=counts,
+        table=table,
+        metric=metric,
+        results=results,
+    )

@@ -9,6 +9,7 @@ from repro.metrics.collector import (
     MetricsSummary,
     metric_names,
     summarize,
+    summarize_pooled,
     validate_metric,
 )
 from repro.metrics.stats import ConfidenceInterval, PointEstimate, mean_ci
@@ -20,5 +21,6 @@ __all__ = [
     "mean_ci",
     "metric_names",
     "summarize",
+    "summarize_pooled",
     "validate_metric",
 ]

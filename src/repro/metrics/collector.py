@@ -15,6 +15,7 @@ plot, so the examples and ablations can show them:
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
+from typing import Sequence
 
 import numpy as np
 
@@ -22,7 +23,13 @@ from repro.core.errors import InvalidParameterError
 from repro.core.task import TaskOutcome
 from repro.sim.cluster_sim import SimulationOutput
 
-__all__ = ["MetricsSummary", "metric_names", "summarize", "validate_metric"]
+__all__ = [
+    "MetricsSummary",
+    "metric_names",
+    "summarize",
+    "summarize_pooled",
+    "validate_metric",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -82,40 +89,52 @@ def validate_metric(metric: str) -> str:
     return metric
 
 
-def summarize(output: SimulationOutput) -> MetricsSummary:
-    """Compute the run summary from raw simulation output."""
-    stats = output.stats
-    capacity = output.node_busy_time.size * output.horizon
+def summarize_pooled(
+    outputs: "Sequence[SimulationOutput]",
+    *,
+    algorithm: str | None = None,
+) -> MetricsSummary:
+    """Pool several runs into one system-level summary (fleet aggregation).
 
-    slacks = [
-        r.completion_slack
-        for r in output.records.values()
-        if r.completion_slack is not None
-    ]
+    Counters (arrivals, accepted, rejected, executed, deadline misses,
+    replans) add up; ratios are recomputed over the pooled totals, so
+    ``reject_ratio`` is total rejections over total arrivals and
+    ``utilization`` weights each member by its actual node-time capacity
+    (``nodes × horizon``).  Task-level means (nodes per task, slack) pool
+    the underlying per-task samples, not the per-member means.
+    """
+    if not outputs:
+        raise InvalidParameterError("summarize_pooled needs at least one output")
+    names = sorted({o.algorithm for o in outputs})
+    if algorithm is None:
+        algorithm = names[0] if len(names) == 1 else "+".join(names)
+
+    capacity = sum(o.node_busy_time.size * o.horizon for o in outputs)
+    records = [r for o in outputs for r in o.records.values()]
+
+    slacks = [r.completion_slack for r in records if r.completion_slack is not None]
     slack_arr = np.asarray(slacks, dtype=np.float64)
-
     n_nodes = [
         r.n_nodes
-        for r in output.records.values()
+        for r in records
         if r.outcome is TaskOutcome.ACCEPTED and r.n_nodes is not None
     ]
+    misses = sum(1 for r in records if r.deadline_met is False)
 
-    misses = sum(
-        1
-        for r in output.records.values()
-        if r.deadline_met is False
-    )
-
-    busy = float(output.node_busy_time.sum())
-    allocated = float(output.node_allocated_time.sum())
+    arrivals = sum(o.stats.arrivals for o in outputs)
+    rejected = sum(o.stats.rejected for o in outputs)
+    busy = float(sum(o.node_busy_time.sum() for o in outputs))
+    allocated = float(sum(o.node_allocated_time.sum() for o in outputs))
+    admission_tests = sum(o.stats.admission_tests for o in outputs)
+    replanned = sum(o.stats.replanned_tasks for o in outputs)
 
     return MetricsSummary(
-        algorithm=output.algorithm,
-        arrivals=stats.arrivals,
-        accepted=stats.accepted,
-        rejected=stats.rejected,
-        reject_ratio=stats.reject_ratio,
-        executed=output.executed_tasks,
+        algorithm=algorithm,
+        arrivals=arrivals,
+        accepted=sum(o.stats.accepted for o in outputs),
+        rejected=rejected,
+        reject_ratio=rejected / arrivals if arrivals else 0.0,
+        executed=sum(o.executed_tasks for o in outputs),
         deadline_misses=misses,
         utilization=busy / capacity if capacity > 0 else 0.0,
         allocated_fraction=allocated / capacity if capacity > 0 else 0.0,
@@ -124,8 +143,16 @@ def summarize(output: SimulationOutput) -> MetricsSummary:
         mean_slack=float(slack_arr.mean()) if slack_arr.size else 0.0,
         max_slack=float(slack_arr.max()) if slack_arr.size else 0.0,
         mean_waiting_queue_replans=(
-            stats.replanned_tasks / stats.admission_tests
-            if stats.admission_tests
-            else 0.0
+            replanned / admission_tests if admission_tests else 0.0
         ),
     )
+
+
+def summarize(output: SimulationOutput) -> MetricsSummary:
+    """Compute the run summary from raw simulation output.
+
+    The single-run summary is exactly the pooled summary of one output
+    (``SchedulerStats.reject_ratio`` is defined as rejections over
+    arrivals, matching the pooled recomputation bit for bit).
+    """
+    return summarize_pooled((output,), algorithm=output.algorithm)

@@ -108,7 +108,7 @@ class ClusterSimulation:
         self,
         cluster: ClusterProfile,
         algorithm: AlgorithmInstance,
-        tasks: Sequence[DivisibleTask],
+        tasks: Sequence[DivisibleTask] = (),
         *,
         horizon: float,
         validate: bool = True,
@@ -125,6 +125,8 @@ class ClusterSimulation:
         self.trace_enabled = trace
         self.shared_head_link = shared_head_link
         self._check_task_order()
+        self._last_arrival = -np.inf
+        self._submitted_ids: set[int] = set()
 
         self.engine = SimulationEngine()
         self.scheduler = ClusterScheduler(
@@ -149,6 +151,11 @@ class ClusterSimulation:
         self._allocated = np.zeros(n)
         self._traces: list[TaskTrace] = []
         self._done = False
+
+    @property
+    def busy_time(self) -> float:
+        """Total actual link+CPU occupancy accrued so far (node-time units)."""
+        return float(self._busy.sum())
 
     def _check_task_order(self) -> None:
         last = -np.inf
@@ -300,18 +307,55 @@ class ClusterSimulation:
         if self.validate_enabled:
             self.validator.check_completion(record)
 
-    # -- driver -------------------------------------------------------------
-    def run(self) -> SimulationOutput:
-        """Execute the whole workload and return the run's output."""
+    # -- incremental driver -------------------------------------------------
+    # The three methods below let an external coordinator (the fleet layer)
+    # interleave several ClusterSimulation instances over one shared arrival
+    # stream: submit each routed task as it arrives, advance every cluster's
+    # clock in lockstep, finalize when the stream ends.  ``run()`` is the
+    # one-shot composition of the same primitives, so both paths execute the
+    # identical event sequence.
+
+    def submit(self, task: DivisibleTask) -> None:
+        """Feed one arrival into the simulation.
+
+        Tasks must be submitted in arrival order with unique ids; the
+        arrival event fires when the clock reaches ``task.arrival``
+        (through :meth:`advance_to`, :meth:`finalize` or :meth:`run`).
+        """
+        if self._done:
+            raise InvalidParameterError(
+                "cannot submit tasks to a finalized simulation"
+            )
+        if task.arrival < self._last_arrival:
+            raise InvalidParameterError(
+                "tasks must be submitted in arrival order "
+                f"(task {task.task_id} at {task.arrival} after "
+                f"{self._last_arrival})"
+            )
+        if task.task_id in self._submitted_ids:
+            raise InvalidParameterError(f"duplicate task id {task.task_id}")
+        self._submitted_ids.add(task.task_id)
+        self._last_arrival = task.arrival
+        self.tasks.append(task)
+        self.engine.schedule(
+            task.arrival,
+            EventKind.ARRIVAL,
+            lambda eng, t, task=task: self._handle_arrival(task),
+        )
+
+    def advance_to(self, time: float) -> None:
+        """Process every event up to ``time`` and advance the clock there."""
+        self.engine.run(until=time)
+
+    def finalize(self) -> SimulationOutput:
+        """Drain all remaining events and assemble the run's output.
+
+        A simulation finalizes exactly once; no tasks may be submitted
+        afterwards.
+        """
         if self._done:
             raise InvalidParameterError("a ClusterSimulation instance runs once")
         self._done = True
-        for task in self.tasks:
-            self.engine.schedule(
-                task.arrival,
-                EventKind.ARRIVAL,
-                lambda eng, t, task=task: self._handle_arrival(task),
-            )
         self.engine.run()  # drain: all accepted tasks complete
 
         if self.validate_enabled and self.trace_enabled:
@@ -327,3 +371,12 @@ class ClusterSimulation:
             horizon=self.horizon,
             traces=self._traces,
         )
+
+    def run(self) -> SimulationOutput:
+        """Execute the whole workload and return the run's output."""
+        if self._done:
+            raise InvalidParameterError("a ClusterSimulation instance runs once")
+        pending, self.tasks = self.tasks, []
+        for task in pending:
+            self.submit(task)
+        return self.finalize()

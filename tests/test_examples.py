@@ -27,13 +27,17 @@ def test_examples_directory_complete():
         "capacity_planning.py",
         "theorem4_validation.py",
         "multiround_future_work.py",
+        "fleet_routing.py",
     ):
         assert required in ALL_EXAMPLES
 
 
-@pytest.mark.parametrize("script", ["quickstart.py", "theorem4_validation.py"])
+@pytest.mark.parametrize(
+    "script",
+    ["quickstart.py", "theorem4_validation.py", "fleet_routing.py"],
+)
 def test_example_runs(script, capsys):
-    """The two fastest examples run end to end inside the suite."""
+    """The fastest examples run end to end inside the suite."""
     runpy.run_path(str(EXAMPLES / script), run_name="__main__")
     out = capsys.readouterr().out
     assert out.strip()

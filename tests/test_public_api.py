@@ -30,6 +30,19 @@ class TestTopLevelExports:
 class TestReadmeQuickstart:
     def test_quickstart_verbatim(self):
         """The exact code block from README.md must work."""
+        from repro import Scenario, simulate
+
+        scenario = Scenario.paper_baseline(
+            system_load=0.6,
+            total_time=50_000.0,
+            seed=42,
+        )
+        result = simulate(scenario, "EDF-DLT")
+        assert 0.0 <= result.metrics.reject_ratio <= 1.0
+        assert "invariants" in result.output.validation.summary()
+
+    def test_legacy_quickstart_verbatim(self):
+        """The README's collapsed legacy block must keep working."""
         from repro import SimulationConfig, simulate
 
         config = SimulationConfig(
@@ -39,12 +52,28 @@ class TestReadmeQuickstart:
             system_load=0.6,
             avg_sigma=200.0,
             dc_ratio=2.0,
-            total_time=50_000.0,  # trimmed for test speed
+            total_time=50_000.0,
             seed=42,
         )
         result = simulate(config, "EDF-DLT")
         assert 0.0 <= result.metrics.reject_ratio <= 1.0
-        assert "invariants" in result.output.validation.summary()
+
+    def test_readme_fleet_block(self):
+        """The README fleet snippet works (trimmed horizon for speed)."""
+        from repro import FleetScenario, simulate_fleet
+
+        fleet = FleetScenario.uniform(
+            n_clusters=4,
+            nodes=8,
+            cluster_spread=0.8,
+            system_load=0.6,
+            total_time=20_000.0,  # trimmed for test speed
+            seed=2007,
+            policy="earliest-finish",
+        )
+        out = simulate_fleet(fleet, "EDF-DLT")
+        assert 0.0 <= out.reject_ratio <= 1.0
+        assert sum(out.routed_counts) == out.metrics.arrivals
 
     def test_module_doctest_example(self):
         """The package docstring's example holds."""
