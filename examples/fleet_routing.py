@@ -19,7 +19,7 @@ Usage::
 from __future__ import annotations
 
 from repro import FleetScenario, simulate, simulate_fleet
-from repro.fleet import routing_policy_names
+from repro.fleet import static_routing_policy_names
 
 #: The documented configuration (see docs/fleet.md): four 8-node clusters
 #: whose nominal per-node cost spans cps·[0.6, 1.4] (cluster 0 fastest),
@@ -38,7 +38,7 @@ def show_single_cluster_equivalence() -> None:
     """A 1-cluster fleet is the single-cluster simulation, bit for bit."""
     print("1. single-cluster equivalence")
     print("-" * 60)
-    for policy in routing_policy_names():
+    for policy in static_routing_policy_names():
         fleet = FleetScenario.uniform(
             n_clusters=1,
             system_load=0.6,
@@ -57,7 +57,10 @@ def show_single_cluster_equivalence() -> None:
 
 
 def compare_policies() -> None:
-    """All four policies on the identical heterogeneous 4-cluster stream."""
+    """All four static policies on the identical heterogeneous 4-cluster stream
+
+    (the bandit policies that learn among these are walked through in
+    ``examples/adaptive_routing.py``)."""
     print("2. routing policies on a heterogeneous 4-cluster fleet")
     print("-" * 60)
     base = FleetScenario.uniform(**FLEET_KWARGS)
@@ -68,7 +71,7 @@ def compare_policies() -> None:
     )
     print()
     results: dict[str, float] = {}
-    for policy in routing_policy_names():
+    for policy in static_routing_policy_names():
         out = simulate_fleet(base.with_policy(policy), "EDF-DLT")
         results[policy] = out.reject_ratio
         routed = "/".join(str(c) for c in out.routed_counts)

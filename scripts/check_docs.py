@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Documentation gate: intra-repo links + fleet docstring coverage.
+"""Documentation gate: intra-repo links + fleet/learn docstring coverage.
 
 Two checks, both dependency-free so they run anywhere the package does:
 
@@ -7,9 +7,10 @@ Two checks, both dependency-free so they run anywhere the package does:
    ``README.md`` and ``docs/*.md`` must exist on disk.  External links
    (``http(s)://``, ``mailto:``) and pure in-page anchors are skipped;
    an anchor on a file link only requires the file.
-2. **Docstrings** — every public symbol of ``repro.fleet`` (every module,
-   every name in each module's ``__all__``, and the public
-   methods/properties of public classes) must carry a docstring.
+2. **Docstrings** — every public symbol of the gated packages
+   (``repro.fleet`` and ``repro.learn``: every module, every name in
+   each module's ``__all__``, and the public methods/properties of
+   public classes) must carry a docstring.
 
 Exit code 0 = clean; 1 = problems (each printed on its own line).
 
@@ -73,18 +74,23 @@ def _public_members(obj: object, qualname: str) -> list[tuple[str, object]]:
     return members
 
 
-def check_fleet_docstrings() -> list[str]:
-    """Return one problem string per missing repro.fleet docstring."""
+#: Packages whose public symbols must all be documented.
+GATED_PACKAGES = ("repro.fleet", "repro.learn")
+
+
+def check_package_docstrings() -> list[str]:
+    """Return one problem string per missing gated-package docstring."""
     import importlib
     import pkgutil
 
-    import repro.fleet
-
     problems: list[str] = []
-    todo: list[tuple[str, object]] = [("repro.fleet", repro.fleet)]
-    for info in pkgutil.iter_modules(repro.fleet.__path__):
-        name = f"repro.fleet.{info.name}"
-        todo.append((name, importlib.import_module(name)))
+    todo: list[tuple[str, object]] = []
+    for pkg_name in GATED_PACKAGES:
+        package = importlib.import_module(pkg_name)
+        todo.append((pkg_name, package))
+        for info in pkgutil.iter_modules(package.__path__):
+            name = f"{pkg_name}.{info.name}"
+            todo.append((name, importlib.import_module(name)))
 
     for mod_name, module in todo:
         if not inspect.getdoc(module):
@@ -111,15 +117,16 @@ def check_fleet_docstrings() -> list[str]:
 
 def main() -> int:
     """Run both checks; print problems; return the exit code."""
-    problems = check_links() + check_fleet_docstrings()
+    problems = check_links() + check_package_docstrings()
     for problem in problems:
         print(problem)
     if problems:
         print(f"\n{len(problems)} documentation problem(s)", file=sys.stderr)
         return 1
     md_count = len(iter_markdown_files())
+    gated = " and ".join(GATED_PACKAGES)
     print(f"docs OK: links resolve across {md_count} Markdown files; "
-          "all public repro.fleet symbols are documented")
+          f"all public {gated} symbols are documented")
     return 0
 
 

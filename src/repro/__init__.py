@@ -128,6 +128,17 @@ from repro.fleet import (
     run_fleet_sweep,
     simulate_fleet,
 )
+from repro.learn import (
+    REWARD_MODELS,
+    BanditRouter,
+    EpsilonGreedy,
+    LearnConfig,
+    LearningReport,
+    RewardModel,
+    RoutingFeedback,
+    ThompsonSampling,
+    UCB1,
+)
 from repro.workload.models import (
     ArrivalProcess,
     DeadlineModel,
@@ -146,23 +157,30 @@ from repro.workload.spec import SimulationConfig, WorkloadSpec
 
 __all__ = [
     "ALGORITHMS",
+    "REWARD_MODELS",
     "ROUTING_POLICIES",
     "AlgorithmSpec",
     "ArrivalProcess",
+    "BanditRouter",
     "BatchRunner",
     "ClusterProfile",
     "ClusterSpec",
     "DeadlineModel",
     "DivisibleTask",
+    "EpsilonGreedy",
     "FleetOutput",
     "FleetScenario",
     "FleetSimulation",
+    "LearnConfig",
+    "LearningReport",
     "MMPPProcess",
     "ParetoSizes",
     "PoissonProcess",
     "ProportionalDeadlines",
     "ReplicatedResult",
     "ResultSet",
+    "RewardModel",
+    "RoutingFeedback",
     "RoutingPolicy",
     "RunRecord",
     "RunResult",
@@ -172,8 +190,10 @@ __all__ = [
     "SizeModel",
     "TaskOutcome",
     "TaskRecord",
+    "ThompsonSampling",
     "TraceArrivals",
     "TruncatedNormalSizes",
+    "UCB1",
     "UniformDeadlines",
     "UniformSizes",
     "WorkloadModel",

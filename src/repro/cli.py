@@ -36,10 +36,12 @@ from repro.experiments.batch import BatchRunner, RunSpec
 from repro.experiments.figures import DEFAULT_LOADS, FIGURES
 from repro.experiments.report import panel_to_csv, render_chart, render_panel
 from repro.experiments.runner import replication_seed, simulate
-from repro.experiments.sweep import run_panel, run_spread_sweep
-from repro.fleet.routing import routing_policy_names
+from repro.experiments.sweep import run_node_order_sweep, run_panel, run_spread_sweep
+from repro.fleet.routing import routing_policy_names, static_routing_policy_names
 from repro.fleet.scenario import FleetScenario
+from repro.learn import LEARN_MODES, LearnConfig, reward_model_names
 from repro.metrics.collector import metric_names, validate_metric
+from repro.workload.trace_report import summarize_trace
 from repro.workload.models import (
     MMPPProcess,
     ParetoSizes,
@@ -322,9 +324,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_sw.add_argument(
         "--axis",
-        choices=("speed-spread",),
+        choices=("speed-spread", "node-order"),
         default="speed-spread",
-        help="the swept axis (per-node speed spread of the cluster)",
+        help="the swept series: algorithms across speed spreads "
+        "(speed-spread) or node-ordering policies across speed spreads "
+        "(node-order; single algorithm)",
     )
     p_sw.add_argument(
         "--values",
@@ -341,7 +345,8 @@ def _build_parser() -> argparse.ArgumentParser:
         action="append",
         default=None,
         metavar="ALGO",
-        help="algorithm to sweep (repeatable; default: EDF-DLT vs EDF-OPR-MN)",
+        help="algorithm to sweep (repeatable; default: EDF-DLT vs "
+        "EDF-OPR-MN — with --axis node-order only the first is used)",
     )
     p_sw.add_argument("--nodes", type=int, default=16)
     p_sw.add_argument("--cms", type=float, default=1.0)
@@ -437,11 +442,64 @@ def _build_parser() -> argparse.ArgumentParser:
     p_fl.add_argument(
         "--per-cluster",
         action="store_true",
-        help="also print a per-cluster breakdown of the first replication",
+        help="also print a per-cluster breakdown of the first replication "
+        "(and per-arm learning statistics for bandit policies)",
+    )
+    learn_defaults = LearnConfig()
+    p_fl.add_argument(
+        "--learn-arms",
+        nargs="+",
+        choices=static_routing_policy_names(),
+        default=None,
+        metavar="ARM",
+        help="bandit policies: static policy arms to select among "
+        "(default: all static policies)",
+    )
+    p_fl.add_argument(
+        "--learn-mode",
+        choices=LEARN_MODES,
+        default=learn_defaults.mode,
+        help="bandit policies: arms are static routers (policies) or the "
+        "member clusters directly (clusters)",
+    )
+    p_fl.add_argument(
+        "--learn-reward",
+        choices=reward_model_names(),
+        default=learn_defaults.reward,
+        help="bandit policies: reward model turning task outcomes into "
+        "learning signal",
+    )
+    p_fl.add_argument(
+        "--learn-epsilon",
+        type=float,
+        default=learn_defaults.epsilon,
+        help="epsilon-greedy: exploration probability in [0, 1]",
+    )
+    p_fl.add_argument(
+        "--learn-ucb-c",
+        type=float,
+        default=learn_defaults.ucb_c,
+        help="ucb1: exploration-bonus scale (> 0; 1 = classic UCB1)",
     )
     fmt_fl = p_fl.add_mutually_exclusive_group()
     fmt_fl.add_argument("--json", action="store_true", help="emit all records as JSON")
     fmt_fl.add_argument("--csv", action="store_true", help="emit all records as CSV")
+
+    p_ts = sub.add_parser(
+        "trace-summary",
+        help="rate/burstiness/size/deadline marginals of an arrival-trace CSV",
+    )
+    p_ts.add_argument("trace_file", help="trace CSV (see run-scenario --trace-file)")
+    p_ts.add_argument(
+        "--column",
+        default="arrival_time",
+        help="arrival-time column of a headered CSV (default: arrival_time)",
+    )
+    p_ts.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the summary as machine-readable JSON",
+    )
 
     return parser
 
@@ -641,6 +699,17 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             f"--replications must be >= 1, got {args.replications}"
         )
     policies = tuple(args.policies) if args.policies else routing_policy_names()
+    from repro.fleet.routing import ROUTING_POLICIES
+
+    learn = None
+    if any(getattr(ROUTING_POLICIES[p], "learns", False) for p in policies):
+        learn = LearnConfig(
+            arms=tuple(args.learn_arms) if args.learn_arms else (),
+            mode=args.learn_mode,
+            reward=args.learn_reward,
+            epsilon=args.learn_epsilon,
+            ucb_c=args.learn_ucb_c,
+        )
     base = FleetScenario.uniform(
         n_clusters=args.clusters,
         system_load=args.load,
@@ -654,6 +723,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         speed_spread=args.speed_spread,
         cluster_spread=args.cluster_spread,
         name=f"cli-fleet-{args.clusters}x{args.nodes}",
+        learn=learn,
     )
 
     specs = [
@@ -716,15 +786,24 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
                 )
             )
             print(f"{policy:<{width}s}  {cells}")
+            if out.learning is not None:
+                rep = out.learning
+                arms = "  ".join(
+                    f"{a.name}: {a.pulls} pulls, mean {a.mean_reward:.3f}"
+                    for a in rep.arms
+                )
+                print(
+                    f"{'':<{width}s}  learned[{rep.reward_model}] "
+                    f"best={rep.best_arm} "
+                    f"regret={rep.cumulative_regret:.1f}  {arms}"
+                )
     return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     validate_metric(args.metric)
-    algorithms = tuple(args.algorithms or ("EDF-DLT", "EDF-OPR-MN"))
-    result = run_spread_sweep(
+    shared = dict(
         spreads=args.values,
-        algorithms=algorithms,
         system_load=args.load,
         nodes=args.nodes,
         cms=args.cms,
@@ -738,28 +817,64 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         workers=args.workers,
         workers_mode=args.workers_mode,
     )
+    if args.axis == "node-order":
+        algorithm = (args.algorithms or ["EDF-DLT"])[0]
+        result = run_node_order_sweep(algorithm=algorithm, **shared)
+        label = f"algorithm={algorithm}"
+    else:
+        algorithms = tuple(args.algorithms or ("EDF-DLT", "EDF-OPR-MN"))
+        result = run_spread_sweep(algorithms=algorithms, **shared)
+        label = f"algorithms={','.join(algorithms)}"
+    series_keys = tuple(result.series)
     if args.csv:
-        print(f"speed_spread,{','.join(algorithms)}")
+        print(f"speed_spread,{','.join(series_keys)}")
         for i, spread in enumerate(result.spreads):
             cells = ",".join(
-                f"{result.series[a][i].mean:.6f}" for a in algorithms
+                f"{result.series[k][i].mean:.6f}" for k in series_keys
             )
             print(f"{spread:g},{cells}")
         return 0
     print(
-        f"axis={args.axis}, load={args.load:g}, N={args.nodes}, "
+        f"axis={args.axis}, {label}, load={args.load:g}, N={args.nodes}, "
         f"metric={args.metric}, replications={args.replications}, "
         f"horizon={args.total_time:g}"
     )
     print()
-    width = max(len(a) for a in algorithms)
-    header = "spread".rjust(8) + "  " + "  ".join(a.rjust(width) for a in algorithms)
+    width = max(len(k) for k in series_keys)
+    header = "spread".rjust(8) + "  " + "  ".join(k.rjust(width) for k in series_keys)
     print(header)
     for i, spread in enumerate(result.spreads):
         cells = "  ".join(
-            f"{result.series[a][i].mean:.4f}".rjust(width) for a in algorithms
+            f"{result.series[k][i].mean:.4f}".rjust(width) for k in series_keys
         )
         print(f"{spread:8g}  {cells}")
+    return 0
+
+
+def _cmd_trace_summary(args: argparse.Namespace) -> int:
+    summary = summarize_trace(args.trace_file, column=args.column)
+    if args.json:
+        print(json.dumps(summary.as_dict(), indent=2))
+        return 0
+    print(f"trace                : {summary.path}")
+    print(f"arrivals             : {summary.count}")
+    print(f"span                 : {summary.span:g} time units")
+    rate = f"{summary.rate:g}" if summary.count > 1 else "n/a"
+    print(f"rate                 : {rate} arrivals/time unit")
+    print(
+        f"inter-arrival gap    : mean {summary.mean_gap:g}, "
+        f"min {summary.min_gap:g}, max {summary.max_gap:g}"
+    )
+    print(
+        f"burstiness (CV^2)    : {summary.gap_cv2:.3f} ({summary.burstiness}; "
+        "Poisson = 1)"
+    )
+    for col in (summary.sigma, summary.deadline):
+        if col is not None:
+            print(
+                f"{col.name:<21s}: mean {col.mean:g} ± {col.std:g} "
+                f"[{col.minimum:g}, {col.maximum:g}]"
+            )
     return 0
 
 
@@ -780,6 +895,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_sweep(args)
     if args.command == "fleet":
         return _cmd_fleet(args)
+    if args.command == "trace-summary":
+        return _cmd_trace_summary(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+from repro.core.partition import NODE_ORDERS, validate_node_order
 from repro.experiments.batch import BatchRunner, RunSpec
 from repro.experiments.figures import DEFAULT_LOADS, PanelSpec
 from repro.experiments.runner import replication_seed
@@ -19,7 +20,13 @@ from repro.metrics.collector import validate_metric
 from repro.metrics.stats import PointEstimate, mean_ci
 from repro.workload.scenario import Scenario
 
-__all__ = ["PanelResult", "SpreadSweepResult", "run_panel", "run_spread_sweep"]
+__all__ = [
+    "PanelResult",
+    "SpreadSweepResult",
+    "run_node_order_sweep",
+    "run_panel",
+    "run_spread_sweep",
+]
 
 #: Defaults tuned so a full panel runs in seconds; the paper-scale values
 #: (10 M time units, 10 replications) are available via parameters.
@@ -153,6 +160,97 @@ class SpreadSweepResult:
         return [p.mean for p in self.series[algorithm]]
 
 
+#: One series of a spread-grid sweep: the series key, the RunSpec fields
+#: it varies, the extra labels it stamps, and the ResultSet.filter(...)
+#: keywords that select its records back out.
+_SpreadVariant = tuple[str, dict, dict, dict]
+
+
+def _run_spread_grid(
+    *,
+    spreads: Sequence[float],
+    variants: Sequence[_SpreadVariant],
+    system_load: float,
+    nodes: int,
+    cms: float,
+    cps: float,
+    avg_sigma: float,
+    dc_ratio: float,
+    replications: int,
+    total_time: float,
+    seed: int,
+    metric: str,
+    validate: bool,
+    workers: int | None,
+    workers_mode: str,
+) -> SpreadSweepResult:
+    """Shared driver of the heterogeneity-spread sweeps.
+
+    Each grid point runs :meth:`Scenario.paper_baseline` with
+    ``speed_spread = s`` and the workload re-calibrated against that
+    cluster's actual ``E(Avgσ, N)``; every variant (algorithm or
+    node-order series) shares the task sets point-wise (paired
+    comparison) and all runs flatten into one
+    :class:`~repro.experiments.batch.BatchRunner` batch.
+    """
+    if replications < 1:
+        raise ValueError(f"replications must be >= 1, got {replications}")
+    validate_metric(metric)
+    grid = tuple(float(s) for s in spreads)
+    if not grid:
+        raise ValueError("spreads must be non-empty")
+
+    specs: list[RunSpec] = []
+    for si, spread in enumerate(grid):
+        point = Scenario.paper_baseline(
+            system_load=system_load,
+            total_time=total_time,
+            seed=seed + 7919 * si,  # distinct workload per grid point
+            nodes=nodes,
+            cms=cms,
+            cps=cps,
+            avg_sigma=avg_sigma,
+            dc_ratio=dc_ratio,
+            speed_spread=spread,
+            name=f"spread-{spread:g}",
+        )
+        for _key, spec_kwargs, extra_labels, _selector in variants:
+            for rep in range(replications):
+                specs.append(
+                    RunSpec(
+                        scenario=point.with_seed(
+                            replication_seed(seed + 7919 * si, rep)
+                        ),
+                        labels={
+                            "speed_spread": spread,
+                            "spread_index": si,
+                            **extra_labels,
+                            "replication": rep,
+                        },
+                        validate=validate,
+                        **spec_kwargs,
+                    )
+                )
+
+    results = BatchRunner(workers=workers, workers_mode=workers_mode).run(specs)
+
+    series: dict[str, list[PointEstimate]] = {v[0]: [] for v in variants}
+    for si, spread in enumerate(grid):
+        at_point = results.filter(spread_index=si)
+        for key, _spec_kwargs, _extra_labels, selector in variants:
+            samples = at_point.filter(**selector).values(metric)
+            series[key].append(
+                PointEstimate(x=spread, ci=mean_ci(samples), samples=samples)
+            )
+    return SpreadSweepResult(
+        spreads=grid,
+        series={k: tuple(pts) for k, pts in series.items()},
+        metric=metric,
+        total_time=total_time,
+        replications=replications,
+    )
+
+
 def run_spread_sweep(
     *,
     spreads: Sequence[float],
@@ -181,58 +279,89 @@ def run_spread_sweep(
     shift.  All runs of the sweep flatten into one batch and fan out over
     the :class:`~repro.experiments.batch.BatchRunner`.
     """
-    if replications < 1:
-        raise ValueError(f"replications must be >= 1, got {replications}")
-    validate_metric(metric)
-    grid = tuple(float(s) for s in spreads)
-    if not grid:
-        raise ValueError("spreads must be non-empty")
-
-    specs: list[RunSpec] = []
-    for si, spread in enumerate(grid):
-        point = Scenario.paper_baseline(
-            system_load=system_load,
-            total_time=total_time,
-            seed=seed + 7919 * si,  # distinct workload per grid point
-            nodes=nodes,
-            cms=cms,
-            cps=cps,
-            avg_sigma=avg_sigma,
-            dc_ratio=dc_ratio,
-            speed_spread=spread,
-            name=f"spread-{spread:g}",
-        )
-        for algorithm in algorithms:
-            for rep in range(replications):
-                specs.append(
-                    RunSpec(
-                        scenario=point.with_seed(
-                            replication_seed(seed + 7919 * si, rep)
-                        ),
-                        algorithm=algorithm,
-                        labels={
-                            "speed_spread": spread,
-                            "spread_index": si,
-                            "replication": rep,
-                        },
-                        validate=validate,
-                    )
-                )
-
-    results = BatchRunner(workers=workers, workers_mode=workers_mode).run(specs)
-
-    series: dict[str, list[PointEstimate]] = {a: [] for a in algorithms}
-    for si, spread in enumerate(grid):
-        at_point = results.filter(spread_index=si)
-        for algorithm in algorithms:
-            samples = at_point.filter(algorithm=algorithm).values(metric)
-            series[algorithm].append(
-                PointEstimate(x=spread, ci=mean_ci(samples), samples=samples)
-            )
-    return SpreadSweepResult(
-        spreads=grid,
-        series={a: tuple(pts) for a, pts in series.items()},
-        metric=metric,
-        total_time=total_time,
+    return _run_spread_grid(
+        spreads=spreads,
+        variants=[
+            (a, {"algorithm": a}, {}, {"algorithm": a}) for a in algorithms
+        ],
+        system_load=system_load,
+        nodes=nodes,
+        cms=cms,
+        cps=cps,
+        avg_sigma=avg_sigma,
+        dc_ratio=dc_ratio,
         replications=replications,
+        total_time=total_time,
+        seed=seed,
+        metric=metric,
+        validate=validate,
+        workers=workers,
+        workers_mode=workers_mode,
+    )
+
+
+def run_node_order_sweep(
+    *,
+    spreads: Sequence[float],
+    node_orders: Sequence[str] = NODE_ORDERS,
+    algorithm: str = "EDF-DLT",
+    system_load: float = 0.6,
+    nodes: int = 16,
+    cms: float = 1.0,
+    cps: float = 100.0,
+    avg_sigma: float = 200.0,
+    dc_ratio: float = 2.0,
+    replications: int = DEFAULT_REPLICATIONS,
+    total_time: float = DEFAULT_TOTAL_TIME,
+    seed: int = DEFAULT_SEED,
+    metric: str = "reject_ratio",
+    validate: bool = True,
+    workers: int | None = None,
+    workers_mode: str = "process",
+) -> SpreadSweepResult:
+    """Grid node-ordering policies against cluster heterogeneity spreads.
+
+    The ROADMAP follow-on to the node-ordering work: one algorithm, the
+    heterogeneity ``speed_spread`` grid on the x-axis, and one series per
+    node-ordering policy (``availability`` — the paper's node-id order —
+    ``fastest-first``, ``bandwidth-first``).  At ``spread = 0`` all
+    orderings coincide on the homogeneous cluster; the sweep shows where
+    they start to diverge.  Every series shares the task sets point-wise
+    (paired comparison), and all runs flatten into one
+    :class:`~repro.experiments.batch.BatchRunner` batch.
+
+    Returns a :class:`SpreadSweepResult` whose ``series`` keys are the
+    node-order names.
+    """
+    orders = tuple(node_orders)
+    if not orders:
+        raise ValueError("node_orders must be non-empty")
+    if len(set(orders)) != len(orders):
+        raise ValueError(f"duplicate node orders in {orders!r}")
+    for order in orders:
+        validate_node_order(order)
+    return _run_spread_grid(
+        spreads=spreads,
+        variants=[
+            (
+                o,
+                {"algorithm": algorithm, "node_order": o},
+                {"node_order": o},
+                {"node_order": o},
+            )
+            for o in orders
+        ],
+        system_load=system_load,
+        nodes=nodes,
+        cms=cms,
+        cps=cps,
+        avg_sigma=avg_sigma,
+        dc_ratio=dc_ratio,
+        replications=replications,
+        total_time=total_time,
+        seed=seed,
+        metric=metric,
+        validate=validate,
+        workers=workers,
+        workers_mode=workers_mode,
     )

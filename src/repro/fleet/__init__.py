@@ -20,7 +20,10 @@ Fleet points ride the existing batch engine: put a ``FleetScenario`` in a
 :class:`~repro.experiments.batch.BatchRunner` fans fleet runs out over
 workers exactly like single-cluster runs;
 :func:`~repro.fleet.sweep.run_fleet_sweep` builds policy × cluster-count
-grids on top.  See ``docs/fleet.md`` for the full guide.
+grids on top.  The routing registry also carries the *learning* policies
+from :mod:`repro.learn` (``epsilon-greedy`` / ``ucb1`` / ``thompson``),
+which consume per-task outcome feedback the simulation reports back.
+See ``docs/fleet.md`` and ``docs/adaptive-routing.md`` for the guides.
 """
 
 from __future__ import annotations
@@ -35,6 +38,7 @@ from repro.fleet.routing import (
     RoutingPolicy,
     make_routing_policy,
     routing_policy_names,
+    static_routing_policy_names,
 )
 from repro.fleet.scenario import FleetScenario, fleet_member_seed
 from repro.fleet.sim import FleetOutput, FleetSimulation, simulate_fleet
@@ -57,4 +61,5 @@ __all__ = [
     "routing_policy_names",
     "run_fleet_sweep",
     "simulate_fleet",
+    "static_routing_policy_names",
 ]

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Sequence
+from typing import TYPE_CHECKING, Callable, ClassVar, Sequence
 
 import numpy as np
 
@@ -28,6 +28,9 @@ from repro.core.task import DivisibleTask
 
 if TYPE_CHECKING:  # pragma: no cover
     from numpy.typing import NDArray
+
+    from repro.learn.config import LearnConfig
+    from repro.learn.feedback import RoutingFeedback
 
 __all__ = [
     "ROUTING_POLICIES",
@@ -39,6 +42,7 @@ __all__ = [
     "RoutingPolicy",
     "make_routing_policy",
     "routing_policy_names",
+    "static_routing_policy_names",
     "validate_routing_policy",
 ]
 
@@ -94,6 +98,12 @@ class RoutingPolicy(ABC):
     #: Registry name of the policy (e.g. ``"round-robin"``).
     name: str = "abstract"
 
+    #: Whether the policy consumes outcome feedback (:meth:`observe`).
+    #: The fleet simulation skips the feedback machinery entirely for
+    #: policies that leave this ``False``, so static routing stays as
+    #: cheap as it was before the learning layer existed.
+    learns: ClassVar[bool] = False
+
     @abstractmethod
     def route(self, task: DivisibleTask, views: Sequence[ClusterView]) -> int:
         """Return the index of the cluster that receives ``task``.
@@ -103,6 +113,16 @@ class RoutingPolicy(ABC):
         ``range(len(views))`` and must not mutate cluster scheduling
         state (probing via :attr:`ClusterView.probe` is allowed — see its
         contract).
+        """
+
+    def observe(self, feedback: "RoutingFeedback") -> None:
+        """Consume one per-task outcome report (no-op for static policies).
+
+        The fleet simulation calls this with a
+        :class:`~repro.learn.feedback.RoutingFeedback` after each routed
+        task's admission test, and again when the task completes —
+        learning policies (``learns = True``) update their arm statistics
+        here; the default implementation ignores the feedback.
         """
 
 
@@ -198,7 +218,10 @@ class EarliestFinish(RoutingPolicy):
         return LeastLoaded().route(task, views)
 
 
-#: Registry of routing policies, keyed by CLI/scenario name.
+#: Registry of routing policies, keyed by CLI/scenario name.  The
+#: learning layer (``repro.learn.bandits``) registers its bandit policies
+#: here on import; the accessors below trigger that import lazily so the
+#: full registry is visible without callers importing ``repro.learn``.
 ROUTING_POLICIES: dict[str, type[RoutingPolicy]] = {
     RoundRobin.name: RoundRobin,
     RandomWeighted.name: RandomWeighted,
@@ -207,13 +230,32 @@ ROUTING_POLICIES: dict[str, type[RoutingPolicy]] = {
 }
 
 
+def _ensure_learning_policies() -> None:
+    """Pull the bandit policies into the registry (idempotent)."""
+    import repro.learn.bandits  # noqa: F401  (registers on import)
+
+
 def routing_policy_names() -> tuple[str, ...]:
-    """All registered routing-policy names, sorted."""
+    """All registered routing-policy names (static + learning), sorted."""
+    _ensure_learning_policies()
     return tuple(sorted(ROUTING_POLICIES))
+
+
+def static_routing_policy_names() -> tuple[str, ...]:
+    """The non-learning routing-policy names, sorted (the bandit arms)."""
+    _ensure_learning_policies()
+    return tuple(
+        sorted(
+            name
+            for name, cls in ROUTING_POLICIES.items()
+            if not getattr(cls, "learns", False)
+        )
+    )
 
 
 def validate_routing_policy(name: str) -> str:
     """Return ``name`` if it names a routing policy, else raise."""
+    _ensure_learning_policies()
     if name not in ROUTING_POLICIES:
         raise InvalidParameterError(
             f"unknown routing policy {name!r}; "
@@ -223,15 +265,25 @@ def validate_routing_policy(name: str) -> str:
 
 
 def make_routing_policy(
-    name: str, *, rng: np.random.Generator | None = None
+    name: str,
+    *,
+    rng: np.random.Generator | None = None,
+    learn: "LearnConfig | None" = None,
+    learning_rng: np.random.Generator | None = None,
 ) -> RoutingPolicy:
     """Instantiate a fresh, per-run routing policy by registry name.
 
-    ``rng`` seeds stochastic policies (``random-weighted``); deterministic
-    policies ignore it.
+    ``rng`` seeds stochastic policies (``random-weighted``) — and is the
+    stream a bandit hands to its stochastic policy arms, so a bandit
+    pinned to ``random-weighted`` replays the static run exactly.
+    ``learn``/``learning_rng`` configure and seed bandit policies
+    (ignored by static ones): the learning stream is dedicated, so bandit
+    draws never perturb routing/workload/algorithm randomness.
     """
     validate_routing_policy(name)
     cls = ROUTING_POLICIES[name]
+    if getattr(cls, "learns", False):
+        return cls(config=learn, rng=learning_rng, routing_rng=rng)  # type: ignore[call-arg]
     if cls is RandomWeighted:
         return RandomWeighted(rng)
     return cls()

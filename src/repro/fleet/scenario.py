@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -44,11 +44,15 @@ from repro.core.cluster import ClusterProfile
 from repro.core.errors import InvalidParameterError
 from repro.workload.scenario import Scenario, WorkloadModel
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.learn.config import LearnConfig
+
 __all__ = ["FleetScenario", "fleet_member_seed"]
 
 #: Salt separating fleet-derived seed material from replication seeds.
 _MEMBER_SALT = 0x666C6565  # "flee"
 _ROUTING_SALT = 0x726F7574  # "rout"
+_LEARN_SALT = 0x6C65726E  # "lern"
 
 
 def fleet_member_seed(base_seed: int, member: int) -> int:
@@ -87,9 +91,22 @@ class FleetScenario:
         docstring).
     policy:
         Routing policy name from
-        :data:`repro.fleet.routing.ROUTING_POLICIES`.
+        :data:`repro.fleet.routing.ROUTING_POLICIES` (static or
+        learning — e.g. ``"epsilon-greedy"``).
     name:
         Free-form label carried into batch records and exports.
+    learn:
+        Learning hyper-parameters
+        (:class:`~repro.learn.config.LearnConfig`) consumed when
+        ``policy`` names a bandit; ``None`` = that bandit's defaults.
+        Ignored by static policies.
+    member_algorithms:
+        Optional per-member scheduling-algorithm overrides: one entry per
+        cluster, ``None`` meaning "use the fleet-wide algorithm".  Lets a
+        fleet mix e.g. EDF-DLT and FIFO-OPR members.
+    member_eager_release:
+        Optional per-member ``eager_release`` overrides, same shape and
+        ``None``-defaulting as ``member_algorithms``.
     """
 
     clusters: tuple[ClusterProfile, ...]
@@ -98,6 +115,9 @@ class FleetScenario:
     seed: int
     policy: str = "round-robin"
     name: str = ""
+    learn: "LearnConfig | None" = None
+    member_algorithms: tuple[str | None, ...] | None = None
+    member_eager_release: tuple[bool | None, ...] | None = None
 
     def __post_init__(self) -> None:
         # Imported here: routing imports this module for type hints.
@@ -122,6 +142,52 @@ class FleetScenario:
         if not isinstance(self.seed, int) or self.seed < 0:
             raise InvalidParameterError(f"seed must be an int >= 0, got {self.seed}")
         validate_routing_policy(self.policy)
+        self._validate_learn()
+        self._validate_member_overrides()
+
+    def _validate_learn(self) -> None:
+        """Check the ``learn`` field is a LearnConfig (or None)."""
+        if self.learn is None:
+            return
+        from repro.learn.config import LearnConfig
+
+        if not isinstance(self.learn, LearnConfig):
+            raise InvalidParameterError(
+                f"learn must be a LearnConfig or None, got {self.learn!r}"
+            )
+
+    def _validate_member_overrides(self) -> None:
+        """Normalize and validate the per-member override tuples."""
+        from repro.core.algorithms import ALGORITHMS
+
+        if self.member_algorithms is not None:
+            algos = tuple(self.member_algorithms)
+            object.__setattr__(self, "member_algorithms", algos)
+            if len(algos) != self.n_clusters:
+                raise InvalidParameterError(
+                    f"member_algorithms must have one entry per cluster "
+                    f"({self.n_clusters}), got {len(algos)}"
+                )
+            for a in algos:
+                if a is not None and a not in ALGORITHMS:
+                    raise InvalidParameterError(
+                        f"unknown member algorithm {a!r}; "
+                        f"valid: {', '.join(sorted(ALGORITHMS))}"
+                    )
+        if self.member_eager_release is not None:
+            eager = tuple(self.member_eager_release)
+            object.__setattr__(self, "member_eager_release", eager)
+            if len(eager) != self.n_clusters:
+                raise InvalidParameterError(
+                    f"member_eager_release must have one entry per cluster "
+                    f"({self.n_clusters}), got {len(eager)}"
+                )
+            for e in eager:
+                if e is not None and not isinstance(e, bool):
+                    raise InvalidParameterError(
+                        f"member_eager_release entries must be bool or None, "
+                        f"got {e!r}"
+                    )
 
     # -- constructors ------------------------------------------------------
     @classmethod
@@ -141,6 +207,7 @@ class FleetScenario:
         speed_spread: float = 0.0,
         cluster_spread: float = 0.0,
         name: str = "fleet",
+        learn: "LearnConfig | None" = None,
     ) -> "FleetScenario":
         """A fleet of ``n_clusters`` paper-baseline-shaped clusters.
 
@@ -193,6 +260,7 @@ class FleetScenario:
             seed=seed,
             policy=policy,
             name=name,
+            learn=learn,
         )
 
     @classmethod
@@ -249,6 +317,39 @@ class FleetScenario:
         """The same fleet under a different seed."""
         return replace(self, seed=seed)
 
+    def with_learn(self, learn: "LearnConfig | None") -> "FleetScenario":
+        """The same fleet under different learning hyper-parameters."""
+        return replace(self, learn=learn)
+
+    def with_member_overrides(
+        self,
+        *,
+        algorithms: "tuple[str | None, ...] | list[str | None] | None" = None,
+        eager_release: "tuple[bool | None, ...] | list[bool | None] | None" = None,
+    ) -> "FleetScenario":
+        """The same fleet with per-member algorithm/eager overrides set."""
+        return replace(
+            self,
+            member_algorithms=tuple(algorithms) if algorithms is not None else None,
+            member_eager_release=(
+                tuple(eager_release) if eager_release is not None else None
+            ),
+        )
+
+    def member_algorithm(self, index: int, default: str) -> str:
+        """Member ``index``'s scheduling algorithm (override or default)."""
+        if self.member_algorithms is None:
+            return default
+        override = self.member_algorithms[index]
+        return default if override is None else override
+
+    def member_eager(self, index: int, default: bool) -> bool:
+        """Member ``index``'s ``eager_release`` flag (override or default)."""
+        if self.member_eager_release is None:
+            return default
+        override = self.member_eager_release[index]
+        return default if override is None else override
+
     def stream_scenario(self) -> Scenario:
         """The shared arrival stream as a single-cluster scenario.
 
@@ -293,6 +394,18 @@ class FleetScenario:
         ss = np.random.SeedSequence([int(self.seed), _ROUTING_SALT])
         return np.random.default_rng(ss)
 
+    def learning_rng(self) -> np.random.Generator:
+        """The RNG stream reserved for learning-side randomness.
+
+        Bandit policies draw their exploration randomness (ε-draws,
+        posterior samples) from this dedicated stream — independent of
+        the workload, algorithm and routing streams, so swapping a bandit
+        in or out never perturbs the task set or a stochastic arm's
+        routing draws.
+        """
+        ss = np.random.SeedSequence([int(self.seed), _LEARN_SALT])
+        return np.random.default_rng(ss)
+
     def describe(self) -> dict[str, Any]:
         """A flat, JSON-friendly summary (used by batch exports).
 
@@ -304,7 +417,7 @@ class FleetScenario:
             any(not c.is_homogeneous for c in self.clusters)
             or len(set(self.clusters)) > 1
         )
-        return {
+        out: dict[str, Any] = {
             "name": self.name,
             "clusters": self.n_clusters,
             "nodes": self.total_nodes,
@@ -317,3 +430,15 @@ class FleetScenario:
             "total_time": self.total_time,
             "seed": self.seed,
         }
+        if self.learn is not None:
+            out.update(self.learn.describe())
+        if self.member_algorithms is not None:
+            out["member_algorithms"] = ",".join(
+                a if a is not None else "-" for a in self.member_algorithms
+            )
+        if self.member_eager_release is not None:
+            out["member_eager_release"] = ",".join(
+                "-" if e is None else str(int(e))
+                for e in self.member_eager_release
+            )
+        return out

@@ -11,6 +11,16 @@ shared task stream:
 3. when the stream ends, finalize every member (all accepted work drains)
    and pool the outputs into fleet-level metrics.
 
+Routing used to be fire-and-forget; learning policies closed that loop.
+When the active policy declares ``learns = True`` the simulation feeds
+per-task outcomes back to it as
+:class:`~repro.learn.feedback.RoutingFeedback`: an *admission* report
+right after the routed task's schedulability test runs, and a
+*completion* report when the task actually finishes (delivered before
+the next routing decision whose arrival instant lies past the
+completion, in deterministic ``(actual_completion, task_id)`` order).
+Static policies skip this machinery entirely.
+
 Because member clusters never interact — no task migration, no shared
 links — each member's event sequence is exactly what a standalone
 :class:`ClusterSimulation` would execute on its routed sub-stream.  A
@@ -20,16 +30,22 @@ single-cluster run under every routing policy (the test suite asserts it).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Sequence
 
 import numpy as np
 
 from repro.core.algorithms import make_algorithm
 from repro.core.errors import InvalidParameterError
-from repro.core.task import DivisibleTask
+from repro.core.task import DivisibleTask, TaskOutcome, TaskRecord
 from repro.fleet.routing import ClusterView, RoutingPolicy, make_routing_policy
 from repro.fleet.scenario import FleetScenario
+from repro.learn.feedback import (
+    PHASE_ADMISSION,
+    PHASE_COMPLETION,
+    LearningReport,
+    RoutingFeedback,
+)
 from repro.metrics.collector import MetricsSummary, summarize, summarize_pooled
 from repro.sim.cluster_sim import ClusterSimulation, SimulationOutput
 
@@ -45,7 +61,10 @@ class FleetOutput:
     ``metrics`` the fleet-level pooled summary (total rejections over
     total arrivals, capacity-weighted utilization);
     ``assignments`` maps stream position → member index, so any slice of
-    the routing decision sequence can be reconstructed.
+    the routing decision sequence can be reconstructed;
+    ``learning`` the bandit's :class:`~repro.learn.feedback.
+    LearningReport` (``None`` for static routing policies) — its
+    cumulative regret is also surfaced as ``metrics.learning_regret``.
     """
 
     algorithm: str
@@ -54,6 +73,7 @@ class FleetOutput:
     assignments: tuple[int, ...]
     metrics: MetricsSummary
     per_cluster: tuple[MetricsSummary, ...]
+    learning: LearningReport | None = None
 
     @property
     def reject_ratio(self) -> float:
@@ -77,14 +97,16 @@ class FleetSimulation:
     scenario:
         The fleet description (clusters + shared workload + policy + seed).
     algorithm:
-        Per-cluster scheduling algorithm name (every member runs the same
-        algorithm; heterogeneity lives in the cluster profiles).
+        Fleet-wide scheduling algorithm name; individual members may
+        override it through ``scenario.member_algorithms``.
     validate:
         Arm the Theorem-4 validator on every member.
     trace:
         Record chunk-level traces on every member (slower, more memory).
     eager_release / shared_head_link:
-        Modelling switches forwarded to every member simulation.
+        Modelling switches forwarded to every member simulation
+        (``eager_release`` is the fleet-wide default that
+        ``scenario.member_eager_release`` entries override).
     node_order:
         Node-ordering policy forwarded to every member's partitioner.
     """
@@ -106,7 +128,9 @@ class FleetSimulation:
         for i in range(scenario.n_clusters):
             member = scenario.member_scenario(i)
             instance = make_algorithm(
-                algorithm, rng=member.algorithm_rng(), node_order=node_order
+                scenario.member_algorithm(i, algorithm),
+                rng=member.algorithm_rng(),
+                node_order=node_order,
             )
             self.sims.append(
                 ClusterSimulation(
@@ -115,16 +139,27 @@ class FleetSimulation:
                     horizon=scenario.total_time,
                     validate=validate,
                     trace=trace,
-                    eager_release=eager_release,
+                    eager_release=scenario.member_eager(i, eager_release),
                     shared_head_link=shared_head_link,
                 )
             )
         self.policy: RoutingPolicy = make_routing_policy(
-            scenario.policy, rng=scenario.routing_rng()
+            scenario.policy,
+            rng=scenario.routing_rng(),
+            learn=scenario.learn,
+            learning_rng=scenario.learning_rng(),
         )
         self._capacities = [
             float(np.sum(1.0 / c.cps_array)) for c in scenario.clusters
         ]
+        #: Accepted tasks per member whose completion feedback is still
+        #: owed to a learning policy.  Only populated when the policy
+        #: learns *and* its reward model defers to the completion phase
+        #: — admission-resolving rewards never pay the tracking cost.
+        self._watch: list[set[int]] = [set() for _ in self.sims]
+        self._track_completions = self.policy.learns and getattr(
+            self.policy, "wants_completion_feedback", True
+        )
         self._done = False
 
     # -- routing state ------------------------------------------------------
@@ -157,6 +192,62 @@ class FleetSimulation:
             probe=probe,
         )
 
+    # -- learning feedback --------------------------------------------------
+    def _admission_feedback(
+        self, task: DivisibleTask, index: int, view: ClusterView
+    ) -> None:
+        """Report the routed task's admission outcome to the policy."""
+        record = self.sims[index].scheduler.records.get(task.task_id)
+        accepted = record is not None and record.outcome is TaskOutcome.ACCEPTED
+        self.policy.observe(
+            RoutingFeedback(
+                task_id=task.task_id,
+                cluster=index,
+                phase=PHASE_ADMISSION,
+                arrival=task.arrival,
+                sigma=task.sigma,
+                deadline=task.deadline,
+                accepted=accepted,
+                est_completion=record.est_completion if record else None,
+                outstanding=view.outstanding,
+                backlog=view.backlog,
+            )
+        )
+        if accepted and self._track_completions:
+            self._watch[index].add(task.task_id)
+
+    def _drain_completions(self) -> None:
+        """Report every newly completed task, in deterministic order.
+
+        Completions are sorted by ``(actual_completion, task_id)`` across
+        all members, so the learning policy sees the same reward sequence
+        no matter how the members' event loops interleave.
+        """
+        due: list[tuple[float, int, int, TaskRecord]] = []
+        for j, watched in enumerate(self._watch):
+            records = self.sims[j].scheduler.records
+            for tid in watched:
+                record = records[tid]
+                if record.actual_completion is not None:
+                    due.append((record.actual_completion, tid, j, record))
+        due.sort(key=lambda item: (item[0], item[1]))
+        for completion, tid, j, record in due:
+            self._watch[j].discard(tid)
+            self.policy.observe(
+                RoutingFeedback(
+                    task_id=tid,
+                    cluster=j,
+                    phase=PHASE_COMPLETION,
+                    arrival=record.task.arrival,
+                    sigma=record.task.sigma,
+                    deadline=record.task.deadline,
+                    accepted=True,
+                    est_completion=record.est_completion,
+                    actual_completion=completion,
+                    deadline_met=record.deadline_met,
+                )
+            )
+
     # -- driver -------------------------------------------------------------
     def run(self) -> FleetOutput:
         """Execute the whole shared stream and return the fleet output."""
@@ -167,10 +258,13 @@ class FleetSimulation:
         stream = self.scenario.stream_scenario()
         tasks: Sequence[DivisibleTask] = stream.generate_tasks()
         n_members = len(self.sims)
+        learning = self.policy.learns
         assignments: list[int] = []
         for task in tasks:
             for sim in self.sims:
                 sim.advance_to(task.arrival)
+            if self._track_completions:
+                self._drain_completions()
             views = [self._view(i, task.arrival) for i in range(n_members)]
             index = self.policy.route(task, views)
             if not 0 <= index < n_members:
@@ -184,16 +278,26 @@ class FleetSimulation:
             # Process the arrival now so the admission decision is visible
             # to the very next routing decision (even at equal timestamps).
             target.advance_to(task.arrival)
+            if learning:
+                self._admission_feedback(task, index, views[index])
 
         outputs = tuple(sim.finalize() for sim in self.sims)
+        report: LearningReport | None = None
+        metrics = summarize_pooled(outputs)
+        if learning:
+            if self._track_completions:
+                self._drain_completions()  # everything accepted has drained
+            report = self.policy.report()  # type: ignore[attr-defined]
+            metrics = replace(metrics, learning_regret=report.cumulative_regret)
         per_cluster = tuple(summarize(o) for o in outputs)
         return FleetOutput(
             algorithm=self.algorithm,
             scenario=self.scenario,
             outputs=outputs,
             assignments=tuple(assignments),
-            metrics=summarize_pooled(outputs),
+            metrics=metrics,
             per_cluster=per_cluster,
+            learning=report,
         )
 
 

@@ -10,7 +10,7 @@ exactly like the single-cluster panels.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.core.errors import InvalidParameterError
 from repro.experiments.batch import BatchRunner, ResultSet, RunSpec
@@ -19,6 +19,9 @@ from repro.fleet.routing import routing_policy_names
 from repro.fleet.scenario import FleetScenario
 from repro.metrics.collector import validate_metric
 from repro.metrics.stats import ConfidenceInterval, mean_ci
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.learn.config import LearnConfig
 
 __all__ = ["FleetSweepResult", "run_fleet_sweep"]
 
@@ -76,6 +79,7 @@ def run_fleet_sweep(
     validate: bool = True,
     workers: int | None = None,
     workers_mode: str = "process",
+    learn: "LearnConfig | None" = None,
 ) -> FleetSweepResult:
     """Sweep routing policies (× cluster counts) on uniform fleets.
 
@@ -84,7 +88,9 @@ def run_fleet_sweep(
     *identical* task stream at each replication (paired comparison);
     across cluster counts the stream rate scales with the fleet (the
     per-cluster offered load stays ``system_load``).  All runs flatten
-    into one batch; ``workers`` fans them out.
+    into one batch; ``workers`` fans them out.  ``policies`` may mix
+    static and learning (bandit) policy names; ``learn`` supplies the
+    hyper-parameters every learning policy in the grid runs with.
     """
     grid_policies = tuple(policies) if policies is not None else routing_policy_names()
     counts = tuple(int(k) for k in cluster_counts)
@@ -113,6 +119,7 @@ def run_fleet_sweep(
             speed_spread=speed_spread,
             cluster_spread=cluster_spread,
             name=f"fleet-{k}x{nodes}",
+            learn=learn,
         )
         for policy in grid_policies:
             point = base.with_policy(policy)

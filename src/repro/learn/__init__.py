@@ -1,0 +1,68 @@
+"""Online adaptive routing: bandits that learn the fleet's best router.
+
+PR 3 gave the fleet four hand-written routing policies; this package
+closes the loop the ROADMAP named next: *learned* routing over the same
+:class:`~repro.fleet.routing.RoutingPolicy` interface.  A bandit policy
+treats each routing decision as a pull — arms are either the static
+routers (meta-policy mode) or the member clusters directly — and updates
+itself from the per-task outcomes (:class:`RoutingFeedback`: accept or
+reject at admission, completion time and deadline verdict at completion)
+that :class:`~repro.fleet.sim.FleetSimulation` feeds back.
+
+Layer map::
+
+    LearnConfig      = arms + mode + reward + exploration knobs
+    RewardModel      = RoutingFeedback -> reward in [0, 1] (or defer)
+    BanditRouter     = RoutingPolicy + select_arm() + observe(feedback)
+    LearningReport   = per-arm pulls/means + cumulative regret
+
+Everything is deterministic from the fleet seed: bandit draws come from
+a dedicated learning RNG stream, rewards resolve in a deterministic
+order, and a bandit pinned to a single arm reproduces that static
+policy's run record by record.  See ``docs/adaptive-routing.md`` for the
+full guide and ``examples/adaptive_routing.py`` for the convergence
+walkthrough.
+"""
+
+from __future__ import annotations
+
+from repro.learn.bandits import (
+    BanditRouter,
+    EpsilonGreedy,
+    ThompsonSampling,
+    UCB1,
+    learning_policy_names,
+)
+from repro.learn.config import LEARN_MODES, LearnConfig
+from repro.learn.feedback import ArmStats, LearningReport, RoutingFeedback
+from repro.learn.rewards import (
+    REWARD_MODELS,
+    RejectPenaltyReward,
+    RewardModel,
+    SlackWeightedReward,
+    UtilizationWeightedReward,
+    make_reward_model,
+    reward_model_names,
+    validate_reward_model,
+)
+
+__all__ = [
+    "ArmStats",
+    "BanditRouter",
+    "EpsilonGreedy",
+    "LEARN_MODES",
+    "LearnConfig",
+    "LearningReport",
+    "REWARD_MODELS",
+    "RejectPenaltyReward",
+    "RewardModel",
+    "RoutingFeedback",
+    "SlackWeightedReward",
+    "ThompsonSampling",
+    "UCB1",
+    "UtilizationWeightedReward",
+    "learning_policy_names",
+    "make_reward_model",
+    "reward_model_names",
+    "validate_reward_model",
+]

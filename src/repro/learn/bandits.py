@@ -1,0 +1,328 @@
+"""Bandit routing policies: learn the fleet's best router online.
+
+Each policy here implements the existing
+:class:`~repro.fleet.routing.RoutingPolicy` protocol — it drops into a
+:class:`~repro.fleet.scenario.FleetScenario` by name like any static
+router — but treats each routing decision as a bandit *pull* and updates
+itself from the per-task :class:`~repro.learn.feedback.RoutingFeedback`
+the fleet simulation reports back.  Arms are either the built-in static
+routing policies (``mode="policies"``, the meta-policy default: the
+bandit learns *which router* fits the fleet) or the member clusters
+themselves (``mode="clusters"``: the bandit learns *where to send work*
+directly).
+
+Three selection rules ship, spanning the classic exploration spectrum
+(cf. the RL load-distribution-sequencing line of work — no fixed
+heuristic dominates once the system is heterogeneous, so the router
+itself is learned):
+
+* :class:`EpsilonGreedy` — explore uniformly with probability ε, else
+  exploit the best empirical mean;
+* :class:`UCB1` — deterministic optimism: mean + ``c·√(2 ln n / n_a)``;
+* :class:`ThompsonSampling` — posterior sampling with per-arm Beta
+  posteriors (fractional updates for non-Bernoulli rewards).
+
+Determinism contract
+--------------------
+All bandit randomness draws from the fleet scenario's dedicated
+*learning* RNG stream (:meth:`FleetScenario.learning_rng`), independent
+of the workload, algorithm and routing streams.  Rewards resolve in a
+deterministic order (admission in arrival order; completions sorted by
+``(actual_completion, task_id)``), so a learning run is bit-identical
+across serial / process / thread execution and invariant to wall-clock.
+A bandit pinned to a single policy arm delegates every decision to that
+arm — and a stochastic arm (``random-weighted``) receives the *same*
+routing stream a static run would — so the pinned run reproduces the
+static policy's run record by record (asserted in the tests).
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar, Sequence
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+from repro.core.task import DivisibleTask
+from repro.fleet.routing import (
+    ROUTING_POLICIES,
+    ClusterView,
+    RoutingPolicy,
+    make_routing_policy,
+)
+from repro.learn.config import LearnConfig
+from repro.learn.feedback import ArmStats, LearningReport, RoutingFeedback
+from repro.learn.rewards import make_reward_model
+
+__all__ = [
+    "BanditRouter",
+    "EpsilonGreedy",
+    "ThompsonSampling",
+    "UCB1",
+    "learning_policy_names",
+]
+
+
+class BanditRouter(RoutingPolicy):
+    """Shared machinery of all bandit routing policies.
+
+    Subclasses implement :meth:`select_arm` — everything else (arm
+    bookkeeping, policy-arm delegation, reward resolution, regret
+    accounting) lives here.
+
+    Parameters
+    ----------
+    config:
+        The :class:`~repro.learn.config.LearnConfig` hyper-parameters
+        (``None`` = defaults: all static policies as arms,
+        reject-penalty reward).
+    rng:
+        The *learning* stream — the only randomness the bandit itself
+        consumes (ε-draws, posterior samples).
+    routing_rng:
+        The scenario's routing stream, handed to stochastic policy arms
+        (``random-weighted``) so a pinned bandit matches the static run
+        bit for bit.
+    """
+
+    learns: ClassVar[bool] = True
+
+    name = "abstract-bandit"
+
+    def __init__(
+        self,
+        *,
+        config: LearnConfig | None = None,
+        rng: np.random.Generator | None = None,
+        routing_rng: np.random.Generator | None = None,
+    ) -> None:
+        self.config = config if config is not None else LearnConfig()
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.reward_model = make_reward_model(self.config.reward)
+        self._routing_rng = routing_rng
+        # Arm state is lazily sized: in "clusters" mode the arm count is
+        # the fleet size, first known at the first routing decision.
+        self._arm_names: tuple[str, ...] | None = None
+        self._arm_policies: list[RoutingPolicy] | None = None
+        self._pulls: np.ndarray | None = None
+        self._totals: np.ndarray | None = None
+        self._pending: dict[int, int] = {}
+        self._inflight: np.ndarray | None = None
+        self._decisions = 0
+        self._resolved = 0
+
+    # -- arm management ----------------------------------------------------
+    def _ensure_arms(self, n_clusters: int) -> None:
+        if self._arm_names is not None:
+            return
+        if self.config.mode == "clusters":
+            names = tuple(f"cluster-{i}" for i in range(n_clusters))
+        else:
+            names = self.config.resolved_arms()
+            self._arm_policies = [
+                make_routing_policy(arm, rng=self._routing_rng) for arm in names
+            ]
+        self._arm_names = names
+        self._pulls = np.zeros(len(names), dtype=np.int64)
+        self._totals = np.zeros(len(names), dtype=np.float64)
+        self._inflight = np.zeros(len(names), dtype=np.int64)
+
+    @property
+    def n_arms(self) -> int:
+        """Number of arms (0 until the first routing decision)."""
+        return len(self._arm_names) if self._arm_names is not None else 0
+
+    @property
+    def wants_completion_feedback(self) -> bool:
+        """Whether the fleet must deliver completion-phase feedback.
+
+        ``False`` when the reward model resolves every task at admission
+        — the simulation then skips completion tracking on the hot
+        routing loop.
+        """
+        return self.reward_model.needs_completion
+
+    def select_arm(self) -> int:
+        """Pick the arm to pull for the next decision (subclass rule)."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def _means(self) -> np.ndarray:
+        """Empirical mean reward per arm (0 for never-resolved arms)."""
+        assert self._pulls is not None and self._totals is not None
+        return np.divide(
+            self._totals,
+            self._pulls,
+            out=np.zeros_like(self._totals),
+            where=self._pulls > 0,
+        )
+
+    def _unresolved_arm(self) -> int | None:
+        """The arm to pull while some arm still has no resolved reward.
+
+        Optimism under uncertainty: arms without data are pulled first.
+        With delayed (completion-phase) rewards an arm may have been
+        pulled but not resolved yet, so the choice spreads over the
+        data-less arms by *fewest in-flight pulls* (ties: lowest index)
+        instead of hammering arm 0 until its first reward lands.
+        Returns ``None`` once every arm has at least one resolved pull.
+        """
+        assert self._pulls is not None and self._inflight is not None
+        unresolved = np.flatnonzero(self._pulls == 0)
+        if not unresolved.size:
+            return None
+        return int(unresolved[np.argmin(self._inflight[unresolved])])
+
+    # -- RoutingPolicy protocol --------------------------------------------
+    def route(self, task: DivisibleTask, views: Sequence[ClusterView]) -> int:
+        """Pull an arm, delegate/route, and remember the pending pull."""
+        self._ensure_arms(len(views))
+        assert self._arm_names is not None
+        arm = int(self.select_arm())
+        if not 0 <= arm < len(self._arm_names):
+            raise InvalidParameterError(
+                f"{self.name}: select_arm returned {arm}, "
+                f"valid range [0, {len(self._arm_names)})"
+            )
+        if self.config.mode == "clusters":
+            if arm >= len(views):  # fleet shrank? cannot happen, but guard
+                raise InvalidParameterError(
+                    f"{self.name}: arm {arm} exceeds fleet size {len(views)}"
+                )
+            index = arm
+        else:
+            assert self._arm_policies is not None
+            index = self._arm_policies[arm].route(task, views)
+        self._pending[task.task_id] = arm
+        assert self._inflight is not None
+        self._inflight[arm] += 1
+        self._decisions += 1
+        return index
+
+    def observe(self, feedback: RoutingFeedback) -> None:
+        """Resolve the task's reward and update its arm's statistics."""
+        arm = self._pending.get(feedback.task_id)
+        if arm is None:  # already resolved, or not ours
+            return
+        reward = self.reward_model.reward(feedback)
+        if reward is None:  # outcome not determined yet — keep waiting
+            return
+        del self._pending[feedback.task_id]
+        assert self._pulls is not None and self._totals is not None
+        assert self._inflight is not None
+        self._inflight[arm] -= 1
+        self._pulls[arm] += 1
+        self._totals[arm] += min(max(float(reward), 0.0), 1.0)
+        self._resolved += 1
+
+    # -- reporting ---------------------------------------------------------
+    @property
+    def cumulative_regret(self) -> float:
+        """Empirical pseudo-regret accumulated so far (>= 0)."""
+        return self.report().cumulative_regret
+
+    def report(self) -> LearningReport:
+        """The run-level account of what the bandit learned."""
+        names = self._arm_names or ()
+        pulls = self._pulls if self._pulls is not None else np.zeros(0)
+        totals = self._totals if self._totals is not None else np.zeros(0)
+        return LearningReport(
+            policy=self.name,
+            reward_model=self.reward_model.name,
+            arms=tuple(
+                ArmStats(
+                    name=names[i],
+                    pulls=int(pulls[i]),
+                    total_reward=float(totals[i]),
+                )
+                for i in range(len(names))
+            ),
+            decisions=self._decisions,
+            resolved=self._resolved,
+        )
+
+
+class EpsilonGreedy(BanditRouter):
+    """Explore uniformly with probability ε, else exploit the best mean.
+
+    Never-resolved arms are treated optimistically (infinite mean), so
+    the first exploit steps sweep the arms before real exploitation
+    starts — spreading over them by fewest in-flight pulls when rewards
+    resolve late (see :meth:`BanditRouter._unresolved_arm`).  Ties break
+    to the lowest arm index.
+    """
+
+    name = "epsilon-greedy"
+
+    def select_arm(self) -> int:
+        """ε-greedy arm choice (one or two learning-stream draws)."""
+        n = self.n_arms
+        if float(self.rng.random()) < self.config.epsilon:
+            return int(self.rng.integers(n))
+        unresolved = self._unresolved_arm()
+        if unresolved is not None:
+            return unresolved
+        return int(np.argmax(self._means()))
+
+
+class UCB1(BanditRouter):
+    """Deterministic optimism: ``mean + c·√(2 ln n / n_a)``.
+
+    Arms with no resolved reward yet are pulled first (fewest in-flight
+    pulls, then lowest index — so delayed completion-phase rewards don't
+    pile the whole cold-start on one arm); afterwards the arm maximising
+    the upper confidence bound wins, ties breaking to the lowest index.
+    ``n`` counts resolved rewards, so the bound adapts correctly to
+    delayed rewards.  Consumes no randomness at all.
+    """
+
+    name = "ucb1"
+
+    def select_arm(self) -> int:
+        """UCB1 arm choice (fully deterministic)."""
+        unresolved = self._unresolved_arm()
+        if unresolved is not None:
+            return unresolved
+        assert self._pulls is not None
+        bonus = self.config.ucb_c * np.sqrt(
+            2.0 * np.log(max(self._resolved, 1)) / self._pulls
+        )
+        return int(np.argmax(self._means() + bonus))
+
+
+class ThompsonSampling(BanditRouter):
+    """Posterior sampling with per-arm ``Beta(1+S, 1+F)`` posteriors.
+
+    ``S`` is the arm's accumulated reward and ``F = pulls − S`` its
+    accumulated shortfall; rewards in ``[0, 1]`` update the posterior
+    fractionally (the standard non-Bernoulli Thompson variant).  Each
+    decision draws one posterior sample per arm from the learning
+    stream and pulls the argmax.
+    """
+
+    name = "thompson"
+
+    def select_arm(self) -> int:
+        """Thompson arm choice (``n_arms`` learning-stream draws)."""
+        assert self._pulls is not None and self._totals is not None
+        successes = self._totals
+        failures = self._pulls - self._totals
+        samples = self.rng.beta(1.0 + successes, 1.0 + failures)
+        return int(np.argmax(samples))
+
+
+def learning_policy_names() -> tuple[str, ...]:
+    """Names of the registered learning (bandit) routing policies."""
+    return tuple(
+        sorted(
+            name
+            for name, cls in ROUTING_POLICIES.items()
+            if getattr(cls, "learns", False)
+        )
+    )
+
+
+#: Register the bandits alongside the static policies so scenario
+#: validation, the CLI and ``make_routing_policy`` see one registry.
+for _cls in (EpsilonGreedy, UCB1, ThompsonSampling):
+    ROUTING_POLICIES.setdefault(_cls.name, _cls)
+del _cls

@@ -1,0 +1,118 @@
+"""Learning configuration: the knobs a bandit routing policy runs with.
+
+:class:`LearnConfig` is the frozen, picklable bundle of learning
+hyper-parameters carried by a :class:`~repro.fleet.scenario.FleetScenario`
+(field ``learn``) so that learning runs ride the batch engine exactly
+like static ones: the scenario stays a pure value object, and the fleet
+simulation instantiates a fresh, seeded bandit from it per run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.core.errors import InvalidParameterError
+from repro.learn.rewards import validate_reward_model
+
+__all__ = ["LEARN_MODES", "LearnConfig"]
+
+#: What a bandit's arms index: the built-in static routing policies, or
+#: the member clusters directly.
+LEARN_MODES: tuple[str, ...] = ("policies", "clusters")
+
+
+@dataclass(frozen=True, slots=True)
+class LearnConfig:
+    """Hyper-parameters of a learning (bandit) routing policy.
+
+    Parameters
+    ----------
+    arms:
+        In ``"policies"`` mode: the static routing policies the bandit
+        selects among (distinct registry names).  Empty = all built-in
+        static policies, in sorted-name order.  Must be empty in
+        ``"clusters"`` mode (the arms are the member clusters).
+    mode:
+        ``"policies"`` (arms = routers, the meta-policy default) or
+        ``"clusters"`` (arms = member clusters, direct routing).
+    reward:
+        Reward-model registry name
+        (:data:`repro.learn.rewards.REWARD_MODELS`).
+    epsilon:
+        Exploration probability of ``epsilon-greedy`` (in ``[0, 1]``).
+    ucb_c:
+        Exploration-bonus scale of ``ucb1`` (> 0; 1 = the classic UCB1
+        bonus).  The default 0.5 explores less than textbook UCB1 —
+        routing-arm reward gaps are small (a few percent of accept
+        ratio), and the full bonus keeps over-exploring for thousands of
+        pulls at realistic stream lengths.
+    """
+
+    arms: tuple[str, ...] = ()
+    mode: str = "policies"
+    reward: str = "reject-penalty"
+    epsilon: float = 0.1
+    ucb_c: float = 0.5
+
+    def __post_init__(self) -> None:
+        # Imported here: routing lazily imports the learn package.
+        from repro.fleet.routing import ROUTING_POLICIES, validate_routing_policy
+
+        object.__setattr__(self, "arms", tuple(self.arms))
+        if self.mode not in LEARN_MODES:
+            raise InvalidParameterError(
+                f"learn mode must be one of {', '.join(LEARN_MODES)}, "
+                f"got {self.mode!r}"
+            )
+        if self.mode == "clusters":
+            if self.arms:
+                raise InvalidParameterError(
+                    "arms must be empty in 'clusters' mode "
+                    "(the member clusters are the arms)"
+                )
+        else:
+            if len(set(self.arms)) != len(self.arms):
+                raise InvalidParameterError(
+                    f"duplicate arm names in {self.arms!r}"
+                )
+            for arm in self.arms:
+                validate_routing_policy(arm)
+                if getattr(ROUTING_POLICIES[arm], "learns", False):
+                    raise InvalidParameterError(
+                        f"arm {arm!r} is itself a learning policy; "
+                        "arms must be static routing policies"
+                    )
+        validate_reward_model(self.reward)
+        if not math.isfinite(self.epsilon) or not 0.0 <= self.epsilon <= 1.0:
+            raise InvalidParameterError(
+                f"epsilon must be in [0, 1], got {self.epsilon}"
+            )
+        if not math.isfinite(self.ucb_c) or self.ucb_c <= 0:
+            raise InvalidParameterError(f"ucb_c must be > 0, got {self.ucb_c}")
+
+    def resolved_arms(self) -> tuple[str, ...]:
+        """The policy-mode arm names, defaults expanded.
+
+        Empty ``arms`` expands to every registered *static* routing
+        policy in sorted-name order (stable across runs and platforms).
+        """
+        if self.arms:
+            return self.arms
+        from repro.fleet.routing import static_routing_policy_names
+
+        return static_routing_policy_names()
+
+    def with_reward(self, reward: str) -> "LearnConfig":
+        """The same configuration under a different reward model."""
+        return replace(self, reward=reward)
+
+    def describe(self) -> dict[str, float | int | str]:
+        """Flat, JSON-friendly summary (merged into scenario exports)."""
+        return {
+            "learn_mode": self.mode,
+            "learn_arms": ",".join(self.arms) if self.arms else "all-static",
+            "learn_reward": self.reward,
+            "learn_epsilon": self.epsilon,
+            "learn_ucb_c": self.ucb_c,
+        }

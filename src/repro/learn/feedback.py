@@ -1,0 +1,146 @@
+"""Feedback records flowing from the fleet simulation to learning routers.
+
+The fleet's routing loop was fire-and-forget until the learning layer:
+a policy picked a member cluster and never heard what happened.  Online
+policies need the outcome, so :class:`~repro.fleet.sim.FleetSimulation`
+now emits one :class:`RoutingFeedback` per task *phase*:
+
+``"admission"``
+    Delivered immediately after the routed task's admission test ran on
+    the chosen member — carries accept/reject, the member's guaranteed
+    estimate, and the load snapshot the decision was made against.
+``"completion"``
+    Delivered when an accepted task actually finishes (drained in
+    deterministic ``(actual_completion, task_id)`` order) — carries the
+    measured completion time and whether the deadline held.
+
+A :class:`~repro.learn.rewards.RewardModel` turns feedback into a scalar
+reward; :class:`LearningReport` is the run-level account of what a bandit
+learned (per-arm pulls/means, cumulative regret, the arm it settled on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ArmStats", "LearningReport", "RoutingFeedback"]
+
+#: Feedback phases, in the order a task emits them.
+PHASE_ADMISSION = "admission"
+PHASE_COMPLETION = "completion"
+
+
+@dataclass(frozen=True, slots=True)
+class RoutingFeedback:
+    """One per-task outcome report delivered to the routing policy.
+
+    Attributes
+    ----------
+    task_id:
+        Stream id of the routed task.
+    cluster:
+        Member index the task was routed to.
+    phase:
+        ``"admission"`` or ``"completion"`` (see module docstring).
+    arrival / sigma / deadline:
+        The task's arrival time, data size and *relative* deadline.
+    accepted:
+        Admission outcome on the chosen member.
+    est_completion:
+        The member's guaranteed completion estimate (``None`` on reject).
+    actual_completion:
+        Measured completion time (``None`` until the completion phase).
+    deadline_met:
+        Whether the absolute deadline held (``None`` until completion).
+    outstanding:
+        Admitted-but-unfinished tasks on the chosen member at decision
+        time (from the routing :class:`~repro.fleet.routing.ClusterView`).
+    backlog:
+        Mean reserved node-time beyond the decision instant on the chosen
+        member — how far ahead it was already committed.
+    """
+
+    task_id: int
+    cluster: int
+    phase: str
+    arrival: float
+    sigma: float
+    deadline: float
+    accepted: bool
+    est_completion: float | None = None
+    actual_completion: float | None = None
+    deadline_met: bool | None = None
+    outstanding: int = 0
+    backlog: float = 0.0
+
+    @property
+    def absolute_deadline(self) -> float:
+        """Absolute deadline ``arrival + deadline``."""
+        return self.arrival + self.deadline
+
+
+@dataclass(frozen=True, slots=True)
+class ArmStats:
+    """Resolved-reward statistics of one bandit arm."""
+
+    name: str
+    pulls: int
+    total_reward: float
+
+    @property
+    def mean_reward(self) -> float:
+        """Empirical mean reward of the arm (0 before any resolved pull)."""
+        return self.total_reward / self.pulls if self.pulls else 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class LearningReport:
+    """What one bandit run learned, for metrics and result exports.
+
+    ``cumulative_regret`` is the empirical pseudo-regret in hindsight:
+    ``max_arm_mean × resolved − total_reward`` — how much reward was left
+    on the table versus pulling the empirically best arm every time.  It
+    is non-negative by construction and ``0`` for a single-arm bandit.
+    """
+
+    policy: str
+    reward_model: str
+    arms: tuple[ArmStats, ...]
+    decisions: int
+    resolved: int
+
+    @property
+    def total_reward(self) -> float:
+        """Sum of all resolved rewards across arms."""
+        return sum(a.total_reward for a in self.arms)
+
+    @property
+    def best_arm(self) -> str:
+        """Name of the arm with the highest empirical mean (ties: first)."""
+        if not self.arms:
+            return ""
+        # max() keeps the first of equal keys, so ties resolve to arm order.
+        return max(self.arms, key=lambda a: a.mean_reward).name
+
+    @property
+    def cumulative_regret(self) -> float:
+        """Empirical pseudo-regret over all resolved pulls (>= 0)."""
+        if not self.arms or not self.resolved:
+            return 0.0
+        best_mean = max(a.mean_reward for a in self.arms)
+        return max(best_mean * self.resolved - self.total_reward, 0.0)
+
+    def as_dict(self) -> dict[str, float | int | str]:
+        """Flat JSON-friendly summary (one key set per arm)."""
+        out: dict[str, float | int | str] = {
+            "policy": self.policy,
+            "reward_model": self.reward_model,
+            "decisions": self.decisions,
+            "resolved": self.resolved,
+            "best_arm": self.best_arm,
+            "cumulative_regret": self.cumulative_regret,
+        }
+        for arm in self.arms:
+            out[f"pulls[{arm.name}]"] = arm.pulls
+            out[f"mean_reward[{arm.name}]"] = arm.mean_reward
+        return out

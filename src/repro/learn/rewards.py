@@ -1,0 +1,158 @@
+"""Reward models: turn routing feedback into scalar learning signal.
+
+A :class:`RewardModel` maps each task's
+:class:`~repro.learn.feedback.RoutingFeedback` to a reward in ``[0, 1]``
+— or to ``None`` when the outcome needed is not known yet (the bandit
+then waits for the task's next feedback phase).  Three built-ins cover
+the axes the multi-source DLT trade-off analysis identifies:
+
+``reject-penalty``
+    Pure admission signal: 1 for an accepted task, 0 for a reject.
+    Resolves immediately at admission — the fastest-learning model, and
+    the one aligned with the paper's headline Task Reject Ratio.
+``slack-weighted``
+    Quality-of-acceptance signal: accepted tasks earn ``0.5`` plus up to
+    ``0.5`` more the earlier they *actually* finish within their deadline
+    window; deadline misses (possible only under the shared-link
+    ablation) and rejects earn 0.  Resolves at completion.
+``utilization-weighted``
+    Load-spreading signal: an accepted task earns more when the chosen
+    member had little reserved backlog relative to the task's deadline
+    window (``1 / (1 + backlog/deadline)``), pushing the router away
+    from piling commitments onto one member.  Resolves at admission.
+
+All models are frozen, stateless dataclasses: picklable, hashable, and
+free of randomness — determinism stays entirely the caller's seed
+discipline.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.core.errors import InvalidParameterError
+from repro.learn.feedback import PHASE_COMPLETION, RoutingFeedback
+
+__all__ = [
+    "REWARD_MODELS",
+    "RejectPenaltyReward",
+    "RewardModel",
+    "SlackWeightedReward",
+    "UtilizationWeightedReward",
+    "make_reward_model",
+    "reward_model_names",
+    "validate_reward_model",
+]
+
+
+class RewardModel(ABC):
+    """Strategy interface: score one task's routing outcome.
+
+    Implementations return a reward in ``[0, 1]`` once the outcome is
+    determined, or ``None`` to defer until a later feedback phase (the
+    fleet delivers ``"admission"`` first, then ``"completion"``).
+    """
+
+    #: Registry name of the model (e.g. ``"reject-penalty"``).
+    name: str = "abstract"
+
+    #: Whether :meth:`reward` may defer to the completion phase.  Models
+    #: that always resolve at admission set this ``False`` so the fleet
+    #: simulation skips completion tracking entirely (the hot routing
+    #: loop never scans in-flight tasks for them).  Must stay ``True``
+    #: whenever ``reward`` can return ``None``.
+    needs_completion: bool = True
+
+    @abstractmethod
+    def reward(self, feedback: RoutingFeedback) -> float | None:
+        """The task's reward, or ``None`` if not yet determinable."""
+
+
+@dataclass(frozen=True, slots=True)
+class RejectPenaltyReward(RewardModel):
+    """1 for an accepted task, 0 for a reject; resolves at admission."""
+
+    name = "reject-penalty"
+    needs_completion = False
+
+    def reward(self, feedback: RoutingFeedback) -> float | None:
+        """Accept → 1, reject → 0, known as soon as the admission ran."""
+        return 1.0 if feedback.accepted else 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class SlackWeightedReward(RewardModel):
+    """Reward early actual completions inside the deadline window.
+
+    Rejects score 0 at admission.  An accepted task waits for its
+    completion feedback and then scores ``0.5 + 0.5 × slack_fraction``
+    where ``slack_fraction = (absolute_deadline − actual_completion) /
+    deadline`` clipped to ``[0, 1]`` — meeting the deadline exactly earns
+    the 0.5 acceptance floor, finishing instantly earns 1.  A missed
+    deadline (shared-link ablation only) scores 0.
+    """
+
+    name = "slack-weighted"
+
+    def reward(self, feedback: RoutingFeedback) -> float | None:
+        """0 on reject; defer accepted tasks to their completion phase."""
+        if not feedback.accepted:
+            return 0.0
+        if feedback.phase != PHASE_COMPLETION or feedback.actual_completion is None:
+            return None
+        if feedback.deadline_met is False:
+            return 0.0
+        slack = feedback.absolute_deadline - feedback.actual_completion
+        fraction = min(max(slack / feedback.deadline, 0.0), 1.0)
+        return 0.5 + 0.5 * fraction
+
+
+@dataclass(frozen=True, slots=True)
+class UtilizationWeightedReward(RewardModel):
+    """Reward acceptance on lightly committed members; resolves at admission.
+
+    An accepted task earns ``1 / (1 + backlog / deadline)``: routing onto
+    an idle member earns ~1, routing onto a member whose reservations
+    already stretch a full deadline window ahead earns ~0.5, and deeper
+    backlogs earn less — a pressure toward spreading commitments (and
+    thus utilization) across the fleet.  Rejects earn 0.
+    """
+
+    name = "utilization-weighted"
+    needs_completion = False
+
+    def reward(self, feedback: RoutingFeedback) -> float | None:
+        """Accept → backlog-discounted reward, reject → 0."""
+        if not feedback.accepted:
+            return 0.0
+        return 1.0 / (1.0 + feedback.backlog / feedback.deadline)
+
+
+#: Registry of reward models, keyed by CLI/config name.
+REWARD_MODELS: dict[str, type[RewardModel]] = {
+    RejectPenaltyReward.name: RejectPenaltyReward,
+    SlackWeightedReward.name: SlackWeightedReward,
+    UtilizationWeightedReward.name: UtilizationWeightedReward,
+}
+
+
+def reward_model_names() -> tuple[str, ...]:
+    """All registered reward-model names, sorted."""
+    return tuple(sorted(REWARD_MODELS))
+
+
+def validate_reward_model(name: str) -> str:
+    """Return ``name`` if it names a reward model, else raise."""
+    if name not in REWARD_MODELS:
+        raise InvalidParameterError(
+            f"unknown reward model {name!r}; "
+            f"valid: {', '.join(reward_model_names())}"
+        )
+    return name
+
+
+def make_reward_model(name: str) -> RewardModel:
+    """Instantiate a reward model by registry name."""
+    validate_reward_model(name)
+    return REWARD_MODELS[name]()

@@ -34,7 +34,13 @@ __all__ = [
 
 @dataclass(frozen=True, slots=True)
 class MetricsSummary:
-    """Scalar metrics of one run."""
+    """Scalar metrics of one run.
+
+    ``learning_regret`` is the cumulative empirical pseudo-regret of a
+    learning (bandit) routing policy — how much reward it left on the
+    table versus its best arm in hindsight.  It stays ``0.0`` for every
+    non-learning run, so static and adaptive results share one schema.
+    """
 
     algorithm: str
     arrivals: int
@@ -50,6 +56,7 @@ class MetricsSummary:
     mean_slack: float
     max_slack: float
     mean_waiting_queue_replans: float
+    learning_regret: float = 0.0
 
     @property
     def accept_ratio(self) -> float:

@@ -37,11 +37,13 @@ from repro.workload.models import (
 from repro.core.cluster import ClusterProfile, ClusterSpec
 from repro.workload.scenario import Scenario, WorkloadModel
 from repro.workload.spec import SimulationConfig, WorkloadSpec
+from repro.workload.trace_report import ColumnSummary, TraceSummary, summarize_trace
 
 __all__ = [
     "ArrivalProcess",
     "ClusterProfile",
     "ClusterSpec",
+    "ColumnSummary",
     "DeadlineModel",
     "MMPPProcess",
     "ParetoSizes",
@@ -51,6 +53,7 @@ __all__ = [
     "SimulationConfig",
     "SizeModel",
     "TraceArrivals",
+    "TraceSummary",
     "TruncatedNormalSizes",
     "UniformDeadlines",
     "UniformSizes",
@@ -58,4 +61,5 @@ __all__ = [
     "WorkloadModel",
     "WorkloadSpec",
     "generate_tasks",
+    "summarize_trace",
 ]

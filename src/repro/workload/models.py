@@ -237,6 +237,54 @@ class MMPPProcess:
         return np.asarray(times, dtype=np.float64)
 
 
+def parse_trace_table(
+    path: "str | os.PathLike[str]", column: str
+) -> tuple[list[list[str]], list[str] | None, int]:
+    """Resolve a trace CSV to ``(data_rows, header, arrival_index)``.
+
+    The single reader behind :meth:`TraceArrivals.from_csv` and
+    :func:`repro.workload.trace_report.summarize_trace`, so the two
+    agree on every shape a trace file can take:
+
+    * blank rows are dropped everywhere;
+    * a file whose first cell parses as a float is *bare*: ``header`` is
+      ``None`` and arrivals are the first column;
+    * otherwise the first row is a header (cells whitespace-stripped):
+      arrivals come from ``column``, or from the only column of a
+      single-column file; a multi-column header without ``column``
+      refuses (guessing would silently load non-time data).
+
+    Raises :class:`InvalidParameterError` on an empty file, a header
+    with no data rows, or a missing arrival column.
+    """
+    with open(path, newline="", encoding="utf-8") as fh:
+        reader = csv.reader(fh)
+        rows = [row for row in reader if row and any(c.strip() for c in row)]
+    if not rows:
+        raise InvalidParameterError(f"trace file {path!r} is empty")
+    first = rows[0]
+    try:
+        float(first[0])
+    except ValueError:
+        header = [c.strip() for c in first]
+        data = rows[1:]
+        if not data:
+            raise InvalidParameterError(
+                f"trace file {path!r} has a header but no data rows"
+            ) from None
+        if column in header:
+            index = header.index(column)
+        elif len(header) == 1:
+            index = 0
+        else:
+            raise InvalidParameterError(
+                f"trace file {path!r} has no {column!r} column "
+                f"(header: {header}); pass column=<name>"
+            ) from None
+        return data, header, index
+    return rows, None, 0
+
+
 @dataclass(frozen=True, slots=True)
 class TraceArrivals:
     """Replay of a recorded arrival trace (consumes no randomness)."""
@@ -279,37 +327,14 @@ class TraceArrivals:
         * a bare single/multi-column CSV with no header — the first
           column is taken verbatim.
 
-        The header is detected by whether the first row's relevant cell
-        parses as a float.  Values go through the same validation as
-        :meth:`from_sequence` (finite, >= 0, strictly increasing).
+        The header is detected by whether the first row's first cell
+        parses as a float (shared reader: :func:`parse_trace_table`).
+        Values go through the same validation as :meth:`from_sequence`
+        (finite, >= 0, strictly increasing).
         """
-        with open(path, newline="", encoding="utf-8") as fh:
-            reader = csv.reader(fh)
-            rows = [row for row in reader if row and any(c.strip() for c in row)]
-        if not rows:
-            raise InvalidParameterError(f"trace file {path!r} is empty")
-        index = 0
-        first = rows[0]
+        data, _header, index = parse_trace_table(path, column)
         try:
-            float(first[index])
-            start = 0
-        except ValueError:
-            if column in first:
-                index = first.index(column)
-            elif len(first) > 1:
-                # Guessing a column of a multi-column trace would silently
-                # load non-time data (task ids sort ascending too) — refuse.
-                raise InvalidParameterError(
-                    f"trace file {path!r} has no {column!r} column "
-                    f"(header: {first}); pass column=<name>"
-                ) from None
-            start = 1
-            if len(rows) == 1:
-                raise InvalidParameterError(
-                    f"trace file {path!r} has a header but no data rows"
-                ) from None
-        try:
-            times = [float(row[index]) for row in rows[start:]]
+            times = [float(row[index]) for row in data]
         except (ValueError, IndexError) as exc:
             raise InvalidParameterError(
                 f"trace file {path!r}: malformed arrival value ({exc})"

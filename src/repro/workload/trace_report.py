@@ -1,0 +1,202 @@
+"""Trace-summary report: marginals of a recorded arrival trace.
+
+The ROADMAP's trace-ingestion follow-on: before replaying a recorded
+trace (:class:`~repro.workload.models.TraceArrivals`) through a scenario
+or a fleet, summarize what the trace *is* — its rate, burstiness, and
+(when the CSV carries them) the size and deadline marginals — so a
+recorded workload can be compared against the synthetic models
+(Poisson ⇒ ``gap_cv2 ≈ 1``; bursty MMPP ⇒ ``gap_cv2 > 1``).
+
+The reader accepts the same CSV shapes as
+:meth:`TraceArrivals.from_csv`: a headered file (arrival times in the
+``arrival_time`` column by default) or a bare numeric file (first
+column).  Optional ``sigma``/``size`` and ``deadline`` columns feed the
+size/deadline marginals; everything else is ignored.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+from repro.workload.models import TraceArrivals, parse_trace_table
+
+__all__ = ["ColumnSummary", "TraceSummary", "summarize_trace"]
+
+
+@dataclass(frozen=True, slots=True)
+class ColumnSummary:
+    """Marginal statistics of one numeric trace column."""
+
+    name: str
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    @classmethod
+    def from_values(cls, name: str, values: "np.ndarray") -> "ColumnSummary":
+        """Summarize a non-empty float array."""
+        return cls(
+            name=name,
+            count=int(values.size),
+            mean=float(values.mean()),
+            std=float(values.std(ddof=1)) if values.size > 1 else 0.0,
+            minimum=float(values.min()),
+            maximum=float(values.max()),
+        )
+
+    def as_dict(self) -> dict[str, float | int | str]:
+        """Flat JSON-friendly row, keys prefixed by the column name."""
+        return {
+            f"{self.name}_count": self.count,
+            f"{self.name}_mean": self.mean,
+            f"{self.name}_std": self.std,
+            f"{self.name}_min": self.minimum,
+            f"{self.name}_max": self.maximum,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class TraceSummary:
+    """Rate / burstiness / size / deadline marginals of one trace.
+
+    ``gap_cv2`` is the squared coefficient of variation of the
+    inter-arrival gaps — the standard burstiness index (Poisson ⇒ 1,
+    bursty ⇒ > 1, clockwork ⇒ → 0).  ``sigma`` and ``deadline`` are
+    ``None`` when the CSV does not carry those columns.
+    """
+
+    path: str
+    count: int
+    span: float
+    rate: float
+    mean_gap: float
+    gap_cv2: float
+    min_gap: float
+    max_gap: float
+    sigma: ColumnSummary | None = field(default=None)
+    deadline: ColumnSummary | None = field(default=None)
+
+    @property
+    def burstiness(self) -> str:
+        """Coarse verdict from ``gap_cv2``: smooth / poisson-like / bursty."""
+        if self.gap_cv2 < 0.5:
+            return "smooth"
+        if self.gap_cv2 <= 2.0:
+            return "poisson-like"
+        return "bursty"
+
+    def as_dict(self) -> dict[str, float | int | str | None]:
+        """Flat JSON-friendly summary of all marginals.
+
+        ``rate`` is ``None`` (JSON ``null``) when undefined (a single
+        arrival spans no time) — ``math.inf`` would serialize as the
+        non-compliant bare ``Infinity`` token.
+        """
+        out: dict[str, float | int | str | None] = {
+            "path": self.path,
+            "count": self.count,
+            "span": self.span,
+            "rate": self.rate if math.isfinite(self.rate) else None,
+            "mean_gap": self.mean_gap,
+            "gap_cv2": self.gap_cv2,
+            "min_gap": self.min_gap,
+            "max_gap": self.max_gap,
+            "burstiness": self.burstiness,
+        }
+        for col in (self.sigma, self.deadline):
+            if col is not None:
+                out.update(col.as_dict())
+        return out
+
+
+def _read_columns(
+    path: "str | os.PathLike[str]", column: str
+) -> tuple[list[float], dict[str, list[float]]]:
+    """Arrival times plus any optional numeric columns of interest.
+
+    Built on the same :func:`~repro.workload.models.parse_trace_table`
+    reader as :meth:`TraceArrivals.from_csv`, so any file this function
+    accepts also replays.
+    """
+    data, header, arrival_index = parse_trace_table(path, column)
+    optional: dict[str, int] = {}
+    if header is not None:
+        for name, aliases in (("sigma", ("sigma", "size")), ("deadline", ("deadline",))):
+            for alias in aliases:
+                if alias in header:
+                    optional[name] = header.index(alias)
+                    break
+
+    def parse(row: list[str], index: int) -> float:
+        try:
+            return float(row[index])
+        except (ValueError, IndexError) as exc:
+            raise InvalidParameterError(
+                f"trace file {path!r}: malformed value ({exc})"
+            ) from exc
+
+    arrivals = [parse(row, arrival_index) for row in data]
+    extras = {
+        name: [parse(row, index) for row in data]
+        for name, index in optional.items()
+    }
+    return arrivals, extras
+
+
+def summarize_trace(
+    path: "str | os.PathLike[str]", *, column: str = "arrival_time"
+) -> TraceSummary:
+    """Summarize a trace CSV's rate, burstiness and optional marginals.
+
+    Arrival times go through the same validation as
+    :meth:`~repro.workload.models.TraceArrivals.from_csv` (finite,
+    non-negative, strictly increasing), so a trace that summarizes
+    cleanly also replays cleanly.  A single-arrival trace has no gaps;
+    its gap statistics are reported as 0 and its rate over a zero span
+    as ``inf``.
+    """
+    arrivals_list, extras = _read_columns(path, column)
+    trace = TraceArrivals.from_sequence(arrivals_list)  # validates
+    times = np.asarray(trace.times, dtype=np.float64)
+
+    span = float(times[-1] - times[0]) if times.size > 1 else 0.0
+    gaps = np.diff(times)
+    if gaps.size:
+        mean_gap = float(gaps.mean())
+        variance = float(gaps.var(ddof=1)) if gaps.size > 1 else 0.0
+        gap_cv2 = variance / (mean_gap * mean_gap) if mean_gap > 0 else 0.0
+        min_gap, max_gap = float(gaps.min()), float(gaps.max())
+    else:
+        mean_gap = gap_cv2 = min_gap = max_gap = 0.0
+    rate = (times.size - 1) / span if span > 0 else math.inf
+
+    def column_summary(name: str) -> ColumnSummary | None:
+        values = extras.get(name)
+        if not values:
+            return None
+        arr = np.asarray(values, dtype=np.float64)
+        if not np.isfinite(arr).all():
+            raise InvalidParameterError(
+                f"trace file {path!r}: non-finite {name} values"
+            )
+        return ColumnSummary.from_values(name, arr)
+
+    return TraceSummary(
+        path=str(path),
+        count=int(times.size),
+        span=span,
+        rate=rate,
+        mean_gap=mean_gap,
+        gap_cv2=gap_cv2,
+        min_gap=min_gap,
+        max_gap=max_gap,
+        sigma=column_summary("sigma"),
+        deadline=column_summary("deadline"),
+    )

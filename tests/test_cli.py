@@ -368,3 +368,151 @@ class TestSweepCommand:
         lines = capsys.readouterr().out.strip().splitlines()
         assert lines[0] == "speed_spread,EDF-DLT"
         assert len(lines) == 3
+
+
+class TestNodeOrderSweepCli:
+    def test_node_order_axis_table(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--axis",
+                "node-order",
+                "--values",
+                "0",
+                "0.8",
+                "--nodes",
+                "6",
+                "--total-time",
+                "15000",
+                "--replications",
+                "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "axis=node-order" in out and "algorithm=EDF-DLT" in out
+        for order in ("availability", "fastest-first", "bandwidth-first"):
+            assert order in out
+
+    def test_node_order_axis_csv(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--axis",
+                "node-order",
+                "--values",
+                "0.5",
+                "--nodes",
+                "6",
+                "--total-time",
+                "15000",
+                "--replications",
+                "1",
+                "--csv",
+            ]
+        )
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0] == "speed_spread,availability,fastest-first,bandwidth-first"
+        assert len(lines) == 2
+
+
+class TestFleetLearnCli:
+    _BASE = [
+        "fleet",
+        "--clusters",
+        "2",
+        "--nodes",
+        "4",
+        "--cluster-spread",
+        "0.6",
+        "--total-time",
+        "15000",
+        "--replications",
+        "1",
+    ]
+
+    def test_bandit_policy_with_knobs(self, capsys):
+        code = main(
+            self._BASE
+            + [
+                "--policy",
+                "epsilon-greedy",
+                "--learn-epsilon",
+                "0.2",
+                "--learn-reward",
+                "slack-weighted",
+                "--learn-arms",
+                "round-robin",
+                "least-loaded",
+                "--per-cluster",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "epsilon-greedy" in out
+        assert "learned[slack-weighted]" in out
+        assert "round-robin:" in out and "least-loaded:" in out
+
+    def test_bandit_json_carries_learn_coordinates(self, capsys):
+        code = main(
+            self._BASE + ["--policy", "ucb1", "--policy", "round-robin", "--json"]
+        )
+        assert code == 0
+        rows = json.loads(capsys.readouterr().out)
+        by_policy = {row["policy"]: row for row in rows}
+        assert by_policy["ucb1"]["scenario_learn_mode"] == "policies"
+        assert by_policy["ucb1"]["learning_regret"] >= 0.0
+        assert by_policy["round-robin"]["learning_regret"] == 0.0
+
+    def test_clusters_mode(self, capsys):
+        code = main(
+            self._BASE
+            + ["--policy", "thompson", "--learn-mode", "clusters", "--per-cluster"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cluster-0" in out and "cluster-1" in out
+
+    def test_learning_regret_metric(self, capsys):
+        code = main(
+            self._BASE + ["--policy", "ucb1", "--metric", "learning_regret"]
+        )
+        assert code == 0
+        assert "learning_regret" in capsys.readouterr().out
+
+
+class TestTraceSummaryCli:
+    def test_table_output(self, capsys, tmp_path):
+        trace = tmp_path / "trace.csv"
+        trace.write_text(
+            "arrival_time,sigma\n10.0,100.0\n20.0,200.0\n40.0,300.0\n",
+            encoding="utf-8",
+        )
+        code = main(["trace-summary", str(trace)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "arrivals             : 3" in out
+        assert "burstiness" in out
+        assert "sigma" in out
+
+    def test_json_output(self, capsys, tmp_path):
+        trace = tmp_path / "trace.csv"
+        trace.write_text("5.0\n15.0\n35.0\n", encoding="utf-8")
+        code = main(["trace-summary", str(trace), "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 3
+        assert payload["mean_gap"] == 15.0
+
+    def test_custom_column(self, capsys, tmp_path):
+        trace = tmp_path / "trace.csv"
+        trace.write_text("t,other\n1.0,x\n2.0,y\n", encoding="utf-8")
+        assert main(["trace-summary", str(trace), "--column", "t", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["count"] == 2
+
+    def test_bad_trace_raises(self, tmp_path):
+        trace = tmp_path / "trace.csv"
+        trace.write_text("5.0\n4.0\n", encoding="utf-8")
+        with pytest.raises(InvalidParameterError):
+            main(["trace-summary", str(trace)])

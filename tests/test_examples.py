@@ -28,6 +28,7 @@ def test_examples_directory_complete():
         "theorem4_validation.py",
         "multiround_future_work.py",
         "fleet_routing.py",
+        "adaptive_routing.py",
     ):
         assert required in ALL_EXAMPLES
 

@@ -173,11 +173,19 @@ class TestRoutingPolicies:
 
 
 class TestSingleClusterEquivalence:
-    """A 1-cluster fleet must be the single-cluster run, bit for bit."""
+    """A 1-cluster fleet must be the single-cluster run, bit for bit.
+
+    This holds for every policy, learning ones included — a bandit still
+    routes every task to the only cluster; its ``learning_regret`` (arms
+    legitimately differ in which tasks they drew) is the one metrics
+    field a single-cluster run does not have.
+    """
 
     @pytest.mark.parametrize("policy", ALL_POLICIES)
     @pytest.mark.parametrize("algorithm", ["EDF-DLT", "EDF-UserSplit"])
     def test_bit_identical(self, policy, algorithm):
+        from dataclasses import replace
+
         fs = FleetScenario.uniform(
             n_clusters=1,
             system_load=0.6,
@@ -188,7 +196,7 @@ class TestSingleClusterEquivalence:
         fleet_out = simulate_fleet(fs, algorithm)
         single_out = simulate(fs.stream_scenario(), algorithm)
 
-        assert fleet_out.metrics == single_out.metrics
+        assert replace(fleet_out.metrics, learning_regret=0.0) == single_out.metrics
         f_records = fleet_out.outputs[0].records
         s_records = single_out.output.records
         assert list(f_records) == list(s_records)
@@ -271,6 +279,82 @@ class TestFleetSimulation:
         assert ef.reject_ratio < rr.reject_ratio
         # the win is substantial on this spread, not an ulp
         assert rr.reject_ratio - ef.reject_ratio > 0.05
+
+
+class TestMemberOverrides:
+    """Per-member algorithm / eager_release overrides on FleetScenario."""
+
+    def test_override_tuples_validated(self):
+        fs = small_fleet()
+        with pytest.raises(InvalidParameterError):
+            fs.with_member_overrides(algorithms=("EDF-DLT",))  # wrong length
+        with pytest.raises(InvalidParameterError):
+            fs.with_member_overrides(algorithms=("EDF-DLT", "no-such-algo"))
+        with pytest.raises(InvalidParameterError):
+            fs.with_member_overrides(eager_release=(True,))  # wrong length
+        with pytest.raises(InvalidParameterError):
+            fs.with_member_overrides(eager_release=(True, "yes"))
+
+    def test_none_entries_fall_back_to_fleet_wide(self):
+        fs = small_fleet().with_member_overrides(
+            algorithms=(None, "FIFO-OPR-MN"), eager_release=(True, None)
+        )
+        assert fs.member_algorithm(0, "EDF-DLT") == "EDF-DLT"
+        assert fs.member_algorithm(1, "EDF-DLT") == "FIFO-OPR-MN"
+        assert fs.member_eager(0, False) is True
+        assert fs.member_eager(1, False) is False
+
+    def test_overrides_reach_member_simulations(self):
+        fs = small_fleet().with_member_overrides(
+            algorithms=(None, "FIFO-OPR-MN")
+        )
+        out = simulate_fleet(fs, "EDF-DLT")
+        assert out.outputs[0].algorithm == "EDF-DLT"
+        assert out.outputs[1].algorithm == "FIFO-OPR-MN"
+        assert out.per_cluster[0].algorithm == "EDF-DLT"
+        assert out.per_cluster[1].algorithm == "FIFO-OPR-MN"
+        # the pooled summary names both member algorithms
+        assert out.metrics.algorithm == "EDF-DLT+FIFO-OPR-MN"
+
+    def test_overrides_change_results(self):
+        base = small_fleet("round-robin")
+        plain = simulate_fleet(base, "EDF-DLT")
+        mixed = simulate_fleet(
+            base.with_member_overrides(algorithms=(None, "FIFO-OPR-MN")),
+            "EDF-DLT",
+        )
+        # same shared stream, but member 1 schedules differently
+        assert plain.metrics != mixed.metrics
+
+    def test_round_trips_through_runspec_and_workers(self):
+        fs = small_fleet().with_member_overrides(
+            algorithms=("EDF-DLT", "FIFO-OPR-MN"), eager_release=(False, True)
+        )
+        specs = [RunSpec(scenario=fs, algorithm="EDF-DLT")] * 2
+        serial = BatchRunner().run(specs)
+        process = BatchRunner(workers=2).run(specs)
+        thread = BatchRunner(workers=2, workers_mode="thread").run(specs)
+        assert serial.to_json() == process.to_json() == thread.to_json()
+        assert serial[0].scenario.member_algorithms == ("EDF-DLT", "FIFO-OPR-MN")
+        row = serial[0].to_dict()
+        assert row["scenario_member_algorithms"] == "EDF-DLT,FIFO-OPR-MN"
+        assert row["scenario_member_eager_release"] == "0,1"
+
+    def test_describe_marks_overrides(self):
+        fs = small_fleet().with_member_overrides(algorithms=(None, "EDF-OPR-MN"))
+        d = fs.describe()
+        assert d["member_algorithms"] == "-,EDF-OPR-MN"
+        assert "member_eager_release" not in d
+        for value in d.values():
+            assert isinstance(value, (int, float, str))
+
+    def test_picklable(self):
+        import pickle
+
+        fs = small_fleet().with_member_overrides(
+            algorithms=(None, "EDF-OPR-MN"), eager_release=(True, None)
+        )
+        assert pickle.loads(pickle.dumps(fs)) == fs
 
 
 class TestFleetBatch:

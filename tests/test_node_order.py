@@ -157,3 +157,60 @@ class TestEndToEndPlumbing:
                 algorithm="EDF-DLT",
                 node_order="bogus",
             )
+
+
+class TestNodeOrderSweep:
+    """The ROADMAP follow-on: grid node orders against heterogeneity spreads."""
+
+    def _run(self, **kw):
+        from repro.experiments.sweep import run_node_order_sweep
+
+        base = dict(
+            spreads=(0.0, 0.8),
+            nodes=6,
+            total_time=15_000.0,
+            replications=2,
+            seed=11,
+        )
+        base.update(kw)
+        return run_node_order_sweep(**base)
+
+    def test_series_are_node_orders(self):
+        result = self._run()
+        assert tuple(result.series) == NODE_ORDERS
+        for order in NODE_ORDERS:
+            assert len(result.series[order]) == 2
+            for point in result.series[order]:
+                assert point.ci.n == 2
+
+    def test_homogeneous_point_is_order_invariant(self):
+        """At spread 0 every ordering coincides on the homogeneous cluster."""
+        result = self._run()
+        at_zero = {o: result.series[o][0].mean for o in NODE_ORDERS}
+        assert len(set(at_zero.values())) == 1
+
+    def test_subset_and_single_algorithm(self):
+        result = self._run(
+            node_orders=("availability", "fastest-first"),
+            algorithm="EDF-OPR-MN",
+        )
+        assert tuple(result.series) == ("availability", "fastest-first")
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(InvalidParameterError):
+            self._run(node_orders=("bogus",))
+        with pytest.raises(ValueError):
+            self._run(node_orders=())
+        with pytest.raises(ValueError):
+            self._run(node_orders=("availability", "availability"))
+        with pytest.raises(ValueError):
+            self._run(spreads=())
+
+    def test_parallel_matches_serial(self):
+        serial = self._run()
+        threaded = self._run(workers=2, workers_mode="thread")
+        for order in NODE_ORDERS:
+            assert (
+                [p.mean for p in serial.series[order]]
+                == [p.mean for p in threaded.series[order]]
+            )

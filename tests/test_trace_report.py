@@ -1,0 +1,130 @@
+"""Trace-summary report: marginals of recorded arrival traces."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.workload.trace_report import TraceSummary, summarize_trace
+
+
+def write_csv(tmp_path, text: str, name: str = "trace.csv"):
+    path = tmp_path / name
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+class TestBareTraces:
+    def test_uniform_gaps_are_smooth(self, tmp_path):
+        path = write_csv(tmp_path, "".join(f"{10.0 * i}\n" for i in range(1, 12)))
+        s = summarize_trace(path)
+        assert s.count == 11
+        assert s.span == pytest.approx(100.0)
+        assert s.rate == pytest.approx(0.1)
+        assert s.mean_gap == pytest.approx(10.0)
+        assert s.gap_cv2 == pytest.approx(0.0)
+        assert s.min_gap == s.max_gap == pytest.approx(10.0)
+        assert s.burstiness == "smooth"
+
+    def test_poisson_trace_reads_poisson_like(self, tmp_path):
+        rng = np.random.default_rng(7)
+        times = np.cumsum(rng.exponential(50.0, size=2_000))
+        path = write_csv(tmp_path, "".join(f"{t}\n" for t in times))
+        s = summarize_trace(path)
+        assert s.burstiness == "poisson-like"
+        assert s.gap_cv2 == pytest.approx(1.0, abs=0.25)
+        assert s.rate == pytest.approx(1.0 / 50.0, rel=0.1)
+
+    def test_bursty_trace_reads_bursty(self, tmp_path):
+        rng = np.random.default_rng(3)
+        gaps = np.where(rng.random(size=1_000) < 0.1, 500.0, 1.0)
+        times = np.cumsum(gaps + rng.random(size=1_000) * 0.1)
+        path = write_csv(tmp_path, "".join(f"{t}\n" for t in times))
+        s = summarize_trace(path)
+        assert s.gap_cv2 > 2.0
+        assert s.burstiness == "bursty"
+
+    def test_single_arrival_degenerate(self, tmp_path):
+        s = summarize_trace(write_csv(tmp_path, "42.0\n"))
+        assert s.count == 1
+        assert s.span == 0.0
+        assert math.isinf(s.rate)
+        assert s.mean_gap == 0.0
+        # the JSON view must stay RFC-compliant: null, not bare Infinity
+        assert s.as_dict()["rate"] is None
+        import json
+
+        json.loads(json.dumps(s.as_dict()))
+
+
+class TestHeaderedTraces:
+    def test_header_with_size_and_deadline_marginals(self, tmp_path):
+        path = write_csv(
+            tmp_path,
+            "task_id,arrival_time,sigma,deadline\n"
+            "0,10.0,100.0,500.0\n"
+            "1,30.0,300.0,700.0\n"
+            "2,60.0,200.0,600.0\n",
+        )
+        s = summarize_trace(path)
+        assert s.count == 3
+        assert s.sigma is not None and s.deadline is not None
+        assert s.sigma.mean == pytest.approx(200.0)
+        assert s.sigma.minimum == 100.0 and s.sigma.maximum == 300.0
+        assert s.deadline.mean == pytest.approx(600.0)
+        flat = s.as_dict()
+        assert flat["sigma_mean"] == pytest.approx(200.0)
+        assert flat["deadline_count"] == 3
+
+    def test_size_alias_column(self, tmp_path):
+        path = write_csv(
+            tmp_path,
+            "arrival_time,size\n1.0,10.0\n2.0,20.0\n",
+        )
+        s = summarize_trace(path)
+        assert s.sigma is not None
+        assert s.sigma.name == "sigma"
+        assert s.sigma.mean == pytest.approx(15.0)
+
+    def test_custom_arrival_column(self, tmp_path):
+        path = write_csv(tmp_path, "t,x\n1.0,9\n2.0,9\n")
+        s = summarize_trace(path, column="t")
+        assert s.count == 2
+        with pytest.raises(InvalidParameterError):
+            summarize_trace(path)  # no arrival_time column
+
+    def test_marginals_absent_without_columns(self, tmp_path):
+        s = summarize_trace(write_csv(tmp_path, "arrival_time\n1.0\n2.0\n"))
+        assert s.sigma is None and s.deadline is None
+        assert "sigma_mean" not in s.as_dict()
+
+
+class TestValidation:
+    def test_same_validation_as_trace_arrivals(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            summarize_trace(write_csv(tmp_path, "5.0\n4.0\n"))  # decreasing
+        with pytest.raises(InvalidParameterError):
+            summarize_trace(write_csv(tmp_path, "-1.0\n2.0\n"))  # negative
+        with pytest.raises(InvalidParameterError):
+            summarize_trace(write_csv(tmp_path, ""))  # empty
+        with pytest.raises(InvalidParameterError):
+            summarize_trace(write_csv(tmp_path, "arrival_time\n"))  # header only
+        with pytest.raises(InvalidParameterError):
+            summarize_trace(write_csv(tmp_path, "1.0\nnot-a-number\n"))
+
+    def test_summary_is_flat_and_json_friendly(self, tmp_path):
+        s = summarize_trace(write_csv(tmp_path, "1.0\n2.0\n4.0\n"))
+        assert isinstance(s, TraceSummary)
+        for value in s.as_dict().values():
+            assert isinstance(value, (int, float, str))
+
+    def test_example_trace_summarizes(self):
+        from pathlib import Path
+
+        trace = Path(__file__).parent.parent / "examples" / "sample_arrivals.csv"
+        s = summarize_trace(trace)
+        assert s.count > 0
+        assert s.burstiness in ("smooth", "poisson-like", "bursty")
