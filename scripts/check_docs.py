@@ -77,9 +77,13 @@ def _public_members(obj: object, qualname: str) -> list[tuple[str, object]]:
 #: Packages whose public symbols must all be documented.
 GATED_PACKAGES = ("repro.fleet", "repro.learn")
 
+#: Individual modules gated the same way (hot-path code whose contracts —
+#: bit-identical semantics, memo validity — live in the docstrings).
+GATED_MODULES = ("repro.core.fastpath",)
+
 
 def check_package_docstrings() -> list[str]:
-    """Return one problem string per missing gated-package docstring."""
+    """Return one problem string per missing gated docstring."""
     import importlib
     import pkgutil
 
@@ -91,6 +95,8 @@ def check_package_docstrings() -> list[str]:
         for info in pkgutil.iter_modules(package.__path__):
             name = f"{pkg_name}.{info.name}"
             todo.append((name, importlib.import_module(name)))
+    for mod_name in GATED_MODULES:
+        todo.append((mod_name, importlib.import_module(mod_name)))
 
     for mod_name, module in todo:
         if not inspect.getdoc(module):
@@ -124,7 +130,7 @@ def main() -> int:
         print(f"\n{len(problems)} documentation problem(s)", file=sys.stderr)
         return 1
     md_count = len(iter_markdown_files())
-    gated = " and ".join(GATED_PACKAGES)
+    gated = " and ".join(GATED_PACKAGES + GATED_MODULES)
     print(f"docs OK: links resolve across {md_count} Markdown files; "
           f"all public {gated} symbols are documented")
     return 0

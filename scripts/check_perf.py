@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Perf regression gate: a fresh BENCH_core.json vs the committed baseline.
+
+Compares the *speedup* metrics (fast admission engine over the reference
+engine, measured on the same machine and workload) of a freshly generated
+``BENCH_core.json`` against the committed record.  Speedups are relative
+throughputs, so they transfer across machines where absolute tasks/sec do
+not; the gate fails when a fresh speedup drops more than ``--tolerance``
+(default 30%) below the committed value.  Rationale, tolerance choice and
+escape hatches are documented in ``docs/performance.md``.
+
+Usage::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_core.py -q   # refresh
+    python scripts/check_perf.py --baseline BENCH_core.json \\
+        --fresh /path/to/fresh/BENCH_core.json [--tolerance 0.30]
+
+Exit code 0 = within tolerance; 1 = regression (details on stdout).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: (human label, path into the record) of each gated ratio metric.
+GATED_METRICS: tuple[tuple[str, tuple[str, ...]], ...] = (
+    ("core admission speedup", ("core", "speedup")),
+    ("earliest-finish fleet speedup", ("fleet", "earliest-finish", "speedup")),
+)
+
+
+def _lookup(record: dict, path: tuple[str, ...]) -> float:
+    value: object = record
+    for key in path:
+        if not isinstance(value, dict) or key not in value:
+            raise KeyError("/".join(path))
+        value = value[key]
+    return float(value)  # type: ignore[arg-type]
+
+
+def compare(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
+    """Return one problem string per gated metric outside tolerance."""
+    problems: list[str] = []
+    for label, path in GATED_METRICS:
+        try:
+            base = _lookup(baseline, path)
+        except KeyError as exc:
+            problems.append(f"{label}: baseline record is missing {exc}")
+            continue
+        try:
+            new = _lookup(fresh, path)
+        except KeyError as exc:
+            problems.append(f"{label}: fresh record is missing {exc}")
+            continue
+        floor = base * (1.0 - tolerance)
+        if new < floor:
+            problems.append(
+                f"{label}: {new:.2f}x regressed more than "
+                f"{tolerance:.0%} below committed {base:.2f}x "
+                f"(floor {floor:.2f}x)"
+            )
+        else:
+            print(f"{label}: {new:.2f}x vs committed {base:.2f}x — ok")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments, compare records, print verdicts, return exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        default="BENCH_core.json",
+        help="committed perf record (default: BENCH_core.json)",
+    )
+    parser.add_argument(
+        "--fresh",
+        required=True,
+        help="freshly generated perf record to check",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional drop below the committed value "
+        "(default 0.30 = 30%%, sized for shared-runner noise)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        print(f"tolerance must be in [0, 1), got {args.tolerance}")
+        return 1
+
+    baseline = json.loads(Path(args.baseline).read_text(encoding="utf-8"))
+    fresh = json.loads(Path(args.fresh).read_text(encoding="utf-8"))
+    problems = compare(baseline, fresh, args.tolerance)
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(
+            f"\n{len(problems)} perf regression(s); if intentional, commit "
+            "the refreshed BENCH_core.json or label the PR skip-perf-gate "
+            "(docs/performance.md)",
+            file=sys.stderr,
+        )
+        return 1
+    print("perf gate OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -257,8 +257,9 @@ def _build_parser() -> argparse.ArgumentParser:
     p_sc.add_argument(
         "--trace-file",
         default=None,
-        help="trace arrivals: file with one arrival time per line, or a "
-        ".csv trace (first/'arrival_time' column)",
+        help="trace arrivals: file with one arrival time per line, a "
+        ".csv trace (first/'arrival_time' column), or a .parquet trace "
+        "(same column rules; needs pyarrow)",
     )
     p_sc.add_argument(
         "--sizes",
@@ -595,6 +596,8 @@ def _scenario_from_args(args: argparse.Namespace) -> Scenario:
             raise ReproError("--arrivals trace requires --trace-file")
         if args.trace_file.endswith(".csv"):
             arrivals = TraceArrivals.from_csv(args.trace_file)
+        elif args.trace_file.endswith(".parquet"):
+            arrivals = TraceArrivals.from_parquet(args.trace_file)
         else:
             with open(args.trace_file, encoding="utf-8") as fh:
                 times = [float(line) for line in fh if line.strip()]

@@ -20,7 +20,10 @@ Sub-modules
     The scalar next-free-time node model behind ``Release(node_k)`` of
     Figure 2.
 ``admission``
-    The schedulability test of Figure 2.
+    The schedulability test of Figure 2 (reference implementation).
+``fastpath``
+    The optimized admission engine: bit-identical decisions, a fraction of
+    the cost (memoized plans, specialized kernels, monotonic scans).
 ``scheduler``
     The online dynamic scheduler driving admission, commitment and dispatch.
 ``algorithms``
@@ -30,6 +33,7 @@ Sub-modules
 from repro.core.admission import SchedulabilityTest
 from repro.core.algorithms import ALGORITHMS, AlgorithmSpec, make_algorithm
 from repro.core.cluster import ClusterProfile, ClusterSpec
+from repro.core.fastpath import FastSchedulabilityTest, make_admission_test
 from repro.core.partition import (
     DltIitPartitioner,
     OprPartitioner,
@@ -51,6 +55,7 @@ __all__ = [
     "DivisibleTask",
     "DltIitPartitioner",
     "EdfPolicy",
+    "FastSchedulabilityTest",
     "FifoPolicy",
     "NodeReservations",
     "OprPartitioner",
@@ -61,5 +66,6 @@ __all__ = [
     "TaskOutcome",
     "TaskRecord",
     "UserSplitPartitioner",
+    "make_admission_test",
     "make_algorithm",
 ]

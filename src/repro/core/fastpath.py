@@ -1,0 +1,665 @@
+"""Fast admission engine: the Figure-2 schedulability test, optimized.
+
+:class:`FastSchedulabilityTest` is a drop-in replacement for
+:class:`repro.core.admission.SchedulabilityTest` that produces **bit-identical**
+:class:`~repro.core.admission.AdmissionDecision` streams while doing far less
+work per call.  The reference implementation stays exactly where it was — the
+property suite (``tests/test_fastpath_properties.py``) replays random
+scenarios through both engines and asserts record-by-record equality.
+
+Why this module exists
+----------------------
+Every metric in the paper flows through the schedulability test, and the test
+is the system's hot path cubed: each arrival re-plans the *entire* waiting
+queue, each re-plan scans candidate node counts, and the fleet's probing
+routers multiply that by one full admission test per member cluster per task.
+Four coordinated optimizations attack that cost without changing a single
+output bit:
+
+1. **Per-task plan memoization** — a placement depends only on the task, the
+   availability vector the walk hands it, and (for the paper's ``ñ_min`` /
+   ``n_min`` rules) the admission-test time through the node-count bound.
+   The engine caches each task's last computed plan keyed on the raw
+   availability bytes and revalidates the cheap scalar node-count bound; when
+   the queue prefix ahead of a newcomer's EDF slot is undisturbed (and under
+   load it almost always is), the whole prefix replays as cache hits.  The
+   same mechanism makes a fleet probe followed by a routed submission cost
+   one test instead of two.
+2. **Specialized placement kernels** — the DLT-IIT and OPR placement paths
+   are re-implemented with the *same arithmetic operations in the same
+   order* as :func:`repro.core.het_model.build_model` /
+   :func:`repro.core.dlt.het_alphas` (so results are bitwise equal) but
+   without the per-call validation, intermediate dataclasses and redundant
+   array materializations of the reference path.
+3. **Monotonicity-aware candidate search** — the ``fixed_point_node_count``
+   ablation's ``k = 1..N`` scan exploits that the node-count bound is
+   non-decreasing in ``k``: the scan starts at the ``ñ_min`` lower bound,
+   jumps over candidates that cannot satisfy ``n_req <= k``, skips repeated
+   ``n_req`` values whose placement already failed, and shares one prefix
+   cumprod across all heterogeneous candidate evaluations
+   (:class:`_SharedPrefixAlphas`) instead of recomputing the recurrence per
+   ``k``.
+4. **Scratch buffers** — the walk works on two preallocated vectors instead
+   of building a :class:`~repro.core.reservations.NodeReservations` copy and
+   fresh availability arrays per task.
+
+Partitioners the engine does not specialize (multi-round plans, third-party
+strategies) and stochastic re-draw configurations (User-Split with
+``redraw_on_replan=True``, whose RNG stream consumption must match call for
+call) transparently fall back to the reference implementation, so the engine
+is always safe to enable.  :func:`make_admission_test` is the factory the
+scheduler uses; ``engine="reference"`` selects the original implementation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Callable, Sequence
+
+import numpy as np
+
+from repro.core import dlt
+from repro.core.admission import AdmissionDecision, SchedulabilityTest
+from repro.core.cluster import ClusterProfile
+from repro.core.errors import InvalidParameterError
+from repro.core.partition import (
+    DltIitPartitioner,
+    OprPartitioner,
+    Partitioner,
+    PlacementPlan,
+    UserSplitPartitioner,
+    feasible_by,
+)
+from repro.core.policies import SchedulingPolicy
+from repro.core.reservations import NodeReservations
+from repro.core.task import DivisibleTask
+
+if TYPE_CHECKING:  # pragma: no cover
+    from numpy.typing import NDArray
+
+__all__ = [
+    "ADMISSION_ENGINES",
+    "FastSchedulabilityTest",
+    "make_admission_test",
+    "validate_admission_engine",
+]
+
+#: Valid admission-engine names: ``"fast"`` (this module, the default) and
+#: ``"reference"`` (the original :class:`SchedulabilityTest`).
+ADMISSION_ENGINES: tuple[str, ...] = ("fast", "reference")
+
+
+def validate_admission_engine(engine: str) -> str:
+    """Return ``engine`` if it names an admission engine, else raise."""
+    if engine not in ADMISSION_ENGINES:
+        raise InvalidParameterError(
+            f"unknown admission engine {engine!r}; "
+            f"valid: {', '.join(ADMISSION_ENGINES)}"
+        )
+    return engine
+
+
+def make_admission_test(
+    policy: SchedulingPolicy,
+    partitioner: Partitioner,
+    cluster: ClusterProfile,
+    *,
+    engine: str = "fast",
+) -> "SchedulabilityTest | FastSchedulabilityTest":
+    """Build the admission test for a scheduler.
+
+    ``engine="fast"`` (default) returns the optimized engine of this module;
+    ``engine="reference"`` the original walk.  Both produce bit-identical
+    decisions — the choice only trades speed against simplicity.
+    """
+    validate_admission_engine(engine)
+    if engine == "reference":
+        return SchedulabilityTest(policy, partitioner, cluster)
+    return FastSchedulabilityTest(policy, partitioner, cluster)
+
+
+#: Shared ``alphas`` vector for single-node placements (``het_alphas`` on one
+#: node returns ``np.ones(1)``; the value is constant, so one frozen array
+#: serves every caller).
+_ONES1 = np.ones(1)
+_ONES1.flags.writeable = False
+
+#: Sentinel marking "node-count token not precomputed" in placement calls.
+_UNSET = object()
+
+
+def _trusted_plan(
+    task: DivisibleTask,
+    method: str,
+    node_ids: tuple[int, ...],
+    release_times: tuple[float, ...],
+    dispatch_releases: tuple[float, ...],
+    alphas: tuple[float, ...],
+    est_completion: float,
+) -> PlacementPlan:
+    """Build a :class:`PlacementPlan` whose invariants hold by construction.
+
+    The kernels take node ids from an argsort prefix (unique by
+    construction) and all vectors from the same prefix length, so the
+    ``__post_init__`` validation pass is redundant on this path.  Field
+    values are exactly what the reference constructor would store, so
+    plans compare equal across engines.
+    """
+    plan = PlacementPlan.__new__(PlacementPlan)
+    set_ = object.__setattr__
+    set_(plan, "task", task)
+    set_(plan, "method", method)
+    set_(plan, "node_ids", node_ids)
+    set_(plan, "release_times", release_times)
+    set_(plan, "dispatch_releases", dispatch_releases)
+    set_(plan, "alphas", alphas)
+    set_(plan, "est_completion", est_completion)
+    set_(plan, "explicit_chunks", None)
+    return plan
+
+
+def _prefix_alphas_scalar_cms(cms: float, cps_eff: "NDArray[np.float64]"):
+    """Equal-finish fractions for a uniform link cost (Eq. 4-5).
+
+    Bitwise-identical to ``dlt.het_alphas(np.full(n, cms), cps_eff)``:
+    adding the scalar ``cms`` element-wise equals adding the uniform vector.
+    """
+    n = cps_eff.shape[0]
+    if n == 1:
+        return _ONES1
+    x = cps_eff[:-1] / (cms + cps_eff[1:])
+    prods = np.cumprod(x)
+    denom = 1.0 + prods.sum()
+    alphas = np.empty(n)
+    alphas[0] = 1.0 / denom
+    alphas[1:] = prods / denom
+    return alphas
+
+
+def _alphas_vec(
+    cms_vec: "NDArray[np.float64]", cps_vec: "NDArray[np.float64]"
+) -> "NDArray[np.float64]":
+    """``dlt.het_alphas`` minus input validation (bitwise-identical ops)."""
+    n = cms_vec.shape[0]
+    if n == 1:
+        return _ONES1
+    x = cps_vec[:-1] / (cms_vec[1:] + cps_vec[1:])
+    prods = np.cumprod(x)
+    denom = 1.0 + prods.sum()
+    alphas = np.empty(n)
+    alphas[0] = 1.0 / denom
+    alphas[1:] = prods / denom
+    return alphas
+
+
+class _SharedPrefixAlphas:
+    """Equal-finish fractions for every prefix of one ordered node set.
+
+    The heterogeneous recurrence ratios ``X_i = Cps_{i-1}/(Cms_i + Cps_i)``
+    depend only on the intrinsic costs of the ordered candidates, so every
+    candidate prefix of the ``fixed_point_node_count`` scan shares one ratio
+    vector and one cumulative product.  A prefix of ``cumprod`` *is* the
+    cumprod of the prefix (the accumulation is sequential) and NumPy's
+    pairwise summation depends only on the summed values, so
+    :meth:`alphas` is bitwise-identical to ``dlt.het_alphas`` on the prefix
+    while computing the shared parts once.
+    """
+
+    __slots__ = ("_cms", "_cps", "_prods")
+
+    def __init__(
+        self, cms_vec: "NDArray[np.float64]", cps_vec: "NDArray[np.float64]"
+    ) -> None:
+        self._cms = cms_vec
+        self._cps = cps_vec
+        self._prods: "NDArray[np.float64] | None" = None
+
+    def alphas(self, n: int) -> "NDArray[np.float64]":
+        """Fractions for the first ``n`` candidates (``het_alphas`` bitwise)."""
+        if n == 1:
+            return _ONES1
+        if self._prods is None:
+            x = self._cps[:-1] / (self._cms[1:] + self._cps[1:])
+            self._prods = np.cumprod(x)
+        prods = self._prods[: n - 1]
+        denom = 1.0 + prods.sum()
+        alphas = np.empty(n)
+        alphas[0] = 1.0 / denom
+        alphas[1:] = prods / denom
+        return alphas
+
+
+class _MemoEntry:
+    """One task's last computed placement, keyed for exact revalidation."""
+
+    __slots__ = ("key", "n_req", "plan", "ids")
+
+    def __init__(
+        self,
+        key: bytes,
+        n_req: int | None,
+        plan: PlacementPlan | None,
+        ids: "NDArray[np.intp] | None",
+    ) -> None:
+        self.key = key
+        self.n_req = n_req
+        self.plan = plan
+        self.ids = ids
+
+
+class FastSchedulabilityTest:
+    """Optimized, bit-identical Figure-2 schedulability test.
+
+    Same constructor and :meth:`try_admit` contract as
+    :class:`~repro.core.admission.SchedulabilityTest`; see the module
+    docstring for the optimization inventory.  Unknown partitioner types
+    delegate to an internal reference instance, so behaviour never diverges.
+    """
+
+    def __init__(
+        self,
+        policy: SchedulingPolicy,
+        partitioner: Partitioner,
+        cluster: ClusterProfile,
+    ) -> None:
+        self.policy = policy
+        self.partitioner = partitioner
+        self.cluster = cluster
+
+        self._n = cluster.nodes
+        self._homog = cluster.is_homogeneous
+        self._cms = cluster.cms if self._homog else 0.0
+        self._cps = cluster.cps if self._homog else 0.0
+        self._worst_cms = cluster.worst_cms
+        self._worst_cps = cluster.worst_cps
+        #: ``log(beta)`` at the worst-case costs — the only transcendental
+        #: the ``ñ_min`` / ``n_min`` bounds need, hoisted out of the hot
+        #: path (``math.log1p`` is deterministic, so caching is exact).
+        self._log_b_worst = math.log1p(
+            -self._worst_cms / (self._worst_cms + self._worst_cps)
+        )
+        if self._homog:
+            # E(sigma, n) = [(1-b)/(1-b^n)] * sigma * (Cms+Cps): the
+            # bracket depends only on n, so tabulate it once per node
+            # count.  Same subexpressions, same evaluation order as
+            # ``dlt.execution_time`` — bitwise-identical results.
+            b = self._cps / (self._cms + self._cps)
+            self._exec_coeff = tuple(
+                (1.0 - b) / -math.expm1(n * self._log_b_worst)
+                for n in range(1, self._n + 1)
+            )
+            self._cost_sum = self._cms + self._cps
+        else:
+            self._exec_coeff = ()
+            self._cost_sum = 0.0
+
+        self._temp = np.empty(self._n, dtype=np.float64)
+        self._avail = np.empty(self._n, dtype=np.float64)
+        self._floored = np.empty(self._n, dtype=np.float64)
+        self._memo: dict[int, _MemoEntry] = {}
+        self._memo_enabled = True
+        #: Recompute the now-dependent node-count token on memo hits
+        #: (``None`` for rules whose placement does not depend on ``now``).
+        self._token: Callable[[DivisibleTask, float], int | None] | None = None
+        self._delegate: SchedulabilityTest | None = None
+        self._fallback_test: SchedulabilityTest | None = None
+
+        self._node_order = getattr(partitioner, "node_order", "availability")
+        self._order_avail = self._node_order == "availability"
+        if self._order_avail:
+            self._tiebreak = None
+        else:
+            self._tiebreak = (
+                cluster.cps_array
+                if self._node_order == "fastest-first"
+                else cluster.cms_array
+            )
+
+        place: Callable[..., _MemoEntry] | None = None
+        #: Entry builder of the specialized kernels: DLT-IIT or OPR.
+        self._entry: Callable[..., _MemoEntry | None] | None = None
+        if type(partitioner) in (DltIitPartitioner, OprPartitioner):
+            self._entry = (
+                self._dlt_entry
+                if type(partitioner) is DltIitPartitioner
+                else self._opr_entry
+            )
+            if partitioner.assign_all_nodes:
+                place = self._place_all_nodes
+            elif partitioner.fixed_point_node_count:
+                place = self._place_fixed_point
+            else:
+                place = self._place_paper_rule
+                self._token = self._node_count_token
+        elif type(partitioner) is UserSplitPartitioner:
+            place = self._place_via_partitioner
+            # Figure 2's literal reading re-rolls the user's node request on
+            # every re-plan; skipping any place() call would desynchronize
+            # the RNG stream, so memoization must stay off.
+            self._memo_enabled = not partitioner.redraw_on_replan
+        else:
+            self._delegate = SchedulabilityTest(policy, partitioner, cluster)
+        self._place = place
+
+    # -- the walk ---------------------------------------------------------
+    def try_admit(
+        self,
+        new_task: DivisibleTask,
+        waiting: Sequence[DivisibleTask],
+        reservations: NodeReservations,
+        now: float,
+    ) -> AdmissionDecision:
+        """Run the test for ``new_task`` against the committed state.
+
+        Same contract (and bit-identical result) as
+        :meth:`repro.core.admission.SchedulabilityTest.try_admit`.
+        """
+        if self._delegate is not None:
+            return self._delegate.try_admit(new_task, waiting, reservations, now)
+        if reservations.nodes != self._n:
+            return self._fallback().try_admit(new_task, waiting, reservations, now)
+
+        ordered = self.policy.order([*waiting, new_task])
+        memo = self._memo
+        if len(memo) > 2 * len(ordered) + 32:
+            keep = {t.task_id for t in ordered}
+            for tid in [k for k in memo if k not in keep]:
+                del memo[tid]
+
+        temp = self._temp
+        np.copyto(temp, reservations.release_times)
+        avail = self._avail
+        place = self._place
+        assert place is not None  # delegate handled every other case
+        token_fn = self._token
+        memo_on = self._memo_enabled
+        plans: dict[int, PlacementPlan] = {}
+        for task in ordered:
+            np.maximum(temp, now, out=avail)
+            tid = task.task_id
+            entry: _MemoEntry | None = None
+            key = b""
+            token = _UNSET
+            if memo_on:
+                key = avail.tobytes()
+                cached = memo.get(tid)
+                if cached is not None and cached.key == key:
+                    if token_fn is None:
+                        entry = cached
+                    else:
+                        token = token_fn(task, now)
+                        if token == cached.n_req:
+                            entry = cached
+            if entry is None:
+                entry = place(task, avail, now, token)
+                if memo_on:
+                    entry.key = key
+                    memo[tid] = entry
+            plan = entry.plan
+            if plan is None:
+                return AdmissionDecision(
+                    accepted=False, plans={}, failed_task_id=tid
+                )
+            temp[entry.ids] = plan.est_completion
+            plans[tid] = plan
+        return AdmissionDecision(accepted=True, plans=plans)
+
+    def _fallback(self) -> SchedulabilityTest:
+        """Reference walk for reservation sizes the scratch buffers don't fit
+        (lazy, cached separately so the fast path stays enabled)."""
+        fallback = self._fallback_test
+        if fallback is None:
+            fallback = self._fallback_test = SchedulabilityTest(
+                self.policy, self.partitioner, self.cluster
+            )
+        return fallback
+
+    # -- node-count bounds -------------------------------------------------
+    def _min_nodes_worst(self, sigma: float, budget: float) -> int | None:
+        """``dlt.min_nodes`` at the cluster's worst-case costs, with the
+        constant ``log(beta)`` precomputed (bitwise-identical results)."""
+        if budget <= 0:
+            return None
+        g = 1.0 - (sigma * self._worst_cms) / budget
+        if g <= 0.0:
+            return None
+        if g >= 1.0:  # pragma: no cover - unreachable with positive costs
+            return 1
+        n = math.ceil(math.log(g) / self._log_b_worst - dlt.FEASIBILITY_RTOL)
+        if n < 1:
+            n = 1
+        return None if n > self._n else n
+
+    def _node_count_token(self, task: DivisibleTask, now: float) -> int | None:
+        """``ñ_min`` / ``n_min`` at the admission-test time — the paper
+        rules' only dependence on ``now`` (Eq. 14 / [22])."""
+        t_test = now if now > task.arrival else task.arrival
+        return self._min_nodes_worst(
+            task.sigma, task.arrival + task.deadline - t_test
+        )
+
+    # -- shared placement plumbing ---------------------------------------
+    def _candidates(
+        self, task: DivisibleTask, avail: "NDArray[np.float64]"
+    ) -> tuple["NDArray[np.intp]", "NDArray[np.float64]"]:
+        """Floored + ordered candidates, exactly as the reference ``place``
+        (:func:`repro.core.partition.sorted_candidates`) computes them."""
+        floored = self._floored
+        np.maximum(avail, task.arrival, out=floored)
+        if self._order_avail:
+            order = floored.argsort(kind="stable")
+        else:
+            order = np.lexsort((self._tiebreak, floored))
+        return order, floored[order]
+
+    def _dlt_completion(
+        self,
+        sigma: float,
+        order_n: "NDArray[np.intp]",
+        releases: "NDArray[np.float64]",
+        shared: _SharedPrefixAlphas | None = None,
+    ) -> tuple[float, "NDArray[np.float64]"]:
+        """Eq. 4-7 over the chosen nodes — ``build_model`` bitwise, minus
+        validation and the intermediate :class:`HeterogeneousModel`."""
+        n = releases.shape[0]
+        rn = float(releases[-1])
+        if self._homog:
+            cms, cps = self._cms, self._cps
+            e = self._exec_coeff[n - 1] * sigma * self._cost_sum
+            iit = rn - releases
+            cps_eff = (e / (e + iit)) * cps
+            alphas = _prefix_alphas_scalar_cms(cms, cps_eff)
+            exec_time = sigma * cms + float(alphas[-1]) * sigma * cps
+        else:
+            if shared is not None:
+                cms_vec = shared._cms[:n]
+                cps_vec = shared._cps[:n]
+                a0 = shared.alphas(n)
+            else:
+                cms_vec, cps_vec = self.cluster.costs_for(order_n)
+                a0 = _alphas_vec(cms_vec, cps_vec)
+            e = float(
+                sigma * (a0 * cms_vec).sum() + a0[-1] * sigma * cps_vec[-1]
+            )
+            iit = rn - releases
+            cps_eff = (e / (e + iit)) * cps_vec
+            alphas = _alphas_vec(cms_vec, cps_eff)
+            exec_time = float(
+                sigma * (alphas * cms_vec).sum()
+                + float(alphas[-1]) * sigma * float(cps_vec[-1])
+            )
+        return rn + exec_time, alphas
+
+    def _dlt_entry(
+        self,
+        task: DivisibleTask,
+        order: "NDArray[np.intp]",
+        sorted_avail: "NDArray[np.float64]",
+        n: int,
+        shared: _SharedPrefixAlphas | None = None,
+    ) -> _MemoEntry | None:
+        """Build a DLT-IIT plan for ``n`` nodes; ``None`` if infeasible."""
+        releases = sorted_avail[:n]
+        completion, alphas = self._dlt_completion(
+            task.sigma, order[:n], releases, shared
+        )
+        if not feasible_by(completion, task.absolute_deadline):
+            return None
+        release_t = tuple(releases.tolist())
+        ids = order[:n].copy()
+        plan = _trusted_plan(
+            task,
+            self.partitioner.method,
+            tuple(ids.tolist()),
+            release_t,
+            release_t,
+            tuple(alphas.tolist()),
+            float(completion),
+        )
+        return _MemoEntry(b"", None, plan, ids)
+
+    def _opr_entry(
+        self,
+        task: DivisibleTask,
+        order: "NDArray[np.intp]",
+        sorted_avail: "NDArray[np.float64]",
+        n: int,
+        shared: _SharedPrefixAlphas | None = None,
+    ) -> _MemoEntry | None:
+        """Build an OPR plan for ``n`` nodes; ``None`` if infeasible."""
+        sigma = task.sigma
+        releases = sorted_avail[:n]
+        rn = float(releases[-1])
+        if self._homog:
+            exec_time = self._exec_coeff[n - 1] * sigma * self._cost_sum
+            completion = rn + exec_time
+            if not feasible_by(completion, task.absolute_deadline):
+                return None
+            alphas = dlt.opr_alphas(n, self._cms, self._cps)
+        else:
+            if shared is not None:
+                cms_sel = shared._cms[:n]
+                cps_sel = shared._cps[:n]
+                alphas = shared.alphas(n)
+            else:
+                cms_sel, cps_sel = self.cluster.costs_for(order[:n])
+                alphas = _alphas_vec(cms_sel, cps_sel)
+            exec_time = float(
+                sigma * (alphas * cms_sel).sum()
+                + alphas[-1] * sigma * cps_sel[-1]
+            )
+            completion = rn + exec_time
+            if not feasible_by(completion, task.absolute_deadline):
+                return None
+        ids = order[:n].copy()
+        plan = _trusted_plan(
+            task,
+            self.partitioner.method,
+            tuple(ids.tolist()),
+            tuple(releases.tolist()),
+            (rn,) * n,
+            tuple(alphas.tolist()),
+            float(completion),
+        )
+        return _MemoEntry(b"", None, plan, ids)
+
+    # -- placements (entry builder ``self._entry`` = DLT-IIT or OPR) ------
+    def _place_paper_rule(
+        self,
+        task: DivisibleTask,
+        avail: "NDArray[np.float64]",
+        now: float,
+        token: object = _UNSET,
+    ) -> _MemoEntry:
+        """Paper rule: ``ñ_min`` / ``n_min`` at the admission-test time."""
+        n_req = (
+            self._node_count_token(task, now) if token is _UNSET else token
+        )
+        if n_req is None:
+            return _MemoEntry(b"", None, None, None)
+        order, sorted_avail = self._candidates(task, avail)
+        entry = self._entry(task, order, sorted_avail, n_req)
+        if entry is None:
+            return _MemoEntry(b"", n_req, None, None)
+        entry.n_req = n_req
+        return entry
+
+    def _place_all_nodes(
+        self,
+        task: DivisibleTask,
+        avail: "NDArray[np.float64]",
+        now: float,
+        token: object = _UNSET,
+    ) -> _MemoEntry:
+        """"-AN" variants: always the whole cluster, exact feasibility."""
+        order, sorted_avail = self._candidates(task, avail)
+        entry = self._entry(task, order, sorted_avail, self._n)
+        return entry if entry is not None else _MemoEntry(b"", None, None, None)
+
+    def _place_fixed_point(
+        self,
+        task: DivisibleTask,
+        avail: "NDArray[np.float64]",
+        now: float,
+        token: object = _UNSET,
+    ) -> _MemoEntry:
+        """Fixed-point ablation scan, monotonicity-aware.
+
+        The reference scans ``k = 1..N`` evaluating the node-count bound
+        at each candidate start time and trying a placement whenever
+        ``n_req <= k``.  Because ``sorted_avail`` is non-decreasing the
+        bound is non-decreasing in ``k``, which licenses three exact
+        shortcuts (the accepted plan is unchanged): start at the first
+        ``k`` that can satisfy ``n_req <= k``, jump ``k`` straight to
+        ``n_req`` whenever the bound exceeds it, and skip repeated
+        ``n_req`` values whose placement already failed (the placement
+        depends on ``n_req`` alone, not ``k``).  ``None`` from the bound
+        is terminal: the budget only shrinks as ``k`` grows.
+        """
+        order, sorted_avail = self._candidates(task, avail)
+        shared = self._shared_prefix(order)
+        big_n = self._n
+        failed_n = 0
+        k = 1
+        while k <= big_n:
+            n_req = self._min_nodes_worst(
+                task.sigma,
+                task.arrival + task.deadline - float(sorted_avail[k - 1]),
+            )
+            if n_req is None:
+                break
+            if n_req > k:
+                k = n_req
+                continue
+            if n_req > failed_n:
+                entry = self._entry(task, order, sorted_avail, n_req, shared)
+                if entry is not None:
+                    return entry
+                failed_n = n_req
+            k += 1
+        return _MemoEntry(b"", None, None, None)
+
+    def _shared_prefix(
+        self, order: "NDArray[np.intp]"
+    ) -> _SharedPrefixAlphas | None:
+        """Shared prefix-cumprod helper for heterogeneous scans."""
+        if self._homog:
+            return None
+        cms_vec, cps_vec = self.cluster.costs_for(order)
+        return _SharedPrefixAlphas(cms_vec, cps_vec)
+
+    # -- stochastic / generic partitioners --------------------------------
+    def _place_via_partitioner(
+        self,
+        task: DivisibleTask,
+        avail: "NDArray[np.float64]",
+        now: float,
+        token: object = _UNSET,
+    ) -> _MemoEntry:
+        """Defer to the partitioner's own ``place`` (User-Split)."""
+        plan = self.partitioner.place(task, avail, self.cluster, now)
+        if plan is None:
+            return _MemoEntry(b"", None, None, None)
+        return _MemoEntry(
+            b"", None, plan, np.asarray(plan.node_ids, dtype=np.intp)
+        )

@@ -26,9 +26,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.admission import AdmissionDecision, SchedulabilityTest
+from repro.core.admission import AdmissionDecision
 from repro.core.cluster import ClusterProfile
 from repro.core.errors import ScheduleConsistencyError
+from repro.core.fastpath import make_admission_test
 from repro.core.partition import Partitioner, PlacementPlan
 from repro.core.policies import SchedulingPolicy
 from repro.core.reservations import NodeReservations
@@ -83,6 +84,12 @@ class ClusterScheduler:
         Ablation flag: hand nodes back at *actual* completion instead of
         the estimate (see DESIGN.md, S19).  Default ``False`` = paper
         bookkeeping.
+    admission_engine:
+        ``"fast"`` (default) runs the schedulability test through the
+        optimized engine of :mod:`repro.core.fastpath`; ``"reference"``
+        through the original walk.  Decisions are bit-identical either way
+        (asserted by the property suite) — the switch exists for
+        benchmarking and verification.
     """
 
     def __init__(
@@ -92,12 +99,15 @@ class ClusterScheduler:
         partitioner: Partitioner,
         *,
         eager_release: bool = False,
+        admission_engine: str = "fast",
     ) -> None:
         self.cluster = cluster
         self.policy = policy
         self.partitioner = partitioner
         self.eager_release = eager_release
-        self.test = SchedulabilityTest(policy, partitioner, cluster)
+        self.test = make_admission_test(
+            policy, partitioner, cluster, engine=admission_engine
+        )
         self.reservations = NodeReservations(cluster.nodes)
         self.waiting: dict[int, DivisibleTask] = {}
         self.committed_plans: dict[int, PlacementPlan] = {}

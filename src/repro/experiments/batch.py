@@ -40,6 +40,11 @@ __all__ = ["BatchRunner", "ResultSet", "RunRecord", "RunSpec"]
 #: Label value types that survive the JSON/CSV round trip unchanged.
 LabelValue = float | int | str
 
+#: Adaptive chunking target: chunks per worker.  Several chunks per worker
+#: keep the pool load-balanced when run times vary; chunks of several specs
+#: amortize the pickling round trip on large batches.
+_CHUNKS_PER_WORKER = 4
+
 
 @dataclass(frozen=True, slots=True)
 class RunSpec:
@@ -253,8 +258,13 @@ class BatchRunner:
         specs).  Results are identical either way; parallelism only buys
         wall-clock time.
     chunksize:
-        Specs per inter-process message in parallel mode; raise it for
-        very large batches of very short runs.
+        Specs per inter-process message in parallel mode.  ``None``
+        (default) sizes chunks adaptively from the batch and worker
+        counts — ``ceil(n_specs / (workers * _CHUNKS_PER_WORKER))`` — so
+        big batches of short runs avoid per-spec messaging overhead while
+        small batches keep every worker busy; pass an explicit ``int`` to
+        pin it.  Results are bit-identical for every chunking (``ex.map``
+        preserves submission order).
     workers_mode:
         ``"process"`` (default) → :class:`ProcessPoolExecutor`, the fast
         path on platforms with cheap fork.  ``"thread"`` →
@@ -266,7 +276,7 @@ class BatchRunner:
     """
 
     workers: int | None = None
-    chunksize: int = 1
+    chunksize: int | None = None
     workers_mode: str = "process"
 
     def __post_init__(self) -> None:
@@ -274,9 +284,9 @@ class BatchRunner:
             raise InvalidParameterError(
                 f"workers must be >= 0 (0/1 = serial), got {self.workers}"
             )
-        if self.chunksize < 1:
+        if self.chunksize is not None and self.chunksize < 1:
             raise InvalidParameterError(
-                f"chunksize must be >= 1, got {self.chunksize}"
+                f"chunksize must be >= 1 (or None = adaptive), got {self.chunksize}"
             )
         if self.workers_mode not in ("process", "thread"):
             raise InvalidParameterError(
@@ -287,6 +297,20 @@ class BatchRunner:
     def with_workers(self, workers: int | None) -> "BatchRunner":
         """A copy targeting a different worker count."""
         return replace(self, workers=workers)
+
+    def effective_chunksize(self, n_specs: int, n_workers: int) -> int:
+        """Specs per worker message for a batch of ``n_specs``.
+
+        An explicit ``chunksize`` wins; otherwise the adaptive rule aims
+        for :data:`_CHUNKS_PER_WORKER` chunks per worker — enough slack
+        that uneven run times rebalance, while per-spec pickling overhead
+        amortizes across big batches.
+        """
+        if self.chunksize is not None:
+            return self.chunksize
+        if n_specs <= 0 or n_workers <= 0:
+            return 1
+        return max(1, -(-n_specs // (n_workers * _CHUNKS_PER_WORKER)))
 
     def run(self, specs: Iterable[RunSpec]) -> ResultSet:
         """Execute every spec and return the records in submission order."""
@@ -300,8 +324,9 @@ class BatchRunner:
         executor_cls: type[Executor] = (
             ThreadPoolExecutor if self.workers_mode == "thread" else ProcessPoolExecutor
         )
+        chunksize = self.effective_chunksize(len(todo), n_workers)
         with executor_cls(max_workers=n_workers) as executor:
             records = tuple(
-                executor.map(_execute_spec, todo, chunksize=self.chunksize)
+                executor.map(_execute_spec, todo, chunksize=chunksize)
             )
         return ResultSet(records=records)

@@ -79,6 +79,7 @@ def simulate(
     eager_release: bool = False,
     shared_head_link: bool = False,
     node_order: str = "availability",
+    admission_engine: str = "fast",
 ) -> RunResult:
     """Run one simulation of ``algorithm`` under ``config``.
 
@@ -86,7 +87,9 @@ def simulate(
     scenario's seed — every algorithm sees the identical task set;
     algorithm-side randomness (User-Split) draws from a separate child
     stream of the same seed.  ``node_order`` selects the tie-break among
-    simultaneously available nodes (default: the paper's node-id order).
+    simultaneously available nodes (default: the paper's node-id order);
+    ``admission_engine`` picks the fast or reference schedulability test
+    (bit-identical outputs, see :mod:`repro.core.fastpath`).
     """
     scenario = as_scenario(config)
     tasks = scenario.generate_tasks()
@@ -102,6 +105,7 @@ def simulate(
         trace=trace,
         eager_release=eager_release,
         shared_head_link=shared_head_link,
+        admission_engine=admission_engine,
     )
     output = sim.run()
     return RunResult(

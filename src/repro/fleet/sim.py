@@ -109,6 +109,11 @@ class FleetSimulation:
         ``scenario.member_eager_release`` entries override).
     node_order:
         Node-ordering policy forwarded to every member's partitioner.
+    admission_engine:
+        Admission-test engine (``"fast"`` default / ``"reference"``),
+        forwarded to every member simulation.  With the fast engine a
+        probe followed by a routed submission reuses the probe's plans
+        instead of re-running the whole test (bit-identical outputs).
     """
 
     def __init__(
@@ -121,14 +126,23 @@ class FleetSimulation:
         eager_release: bool = False,
         shared_head_link: bool = False,
         node_order: str = "availability",
+        admission_engine: str = "fast",
     ) -> None:
         self.scenario = scenario
         self.algorithm = algorithm
         self.sims: list[ClusterSimulation] = []
+        #: Per-member fingerprint for the per-arrival probe cache, or
+        #: ``None`` when probing the member is not repeatable (stochastic
+        #: partitioners consume an RNG draw per first-contact probe, so
+        #: their probes must all run).  Two members share a fingerprint
+        #: exactly when the same probe against the same dynamic state must
+        #: return the same estimate: same cluster costs and algorithm.
+        self._probe_sigs: list[tuple[object, ...] | None] = []
         for i in range(scenario.n_clusters):
             member = scenario.member_scenario(i)
+            member_algorithm = scenario.member_algorithm(i, algorithm)
             instance = make_algorithm(
-                scenario.member_algorithm(i, algorithm),
+                member_algorithm,
                 rng=member.algorithm_rng(),
                 node_order=node_order,
             )
@@ -141,6 +155,16 @@ class FleetSimulation:
                     trace=trace,
                     eager_release=scenario.member_eager(i, eager_release),
                     shared_head_link=shared_head_link,
+                    admission_engine=admission_engine,
+                )
+            )
+            self._probe_sigs.append(
+                None
+                if instance.spec.needs_rng
+                else (
+                    member_algorithm,
+                    member.cluster.cms_vector,
+                    member.cluster.cps_vector,
                 )
             )
         self.policy: RoutingPolicy = make_routing_policy(
@@ -163,24 +187,53 @@ class FleetSimulation:
         self._done = False
 
     # -- routing state ------------------------------------------------------
-    def _view(self, index: int, now: float) -> ClusterView:
-        """Snapshot member ``index`` for one routing decision."""
+    def _view(
+        self,
+        index: int,
+        now: float,
+        probe_cache: dict[tuple, float | None] | None = None,
+    ) -> ClusterView:
+        """Snapshot member ``index`` for one routing decision.
+
+        ``probe_cache`` is one arrival's shared what-if cache: when two
+        members are in an identical probe-relevant state (same costs,
+        algorithm, reservations and waiting queue — e.g. idle members of a
+        uniform fleet), the second probe is answered from the first
+        member's result instead of re-running the admission test.
+        """
         sim = self.sims[index]
         scheduler = sim.scheduler
         release = scheduler.reservations.release_times
-        backlog = float(np.mean(np.maximum(release - now, 0.0)))
+        # arr.sum()/n is np.mean minus the dispatch wrapper (same pairwise
+        # reduction, bit-identical value) — this runs per member per task.
+        over = np.maximum(release - now, 0.0)
+        backlog = float(over.sum() / over.size)
+        sig = self._probe_sigs[index]
 
         def probe(task: DivisibleTask, _sim: ClusterSimulation = sim) -> float | None:
             """What-if admission: the cluster's estimate, or None on reject."""
+            key: tuple | None = None
+            if probe_cache is not None and sig is not None:
+                # ``release`` is this arrival's committed snapshot: no
+                # events run between snapshotting and routing, so it is
+                # exactly the state the probe tests.
+                key = (sig, release.tobytes(), tuple(_sim.scheduler.waiting))
+                if key in probe_cache:
+                    return probe_cache[key]
             decision = _sim.scheduler.test.try_admit(
                 task,
                 list(_sim.scheduler.waiting.values()),
                 _sim.scheduler.reservations,
                 now,
             )
-            if not decision.accepted:
-                return None
-            return decision.plans[task.task_id].est_completion
+            result = (
+                decision.plans[task.task_id].est_completion
+                if decision.accepted
+                else None
+            )
+            if key is not None:
+                probe_cache[key] = result
+            return result
 
         return ClusterView(
             index=index,
@@ -265,7 +318,11 @@ class FleetSimulation:
                 sim.advance_to(task.arrival)
             if self._track_completions:
                 self._drain_completions()
-            views = [self._view(i, task.arrival) for i in range(n_members)]
+            probe_cache: dict[tuple, float | None] = {}
+            views = [
+                self._view(i, task.arrival, probe_cache)
+                for i in range(n_members)
+            ]
             index = self.policy.route(task, views)
             if not 0 <= index < n_members:
                 raise InvalidParameterError(
@@ -310,6 +367,7 @@ def simulate_fleet(
     eager_release: bool = False,
     shared_head_link: bool = False,
     node_order: str = "availability",
+    admission_engine: str = "fast",
 ) -> FleetOutput:
     """Run one fleet simulation of ``algorithm`` under ``scenario``.
 
@@ -325,4 +383,5 @@ def simulate_fleet(
         eager_release=eager_release,
         shared_head_link=shared_head_link,
         node_order=node_order,
+        admission_engine=admission_engine,
     ).run()

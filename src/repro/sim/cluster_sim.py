@@ -102,6 +102,9 @@ class ClusterSimulation:
         that unsoundness is the point of the ablation).
     trace:
         Record chunk-level traces (slower, more memory).
+    admission_engine:
+        Admission-test engine (``"fast"`` default / ``"reference"``);
+        forwarded to the scheduler.  Outputs are bit-identical either way.
     """
 
     def __init__(
@@ -115,6 +118,7 @@ class ClusterSimulation:
         trace: bool = False,
         eager_release: bool = False,
         shared_head_link: bool = False,
+        admission_engine: str = "fast",
     ) -> None:
         if horizon <= 0:
             raise InvalidParameterError(f"horizon must be > 0, got {horizon}")
@@ -134,6 +138,7 @@ class ClusterSimulation:
             algorithm.policy,
             algorithm.partitioner,
             eager_release=eager_release,
+            admission_engine=admission_engine,
         )
         strict = validate and not shared_head_link
         self.validator = ExecutionValidator(strict=strict)
@@ -150,6 +155,12 @@ class ClusterSimulation:
         self._busy = np.zeros(n)
         self._allocated = np.zeros(n)
         self._traces: list[TaskTrace] = []
+        #: Start events of the currently committed schedule.  Every
+        #: accepted arrival bumps the plan version, voiding all previous
+        #: directives — cancelling their events (instead of letting them
+        #: pop as no-ops) keeps the heap free of dead weight and lets the
+        #: engine compact after heavy re-planning.
+        self._start_events: list = []
         self._done = False
 
     @property
@@ -175,12 +186,18 @@ class ClusterSimulation:
     def _handle_arrival(self, task: DivisibleTask) -> None:
         now = self.engine.now
         _, directives = self.scheduler.on_arrival(task, now)
-        for d in directives:
+        if not directives:  # rejected: the committed schedule stands
+            return
+        for handle in self._start_events:
+            handle.cancel()
+        self._start_events = [
             self.engine.schedule(
                 d.start_time,
                 EventKind.START,
                 lambda eng, t, d=d: self._handle_start(d.task_id, d.version),
             )
+            for d in directives
+        ]
 
     def _handle_start(self, task_id: int, version: int) -> None:
         now = self.engine.now

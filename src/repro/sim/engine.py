@@ -7,8 +7,20 @@ hot loop is a ``heappop`` and a function call).
 
 The kernel knows nothing about clusters or tasks; it executes
 ``callback(engine, now)`` thunks in timestamp order.  Cancellation uses
-the standard lazy-invalidations idiom: :meth:`SimulationEngine.cancel`
-marks the entry, the pop loop discards dead entries.
+the standard lazy-invalidations idiom — :meth:`EventHandle.cancel` marks
+the entry, the pop loop discards dead entries — with two refinements for
+workloads that cancel heavily (admission re-planning voids every
+previously scheduled start directive):
+
+* the engine keeps a live count of cancelled-but-queued entries, making
+  :attr:`SimulationEngine.pending_events` O(1) instead of a heap scan;
+* when more than half the heap is dead weight (:data:`COMPACT_RATIO`,
+  past a small floor of :data:`COMPACT_MIN_EVENTS` entries), the heap is
+  compacted in one O(n) filter + heapify pass, so long runs never drag
+  an ever-growing tail of cancelled events through every push and pop.
+
+Compaction only removes entries that would have been skipped anyway, so
+execution order — and therefore every simulation result — is unchanged.
 """
 
 from __future__ import annotations
@@ -21,9 +33,16 @@ from typing import Callable
 from repro.core.errors import SimulationError
 from repro.sim.events import EventKind
 
-__all__ = ["EventHandle", "SimulationEngine"]
+__all__ = ["COMPACT_MIN_EVENTS", "COMPACT_RATIO", "EventHandle", "SimulationEngine"]
 
 Callback = Callable[["SimulationEngine", float], None]
+
+#: Compact the heap when cancelled entries exceed this fraction of it.
+COMPACT_RATIO = 0.5
+
+#: ... but never bother below this heap size (compaction is O(n); tiny
+#: heaps are cheaper to drain lazily than to rebuild).
+COMPACT_MIN_EVENTS = 64
 
 
 @dataclass(slots=True)
@@ -35,11 +54,22 @@ class EventHandle:
     seq: int
     callback: Callback | None
     cancelled: bool = field(default=False)
+    engine: "SimulationEngine | None" = field(default=None, repr=False)
 
     def cancel(self) -> None:
-        """Mark the event dead; the kernel skips it when popped."""
+        """Mark the event dead; the kernel skips (or compacts) it.
+
+        Idempotent, and a no-op for events that already executed.  The
+        owning engine is notified so its live-event counter stays exact
+        and heavy cancellation triggers heap compaction.
+        """
+        if self.cancelled or self.callback is None:
+            self.cancelled = True  # executed handles stay inert
+            return
         self.cancelled = True
         self.callback = None  # free references early
+        if self.engine is not None:
+            self.engine._note_cancelled()
 
 
 class SimulationEngine:
@@ -64,6 +94,7 @@ class SimulationEngine:
         self._seq = 0
         self._processed = 0
         self._running = False
+        self._cancelled_in_heap = 0
 
     # -- clock ------------------------------------------------------------
     @property
@@ -78,8 +109,22 @@ class SimulationEngine:
 
     @property
     def pending_events(self) -> int:
-        """Live (non-cancelled) events still queued."""
-        return sum(1 for _, _, _, h in self._heap if not h.cancelled)
+        """Live (non-cancelled) events still queued — O(1) via a live
+        counter maintained by :meth:`EventHandle.cancel` and the pop loop."""
+        return len(self._heap) - self._cancelled_in_heap
+
+    def _note_cancelled(self) -> None:
+        """One queued event died; count it and compact the heap when
+        cancelled entries outnumber live ones (see module docstring)."""
+        self._cancelled_in_heap += 1
+        heap = self._heap
+        if (
+            len(heap) >= COMPACT_MIN_EVENTS
+            and self._cancelled_in_heap > COMPACT_RATIO * len(heap)
+        ):
+            self._heap = [e for e in heap if not e[3].cancelled]
+            heapq.heapify(self._heap)
+            self._cancelled_in_heap = 0
 
     # -- scheduling -------------------------------------------------------
     def schedule(
@@ -101,7 +146,8 @@ class SimulationEngine:
                 f"cannot schedule event at {time} before now={self._now}"
             )
         handle = EventHandle(
-            time=float(time), kind=kind, seq=self._seq, callback=callback
+            time=float(time), kind=kind, seq=self._seq, callback=callback,
+            engine=self,
         )
         heapq.heappush(self._heap, (handle.time, int(kind), handle.seq, handle))
         self._seq += 1
@@ -113,6 +159,7 @@ class SimulationEngine:
         while self._heap:
             time, _, _, handle = heapq.heappop(self._heap)
             if handle.cancelled or handle.callback is None:
+                self._cancelled_in_heap -= 1
                 continue
             self._now = time
             callback = handle.callback
@@ -145,6 +192,7 @@ class SimulationEngine:
                 time, _, _, handle = self._heap[0]
                 if handle.cancelled or handle.callback is None:
                     heapq.heappop(self._heap)
+                    self._cancelled_in_heap -= 1
                     continue
                 if time > until:
                     break

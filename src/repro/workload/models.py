@@ -341,6 +341,60 @@ class TraceArrivals:
             ) from exc
         return cls.from_sequence(times)
 
+    @classmethod
+    def from_parquet(
+        cls,
+        path: "str | os.PathLike[str]",
+        *,
+        column: str = "arrival_time",
+    ) -> "TraceArrivals":
+        """Load a recorded arrival trace from a Parquet file.
+
+        Column resolution mirrors :meth:`from_csv`: arrival times come
+        from ``column`` (default ``"arrival_time"``); a single-column file
+        is taken whole; a multi-column file without the named column
+        refuses rather than guess.  Values then go through the exact
+        :meth:`from_sequence` validation (finite, >= 0, strictly
+        increasing), so both loaders accept and reject the same traces.
+
+        Requires :mod:`pyarrow` (an optional dependency — the core
+        package stays NumPy/SciPy-only); without it the error says how to
+        proceed instead of failing on an opaque import.
+        """
+        try:
+            import pyarrow.parquet as pq
+        except ImportError as exc:  # pragma: no cover - env-dependent
+            raise InvalidParameterError(
+                "parquet traces require the optional 'pyarrow' dependency; "
+                "install pyarrow or convert the trace to CSV and use "
+                "TraceArrivals.from_csv"
+            ) from exc
+        table = pq.read_table(path)
+        names = list(table.column_names)
+        if column in names:
+            chosen = column
+        elif len(names) == 1:
+            chosen = names[0]
+        else:
+            raise InvalidParameterError(
+                f"trace file {path!r} has no {column!r} column "
+                f"(columns: {names}); pass column=<name>"
+            )
+        values = table.column(chosen).to_pylist()
+        if not values:
+            raise InvalidParameterError(f"trace file {path!r} is empty")
+        if any(v is None for v in values):
+            raise InvalidParameterError(
+                f"trace file {path!r}: null arrival value in column {chosen!r}"
+            )
+        try:
+            times = [float(v) for v in values]
+        except (TypeError, ValueError) as exc:
+            raise InvalidParameterError(
+                f"trace file {path!r}: malformed arrival value ({exc})"
+            ) from exc
+        return cls.from_sequence(times)
+
     def sample(self, rng: np.random.Generator, horizon: float) -> np.ndarray:
         arr = np.asarray(self.times, dtype=np.float64)
         return arr[arr < horizon]

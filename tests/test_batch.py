@@ -98,6 +98,27 @@ class TestBatchRunner:
         with pytest.raises(InvalidParameterError):
             BatchRunner().run([object()])  # type: ignore[list-item]
 
+    def test_adaptive_chunksize(self):
+        """Default chunking scales with batch and worker counts."""
+        runner = BatchRunner(workers=4)
+        assert runner.effective_chunksize(1, 1) == 1
+        assert runner.effective_chunksize(8, 4) == 1  # plenty of chunks
+        assert runner.effective_chunksize(64, 4) == 4
+        assert runner.effective_chunksize(1000, 4) == 63  # ceil(1000/16)
+        assert runner.effective_chunksize(0, 4) == 1
+        # an explicit chunksize always wins
+        assert BatchRunner(workers=4, chunksize=7).effective_chunksize(1000, 4) == 7
+
+    def test_adaptive_chunksize_bit_identical_to_serial(self):
+        """A chunked parallel batch still equals the serial records."""
+        specs = spec_grid(9)
+        serial = BatchRunner(workers=None).run(specs)
+        chunked = BatchRunner(workers=2, workers_mode="thread").run(specs)
+        assert BatchRunner(workers=2).effective_chunksize(9, 2) > 1
+        for s_rec, c_rec in zip(serial, chunked):
+            assert s_rec.metrics == c_rec.metrics
+            assert s_rec.labels == c_rec.labels
+
     def test_thread_mode_bit_identical_to_serial(self):
         """workers_mode="thread" (fork-free environments) == serial."""
         specs = spec_grid(8)

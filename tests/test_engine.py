@@ -91,6 +91,67 @@ class TestScheduling:
         h1.cancel()
         assert eng.pending_events == 1
 
+    def test_cancel_is_idempotent_and_inert_after_execution(self):
+        eng = SimulationEngine()
+        h = eng.schedule(1.0, EventKind.GENERIC, lambda e, t: None)
+        h.cancel()
+        h.cancel()  # double-cancel counts once
+        assert eng.pending_events == 0
+        h2 = eng.schedule(2.0, EventKind.GENERIC, lambda e, t: None)
+        eng.run()
+        h2.cancel()  # cancelling an executed event must not corrupt the count
+        assert eng.pending_events == 0
+        assert eng.processed_events == 1
+
+
+class TestCompaction:
+    def test_heavy_cancellation_compacts_heap(self):
+        from repro.sim.engine import COMPACT_MIN_EVENTS
+
+        eng = SimulationEngine()
+        n = 4 * COMPACT_MIN_EVENTS
+        handles = [
+            eng.schedule(float(i + 1), EventKind.GENERIC, lambda e, t: None)
+            for i in range(n)
+        ]
+        cancelled = n // 2 + 1  # just past the >50% threshold
+        for h in handles[:cancelled]:
+            h.cancel()
+        assert eng.pending_events == n - cancelled
+        assert len(eng._heap) == n - cancelled  # dead entries physically gone
+
+    def test_compaction_preserves_execution_order(self):
+        from repro.sim.engine import COMPACT_MIN_EVENTS
+
+        eng = SimulationEngine()
+        n = 4 * COMPACT_MIN_EVENTS
+        seen: list[float] = []
+        handles = [
+            eng.schedule(float(i + 1), EventKind.GENERIC, lambda e, t: seen.append(t))
+            for i in range(n)
+        ]
+        for h in handles[::2]:  # every even-indexed event dies
+            h.cancel()
+        eng.run()
+        assert seen == [float(i + 1) for i in range(1, n, 2)]
+        assert eng.pending_events == 0
+
+    def test_small_heaps_stay_lazy(self):
+        from repro.sim.engine import COMPACT_MIN_EVENTS
+
+        eng = SimulationEngine()
+        n = COMPACT_MIN_EVENTS // 2
+        handles = [
+            eng.schedule(float(i + 1), EventKind.GENERIC, lambda e, t: None)
+            for i in range(n)
+        ]
+        for h in handles:
+            h.cancel()
+        assert eng.pending_events == 0
+        assert len(eng._heap) == n  # below the floor: drained lazily
+        eng.run()
+        assert eng.processed_events == 0
+
 
 class TestRunUntil:
     def test_horizon_stops_before_later_events(self):

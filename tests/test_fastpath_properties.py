@@ -1,0 +1,194 @@
+"""Property suite: the fast admission engine is bit-identical to the reference.
+
+The contract of :mod:`repro.core.fastpath` is *exact* equality — not
+"close", not "same decisions": every :class:`AdmissionDecision`, every
+committed :class:`PlacementPlan` field and every resulting
+:class:`TaskRecord` must match the reference implementation bit for bit.
+Hypothesis drives both engines over random scenarios spanning all three
+partitioner families, the fixed-point ablation variants, every node order,
+homogeneous and spread clusters, both policies, and the eager-release
+ablation; the fleet layer is covered through the probing
+``earliest-finish`` router (where the probe cache and probe→admit reuse
+must not change a single routing decision or record).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.admission import SchedulabilityTest
+from repro.core.algorithms import ALGORITHMS, AlgorithmInstance
+from repro.core.cluster import ClusterProfile
+from repro.core.fastpath import FastSchedulabilityTest
+from repro.core.partition import NODE_ORDERS, DltIitPartitioner, OprPartitioner
+from repro.core.policies import EdfPolicy, FifoPolicy
+from repro.core.reservations import NodeReservations
+from repro.core.task import DivisibleTask
+from repro.experiments.runner import simulate
+from repro.fleet import FleetScenario, simulate_fleet
+from repro.sim.cluster_sim import ClusterSimulation
+from repro.workload.scenario import Scenario
+
+#: Every named algorithm exercises a distinct partitioner configuration.
+ALGORITHM_NAMES = sorted(ALGORITHMS)
+
+scenario_strategy = st.builds(
+    Scenario.paper_baseline,
+    system_load=st.sampled_from([0.5, 1.5, 3.0]),
+    total_time=st.just(40_000.0),
+    seed=st.integers(min_value=0, max_value=10_000),
+    nodes=st.sampled_from([4, 8]),
+    dc_ratio=st.sampled_from([1.5, 4.0, 20.0]),
+    speed_spread=st.sampled_from([0.0, 0.6, 1.2]),
+)
+
+
+def assert_same_run(scenario, algorithm, **kwargs):
+    """One scenario through both engines: records and stats must match."""
+    ref = simulate(scenario, algorithm, admission_engine="reference", **kwargs)
+    fast = simulate(scenario, algorithm, admission_engine="fast", **kwargs)
+    assert ref.output.stats == fast.output.stats
+    assert set(ref.output.records) == set(fast.output.records)
+    for tid, ref_record in ref.output.records.items():
+        assert ref_record == fast.output.records[tid]
+    assert ref.metrics == fast.metrics
+
+
+class TestSingleClusterBitIdentical:
+    @given(
+        scenario=scenario_strategy,
+        algorithm=st.sampled_from(ALGORITHM_NAMES),
+        eager=st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_all_algorithms(self, scenario, algorithm, eager):
+        """Every registered algorithm × heterogeneity × eager_release."""
+        assert_same_run(scenario, algorithm, eager_release=eager)
+
+    @given(
+        scenario=scenario_strategy,
+        algorithm=st.sampled_from(["EDF-DLT", "EDF-OPR-MN", "EDF-UserSplit"]),
+        node_order=st.sampled_from(NODE_ORDERS),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_node_orders(self, scenario, algorithm, node_order):
+        """The tie-break orders flow through both engines identically."""
+        assert_same_run(scenario, algorithm, node_order=node_order)
+
+    @given(
+        scenario=scenario_strategy,
+        partitioner_cls=st.sampled_from([DltIitPartitioner, OprPartitioner]),
+        fifo=st.booleans(),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_fixed_point_scan(self, scenario, partitioner_cls, fifo):
+        """The monotonicity-aware scan returns the reference's exact plan."""
+        tasks = scenario.generate_tasks()
+        records = []
+        for engine in ("reference", "fast"):
+            instance = AlgorithmInstance(
+                spec=ALGORITHMS["EDF-DLT"],
+                policy=FifoPolicy() if fifo else EdfPolicy(),
+                partitioner=partitioner_cls(fixed_point_node_count=True),
+            )
+            sim = ClusterSimulation(
+                scenario.cluster,
+                instance,
+                tasks,
+                horizon=scenario.total_time,
+                admission_engine=engine,
+            )
+            records.append(sim.run().records)
+        ref, fast = records
+        assert set(ref) == set(fast)
+        for tid in ref:
+            assert ref[tid] == fast[tid]
+
+
+class TestDirectDecisions:
+    @given(
+        releases=st.lists(
+            st.floats(min_value=0.0, max_value=500.0), min_size=2, max_size=10
+        ),
+        sigmas=st.lists(
+            st.floats(min_value=10.0, max_value=400.0), min_size=1, max_size=6
+        ),
+        deadline_scale=st.floats(min_value=1.0, max_value=60.0),
+        now=st.floats(min_value=0.0, max_value=600.0),
+        spread=st.sampled_from([0.0, 0.8]),
+        partitioner_cls=st.sampled_from([DltIitPartitioner, OprPartitioner]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_try_admit_decisions_match(
+        self, releases, sigmas, deadline_scale, now, spread, partitioner_cls
+    ):
+        """Raw ``try_admit`` calls on arbitrary states agree exactly,
+        including the failed task on rejection."""
+        cluster = ClusterProfile.with_spread(
+            len(releases), 1.0, 100.0, speed_spread=spread
+        )
+        reservations = NodeReservations.from_times(releases)
+        tasks = [
+            DivisibleTask(
+                task_id=i,
+                arrival=max(0.0, now - i),
+                sigma=sigma,
+                deadline=deadline_scale * sigma,
+            )
+            for i, sigma in enumerate(sigmas)
+        ]
+        new_task, waiting = tasks[-1], tasks[:-1]
+        policy = EdfPolicy()
+        partitioner = partitioner_cls()
+        ref = SchedulabilityTest(policy, partitioner, cluster).try_admit(
+            new_task, waiting, reservations, now
+        )
+        fast_test = FastSchedulabilityTest(policy, partitioner, cluster)
+        fast = fast_test.try_admit(new_task, waiting, reservations, now)
+        assert ref == fast
+        # Re-asking with identical state must replay from the memo, and
+        # still be exactly equal (the probe→admit reuse path).
+        again = fast_test.try_admit(new_task, waiting, reservations, now)
+        assert again == ref
+        # Committed state must never be touched by either engine.
+        assert np.array_equal(
+            reservations.release_times, np.asarray(releases, dtype=np.float64)
+        )
+
+
+class TestFleetBitIdentical:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        policy=st.sampled_from(
+            ["round-robin", "least-loaded", "earliest-finish", "ucb1"]
+        ),
+        clusters=st.sampled_from([1, 3]),
+        spread=st.sampled_from([0.0, 0.8]),
+        algorithm=st.sampled_from(["EDF-DLT", "EDF-UserSplit"]),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_fleet_routing_and_records(
+        self, seed, policy, clusters, spread, algorithm
+    ):
+        """Routing decisions, per-member records and pooled metrics all
+        match — the probe cache and memo reuse are invisible in outputs."""
+        scenario = FleetScenario.uniform(
+            n_clusters=clusters,
+            system_load=0.8,
+            total_time=30_000.0,
+            seed=seed,
+            nodes=4,
+            cluster_spread=spread,
+            name="prop",
+        ).with_policy(policy)
+        ref = simulate_fleet(scenario, algorithm, admission_engine="reference")
+        fast = simulate_fleet(scenario, algorithm, admission_engine="fast")
+        assert ref.assignments == fast.assignments
+        assert ref.metrics == fast.metrics
+        for ref_out, fast_out in zip(ref.outputs, fast.outputs):
+            assert ref_out.stats == fast_out.stats
+            assert set(ref_out.records) == set(fast_out.records)
+            for tid in ref_out.records:
+                assert ref_out.records[tid] == fast_out.records[tid]

@@ -251,6 +251,67 @@ class TestArrivalProcesses:
         path.write_text("ts\n1.0\n2.0\n")
         assert TraceArrivals.from_csv(path).times == (1.0, 2.0)
 
+    def test_trace_from_parquet_matches_csv(self, tmp_path):
+        """Both loaders agree on the same trace (shared validation path)."""
+        pa = pytest.importorskip("pyarrow")
+        pq = pytest.importorskip("pyarrow.parquet")
+        times = [1.5, 4.0, 9.25]
+        table = pa.table(
+            {"task_id": [0, 1, 2], "arrival_time": times, "source": ["a", "b", "a"]}
+        )
+        path = tmp_path / "trace.parquet"
+        pq.write_table(table, path)
+        csv_path = tmp_path / "trace.csv"
+        csv_path.write_text(
+            "task_id,arrival_time,source\n0,1.5,a\n1,4.0,b\n2,9.25,a\n"
+        )
+        assert TraceArrivals.from_parquet(path) == TraceArrivals.from_csv(csv_path)
+
+    def test_trace_from_parquet_column_rules(self, tmp_path):
+        """Named column, single-column fallback, multi-column refusal."""
+        pa = pytest.importorskip("pyarrow")
+        pq = pytest.importorskip("pyarrow.parquet")
+        single = tmp_path / "single.parquet"
+        pq.write_table(pa.table({"ts": [1.0, 2.0]}), single)
+        assert TraceArrivals.from_parquet(single).times == (1.0, 2.0)
+        multi = tmp_path / "multi.parquet"
+        pq.write_table(pa.table({"task_id": [0, 1], "timestamp": [1.0, 2.0]}), multi)
+        with pytest.raises(InvalidParameterError, match="arrival_time"):
+            TraceArrivals.from_parquet(multi)
+        assert TraceArrivals.from_parquet(multi, column="timestamp").times == (
+            1.0,
+            2.0,
+        )
+
+    def test_trace_from_parquet_rejects_bad_tables(self, tmp_path):
+        pa = pytest.importorskip("pyarrow")
+        pq = pytest.importorskip("pyarrow.parquet")
+        empty = tmp_path / "empty.parquet"
+        pq.write_table(pa.table({"arrival_time": pa.array([], type=pa.float64())}), empty)
+        with pytest.raises(InvalidParameterError, match="empty"):
+            TraceArrivals.from_parquet(empty)
+        nulls = tmp_path / "nulls.parquet"
+        pq.write_table(pa.table({"arrival_time": [1.0, None, 3.0]}), nulls)
+        with pytest.raises(InvalidParameterError, match="null"):
+            TraceArrivals.from_parquet(nulls)
+        unsorted = tmp_path / "unsorted.parquet"
+        pq.write_table(pa.table({"arrival_time": [2.0, 1.0]}), unsorted)
+        with pytest.raises(InvalidParameterError, match="increasing"):
+            TraceArrivals.from_parquet(unsorted)
+        strings = tmp_path / "strings.parquet"
+        pq.write_table(pa.table({"arrival_time": ["first", "second"]}), strings)
+        with pytest.raises(InvalidParameterError, match="malformed"):
+            TraceArrivals.from_parquet(strings)
+
+    def test_trace_from_parquet_without_pyarrow_explains(self, tmp_path, monkeypatch):
+        """Missing optional dependency fails with a how-to, not a stack."""
+        import sys
+
+        monkeypatch.setitem(sys.modules, "pyarrow", None)
+        monkeypatch.setitem(sys.modules, "pyarrow.parquet", None)
+        with pytest.raises(InvalidParameterError, match="pyarrow"):
+            TraceArrivals.from_parquet(tmp_path / "whatever.parquet")
+
     def test_sample_trace_example_loads_and_runs(self):
         """The shipped examples/sample_arrivals.csv replays end to end."""
         import pathlib
