@@ -8,7 +8,8 @@ Two checks, both dependency-free so they run anywhere the package does:
    (``http(s)://``, ``mailto:``) and pure in-page anchors are skipped;
    an anchor on a file link only requires the file.
 2. **Docstrings** — every public symbol of the gated packages
-   (``repro.fleet`` and ``repro.learn``: every module, every name in
+   (``repro.fleet``, ``repro.learn`` and ``repro.serve``: every
+   module, every name in
    each module's ``__all__``, and the public methods/properties of
    public classes) must carry a docstring.
 
@@ -75,7 +76,7 @@ def _public_members(obj: object, qualname: str) -> list[tuple[str, object]]:
 
 
 #: Packages whose public symbols must all be documented.
-GATED_PACKAGES = ("repro.fleet", "repro.learn")
+GATED_PACKAGES = ("repro.fleet", "repro.learn", "repro.serve")
 
 #: Individual modules gated the same way (hot-path code whose contracts —
 #: bit-identical semantics, memo validity — live in the docstrings).

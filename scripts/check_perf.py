@@ -3,7 +3,9 @@
 
 Compares the *speedup* metrics (fast admission engine over the reference
 engine, measured on the same machine and workload) of a freshly generated
-``BENCH_core.json`` against the committed record.  Speedups are relative
+``BENCH_core.json`` against the committed record, and — when
+``--serve-baseline``/``--serve-fresh`` are given — the admission
+service's concurrency-retention ratios of ``BENCH_serve.json``.  Speedups are relative
 throughputs, so they transfer across machines where absolute tasks/sec do
 not; the gate fails when a fresh speedup drops more than ``--tolerance``
 (default 30%) below the committed value.  Rationale, tolerance choice and
@@ -31,6 +33,15 @@ GATED_METRICS: tuple[tuple[str, tuple[str, ...]], ...] = (
     ("earliest-finish fleet speedup", ("fleet", "earliest-finish", "speedup")),
 )
 
+#: Gated ratio metrics of BENCH_serve.json (``--serve-baseline``): the
+#: service's concurrency retention — throughput at N clients relative to
+#: one client — is a machine-transferable property of the watermark
+#: merge, unlike raw decisions/sec.
+SERVE_METRICS: tuple[tuple[str, tuple[str, ...]], ...] = (
+    ("serve 4-client retention", ("retention_4",)),
+    ("serve 16-client retention", ("retention_16",)),
+)
+
 
 def _lookup(record: dict, path: tuple[str, ...]) -> float:
     value: object = record
@@ -41,10 +52,15 @@ def _lookup(record: dict, path: tuple[str, ...]) -> float:
     return float(value)  # type: ignore[arg-type]
 
 
-def compare(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
+def compare(
+    baseline: dict,
+    fresh: dict,
+    tolerance: float,
+    metrics: tuple[tuple[str, tuple[str, ...]], ...] = GATED_METRICS,
+) -> list[str]:
     """Return one problem string per gated metric outside tolerance."""
     problems: list[str] = []
-    for label, path in GATED_METRICS:
+    for label, path in metrics:
         try:
             base = _lookup(baseline, path)
         except KeyError as exc:
@@ -81,6 +97,17 @@ def main(argv: list[str] | None = None) -> int:
         help="freshly generated perf record to check",
     )
     parser.add_argument(
+        "--serve-baseline",
+        default=None,
+        help="committed BENCH_serve.json (gates the serve retention "
+        "ratios; requires --serve-fresh)",
+    )
+    parser.add_argument(
+        "--serve-fresh",
+        default=None,
+        help="freshly generated BENCH_serve.json to check",
+    )
+    parser.add_argument(
         "--tolerance",
         type=float,
         default=0.30,
@@ -91,16 +118,29 @@ def main(argv: list[str] | None = None) -> int:
     if not 0.0 <= args.tolerance < 1.0:
         print(f"tolerance must be in [0, 1), got {args.tolerance}")
         return 1
+    if (args.serve_baseline is None) != (args.serve_fresh is None):
+        print("--serve-baseline and --serve-fresh must be given together")
+        return 1
 
     baseline = json.loads(Path(args.baseline).read_text(encoding="utf-8"))
     fresh = json.loads(Path(args.fresh).read_text(encoding="utf-8"))
     problems = compare(baseline, fresh, args.tolerance)
+    if args.serve_baseline is not None:
+        serve_baseline = json.loads(
+            Path(args.serve_baseline).read_text(encoding="utf-8")
+        )
+        serve_fresh = json.loads(
+            Path(args.serve_fresh).read_text(encoding="utf-8")
+        )
+        problems += compare(
+            serve_baseline, serve_fresh, args.tolerance, SERVE_METRICS
+        )
     for problem in problems:
         print(problem)
     if problems:
         print(
             f"\n{len(problems)} perf regression(s); if intentional, commit "
-            "the refreshed BENCH_core.json or label the PR skip-perf-gate "
+            "the refreshed BENCH record(s) or label the PR skip-perf-gate "
             "(docs/performance.md)",
             file=sys.stderr,
         )

@@ -488,9 +488,14 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p_ts = sub.add_parser(
         "trace-summary",
-        help="rate/burstiness/size/deadline marginals of an arrival-trace CSV",
+        help="rate/burstiness/size/deadline marginals of an arrival trace "
+        "(CSV or Parquet)",
     )
-    p_ts.add_argument("trace_file", help="trace CSV (see run-scenario --trace-file)")
+    p_ts.add_argument(
+        "trace_file",
+        help="trace CSV or .parquet file (see run-scenario --trace-file; "
+        "parquet needs the optional pyarrow)",
+    )
     p_ts.add_argument(
         "--column",
         default="arrival_time",
@@ -502,7 +507,184 @@ def _build_parser() -> argparse.ArgumentParser:
         help="emit the summary as machine-readable JSON",
     )
 
+    p_srv = sub.add_parser(
+        "serve",
+        help="run a live admission-control server over a simulated cluster "
+        "or fleet (protocol: docs/serving.md)",
+    )
+    p_srv.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_srv.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="bind port (0 = ephemeral; the chosen port is printed on "
+        "the 'listening on' line)",
+    )
+    p_srv.add_argument(
+        "--once",
+        action="store_true",
+        help="exit after the first successful finalize (replay harness mode)",
+    )
+    _add_serve_shared_args(p_srv)
+
+    p_rp = sub.add_parser(
+        "replay",
+        help="stream a scenario's task set against a live admission server "
+        "and optionally diff the result against the offline simulation",
+    )
+    p_rp.add_argument(
+        "--server",
+        required=True,
+        metavar="HOST:PORT",
+        help="address of a running 'repro serve' instance",
+    )
+    p_rp.add_argument(
+        "--check-offline",
+        action="store_true",
+        help="also run the identical simulation offline and require the "
+        "server records to be bit-identical (exit 1 on any diff)",
+    )
+    p_rp.add_argument(
+        "--window",
+        type=int,
+        default=64,
+        help="max submissions kept in flight (pipelining depth)",
+    )
+    p_rp.add_argument(
+        "--codec",
+        choices=("json", "msgpack"),
+        default="json",
+        help="wire codec (msgpack needs the optional dependency on both "
+        "ends; frames are self-describing either way)",
+    )
+    p_rp.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the replay summary as machine-readable JSON",
+    )
+    _add_serve_shared_args(p_rp)
+
     return parser
+
+
+def _add_serve_shared_args(p: argparse.ArgumentParser) -> None:
+    """Flags shared by ``serve`` and ``replay``.
+
+    Both sides must describe the *same* scenario: the server builds its
+    backend from these flags, the replayer generates the task stream —
+    and the offline reference run — from them.  The ``hello`` handshake
+    cross-checks the two descriptions and refuses a mismatch.
+    """
+    p.add_argument(
+        "--clusters",
+        type=int,
+        default=1,
+        help="member clusters (1 = single-cluster backend, no routing)",
+    )
+    p.add_argument(
+        "--policy",
+        choices=routing_policy_names(),
+        default="round-robin",
+        help="routing policy for a multi-cluster backend (bandits use "
+        "their default LearnConfig)",
+    )
+    p.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="EDF-DLT")
+    p.add_argument("--nodes", type=int, default=16, help="nodes per cluster")
+    p.add_argument("--cms", type=float, default=1.0)
+    p.add_argument("--cps", type=float, default=100.0)
+    p.add_argument(
+        "--speed-spread",
+        type=float,
+        default=0.0,
+        help="per-node heterogeneity within each cluster (see run-point)",
+    )
+    p.add_argument(
+        "--cluster-spread",
+        type=float,
+        default=0.0,
+        help="heterogeneity across clusters (see fleet)",
+    )
+    p.add_argument(
+        "--load",
+        type=float,
+        default=0.5,
+        help="per-cluster SystemLoad calibrating the Poisson stream",
+    )
+    p.add_argument("--avg-sigma", type=float, default=200.0)
+    p.add_argument("--dc-ratio", type=float, default=2.0)
+    p.add_argument(
+        "--arrivals",
+        choices=("poisson", "trace"),
+        default="poisson",
+        help="arrival process of the replayed stream",
+    )
+    p.add_argument(
+        "--trace-file",
+        default=None,
+        help="trace arrivals: .csv, .parquet or bare one-per-line file "
+        "(sizes/deadlines still come from the seeded models)",
+    )
+    p.add_argument("--total-time", type=float, default=200_000.0)
+    p.add_argument("--seed", type=int, default=2007)
+    p.add_argument(
+        "--admission-engine",
+        choices=("fast", "reference"),
+        default="fast",
+        help="schedulability-test engine (bit-identical outputs)",
+    )
+    p.add_argument(
+        "--node-order",
+        choices=NODE_ORDERS,
+        default="availability",
+        help="tie-break among simultaneously available nodes",
+    )
+    p.add_argument(
+        "--eager-release",
+        action="store_true",
+        help="hand nodes back at actual rather than estimated completion",
+    )
+
+
+def _serve_fleet_scenario(args: argparse.Namespace) -> FleetScenario:
+    """The FleetScenario a ``serve`` / ``replay`` invocation describes."""
+    from repro.fleet.routing import ROUTING_POLICIES
+
+    learn = (
+        LearnConfig()
+        if getattr(ROUTING_POLICIES[args.policy], "learns", False)
+        else None
+    )
+    base = FleetScenario.uniform(
+        n_clusters=args.clusters,
+        system_load=args.load,
+        total_time=args.total_time,
+        seed=args.seed,
+        policy=args.policy,
+        nodes=args.nodes,
+        cms=args.cms,
+        cps=args.cps,
+        avg_sigma=args.avg_sigma,
+        dc_ratio=args.dc_ratio,
+        speed_spread=args.speed_spread,
+        cluster_spread=args.cluster_spread,
+        name="serve",
+        learn=learn,
+    )
+    if args.arrivals == "trace":
+        from dataclasses import replace
+
+        arrivals = _trace_arrivals(args.trace_file)
+        base = replace(base, workload=replace(base.workload, arrivals=arrivals))
+    return base
+
+
+def _serve_backend_kwargs(args: argparse.Namespace) -> dict:
+    """Backend options shared by the server and the offline reference."""
+    return dict(
+        node_order=args.node_order,
+        admission_engine=args.admission_engine,
+        eager_release=args.eager_release,
+    )
 
 
 def _cmd_list_figures() -> int:
@@ -576,6 +758,19 @@ def _cmd_run_point(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_arrivals(trace_file: str | None) -> TraceArrivals:
+    """Load a trace-arrivals file: .csv, .parquet, or bare one-per-line."""
+    if trace_file is None:
+        raise ReproError("--arrivals trace requires --trace-file")
+    if trace_file.endswith(".csv"):
+        return TraceArrivals.from_csv(trace_file)
+    if trace_file.endswith(".parquet"):
+        return TraceArrivals.from_parquet(trace_file)
+    with open(trace_file, encoding="utf-8") as fh:
+        times = [float(line) for line in fh if line.strip()]
+    return TraceArrivals.from_sequence(times)
+
+
 def _scenario_from_args(args: argparse.Namespace) -> Scenario:
     """Compose the Scenario a ``run-scenario`` invocation describes."""
     cluster = _cluster_from_args(args)
@@ -592,16 +787,7 @@ def _scenario_from_args(args: argparse.Namespace) -> Scenario:
     elif args.arrivals == "bursty":
         arrivals = MMPPProcess.balanced(mean_gap, burst_factor=args.burst_factor)
     else:  # trace
-        if args.trace_file is None:
-            raise ReproError("--arrivals trace requires --trace-file")
-        if args.trace_file.endswith(".csv"):
-            arrivals = TraceArrivals.from_csv(args.trace_file)
-        elif args.trace_file.endswith(".parquet"):
-            arrivals = TraceArrivals.from_parquet(args.trace_file)
-        else:
-            with open(args.trace_file, encoding="utf-8") as fh:
-                times = [float(line) for line in fh if line.strip()]
-            arrivals = TraceArrivals.from_sequence(times)
+        arrivals = _trace_arrivals(args.trace_file)
 
     if args.sizes == "normal":
         sizes = TruncatedNormalSizes(mean=args.avg_sigma)
@@ -881,6 +1067,106 @@ def _cmd_trace_summary(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.backend import make_backend
+    from repro.serve.server import AdmissionServer
+
+    scenario = _serve_fleet_scenario(args)
+    backend = make_backend(scenario, args.algorithm, **_serve_backend_kwargs(args))
+
+    async def _main() -> None:
+        server = AdmissionServer(
+            backend, host=args.host, port=args.port, once=args.once
+        )
+        await server.start()
+        host, port = server.address
+        print(f"listening on {host}:{port}", flush=True)
+        await server.wait_closed()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.serve.client import AdmissionClient
+    from repro.serve.replay import loopback_diff, replay_tasks
+
+    host, sep, port_text = args.server.rpartition(":")
+    if not sep or not port_text.isdigit():
+        raise InvalidParameterError(
+            f"--server must be HOST:PORT, got {args.server!r}"
+        )
+    scenario = _serve_fleet_scenario(args)
+    kwargs = _serve_backend_kwargs(args)
+    tasks = scenario.stream_scenario().generate_tasks()
+
+    expected = {
+        "kind": "cluster" if scenario.n_clusters == 1 else "fleet",
+        "algorithm": args.algorithm,
+        "scenario": (
+            scenario.member_scenario(0).describe()
+            if scenario.n_clusters == 1
+            else scenario.describe()
+        ),
+    }
+    with AdmissionClient(host, int(port_text), codec=args.codec) as client:
+        assert client.server_info is not None  # set by the handshake
+        served = client.server_info["server"]
+        if served != expected:
+            print("server scenario does not match the replay flags:")
+            print(f"  server: {json.dumps(served, sort_keys=True)}")
+            print(f"  replay: {json.dumps(expected, sort_keys=True)}")
+            return 2
+        decisions = replay_tasks(client, tasks, window=args.window)
+        payload = client.finalize()
+
+    accepted = sum(1 for d in decisions if d["accepted"])
+    summary = {
+        "server": args.server,
+        "kind": payload["kind"],
+        "tasks": len(decisions),
+        "accepted": accepted,
+        "rejected": len(decisions) - accepted,
+        "reject_ratio": (
+            (len(decisions) - accepted) / len(decisions) if decisions else 0.0
+        ),
+    }
+
+    problems: list[str] = []
+    if args.check_offline:
+        if scenario.n_clusters == 1:
+            result = simulate(
+                scenario.member_scenario(0), args.algorithm, **kwargs
+            )
+            problems = loopback_diff(payload, result.output)
+        else:
+            from repro.fleet.sim import simulate_fleet
+
+            fleet_out = simulate_fleet(scenario, args.algorithm, **kwargs)
+            problems = loopback_diff(payload, fleet_out)
+        summary["loopback"] = "ok" if not problems else problems
+
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        print(
+            f"replayed {summary['tasks']} tasks against {args.server} "
+            f"({summary['kind']} backend): {accepted} accepted, "
+            f"{summary['rejected']} rejected "
+            f"(reject ratio {summary['reject_ratio']:.4f})"
+        )
+        if args.check_offline and not problems:
+            print("loopback OK: server records are bit-identical to the offline run")
+        for problem in problems:
+            print(f"loopback DIFF: {problem}")
+    return 1 if problems else 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -900,6 +1186,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_fleet(args)
     if args.command == "trace-summary":
         return _cmd_trace_summary(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "replay":
+        return _cmd_replay(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -54,6 +54,7 @@ scheduler uses; ``engine="reference"`` selects the original implementation.
 from __future__ import annotations
 
 import math
+from bisect import insort
 from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
@@ -297,6 +298,8 @@ class FastSchedulabilityTest:
         self._avail = np.empty(self._n, dtype=np.float64)
         self._floored = np.empty(self._n, dtype=np.float64)
         self._memo: dict[int, _MemoEntry] = {}
+        #: Last computed queue order (policy-sorted), reused incrementally.
+        self._order_cache: list[DivisibleTask] | None = None
         self._memo_enabled = True
         #: Recompute the now-dependent node-count token on memo hits
         #: (``None`` for rules whose placement does not depend on ``now``).
@@ -359,7 +362,7 @@ class FastSchedulabilityTest:
         if reservations.nodes != self._n:
             return self._fallback().try_admit(new_task, waiting, reservations, now)
 
-        ordered = self.policy.order([*waiting, new_task])
+        ordered = self._ordered_queue(waiting, new_task)
         memo = self._memo
         if len(memo) > 2 * len(ordered) + 32:
             keep = {t.task_id for t in ordered}
@@ -403,6 +406,42 @@ class FastSchedulabilityTest:
             temp[entry.ids] = plan.est_completion
             plans[tid] = plan
         return AdmissionDecision(accepted=True, plans=plans)
+
+    def _ordered_queue(
+        self, waiting: Sequence[DivisibleTask], new_task: DivisibleTask
+    ) -> list[DivisibleTask]:
+        """Policy order of ``[*waiting, new_task]``, maintained incrementally.
+
+        The reference walk re-sorts the whole queue on every admission test
+        — O(Q log Q) key builds per arrival, the last superlinear term left
+        in the hot path.  Both policies' keys are *total* orders (the
+        ``task_id`` tie-break makes every comparison strict), so the sorted
+        order of any task set is unique and any sorted list stays sorted
+        under element removal.  That licenses an exact incremental scheme:
+
+        * keep the previously computed order;
+        * drop tasks that have since left the queue (started, or a probed
+          task that was never submitted) — an O(Q) id filter;
+        * bisect the newcomer into its slot — O(log Q) key evaluations.
+
+        Whenever the current ``waiting`` set is not a subset of the cached
+        order (fresh test instance, external callers driving ``try_admit``
+        directly), it falls back to the reference's full sort.  Either
+        path returns the exact list ``policy.order([*waiting, new_task])``
+        would.
+        """
+        cached = self._order_cache
+        n_wait = len(waiting)
+        if cached is not None and len(cached) >= n_wait:
+            ids = {task.task_id for task in waiting}
+            kept = [task for task in cached if task.task_id in ids]
+            if len(kept) == n_wait:
+                insort(kept, new_task, key=self.policy.key)
+                self._order_cache = kept
+                return kept
+        ordered = self.policy.order([*waiting, new_task])
+        self._order_cache = ordered
+        return ordered
 
     def _fallback(self) -> SchedulabilityTest:
         """Reference walk for reservation sizes the scratch buffers don't fit

@@ -60,6 +60,7 @@ class SchedulerStats:
     rejected: int = 0
     admission_tests: int = 0
     replanned_tasks: int = 0
+    cancelled: int = 0
 
     @property
     def reject_ratio(self) -> float:
@@ -217,6 +218,30 @@ class ClusterScheduler:
         self._last_event_time = max(self._last_event_time, actual_completion)
         return record
 
+    def cancel(self, task_id: int) -> bool:
+        """Withdraw an admitted task that has not started transmitting.
+
+        Returns ``True`` when the task was waiting and is now cancelled:
+        it leaves the waiting queue, its committed plan is dropped, and its
+        record's outcome becomes :attr:`TaskOutcome.CANCELLED`.  Any start
+        directive scheduled for it goes stale (``on_start`` drops
+        directives whose task is no longer waiting).  The rest of the
+        committed schedule is *not* re-planned — the remaining plans were
+        feasible with the cancelled task still occupying its slot, so they
+        stay feasible (merely conservative) without it.
+
+        Returns ``False`` for anything else — unknown, rejected, already
+        started, completed or already cancelled tasks — so callers can
+        report "too late to cancel" without a pre-flight status check.
+        """
+        task = self.waiting.pop(task_id, None)
+        if task is None:
+            return False
+        self.committed_plans.pop(task_id, None)
+        self.records[task_id].outcome = TaskOutcome.CANCELLED
+        self.stats.cancelled += 1
+        return True
+
     # -- introspection ----------------------------------------------------
     @property
     def waiting_count(self) -> int:
@@ -227,6 +252,26 @@ class ClusterScheduler:
     def running_count(self) -> int:
         """Number of started-but-not-completed tasks."""
         return len(self.running)
+
+    def task_state(self, task_id: int) -> str:
+        """Life-cycle state of a task id, as a stable lowercase string.
+
+        One of ``"unknown"`` (never arrived here), ``"rejected"``,
+        ``"cancelled"``, ``"waiting"`` (admitted, not started),
+        ``"running"`` (started, not completed) or ``"completed"``.
+        """
+        record = self.records.get(task_id)
+        if record is None:
+            return "unknown"
+        if record.outcome is TaskOutcome.REJECTED:
+            return "rejected"
+        if record.outcome is TaskOutcome.CANCELLED:
+            return "cancelled"
+        if task_id in self.waiting:
+            return "waiting"
+        if task_id in self.running:
+            return "running"
+        return "completed"
 
     def _check_time(self, now: float) -> None:
         if now < self._last_event_time - 1e-9:

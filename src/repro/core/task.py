@@ -67,10 +67,18 @@ class DivisibleTask:
 
 
 class TaskOutcome(enum.Enum):
-    """Terminal state of a task as seen by the admission controller."""
+    """Terminal state of a task as seen by the admission controller.
+
+    ``CANCELLED`` marks an admitted task withdrawn by its submitter before
+    its data hit the wire (only possible while it is still waiting; the
+    live admission service exposes this through its ``cancel`` request).
+    Offline replays never produce it, so the paper's accept/reject
+    accounting is untouched.
+    """
 
     ACCEPTED = "accepted"
     REJECTED = "rejected"
+    CANCELLED = "cancelled"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value

@@ -184,6 +184,9 @@ class FleetSimulation:
         self._track_completions = self.policy.learns and getattr(
             self.policy, "wants_completion_feedback", True
         )
+        self._assignments: list[int] = []
+        self._routed: dict[int, int] = {}
+        self._last_arrival = -np.inf
         self._done = False
 
     # -- routing state ------------------------------------------------------
@@ -301,43 +304,87 @@ class FleetSimulation:
                 )
             )
 
-    # -- driver -------------------------------------------------------------
-    def run(self) -> FleetOutput:
-        """Execute the whole shared stream and return the fleet output."""
+    # -- incremental driver -------------------------------------------------
+    # ``submit`` / ``advance_to`` / ``finalize`` mirror the incremental
+    # ClusterSimulation API one level up: an external coordinator (the
+    # admission service of :mod:`repro.serve`) can feed the fleet one task
+    # at a time and still execute the exact event sequence ``run()`` would
+    # — ``run()`` is just the composition of these primitives over the
+    # scenario's generated stream.
+
+    def submit(self, task: DivisibleTask) -> int:
+        """Route and admit one arrival; return the chosen member index.
+
+        Advances every member's clock to the arrival instant (completion
+        feedback for a learning policy is drained here, exactly as in the
+        one-shot driver), snapshots routing views, routes, submits to the
+        chosen member and processes the arrival so the admission decision
+        is visible immediately — to the caller via
+        :meth:`task_status` and to the very next routing decision.
+
+        Tasks must be submitted in arrival order with unique ids, like
+        :meth:`ClusterSimulation.submit`.
+        """
+        if self._done:
+            raise InvalidParameterError(
+                "cannot submit tasks to a finalized fleet simulation"
+            )
+        if task.arrival < self._last_arrival:
+            raise InvalidParameterError(
+                "tasks must be submitted in arrival order "
+                f"(task {task.task_id} at {task.arrival} after "
+                f"{self._last_arrival})"
+            )
+        if task.task_id in self._routed:
+            raise InvalidParameterError(f"duplicate task id {task.task_id}")
+        n_members = len(self.sims)
+        for sim in self.sims:
+            sim.advance_to(task.arrival)
+        if self._track_completions:
+            self._drain_completions()
+        probe_cache: dict[tuple, float | None] = {}
+        views = [
+            self._view(i, task.arrival, probe_cache) for i in range(n_members)
+        ]
+        index = self.policy.route(task, views)
+        if not 0 <= index < n_members:
+            raise InvalidParameterError(
+                f"routing policy {self.policy.name!r} returned cluster "
+                f"{index}, valid range [0, {n_members})"
+            )
+        self._last_arrival = task.arrival
+        self._assignments.append(index)
+        self._routed[task.task_id] = index
+        target = self.sims[index]
+        target.submit(task)
+        # Process the arrival now so the admission decision is visible
+        # to the very next routing decision (even at equal timestamps).
+        target.advance_to(task.arrival)
+        if self.policy.learns:
+            self._admission_feedback(task, index, views[index])
+        return index
+
+    def advance_to(self, time: float) -> None:
+        """Advance every member's clock to ``time`` (events fire).
+
+        Learning feedback is *not* drained here — completion reports are
+        delivered immediately before routing decisions (in
+        :meth:`submit`) and at :meth:`finalize`, so the reward sequence is
+        identical however callers interleave clock advances.
+        """
+        for sim in self.sims:
+            sim.advance_to(time)
+
+    def finalize(self) -> FleetOutput:
+        """Drain every member and assemble the fleet output.
+
+        A fleet simulation finalizes exactly once; no tasks may be
+        submitted afterwards.
+        """
         if self._done:
             raise InvalidParameterError("a FleetSimulation instance runs once")
         self._done = True
-
-        stream = self.scenario.stream_scenario()
-        tasks: Sequence[DivisibleTask] = stream.generate_tasks()
-        n_members = len(self.sims)
         learning = self.policy.learns
-        assignments: list[int] = []
-        for task in tasks:
-            for sim in self.sims:
-                sim.advance_to(task.arrival)
-            if self._track_completions:
-                self._drain_completions()
-            probe_cache: dict[tuple, float | None] = {}
-            views = [
-                self._view(i, task.arrival, probe_cache)
-                for i in range(n_members)
-            ]
-            index = self.policy.route(task, views)
-            if not 0 <= index < n_members:
-                raise InvalidParameterError(
-                    f"routing policy {self.policy.name!r} returned cluster "
-                    f"{index}, valid range [0, {n_members})"
-                )
-            assignments.append(index)
-            target = self.sims[index]
-            target.submit(task)
-            # Process the arrival now so the admission decision is visible
-            # to the very next routing decision (even at equal timestamps).
-            target.advance_to(task.arrival)
-            if learning:
-                self._admission_feedback(task, index, views[index])
-
         outputs = tuple(sim.finalize() for sim in self.sims)
         report: LearningReport | None = None
         metrics = summarize_pooled(outputs)
@@ -351,11 +398,85 @@ class FleetSimulation:
             algorithm=self.algorithm,
             scenario=self.scenario,
             outputs=outputs,
-            assignments=tuple(assignments),
+            assignments=tuple(self._assignments),
             metrics=metrics,
             per_cluster=per_cluster,
             learning=report,
         )
+
+    # -- live introspection (the admission service's status/cancel hooks) --
+    def member_of(self, task_id: int) -> int | None:
+        """Member index a submitted task was routed to (``None`` if unknown)."""
+        return self._routed.get(task_id)
+
+    def cancel(self, task_id: int) -> bool:
+        """Withdraw a routed task that has not started transmitting.
+
+        Looks up the member the task was routed to and delegates to its
+        :meth:`ClusterSimulation.cancel`.  Returns ``False`` for unknown
+        tasks and for tasks past the point of no return.
+        """
+        index = self._routed.get(task_id)
+        if index is None:
+            return False
+        return self.sims[index].cancel(task_id)
+
+    def task_status(self, task_id: int) -> dict:
+        """One task's live status dict, with the routed ``member`` index.
+
+        Same keys as :meth:`ClusterSimulation.task_status` plus
+        ``member`` (``None`` — with state ``"unknown"`` — for ids never
+        routed here).
+        """
+        index = self._routed.get(task_id)
+        if index is None:
+            return {
+                "task_id": task_id,
+                "state": "unknown",
+                "member": None,
+                "est_completion": None,
+                "actual_completion": None,
+                "started_at": None,
+                "deadline_met": None,
+            }
+        status = self.sims[index].task_status(task_id)
+        status["member"] = index
+        return status
+
+    def snapshot(self) -> dict:
+        """Aggregate live state: pooled counters plus per-member snapshots."""
+        members = [sim.snapshot() for sim in self.sims]
+        pooled = {
+            key: sum(m[key] for m in members)
+            for key in (
+                "arrivals",
+                "accepted",
+                "rejected",
+                "cancelled",
+                "waiting",
+                "running",
+                "completed",
+            )
+        }
+        return {
+            "clock": max((m["clock"] for m in members), default=0.0),
+            **pooled,
+            "busy_time": float(sum(m["busy_time"] for m in members)),
+            "finalized": self._done,
+            "policy": self.scenario.policy,
+            "members": members,
+        }
+
+    # -- one-shot driver ----------------------------------------------------
+    def run(self) -> FleetOutput:
+        """Execute the whole shared stream and return the fleet output."""
+        if self._done or self._assignments:
+            raise InvalidParameterError("a FleetSimulation instance runs once")
+        stream = self.scenario.stream_scenario()
+        tasks: Sequence[DivisibleTask] = stream.generate_tasks()
+        for task in tasks:
+            self.submit(task)
+        return self.finalize()
 
 
 def simulate_fleet(

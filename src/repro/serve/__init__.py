@@ -1,0 +1,51 @@
+"""Live admission-control service over the simulated schedulers.
+
+The paper's admission controller is an *online* algorithm — every other
+layer of this repo replays recorded task sets through it offline.  This
+package puts the same schedulers behind a socket so admission decisions
+can be requested live, while preserving the repo's central property:
+**a server-mediated replay is bit-identical to the offline simulation**.
+
+Layers (each its own module):
+
+* :mod:`~repro.serve.protocol` — framed JSON/msgpack wire format and the
+  exact task/record/stats codecs;
+* :mod:`~repro.serve.backend` — the service surface over one
+  :class:`~repro.sim.cluster_sim.ClusterSimulation` or one
+  :class:`~repro.fleet.sim.FleetSimulation`;
+* :mod:`~repro.serve.server` — asyncio server with the deterministic
+  watermark merge over concurrent submitters;
+* :mod:`~repro.serve.client` — blocking typed client with promise-style
+  futures for pipelined submission;
+* :mod:`~repro.serve.replay` — trace replay driver and the loopback
+  differ backing the guarantee above.
+
+Protocol, batching semantics and the loopback guarantee are specified in
+``docs/serving.md``; ``repro serve`` / ``repro replay`` are the CLI
+entry points.
+"""
+
+from repro.serve.backend import ClusterBackend, FleetBackend, make_backend
+from repro.serve.client import AdmissionClient, ReplyFuture
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    ServiceProtocolError,
+    available_codecs,
+)
+from repro.serve.replay import loopback_diff, replay_tasks
+from repro.serve.server import AdmissionServer, BackgroundServer
+
+__all__ = [
+    "AdmissionClient",
+    "AdmissionServer",
+    "BackgroundServer",
+    "ClusterBackend",
+    "FleetBackend",
+    "PROTOCOL_VERSION",
+    "ReplyFuture",
+    "ServiceProtocolError",
+    "available_codecs",
+    "loopback_diff",
+    "make_backend",
+    "replay_tasks",
+]

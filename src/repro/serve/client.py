@@ -1,0 +1,245 @@
+"""Synchronous typed client for the live admission service.
+
+:class:`AdmissionClient` is the blocking counterpart of the asyncio
+server: it speaks the framed protocol of :mod:`repro.serve.protocol`
+over one TCP connection and exposes each operation as a method.  The
+two submission-shaped operations (``submit`` / ``probe``) return a
+:class:`ReplyFuture` instead of blocking, so a replay driver can keep a
+window of requests in flight — essential under the server's watermark
+merge, where a submitter that stops sending stalls the other streams::
+
+    with AdmissionClient(host, port) as client:
+        client.open_stream()
+        futures = [client.submit(t) for t in tasks]
+        decisions = [f.result() for f in futures]
+        client.end_stream()
+        payload = client.finalize()
+
+Responses are matched to requests by the ``seq`` correlation id; the
+server answers a connection's requests in FIFO order, so resolving a
+future only ever reads responses that earlier futures also need.  All
+methods raise :class:`~repro.serve.protocol.ServiceProtocolError` when
+the server reports a failure (the server-side error message and type are
+preserved in the exception text).
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any
+
+from repro.core.task import DivisibleTask
+from repro.serve.protocol import (
+    CODEC_JSON,
+    ServiceProtocolError,
+    encode_frame,
+    encode_task,
+    read_frame,
+)
+
+__all__ = ["AdmissionClient", "ReplyFuture"]
+
+
+class ReplyFuture:
+    """A pending response: promise-style handle on one in-flight request.
+
+    ``result()`` blocks until the server's response for this request's
+    ``seq`` arrives (draining — and caching — any earlier responses on
+    the way), then returns the response dict or raises
+    :class:`ServiceProtocolError` if the server reported a failure.
+    """
+
+    __slots__ = ("_client", "_seq", "_response")
+
+    def __init__(self, client: "AdmissionClient", seq: int) -> None:
+        self._client = client
+        self._seq = seq
+        self._response: dict[str, Any] | None = None
+
+    @property
+    def seq(self) -> int:
+        """The request's correlation id."""
+        return self._seq
+
+    def done(self) -> bool:
+        """Whether the response has already been received (non-blocking)."""
+        return self._response is not None or self._client._peek(self._seq)
+
+    def result(self) -> dict[str, Any]:
+        """Block for the response; raise on a server-reported failure."""
+        if self._response is None:
+            self._response = self._client._wait_for(self._seq)
+        response = self._response
+        if not response.get("ok", False):
+            raise ServiceProtocolError(
+                f"server error ({response.get('error_type', 'unknown')}): "
+                f"{response.get('error', 'no detail')}"
+            )
+        return response
+
+
+class AdmissionClient:
+    """Blocking TCP client for one admission-service connection.
+
+    Parameters
+    ----------
+    host / port:
+        The server's bound address.
+    codec:
+        Wire codec for this client's request frames, negotiated with the
+        server for its responses on :meth:`connect` (``"json"`` default;
+        ``"msgpack"`` when the optional dependency is installed on both
+        sides).
+    timeout:
+        Socket timeout in seconds for connect and each blocking read.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        codec: str = CODEC_JSON,
+        timeout: float = 60.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.codec = codec
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._rfile: Any = None
+        self._next_seq = 0
+        self._responses: dict[int, dict[str, Any]] = {}
+        self.server_info: dict[str, Any] | None = None
+
+    # -- lifecycle ----------------------------------------------------------
+    def connect(self) -> dict[str, Any]:
+        """Open the connection and perform the ``hello`` handshake.
+
+        Returns the server's hello payload (protocol version, codecs,
+        backend description), also cached as :attr:`server_info`.  The
+        server echoes the codec it will answer in; if it cannot speak the
+        requested one, this client falls back to JSON for its own frames
+        too.
+        """
+        if self._sock is not None:
+            raise ServiceProtocolError("client is already connected")
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        self._rfile = self._sock.makefile("rb")
+        hello = self._request({"op": "hello", "codec": self.codec}).result()
+        if hello.get("codec") != self.codec:
+            self.codec = str(hello.get("codec", CODEC_JSON))
+        self.server_info = hello
+        return hello
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        if self._rfile is not None:
+            try:
+                self._rfile.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+            self._rfile = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "AdmissionClient":
+        """Context entry: connect (with handshake) and return self."""
+        self.connect()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Context exit: close the connection."""
+        self.close()
+
+    # -- plumbing -----------------------------------------------------------
+    def _request(self, message: dict[str, Any]) -> ReplyFuture:
+        """Send one request frame and return its pending future."""
+        if self._sock is None:
+            raise ServiceProtocolError("client is not connected")
+        seq = self._next_seq
+        self._next_seq += 1
+        message = {**message, "seq": seq}
+        self._sock.sendall(encode_frame(message, self.codec))
+        return ReplyFuture(self, seq)
+
+    def _peek(self, seq: int) -> bool:
+        """Whether ``seq``'s response is already buffered."""
+        return seq in self._responses
+
+    def _wait_for(self, seq: int) -> dict[str, Any]:
+        """Read frames until ``seq``'s response arrives; return it."""
+        while seq not in self._responses:
+            message = read_frame(self._rfile)
+            if message is None:
+                raise ServiceProtocolError(
+                    "server closed the connection while responses were pending"
+                )
+            key = message.get("seq")
+            if key is None:
+                # Out-of-band error (e.g. a malformed frame report): with
+                # no seq to pair it to, surface it on the caller.
+                raise ServiceProtocolError(
+                    f"server error ({message.get('error_type', 'unknown')}): "
+                    f"{message.get('error', 'no detail')}"
+                )
+            self._responses[int(key)] = message
+        return self._responses.pop(seq)
+
+    # -- operations ---------------------------------------------------------
+    def open_stream(self) -> None:
+        """Declare this connection a submitter (joins the merge barrier)."""
+        self._request({"op": "stream_open"}).result()
+
+    def end_stream(self) -> None:
+        """Leave the merge barrier (other submitters stop waiting on us)."""
+        self._request({"op": "stream_end"}).result()
+
+    def submit(self, task: DivisibleTask) -> ReplyFuture:
+        """Submit one task for admission; resolves to the decision dict.
+
+        The resolved dict carries ``accepted``, ``est_completion`` and
+        ``member`` (the routed member index, ``None`` on a single
+        cluster).  Pipelineable: keep several futures in flight and
+        resolve them in submission order.
+        """
+        return self._request({"op": "submit", "task": encode_task(task)})
+
+    def probe(self, task: DivisibleTask) -> ReplyFuture:
+        """Advisory what-if admission; resolves like :meth:`submit`.
+
+        Commits nothing server-side.  With a stochastic partitioner
+        (User-Split) each probe consumes an RNG draw, perturbing replay
+        determinism — see ``docs/serving.md``.
+        """
+        return self._request({"op": "probe", "task": encode_task(task)})
+
+    def status(self, task_id: int | None = None) -> dict[str, Any]:
+        """Live status: one task's record, or the whole-backend snapshot."""
+        message: dict[str, Any] = {"op": "status"}
+        if task_id is not None:
+            message["task_id"] = task_id
+        return self._request(message).result()["status"]
+
+    def cancel(self, task_id: int) -> bool:
+        """Withdraw a waiting task; ``False`` when it is too late."""
+        return bool(self._request({"op": "cancel", "task_id": task_id}).result()[
+            "cancelled"
+        ])
+
+    def finalize(self) -> dict[str, Any]:
+        """Drain the simulation; returns the full output payload.
+
+        Fails while any stream (on any connection) is still open.
+        """
+        return self._request({"op": "finalize"}).result()["result"]
+
+    def shutdown(self) -> None:
+        """Ask the server to stop (it responds, then closes everything)."""
+        self._request({"op": "shutdown"}).result()

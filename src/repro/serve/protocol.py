@@ -1,0 +1,271 @@
+"""Wire protocol of the live admission service.
+
+One frame per message, in either direction::
+
+    +-------+----------------+------------------+
+    | codec | payload length | payload          |
+    | 1 byte| 4 bytes, BE    | length bytes     |
+    +-------+----------------+------------------+
+
+The codec byte is ``b"J"`` (JSON, always available) or ``b"M"``
+(`msgpack <https://msgpack.org>`_, used opportunistically when the
+optional dependency is installed — mirroring the pyarrow pattern of
+:meth:`~repro.workload.models.TraceArrivals.from_parquet`).  Every frame
+is self-describing, so a JSON client can talk to a msgpack-capable
+server and vice versa; :func:`encode_frame` refuses an unavailable codec
+with a helpful :class:`~repro.core.errors.InvalidParameterError` instead
+of an opaque ``ImportError``.
+
+Payloads are flat dictionaries.  Requests carry ``op`` (the operation
+name), ``seq`` (a client-chosen correlation id echoed verbatim) and the
+operation's fields; responses carry ``seq``, ``ok`` and either result
+fields or ``error`` / ``error_type``.  The operation set and the exact
+field contracts are specified in ``docs/serving.md``.
+
+Exactness
+---------
+The loopback guarantee of :mod:`repro.serve` — server-mediated replay is
+*bit-identical* to the offline simulation — leans on two properties of
+this module:
+
+* JSON floats use Python's shortest-repr encoding, which round-trips
+  every finite ``float`` exactly (``allow_nan=False`` makes non-finite
+  values a loud error rather than a silent wire extension);
+* tasks, records and stats cross the wire as plain dicts of finite
+  floats / ints / strings (:func:`encode_task` … :func:`decode_stats`),
+  so a decoded :class:`~repro.core.task.TaskRecord` compares equal —
+  field by field, float by float — to the record the server held.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, BinaryIO
+
+from repro.core.errors import ReproError
+from repro.core.scheduler import SchedulerStats
+from repro.core.task import DivisibleTask, TaskOutcome, TaskRecord
+
+try:  # optional dependency — JSON is the always-available floor
+    import msgpack  # type: ignore[import-not-found]
+except ImportError:  # pragma: no cover - environment-dependent
+    msgpack = None
+
+__all__ = [
+    "CODEC_JSON",
+    "CODEC_MSGPACK",
+    "PROTOCOL_VERSION",
+    "ServiceProtocolError",
+    "available_codecs",
+    "decode_record",
+    "decode_stats",
+    "decode_task",
+    "encode_frame",
+    "encode_output",
+    "encode_record",
+    "encode_stats",
+    "encode_task",
+    "read_frame",
+]
+
+#: Protocol revision announced by ``hello``; bumped on breaking changes.
+PROTOCOL_VERSION = 1
+
+#: Codec names (the ``hello`` negotiation speaks in these).
+CODEC_JSON = "json"
+CODEC_MSGPACK = "msgpack"
+
+#: Codec-name -> frame tag byte.
+_CODEC_BYTES = {CODEC_JSON: b"J", CODEC_MSGPACK: b"M"}
+_BYTE_CODECS = {v: k for k, v in _CODEC_BYTES.items()}
+
+#: Upper bound on a single frame's payload (a finalize payload for a very
+#: long run is a few MiB; 256 MiB is far beyond any legitimate message and
+#: turns a corrupt length prefix into a clean error instead of an OOM).
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+_HEADER = struct.Struct(">B I")
+
+
+class ServiceProtocolError(ReproError):
+    """A malformed frame, unknown codec, or server-reported failure."""
+
+
+def available_codecs() -> tuple[str, ...]:
+    """Codec names usable in this environment (JSON always; msgpack if installed)."""
+    if msgpack is not None:
+        return (CODEC_JSON, CODEC_MSGPACK)
+    return (CODEC_JSON,)
+
+
+def encode_frame(message: dict[str, Any], codec: str = CODEC_JSON) -> bytes:
+    """Serialize one message dict to a self-describing wire frame."""
+    if codec == CODEC_JSON:
+        payload = json.dumps(
+            message, separators=(",", ":"), allow_nan=False
+        ).encode("utf-8")
+    elif codec == CODEC_MSGPACK:
+        if msgpack is None:
+            raise ServiceProtocolError(
+                "the msgpack codec requires the optional 'msgpack' "
+                "dependency; install msgpack or use codec='json'"
+            )
+        payload = msgpack.packb(message, use_bin_type=True)
+    else:
+        raise ServiceProtocolError(
+            f"unknown codec {codec!r}; valid: {', '.join(_CODEC_BYTES)}"
+        )
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ServiceProtocolError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte cap"
+        )
+    return _HEADER.pack(_CODEC_BYTES[codec][0], len(payload)) + payload
+
+
+def decode_payload(codec_byte: int, payload: bytes) -> dict[str, Any]:
+    """Deserialize one frame payload given its codec tag byte."""
+    codec = _BYTE_CODECS.get(bytes([codec_byte]))
+    if codec is None:
+        raise ServiceProtocolError(
+            f"unknown frame codec byte {codec_byte!r}"
+        )
+    if codec == CODEC_MSGPACK:
+        if msgpack is None:
+            raise ServiceProtocolError(
+                "received a msgpack frame but the optional 'msgpack' "
+                "dependency is not installed"
+            )
+        message = msgpack.unpackb(payload, raw=False)
+    else:
+        message = json.loads(payload.decode("utf-8"))
+    if not isinstance(message, dict):
+        raise ServiceProtocolError(
+            f"frame payload must be a message dict, got {type(message).__name__}"
+        )
+    return message
+
+
+def read_frame(stream: BinaryIO) -> dict[str, Any] | None:
+    """Read one frame from a blocking binary stream.
+
+    Returns ``None`` on a clean EOF at a frame boundary (the peer closed
+    the connection); raises :class:`ServiceProtocolError` on a truncated
+    frame or a malformed header.  Works on anything with a ``read(n)``
+    method — the synchronous client uses a buffered socket file.
+    """
+    header = stream.read(_HEADER.size)
+    if not header:
+        return None
+    if len(header) < _HEADER.size:
+        raise ServiceProtocolError("truncated frame header")
+    codec_byte, length = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ServiceProtocolError(
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )
+    payload = b""
+    while len(payload) < length:
+        chunk = stream.read(length - len(payload))
+        if not chunk:
+            raise ServiceProtocolError("truncated frame payload")
+        payload += chunk
+    return decode_payload(codec_byte, payload)
+
+
+# -- task / record / stats codecs -------------------------------------------
+def encode_task(task: DivisibleTask) -> dict[str, Any]:
+    """A task as a wire dict of its four defining fields."""
+    return {
+        "task_id": task.task_id,
+        "arrival": task.arrival,
+        "sigma": task.sigma,
+        "deadline": task.deadline,
+    }
+
+
+def decode_task(obj: dict[str, Any]) -> DivisibleTask:
+    """Rebuild a task from its wire dict (re-validated on construction)."""
+    try:
+        return DivisibleTask(
+            task_id=int(obj["task_id"]),
+            arrival=float(obj["arrival"]),
+            sigma=float(obj["sigma"]),
+            deadline=float(obj["deadline"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ServiceProtocolError(f"malformed task payload: {exc}") from exc
+
+
+def encode_record(record: TaskRecord) -> dict[str, Any]:
+    """A :class:`TaskRecord` as a wire dict (exact float round-trip)."""
+    return {
+        "task": encode_task(record.task),
+        "outcome": record.outcome.value,
+        "est_completion": record.est_completion,
+        "actual_completion": record.actual_completion,
+        "n_nodes": record.n_nodes,
+        "node_ids": list(record.node_ids),
+        "started_at": record.started_at,
+    }
+
+
+def decode_record(obj: dict[str, Any]) -> TaskRecord:
+    """Rebuild a :class:`TaskRecord` that compares equal to the original."""
+    try:
+        return TaskRecord(
+            task=decode_task(obj["task"]),
+            outcome=TaskOutcome(obj["outcome"]),
+            est_completion=obj["est_completion"],
+            actual_completion=obj["actual_completion"],
+            n_nodes=obj["n_nodes"],
+            node_ids=tuple(obj["node_ids"]),
+            started_at=obj["started_at"],
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ServiceProtocolError(f"malformed record payload: {exc}") from exc
+
+
+#: SchedulerStats counter fields, in wire order.
+_STATS_FIELDS = (
+    "arrivals",
+    "accepted",
+    "rejected",
+    "admission_tests",
+    "replanned_tasks",
+    "cancelled",
+)
+
+
+def encode_stats(stats: SchedulerStats) -> dict[str, int]:
+    """Scheduler counters as a wire dict."""
+    return {name: getattr(stats, name) for name in _STATS_FIELDS}
+
+
+def decode_stats(obj: dict[str, Any]) -> SchedulerStats:
+    """Rebuild a :class:`SchedulerStats` equal to the original."""
+    try:
+        return SchedulerStats(**{name: int(obj[name]) for name in _STATS_FIELDS})
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ServiceProtocolError(f"malformed stats payload: {exc}") from exc
+
+
+def encode_output(output: Any) -> dict[str, Any]:
+    """One member's :class:`~repro.sim.cluster_sim.SimulationOutput` as a dict.
+
+    Records are emitted in task-id order; the busy/allocated vectors ride
+    along as float lists.  Together with :func:`encode_stats` this is the
+    whole payload the loopback check compares record by record.
+    """
+    return {
+        "algorithm": output.algorithm,
+        "horizon": output.horizon,
+        "records": [
+            encode_record(output.records[tid]) for tid in sorted(output.records)
+        ],
+        "stats": encode_stats(output.stats),
+        "node_busy_time": [float(v) for v in output.node_busy_time],
+        "node_allocated_time": [float(v) for v in output.node_allocated_time],
+        "validation": output.validation.summary(),
+    }

@@ -1,0 +1,143 @@
+"""Replay driver: stream a task list through a live server and verify it.
+
+The loopback harness of :mod:`repro.serve`: :func:`replay_tasks` pushes
+an arrival-ordered task list through an
+:class:`~repro.serve.client.AdmissionClient` with a bounded pipeline
+window, and :func:`loopback_diff` compares the server's ``finalize``
+payload against an offline run of the same scenario — record by record,
+counter by counter, float by float.  An empty diff *is* the headline
+guarantee: the service added transport, batching and concurrency without
+perturbing a single bit of the simulation.
+
+``repro replay --server HOST:PORT --check-offline`` is the CLI face of
+this module; the CI smoke step replays ``examples/sample_arrivals.csv``
+against a freshly started ``repro serve`` and fails on any diff line.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.task import DivisibleTask
+from repro.fleet.sim import FleetOutput
+from repro.serve.client import AdmissionClient
+from repro.serve.protocol import decode_record, decode_stats, encode_output
+from repro.sim.cluster_sim import SimulationOutput
+
+__all__ = ["loopback_diff", "replay_tasks"]
+
+
+def replay_tasks(
+    client: AdmissionClient,
+    tasks: Sequence[DivisibleTask],
+    *,
+    window: int = 64,
+    end_stream: bool = True,
+) -> list[dict[str, Any]]:
+    """Stream ``tasks`` through ``client``; return the decisions in order.
+
+    Opens the client's stream, keeps at most ``window`` submissions in
+    flight (pipelining hides the request/response round trip while
+    keeping memory bounded), resolves every future, and ends the stream
+    (set ``end_stream=False`` to keep the barrier held, e.g. between
+    shards).  Decisions come back in submission order, one dict per task.
+    """
+    if window < 1:
+        window = 1
+    client.open_stream()
+    decisions: list[dict[str, Any]] = []
+    pending: deque = deque()
+    try:
+        for task in tasks:
+            pending.append(client.submit(task))
+            while len(pending) >= window:
+                decisions.append(pending.popleft().result())
+        while pending:
+            decisions.append(pending.popleft().result())
+    finally:
+        if end_stream:
+            client.end_stream()
+    return decisions
+
+
+def _diff_member(
+    label: str, payload: dict[str, Any], output: SimulationOutput
+) -> list[str]:
+    """Problem strings where one member payload differs from one output."""
+    problems: list[str] = []
+    expected = encode_output(output)
+    if payload.get("algorithm") != expected["algorithm"]:
+        problems.append(
+            f"{label}: algorithm {payload.get('algorithm')!r} != "
+            f"{expected['algorithm']!r}"
+        )
+    if decode_stats(payload.get("stats", {})) != output.stats:
+        problems.append(
+            f"{label}: stats {payload.get('stats')} != {expected['stats']}"
+        )
+    got_records = payload.get("records", [])
+    if len(got_records) != len(expected["records"]):
+        problems.append(
+            f"{label}: {len(got_records)} records != "
+            f"{len(expected['records'])} offline"
+        )
+    else:
+        offline = [output.records[tid] for tid in sorted(output.records)]
+        for obj, want_obj, record in zip(
+            got_records, expected["records"], offline
+        ):
+            if decode_record(obj) != record:
+                problems.append(
+                    f"{label}: record {record.task.task_id} differs: "
+                    f"{obj} != {want_obj}"
+                )
+                break
+    for key in ("node_busy_time", "node_allocated_time"):
+        got = np.asarray(payload.get(key, []), dtype=np.float64)
+        want = np.asarray(expected[key], dtype=np.float64)
+        if got.shape != want.shape or not np.array_equal(got, want):
+            problems.append(f"{label}: {key} differs from the offline run")
+    if payload.get("validation") != expected["validation"]:
+        problems.append(
+            f"{label}: validation {payload.get('validation')!r} != "
+            f"{expected['validation']!r}"
+        )
+    return problems
+
+
+def loopback_diff(
+    payload: dict[str, Any], offline: SimulationOutput | FleetOutput
+) -> list[str]:
+    """Compare a server ``finalize`` payload with an offline run.
+
+    Returns one problem string per difference; an empty list means the
+    server-mediated replay was bit-identical to the offline simulation.
+    Accepts either backend kind: a cluster payload against a
+    :class:`SimulationOutput`, a fleet payload against a
+    :class:`FleetOutput` (which also checks the routing assignments).
+    """
+    kind = payload.get("kind")
+    if isinstance(offline, FleetOutput):
+        if kind != "fleet":
+            return [f"payload kind {kind!r} but offline run is a fleet"]
+        problems: list[str] = []
+        if list(payload.get("assignments", [])) != list(offline.assignments):
+            problems.append("assignments differ from the offline run")
+        member_payloads = payload.get("outputs", [])
+        if len(member_payloads) != len(offline.outputs):
+            problems.append(
+                f"{len(member_payloads)} member outputs != "
+                f"{len(offline.outputs)} offline"
+            )
+            return problems
+        for i, (member, output) in enumerate(
+            zip(member_payloads, offline.outputs)
+        ):
+            problems.extend(_diff_member(f"member {i}", member, output))
+        return problems
+    if kind != "cluster":
+        return [f"payload kind {kind!r} but offline run is a single cluster"]
+    return _diff_member("cluster", payload, offline)

@@ -1,0 +1,420 @@
+"""The live admission server: asyncio transport + deterministic merge.
+
+:class:`AdmissionServer` listens on a TCP socket, speaks the framed
+protocol of :mod:`repro.serve.protocol`, and drives exactly one backend
+(:mod:`repro.serve.backend`).  All simulation work happens on a single
+dispatcher task, so concurrency never races the simulation itself — the
+interesting problem is *ordering*: when several clients submit tasks
+concurrently, which submission does the backend see first?
+
+Watermark merge
+---------------
+Each connection's requests form a strict FIFO queue.  A connection with
+an *open stream* (explicit ``stream_open``, or implicit on its first
+``submit``) is a declared submitter.  The dispatcher repeats two steps:
+
+1. **Control first** — any non-``submit`` request at the head of any
+   queue is handled immediately (probe / status / cancel never wait on
+   the barrier).
+2. **Barrier merge** — a ``submit`` dispatches only when *every* open
+   stream has a ``submit`` at its head (or has ended); among the heads,
+   the one with the smallest ``(arrival, task_id)`` wins.
+
+The merged submission order therefore depends only on the tasks
+themselves, never on network timing — N clients replaying disjoint
+shards of a trace produce the exact submission sequence of one client
+replaying the whole trace, which is what makes the loopback guarantee
+hold under concurrency (``tests/test_serve.py`` asserts it).  The cost
+is a liveness obligation: an open stream that stops submitting without
+``stream_end`` stalls every other submitter (disconnecting releases the
+barrier too, discarding the connection's unprocessed requests).
+
+``--once`` mode (the replay harness) stops the server after the first
+successful ``finalize``; a ``shutdown`` request stops it on demand.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from collections import deque
+from typing import Any
+
+from repro.core.errors import InvalidParameterError, ReproError
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    available_codecs,
+    decode_payload,
+    decode_task,
+    encode_frame,
+)
+
+__all__ = ["AdmissionServer", "BackgroundServer"]
+
+_HEADER_SIZE = 5  # codec byte + 4-byte length
+
+
+class _Connection:
+    """Per-connection state: FIFO request queue, codec, stream flag."""
+
+    __slots__ = ("queue", "writer", "codec", "stream_open", "closed")
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.queue: deque[dict[str, Any]] = deque()
+        self.writer = writer
+        self.codec = "json"
+        self.stream_open = False
+        self.closed = False
+
+
+class AdmissionServer:
+    """One backend served over TCP with deterministic submission merging.
+
+    Parameters
+    ----------
+    backend:
+        A :class:`~repro.serve.backend.ClusterBackend` or
+        :class:`~repro.serve.backend.FleetBackend`.
+    host / port:
+        Bind address; port ``0`` picks an ephemeral port (read it back
+        from :attr:`address` after :meth:`start`).
+    once:
+        Stop the server after the first successful ``finalize`` — the
+        replay harness's fire-and-forget mode.
+    """
+
+    def __init__(
+        self,
+        backend: Any,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        once: bool = False,
+    ) -> None:
+        self.backend = backend
+        self.host = host
+        self.port = port
+        self.once = once
+        self._conns: list[_Connection] = []
+        self._wake = asyncio.Event()
+        self._stopped = asyncio.Event()
+        self._stopping = False
+        self._server: asyncio.base_events.Server | None = None
+        self._dispatcher: asyncio.Task | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (valid after :meth:`start`)."""
+        if self._server is None:
+            raise InvalidParameterError("server is not started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def start(self) -> None:
+        """Bind the listening socket and launch the dispatcher task."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+
+    async def wait_closed(self) -> None:
+        """Block until the server has fully stopped."""
+        await self._stopped.wait()
+
+    def request_stop(self) -> None:
+        """Ask the dispatcher to shut the server down (idempotent)."""
+        self._stopping = True
+        self._wake.set()
+
+    # -- connection reader --------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Read frames into the connection's FIFO queue until EOF."""
+        conn = _Connection(writer)
+        self._conns.append(conn)
+        try:
+            while not self._stopping:
+                try:
+                    header = await reader.readexactly(_HEADER_SIZE)
+                except asyncio.IncompleteReadError:
+                    break
+                length = int.from_bytes(header[1:5], "big")
+                payload = await reader.readexactly(length)
+                try:
+                    message = decode_payload(header[0], payload)
+                    if message.get("op") == "submit":
+                        # Decode eagerly: the merge needs (arrival, id)
+                        # before dispatch, and a malformed task must not
+                        # poison the queue.
+                        message["task"] = decode_task(message.get("task", {}))
+                except ReproError as exc:
+                    await self._send(
+                        conn,
+                        {
+                            "seq": None,
+                            "ok": False,
+                            "error": str(exc),
+                            "error_type": type(exc).__name__,
+                        },
+                    )
+                    continue
+                conn.queue.append(message)
+                self._wake.set()
+        except (ConnectionError, OSError):  # pragma: no cover - peer races
+            pass
+        finally:
+            conn.closed = True
+            conn.stream_open = False
+            conn.queue.clear()  # unprocessed requests die with the peer
+            self._wake.set()
+            try:
+                writer.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+
+    async def _send(self, conn: _Connection, message: dict[str, Any]) -> None:
+        """Write one response frame (no-op once the peer is gone)."""
+        if conn.closed:
+            return
+        try:
+            conn.writer.write(encode_frame(message, conn.codec))
+            await conn.writer.drain()
+        except (ConnectionError, OSError):  # pragma: no cover - peer races
+            conn.closed = True
+
+    # -- dispatcher ---------------------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        """Single-task event loop: control first, then the barrier merge."""
+        try:
+            while not self._stopping:
+                self._wake.clear()
+                progressed = await self._drain_ready()
+                if self._stopping:
+                    break
+                if not progressed:
+                    await self._wake.wait()
+        finally:
+            await self._shutdown()
+
+    async def _drain_ready(self) -> bool:
+        """Process everything currently dispatchable; report progress."""
+        progressed = False
+        while not self._stopping:
+            did = False
+            for conn in list(self._conns):
+                if conn.closed:
+                    self._conns.remove(conn)
+                    did = True
+                    continue
+                while (
+                    conn.queue
+                    and conn.queue[0].get("op") != "submit"
+                    and not self._stopping
+                ):
+                    await self._handle_control(conn, conn.queue.popleft())
+                    did = True
+            if self._stopping:
+                return True
+            # Implicit stream open: a submit reaching its queue head
+            # declares the connection a submitter.
+            for conn in self._conns:
+                if conn.queue and conn.queue[0].get("op") == "submit":
+                    conn.stream_open = True
+            open_conns = [c for c in self._conns if c.stream_open]
+            heads = [
+                c
+                for c in open_conns
+                if c.queue and c.queue[0].get("op") == "submit"
+            ]
+            if open_conns and len(heads) == len(open_conns):
+                conn = min(heads, key=self._submit_key)
+                await self._handle_submit(conn, conn.queue.popleft())
+                did = True
+            if not did:
+                return progressed
+            progressed = True
+        return progressed
+
+    @staticmethod
+    def _submit_key(conn: _Connection) -> tuple[float, int]:
+        """Client-independent merge key of a head submission."""
+        task = conn.queue[0]["task"]
+        return (task.arrival, task.task_id)
+
+    async def _handle_submit(
+        self, conn: _Connection, request: dict[str, Any]
+    ) -> None:
+        """Run one merged submission through the backend."""
+        seq = request.get("seq")
+        try:
+            result = self.backend.submit(request["task"])
+        except ReproError as exc:
+            await self._send_error(conn, seq, exc)
+            return
+        await self._send(conn, {"seq": seq, "ok": True, **result})
+
+    async def _handle_control(
+        self, conn: _Connection, request: dict[str, Any]
+    ) -> None:
+        """Handle one non-submit request at a queue head."""
+        seq = request.get("seq")
+        op = request.get("op")
+        try:
+            if op == "hello":
+                wanted = request.get("codec")
+                if wanted in available_codecs():
+                    conn.codec = wanted
+                await self._send(
+                    conn,
+                    {
+                        "seq": seq,
+                        "ok": True,
+                        "protocol": PROTOCOL_VERSION,
+                        "codec": conn.codec,
+                        "codecs": list(available_codecs()),
+                        "server": self.backend.describe(),
+                    },
+                )
+            elif op == "stream_open":
+                conn.stream_open = True
+                await self._send(conn, {"seq": seq, "ok": True})
+            elif op == "stream_end":
+                conn.stream_open = False
+                await self._send(conn, {"seq": seq, "ok": True})
+            elif op == "probe":
+                result = self.backend.probe(decode_task(request.get("task", {})))
+                await self._send(conn, {"seq": seq, "ok": True, **result})
+            elif op == "status":
+                task_id = request.get("task_id")
+                status = (
+                    self.backend.snapshot()
+                    if task_id is None
+                    else self.backend.task_status(int(task_id))
+                )
+                await self._send(conn, {"seq": seq, "ok": True, "status": status})
+            elif op == "cancel":
+                cancelled = self.backend.cancel(int(request["task_id"]))
+                await self._send(
+                    conn, {"seq": seq, "ok": True, "cancelled": cancelled}
+                )
+            elif op == "finalize":
+                open_streams = sum(1 for c in self._conns if c.stream_open)
+                if open_streams:
+                    raise InvalidParameterError(
+                        f"cannot finalize with {open_streams} stream(s) still "
+                        "open; every submitter must stream_end first"
+                    )
+                result = self.backend.finalize()
+                await self._send(
+                    conn, {"seq": seq, "ok": True, "result": result}
+                )
+                if self.once:
+                    self.request_stop()
+            elif op == "shutdown":
+                await self._send(conn, {"seq": seq, "ok": True})
+                self.request_stop()
+            else:
+                raise InvalidParameterError(f"unknown op {op!r}")
+        except (ReproError, KeyError, TypeError, ValueError) as exc:
+            await self._send_error(conn, seq, exc)
+
+    async def _send_error(
+        self, conn: _Connection, seq: Any, exc: Exception
+    ) -> None:
+        """Report a failed request without dropping the connection."""
+        await self._send(
+            conn,
+            {
+                "seq": seq,
+                "ok": False,
+                "error": str(exc),
+                "error_type": type(exc).__name__,
+            },
+        )
+
+    async def _shutdown(self) -> None:
+        """Close every connection and the listening socket."""
+        for conn in self._conns:
+            conn.closed = True
+            try:
+                conn.writer.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+        self._conns.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self._stopped.set()
+
+
+class BackgroundServer:
+    """Run an :class:`AdmissionServer` on a daemon thread.
+
+    The in-process harness the tests and the decisions/sec benchmark use:
+    the server gets its own event loop on its own thread, the caller gets
+    a bound address to point synchronous clients at, and ``stop()`` (or
+    leaving the context manager) tears everything down::
+
+        with BackgroundServer(backend) as bg:
+            client = AdmissionClient(*bg.address)
+            ...
+    """
+
+    def __init__(
+        self, backend: Any, *, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self._backend = backend
+        self._host = host
+        self._port = port
+        self._ready = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._server: AdmissionServer | None = None
+        self._startup_error: BaseException | None = None
+        self.address: tuple[str, int] = ("", 0)
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def __enter__(self) -> "BackgroundServer":
+        """Start the server thread and wait for the bound address."""
+        self._thread.start()
+        if not self._ready.wait(timeout=30.0):
+            raise InvalidParameterError("background server failed to start")
+        if self._startup_error is not None:
+            raise InvalidParameterError(
+                f"background server failed to start: {self._startup_error}"
+            )
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Stop the server and join its thread."""
+        self.stop()
+
+    def stop(self) -> None:
+        """Request shutdown and wait for the server thread to finish."""
+        if self._loop is not None and self._server is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._server.request_stop)
+            except RuntimeError:  # pragma: no cover - loop already closed
+                pass
+        if self._thread.is_alive():
+            self._thread.join(timeout=30.0)
+
+    def _run(self) -> None:
+        """Thread body: own event loop, serve until stopped."""
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # pragma: no cover - startup races
+            self._startup_error = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        """Start the server, publish the address, serve until stopped."""
+        self._loop = asyncio.get_running_loop()
+        self._server = AdmissionServer(
+            self._backend, host=self._host, port=self._port
+        )
+        await self._server.start()
+        self.address = self._server.address
+        self._ready.set()
+        await self._server.wait_closed()

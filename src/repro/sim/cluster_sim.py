@@ -364,6 +364,69 @@ class ClusterSimulation:
         """Process every event up to ``time`` and advance the clock there."""
         self.engine.run(until=time)
 
+    # -- live introspection (the admission service's status/cancel hooks) --
+    def cancel(self, task_id: int) -> bool:
+        """Withdraw an admitted task that has not started transmitting.
+
+        Thin driver-level wrapper over
+        :meth:`~repro.core.scheduler.ClusterScheduler.cancel`: the
+        scheduler drops the task from the waiting queue and the task's
+        pending start event goes stale on its own (``on_start`` ignores
+        directives whose task is no longer waiting).  Returns ``True``
+        only when the task was actually waiting.
+        """
+        if self._done:
+            raise InvalidParameterError(
+                "cannot cancel tasks in a finalized simulation"
+            )
+        return self.scheduler.cancel(task_id)
+
+    def task_status(self, task_id: int) -> dict:
+        """One task's live status as a JSON-friendly dict.
+
+        Keys: ``task_id``, ``state`` (see
+        :meth:`~repro.core.scheduler.ClusterScheduler.task_state`),
+        ``est_completion`` / ``actual_completion`` / ``started_at``
+        (``None`` until known) and ``deadline_met`` (``None`` until the
+        task completed).
+        """
+        record = self.scheduler.records.get(task_id)
+        return {
+            "task_id": task_id,
+            "state": self.scheduler.task_state(task_id),
+            "est_completion": record.est_completion if record else None,
+            "actual_completion": record.actual_completion if record else None,
+            "started_at": record.started_at if record else None,
+            "deadline_met": record.deadline_met if record else None,
+        }
+
+    def snapshot(self) -> dict:
+        """Aggregate live state as a JSON-friendly dict.
+
+        Reports the simulation clock, the scheduler's cumulative counters
+        (arrivals / accepted / rejected / cancelled), the current queue
+        occupancy (waiting / running), how many accepted tasks have
+        completed, and the actual busy node-time accrued so far.
+        """
+        stats = self.scheduler.stats
+        completed = sum(
+            1
+            for r in self.scheduler.records.values()
+            if r.actual_completion is not None
+        )
+        return {
+            "clock": self.engine.now,
+            "arrivals": stats.arrivals,
+            "accepted": stats.accepted,
+            "rejected": stats.rejected,
+            "cancelled": stats.cancelled,
+            "waiting": self.scheduler.waiting_count,
+            "running": self.scheduler.running_count,
+            "completed": completed,
+            "busy_time": self.busy_time,
+            "finalized": self._done,
+        }
+
     def finalize(self) -> SimulationOutput:
         """Drain all remaining events and assemble the run's output.
 

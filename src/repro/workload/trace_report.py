@@ -116,15 +116,76 @@ class TraceSummary:
         return out
 
 
+#: Optional marginal columns: report name -> accepted header aliases.
+_OPTIONAL_COLUMNS = (("sigma", ("sigma", "size")), ("deadline", ("deadline",)))
+
+
+def _read_parquet_columns(
+    path: "str | os.PathLike[str]", column: str
+) -> tuple[list[float], dict[str, list[float]]]:
+    """Parquet counterpart of :func:`_read_columns`.
+
+    Column resolution mirrors
+    :meth:`~repro.workload.models.TraceArrivals.from_parquet` (named
+    arrival column, or the only column of a single-column file), and the
+    same optional ``sigma``/``size``/``deadline`` columns feed the
+    marginals — so any parquet trace that summarizes here also replays.
+    Requires the optional :mod:`pyarrow` dependency.
+    """
+    try:
+        import pyarrow.parquet as pq
+    except ImportError as exc:  # pragma: no cover - env-dependent
+        raise InvalidParameterError(
+            "parquet traces require the optional 'pyarrow' dependency; "
+            "install pyarrow or convert the trace to CSV"
+        ) from exc
+    table = pq.read_table(path)
+    names = list(table.column_names)
+    if column in names:
+        chosen = column
+    elif len(names) == 1:
+        chosen = names[0]
+    else:
+        raise InvalidParameterError(
+            f"trace file {path!r} has no {column!r} column "
+            f"(columns: {names}); pass column=<name>"
+        )
+
+    def numbers(name: str) -> list[float]:
+        values = table.column(name).to_pylist()
+        try:
+            return [float(v) for v in values]
+        except (TypeError, ValueError) as exc:
+            raise InvalidParameterError(
+                f"trace file {path!r}: malformed value in column "
+                f"{name!r} ({exc})"
+            ) from exc
+
+    arrivals = numbers(chosen)
+    if not arrivals:
+        raise InvalidParameterError(f"trace file {path!r} is empty")
+    extras: dict[str, list[float]] = {}
+    for name, aliases in _OPTIONAL_COLUMNS:
+        for alias in aliases:
+            if alias in names:
+                extras[name] = numbers(alias)
+                break
+    return arrivals, extras
+
+
 def _read_columns(
     path: "str | os.PathLike[str]", column: str
 ) -> tuple[list[float], dict[str, list[float]]]:
     """Arrival times plus any optional numeric columns of interest.
 
-    Built on the same :func:`~repro.workload.models.parse_trace_table`
-    reader as :meth:`TraceArrivals.from_csv`, so any file this function
-    accepts also replays.
+    A ``.parquet`` path routes through the pyarrow reader
+    (:func:`_read_parquet_columns`); anything else goes through the same
+    :func:`~repro.workload.models.parse_trace_table` reader as
+    :meth:`TraceArrivals.from_csv`, so any file this function accepts
+    also replays.
     """
+    if str(path).endswith(".parquet"):
+        return _read_parquet_columns(path, column)
     data, header, arrival_index = parse_trace_table(path, column)
     optional: dict[str, int] = {}
     if header is not None:

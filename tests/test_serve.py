@@ -1,0 +1,433 @@
+"""Tests for the live admission service (:mod:`repro.serve`).
+
+The headline assertion is the loopback guarantee: replaying a scenario's
+task stream through a live server — over a real TCP socket, through the
+framed wire protocol, including with *concurrent* submitters — finalizes
+into an output bit-identical to the offline one-shot simulation.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.core.scheduler import SchedulerStats
+from repro.core.task import DivisibleTask, TaskOutcome
+from repro.experiments.runner import simulate
+from repro.fleet.scenario import FleetScenario
+from repro.fleet.sim import simulate_fleet
+from repro.learn import LearnConfig
+from repro.serve import (
+    AdmissionClient,
+    BackgroundServer,
+    ServiceProtocolError,
+    available_codecs,
+    loopback_diff,
+    make_backend,
+    replay_tasks,
+)
+from repro.serve.backend import ClusterBackend, FleetBackend
+from repro.serve.protocol import (
+    CODEC_JSON,
+    CODEC_MSGPACK,
+    decode_record,
+    decode_stats,
+    decode_task,
+    encode_frame,
+    encode_record,
+    encode_stats,
+    encode_task,
+    read_frame,
+)
+
+HAS_MSGPACK = CODEC_MSGPACK in available_codecs()
+
+
+def cluster_scenario(seed: int = 2007, total_time: float = 200_000.0) -> FleetScenario:
+    """A 1-cluster fleet (served through the plain cluster backend)."""
+    return FleetScenario.uniform(
+        n_clusters=1,
+        system_load=0.6,
+        total_time=total_time,
+        seed=seed,
+        nodes=8,
+        name="serve-test",
+    )
+
+
+def fleet_scenario(
+    policy: str, seed: int = 2007, total_time: float = 100_000.0
+) -> FleetScenario:
+    """A small heterogeneous 3-cluster fleet under ``policy``."""
+    learn = LearnConfig() if policy in ("thompson", "epsilon-greedy", "ucb1") else None
+    return FleetScenario.uniform(
+        n_clusters=3,
+        system_load=0.6,
+        total_time=total_time,
+        seed=seed,
+        policy=policy,
+        nodes=8,
+        cluster_spread=0.3,
+        name="serve-test",
+        learn=learn,
+    )
+
+
+def serve_replay(
+    scenario: FleetScenario,
+    algorithm: str = "EDF-DLT",
+    *,
+    codec: str = CODEC_JSON,
+    window: int = 32,
+    **backend_kwargs,
+):
+    """Replay the scenario's own stream through a live server.
+
+    Returns ``(tasks, decisions, finalize_payload)``.
+    """
+    tasks = scenario.stream_scenario().generate_tasks()
+    backend = make_backend(scenario, algorithm, **backend_kwargs)
+    with BackgroundServer(backend) as bg:
+        with AdmissionClient(*bg.address, codec=codec) as client:
+            decisions = replay_tasks(client, tasks, window=window)
+            payload = client.finalize()
+    return tasks, decisions, payload
+
+
+class TestProtocol:
+    def test_frame_round_trip_json(self):
+        message = {"op": "submit", "seq": 3, "x": [1.5, -0.25], "s": "é"}
+        frame = encode_frame(message, CODEC_JSON)
+        assert frame[0:1] == b"J"
+        assert read_frame(io.BytesIO(frame)) == message
+
+    @pytest.mark.skipif(not HAS_MSGPACK, reason="msgpack not installed")
+    def test_frame_round_trip_msgpack(self):
+        message = {"op": "submit", "seq": 3, "x": [1.5, -0.25], "s": "é"}
+        frame = encode_frame(message, CODEC_MSGPACK)
+        assert frame[0:1] == b"M"
+        assert read_frame(io.BytesIO(frame)) == message
+
+    @pytest.mark.skipif(HAS_MSGPACK, reason="msgpack installed")
+    def test_msgpack_codec_gated_with_helpful_error(self):
+        with pytest.raises(ServiceProtocolError, match="msgpack"):
+            encode_frame({"op": "hello"}, CODEC_MSGPACK)
+
+    def test_unknown_codec_refused(self):
+        with pytest.raises(ServiceProtocolError, match="unknown codec"):
+            encode_frame({}, "cbor")
+
+    def test_eof_and_truncation(self):
+        assert read_frame(io.BytesIO(b"")) is None
+        frame = encode_frame({"op": "hello"})
+        with pytest.raises(ServiceProtocolError, match="truncated"):
+            read_frame(io.BytesIO(frame[:3]))
+        with pytest.raises(ServiceProtocolError, match="truncated"):
+            read_frame(io.BytesIO(frame[:-1]))
+
+    def test_non_finite_floats_are_loud(self):
+        with pytest.raises(ValueError):
+            encode_frame({"x": float("inf")}, CODEC_JSON)
+
+    def test_task_round_trip_is_exact(self):
+        task = DivisibleTask(
+            task_id=7, arrival=0.1 + 0.2, sigma=1234.5678, deadline=9999.25
+        )
+        again = decode_task(encode_task(task))
+        assert again == task
+        assert again.arrival.hex() == task.arrival.hex()
+
+    def test_malformed_task_payload(self):
+        with pytest.raises(ServiceProtocolError, match="malformed task"):
+            decode_task({"task_id": 1, "arrival": 0.0})
+
+    def test_record_and_stats_round_trip(self):
+        scenario = cluster_scenario()
+        output = simulate(scenario.member_scenario(0), "EDF-DLT").output
+        for record in output.records.values():
+            assert decode_record(encode_record(record)) == record
+        stats = output.stats
+        assert decode_stats(encode_stats(stats)) == stats
+        assert stats != SchedulerStats()  # the round trip proved something
+
+
+class TestClusterLoopback:
+    @pytest.mark.parametrize("engine", ["fast", "reference"])
+    def test_loopback_bit_identical(self, engine):
+        scenario = cluster_scenario()
+        tasks, decisions, payload = serve_replay(
+            scenario, admission_engine=engine
+        )
+        offline = simulate(
+            scenario.member_scenario(0), "EDF-DLT", admission_engine=engine
+        ).output
+        assert loopback_diff(payload, offline) == []
+        assert len(decisions) == len(tasks)
+        accepted = {
+            tid
+            for tid, r in offline.records.items()
+            if r.outcome is TaskOutcome.ACCEPTED
+        }
+        for task, decision in zip(tasks, decisions):
+            assert decision["accepted"] == (task.task_id in accepted)
+            assert decision["member"] is None
+
+    def test_engines_agree_over_the_wire(self):
+        scenario = cluster_scenario()
+        _, _, fast = serve_replay(scenario, admission_engine="fast")
+        _, _, reference = serve_replay(scenario, admission_engine="reference")
+        assert fast == reference
+
+    def test_loopback_diff_reports_tampering(self):
+        scenario = cluster_scenario()
+        _, _, payload = serve_replay(scenario)
+        offline = simulate(scenario.member_scenario(0), "EDF-DLT").output
+        payload["records"][0]["est_completion"] = 123.456
+        problems = loopback_diff(payload, offline)
+        assert problems and "record" in problems[0]
+
+
+class TestFleetLoopback:
+    @pytest.mark.parametrize(
+        "policy", ["round-robin", "earliest-finish", "thompson"]
+    )
+    def test_loopback_bit_identical(self, policy):
+        scenario = fleet_scenario(policy)
+        tasks, decisions, payload = serve_replay(scenario)
+        offline = simulate_fleet(scenario, "EDF-DLT")
+        assert loopback_diff(payload, offline) == []
+        assert [d["member"] for d in decisions] == list(offline.assignments)
+
+    def test_learning_summary_rides_along(self):
+        scenario = fleet_scenario("thompson")
+        _, _, payload = serve_replay(scenario)
+        offline = simulate_fleet(scenario, "EDF-DLT")
+        assert offline.learning is not None
+        assert payload["learning"]["best_arm"] == offline.learning.best_arm
+        assert (
+            payload["learning"]["cumulative_regret"]
+            == offline.learning.cumulative_regret
+        )
+
+    @pytest.mark.skipif(not HAS_MSGPACK, reason="msgpack not installed")
+    def test_msgpack_codec_loopback(self):
+        scenario = fleet_scenario("round-robin")
+        _, _, payload = serve_replay(scenario, codec=CODEC_MSGPACK)
+        assert loopback_diff(payload, simulate_fleet(scenario, "EDF-DLT")) == []
+
+
+class TestConcurrentClients:
+    def test_two_interleaved_clients_merge_deterministically(self):
+        """Satellite: two clients sharding a trace ≡ one serial client."""
+        scenario = fleet_scenario("earliest-finish")
+        tasks = scenario.stream_scenario().generate_tasks()
+        offline = simulate_fleet(scenario, "EDF-DLT")
+
+        backend = make_backend(scenario, "EDF-DLT")
+        with BackgroundServer(backend) as bg:
+            host, port = bg.address
+            with AdmissionClient(host, port) as a, AdmissionClient(
+                host, port
+            ) as b:
+                # Both clients join the merge barrier before either
+                # submits, so neither shard can race ahead of the other.
+                a.open_stream()
+                b.open_stream()
+                results: dict[str, list] = {}
+
+                def run(name, client, shard):
+                    results[name] = replay_tasks(client, shard, window=8)
+
+                threads = [
+                    threading.Thread(target=run, args=("a", a, tasks[0::2])),
+                    threading.Thread(target=run, args=("b", b, tasks[1::2])),
+                ]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+                payload = a.finalize()
+
+        assert loopback_diff(payload, offline) == []
+        # Each shard's decisions match the offline routing assignments.
+        for shard, decisions in (
+            (tasks[0::2], results["a"]),
+            (tasks[1::2], results["b"]),
+        ):
+            for task, decision in zip(shard, decisions):
+                assert decision["member"] == offline.assignments[task.task_id]
+
+    def test_finalize_refused_while_a_stream_is_open(self):
+        scenario = cluster_scenario(total_time=5_000.0)
+        with BackgroundServer(make_backend(scenario, "EDF-DLT")) as bg:
+            with AdmissionClient(*bg.address) as client:
+                client.open_stream()
+                with pytest.raises(ServiceProtocolError, match="stream"):
+                    client.finalize()
+                client.end_stream()
+                client.finalize()
+
+
+class TestOperations:
+    def test_probe_is_advisory_and_non_perturbing(self):
+        scenario = cluster_scenario()
+        tasks = scenario.stream_scenario().generate_tasks()
+        backend = make_backend(scenario, "EDF-DLT")
+        offline = simulate(scenario.member_scenario(0), "EDF-DLT").output
+        with BackgroundServer(backend) as bg:
+            with AdmissionClient(*bg.address) as client:
+                client.open_stream()
+                for task in tasks:
+                    probe = client.probe(task).result()
+                    decision = client.submit(task).result()
+                    # Probe-then-submit agrees with the committed decision
+                    # for a deterministic partitioner.
+                    assert probe["accepted"] == decision["accepted"]
+                    if decision["accepted"]:
+                        assert (
+                            probe["est_completion"]
+                            == decision["est_completion"]
+                        )
+                client.end_stream()
+                payload = client.finalize()
+        # ... and the interleaved probes left no trace on the output
+        # (stats count only real admission tests from submissions).
+        assert loopback_diff(payload, offline) == []
+
+    def test_status_and_cancel(self):
+        scenario = cluster_scenario()
+        tasks = scenario.stream_scenario().generate_tasks()
+        backend = make_backend(scenario, "EDF-DLT")
+        with BackgroundServer(backend) as bg:
+            with AdmissionClient(*bg.address) as client:
+                client.open_stream()
+                for task in tasks[:10]:
+                    client.submit(task).result()
+                snap = client.status()
+                assert snap["arrivals"] == 10
+                status = client.status(tasks[0].task_id)
+                assert status["state"] in {
+                    "rejected",
+                    "waiting",
+                    "running",
+                    "completed",
+                }
+                # A far-future waiting task can still be withdrawn.
+                future_task = DivisibleTask(
+                    task_id=10_000,
+                    arrival=tasks[9].arrival,
+                    sigma=50.0,
+                    deadline=scenario.total_time,
+                )
+                decision = client.submit(future_task).result()
+                if decision["accepted"]:
+                    waiting = client.status(10_000)["state"] == "waiting"
+                    assert client.cancel(10_000) == waiting
+                assert client.cancel(123456) is False
+                client.end_stream()
+
+    def test_hello_describes_the_backend(self):
+        scenario = fleet_scenario("round-robin", total_time=5_000.0)
+        with BackgroundServer(make_backend(scenario, "EDF-DLT")) as bg:
+            with AdmissionClient(*bg.address) as client:
+                info = client.server_info
+        assert info is not None
+        assert info["protocol"] == 1
+        assert info["codec"] == CODEC_JSON
+        assert info["server"]["kind"] == "fleet"
+        assert info["server"]["algorithm"] == "EDF-DLT"
+        assert info["server"]["scenario"] == scenario.describe()
+
+    def test_single_cluster_fleet_uses_cluster_backend(self):
+        assert isinstance(
+            make_backend(cluster_scenario(), "EDF-DLT"), ClusterBackend
+        )
+        assert isinstance(
+            make_backend(fleet_scenario("round-robin"), "EDF-DLT"),
+            FleetBackend,
+        )
+
+
+class TestErrorPaths:
+    def test_unknown_op_is_reported_not_fatal(self):
+        scenario = cluster_scenario(total_time=5_000.0)
+        with BackgroundServer(make_backend(scenario, "EDF-DLT")) as bg:
+            with AdmissionClient(*bg.address) as client:
+                with pytest.raises(ServiceProtocolError, match="unknown op"):
+                    client._request({"op": "frobnicate"}).result()
+                # The connection survives the error.
+                assert client.status()["arrivals"] == 0
+
+    def test_out_of_order_submission_is_an_error(self):
+        scenario = cluster_scenario(total_time=5_000.0)
+        with BackgroundServer(make_backend(scenario, "EDF-DLT")) as bg:
+            with AdmissionClient(*bg.address) as client:
+                client.open_stream()
+                t1 = DivisibleTask(
+                    task_id=1, arrival=100.0, sigma=10.0, deadline=1_000.0
+                )
+                t0 = DivisibleTask(
+                    task_id=0, arrival=50.0, sigma=10.0, deadline=1_000.0
+                )
+                client.submit(t1).result()
+                with pytest.raises(ServiceProtocolError):
+                    client.submit(t0).result()
+                client.end_stream()
+
+    def test_malformed_task_reported_before_dispatch(self):
+        scenario = cluster_scenario(total_time=5_000.0)
+        with BackgroundServer(make_backend(scenario, "EDF-DLT")) as bg:
+            with AdmissionClient(*bg.address) as client:
+                # Bypass the typed API to put a bad task on the wire.
+                with pytest.raises(ServiceProtocolError, match="malformed"):
+                    client._request(
+                        {"op": "submit", "task": {"task_id": 1}}
+                    ).result()
+
+
+class TestCliSmoke:
+    def test_serve_replay_round_trip(self, capsys):
+        """``repro serve --once`` + ``repro replay --check-offline`` ≡ CI smoke."""
+        root = Path(__file__).resolve().parents[1]
+        shared = [
+            "--arrivals",
+            "trace",
+            "--trace-file",
+            str(root / "examples" / "sample_arrivals.csv"),
+            "--total-time",
+            "200000",
+        ]
+        env = {**os.environ, "PYTHONPATH": str(root / "src")}
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0", "--once", *shared],
+            cwd=root,
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            assert proc.stdout is not None
+            line = proc.stdout.readline()
+            assert "listening on" in line, line
+            address = line.strip().rsplit(" ", 1)[-1]
+
+            from repro.cli import main
+
+            code = main(["replay", "--server", address, "--check-offline", *shared])
+        finally:
+            try:
+                proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "loopback OK" in out
+        assert proc.returncode == 0

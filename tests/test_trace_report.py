@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import importlib.util
 import math
 
 import numpy as np
@@ -128,3 +129,59 @@ class TestValidation:
         s = summarize_trace(trace)
         assert s.count > 0
         assert s.burstiness in ("smooth", "poisson-like", "bursty")
+
+
+HAS_PYARROW = importlib.util.find_spec("pyarrow") is not None
+
+
+class TestParquetTraces:
+    @pytest.mark.skipif(not HAS_PYARROW, reason="pyarrow not installed")
+    def test_parquet_matches_csv(self, tmp_path):
+        import pyarrow as pa
+        import pyarrow.parquet as pq
+
+        arrivals = [1.0, 3.5, 4.0, 9.25]
+        sigmas = [100.0, 150.0, 200.0, 250.0]
+        deadlines = [50.0, 60.0, 70.0, 80.0]
+        csv_path = write_csv(
+            tmp_path,
+            "arrival_time,sigma,deadline\n"
+            + "".join(
+                f"{a},{s},{d}\n" for a, s, d in zip(arrivals, sigmas, deadlines)
+            ),
+        )
+        pq_path = tmp_path / "trace.parquet"
+        pq.write_table(
+            pa.table(
+                {
+                    "arrival_time": arrivals,
+                    "sigma": sigmas,
+                    "deadline": deadlines,
+                }
+            ),
+            pq_path,
+        )
+        got = summarize_trace(pq_path)
+        want = summarize_trace(csv_path)
+        assert got.count == want.count
+        assert got.as_dict() == {**want.as_dict(), "path": str(pq_path)}
+
+    @pytest.mark.skipif(not HAS_PYARROW, reason="pyarrow not installed")
+    def test_single_column_parquet(self, tmp_path):
+        import pyarrow as pa
+        import pyarrow.parquet as pq
+
+        path = tmp_path / "bare.parquet"
+        pq.write_table(pa.table({"t": [1.0, 2.0, 4.0]}), path)
+        assert summarize_trace(path).count == 3  # only column wins
+        multi = tmp_path / "multi.parquet"
+        pq.write_table(pa.table({"t": [1.0], "x": [2.0]}), multi)
+        with pytest.raises(InvalidParameterError, match="no 'arrival_time'"):
+            summarize_trace(multi)
+
+    @pytest.mark.skipif(HAS_PYARROW, reason="pyarrow installed")
+    def test_parquet_requires_pyarrow(self, tmp_path):
+        path = tmp_path / "trace.parquet"
+        path.write_bytes(b"")
+        with pytest.raises(InvalidParameterError, match="pyarrow"):
+            summarize_trace(path)
