@@ -1,15 +1,17 @@
 #!/usr/bin/env python3
 """Perf regression gate: a fresh BENCH_core.json vs the committed baseline.
 
-Compares the *speedup* metrics (fast admission engine over the reference
-engine, measured on the same machine and workload) of a freshly generated
-``BENCH_core.json`` against the committed record, and — when
-``--serve-baseline``/``--serve-fresh`` are given — the admission
-service's concurrency-retention ratios of ``BENCH_serve.json``.  Speedups are relative
-throughputs, so they transfer across machines where absolute tasks/sec do
-not; the gate fails when a fresh speedup drops more than ``--tolerance``
-(default 30%) below the committed value.  Rationale, tolerance choice and
-escape hatches are documented in ``docs/performance.md``.
+Compares the *speedup* metrics (batch and fast admission engines over the
+reference engine, replaying the same captured call stream on the same
+machine) of a freshly generated ``BENCH_core.json`` against the committed
+record, and — when ``--serve-baseline``/``--serve-fresh`` are given — the
+admission service's concurrency-retention ratios of ``BENCH_serve.json``.
+Speedups are relative throughputs, so they transfer across machines where
+absolute decisions/sec do not; the gate fails when a fresh speedup drops
+more than ``--tolerance`` (default 30%) below the committed value.  The
+fresh record's admission-throughput panel (three load points x three
+engines) is also shape-checked.  Rationale, tolerance choice and escape
+hatches are documented in ``docs/performance.md``.
 
 Usage::
 
@@ -29,9 +31,22 @@ from pathlib import Path
 
 #: (human label, path into the record) of each gated ratio metric.
 GATED_METRICS: tuple[tuple[str, tuple[str, ...]], ...] = (
-    ("core admission speedup", ("core", "speedup")),
-    ("earliest-finish fleet speedup", ("fleet", "earliest-finish", "speedup")),
+    ("core admission speedup (batch)", ("core", "speedup")),
+    ("core admission speedup (fast)", ("core", "speedup_fast")),
+    (
+        "earliest-finish fleet speedup (batch)",
+        ("fleet", "earliest-finish", "speedup"),
+    ),
+    (
+        "earliest-finish fleet speedup (fast)",
+        ("fleet", "earliest-finish", "speedup_fast"),
+    ),
 )
+
+#: The admission-throughput panel's expected axes (shape check only —
+#: absolute decisions/sec are machine-specific, so they are not gated).
+PANEL_LOADS = ("3", "6", "10")
+PANEL_ENGINES = ("reference", "fast", "batch")
 
 #: Gated ratio metrics of BENCH_serve.json (``--serve-baseline``): the
 #: service's concurrency retention — throughput at N clients relative to
@@ -83,6 +98,40 @@ def compare(
     return problems
 
 
+def check_panel(fresh: dict) -> list[str]:
+    """Shape-check the fresh record's admission-throughput panel.
+
+    Every load point must carry all three engines with positive
+    decisions/sec and a reject ratio in [0, 1]; anything else means the
+    benchmark emitted a malformed record and the gate must not pass it.
+    """
+    problems: list[str] = []
+    panel = fresh.get("throughput_panel")
+    if not isinstance(panel, dict):
+        return ["throughput_panel: missing from fresh record"]
+    for load in PANEL_LOADS:
+        point = panel.get(load)
+        if not isinstance(point, dict):
+            problems.append(f"throughput_panel/{load}: missing load point")
+            continue
+        ratio = point.get("reject_ratio", -1.0)
+        if not 0.0 <= float(ratio) <= 1.0:
+            problems.append(
+                f"throughput_panel/{load}: reject_ratio {ratio} out of [0, 1]"
+            )
+        engines = point.get("engines", {})
+        for engine in PANEL_ENGINES:
+            rate = engines.get(engine, {}).get("decisions_per_sec", 0.0)
+            if not float(rate) > 0.0:
+                problems.append(
+                    f"throughput_panel/{load}/{engine}: "
+                    f"non-positive decisions/sec ({rate})"
+                )
+    if not problems:
+        print("admission-throughput panel: shape ok")
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     """Parse arguments, compare records, print verdicts, return exit code."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -125,6 +174,7 @@ def main(argv: list[str] | None = None) -> int:
     baseline = json.loads(Path(args.baseline).read_text(encoding="utf-8"))
     fresh = json.loads(Path(args.fresh).read_text(encoding="utf-8"))
     problems = compare(baseline, fresh, args.tolerance)
+    problems += check_panel(fresh)
     if args.serve_baseline is not None:
         serve_baseline = json.loads(
             Path(args.serve_baseline).read_text(encoding="utf-8")

@@ -31,6 +31,7 @@ from typing import Sequence
 from repro.core.algorithms import ALGORITHMS, algorithm_names
 from repro.core.cluster import ClusterProfile
 from repro.core.errors import InvalidParameterError, ReproError
+from repro.core.fastpath import ADMISSION_ENGINES
 from repro.core.partition import NODE_ORDERS
 from repro.experiments.batch import BatchRunner, RunSpec
 from repro.experiments.figures import DEFAULT_LOADS, FIGURES
@@ -163,6 +164,17 @@ def _add_sim_flag_args(p: argparse.ArgumentParser) -> None:
         default="availability",
         help="tie-break among simultaneously available nodes "
         "(default: the paper's node-id order)",
+    )
+    _add_engine_arg(p)
+
+
+def _add_engine_arg(p: argparse.ArgumentParser, default: str = "fast") -> None:
+    p.add_argument(
+        "--admission-engine",
+        choices=ADMISSION_ENGINES,
+        default=default,
+        help="schedulability-test engine (bit-identical outputs; "
+        "see docs/performance.md)",
     )
 
 
@@ -374,6 +386,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="metric to aggregate (see repro.metrics.metric_names())",
     )
     p_sw.add_argument("--csv", action="store_true", help="emit CSV instead of a table")
+    _add_engine_arg(p_sw)
 
     p_fl = sub.add_parser(
         "fleet",
@@ -626,12 +639,7 @@ def _add_serve_shared_args(p: argparse.ArgumentParser) -> None:
     )
     p.add_argument("--total-time", type=float, default=200_000.0)
     p.add_argument("--seed", type=int, default=2007)
-    p.add_argument(
-        "--admission-engine",
-        choices=("fast", "reference"),
-        default="fast",
-        help="schedulability-test engine (bit-identical outputs)",
-    )
+    _add_engine_arg(p, default="batch")
     p.add_argument(
         "--node-order",
         choices=NODE_ORDERS,
@@ -736,6 +744,7 @@ def _cmd_run_point(args: argparse.Namespace) -> int:
         eager_release=args.eager_release,
         shared_head_link=args.shared_head_link,
         node_order=args.node_order,
+        admission_engine=args.admission_engine,
     )
     m = result.metrics
     if args.json:
@@ -837,6 +846,7 @@ def _cmd_run_scenario(args: argparse.Namespace) -> int:
             eager_release=args.eager_release,
             shared_head_link=args.shared_head_link,
             node_order=args.node_order,
+            admission_engine=args.admission_engine,
         )
         for algorithm in algorithms
         for rep in range(args.replications)
@@ -1005,6 +1015,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         metric=args.metric,
         workers=args.workers,
         workers_mode=args.workers_mode,
+        admission_engine=args.admission_engine,
     )
     if args.axis == "node-order":
         algorithm = (args.algorithms or ["EDF-DLT"])[0]

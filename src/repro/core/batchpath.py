@@ -1,0 +1,582 @@
+"""Batch-vectorized admission engine: the Figure-2 test as array programs.
+
+:class:`BatchSchedulabilityTest` is the third admission engine behind
+:func:`repro.core.fastpath.make_admission_test` (``engine="batch"``): it
+produces **bit-identical** :class:`~repro.core.admission.AdmissionDecision`
+streams to both the reference walk and the fast engine while replacing the
+remaining per-task Python work of the walk with per-*batch* numpy passes.
+The property suite (``tests/test_fastpath_properties.py``) replays random
+scenarios through all three engines and asserts record-by-record equality.
+
+What is batched, and why it stays bitwise-exact
+-----------------------------------------------
+The fast engine made one admission test cheap; the structure left on the
+table is that each test still loops Python-side over the queue, and each
+queued task re-evaluates the same family of scalar expressions.  Three
+kernels lift those loops into arrays:
+
+1. **Queue-prefix replay as one array program** — the walk's scratch
+   availability vector is floored at ``now`` *once* (every later write is
+   a completion ``>= now``, so the reference's per-task
+   ``max(release, now)`` is the identity from then on), and the
+   ``ñ_min`` / ``n_min`` node-count bound of *every* queued task is
+   classified in a single vectorized pass (see kernel 2).  Rejected walks
+   return early without materializing a single
+   :class:`~repro.core.partition.PlacementPlan`: entries carry raw arrays
+   and build their (tuple-heavy) plan objects lazily, only when a walk
+   accepts — under overload most walks reject, so most placements never
+   pay tuple conversion at all.
+2. **All-candidates bound evaluation without transcendentals** — the
+   bound ``n_req = ceil(log(g)/log(beta) - rtol)`` is the hot path's only
+   transcendental.  Inverting it: ``n_req <= m`` exactly when
+   ``g >= B[m] = exp((m + rtol) * log(beta))`` in real arithmetic, so a
+   precomputed threshold table classifies any batch of ``g`` values with
+   one ``searchsorted`` — no logs.  Because ``B[m]`` and ``log(g)`` each
+   carry at most a few ulp of libm error, comparisons against
+   ``B[m] * (1 ± 1e-9)`` are *certain* (the guard band is ~6 orders of
+   magnitude wider than any rounding effect); only ``g`` values inside a
+   guard band fall back to the reference's scalar formula, which is the
+   bitwise ground truth.  The same table evaluates every ``k = 1..N``
+   candidate of the ``fixed_point_node_count`` scan in one ``(candidates,)``
+   vector pass, with the monotone scan applied to the precomputed bounds.
+3. **Fleet-arrival member kernel** — :meth:`probe_completion` runs the
+   identical walk but returns only the newcomer's earliest-finish
+   estimate, skipping decision/plan materialization entirely.
+   :class:`~repro.fleet.sim.FleetSimulation`'s probing routers call it
+   per member on one arrival (composing with the shared per-arrival probe
+   cache), and the walk's memo makes the subsequent routed ``submit``
+   replay the probed member's walk as cache hits.
+
+Additionally the memo keeps **two** entries per task instead of one: a
+failed walk (a rejected newcomer perturbs the availability seen by every
+task after its slot) no longer evicts the committed-prefix entry, so
+high-reject regimes — exactly where admission control earns its keep —
+stop recomputing the same committed placements after every rejection.
+
+Everything the fast engine does not specialize (multi-round partitioners,
+``redraw_on_replan`` User-Split, mismatched reservation sizes) falls back
+through the inherited paths, so the batch engine is always safe to enable.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.core import dlt
+from repro.core.admission import AdmissionDecision
+from repro.core.fastpath import (
+    _UNSET,
+    FastSchedulabilityTest,
+    _alphas_vec,
+    _trusted_plan,
+)
+from repro.core.partition import PlacementPlan, feasible_by
+from repro.core.reservations import NodeReservations
+from repro.core.task import DivisibleTask
+
+if TYPE_CHECKING:  # pragma: no cover
+    from numpy.typing import NDArray
+
+__all__ = ["BatchSchedulabilityTest"]
+
+#: Relative guard band around each node-count threshold.  Inside the band
+#: the vectorized classification abstains and the exact scalar bound runs
+#: instead; outside it, libm's few-ulp errors (~1e-16 relative) cannot
+#: flip the comparison, so the table's answer equals the scalar one.
+_BOUND_EPS = 1e-9
+
+
+class _NodeBoundTable:
+    """``ñ_min`` / ``n_min`` classification via precomputed ``g`` thresholds.
+
+    The paper bound (Eq. 14 / [22]) is ``n_req = ceil(v - rtol)`` with
+    ``v = log(g)/log(beta)`` clamped to ``[1, N]`` (``None`` beyond ``N``).
+    Since ``log(beta) < 0`` and ``g`` enters monotonically, ``n_req <= m``
+    exactly when ``g >= B[m] = exp((m + rtol) * log(beta))``; the table
+    stores ``B[N..1]`` ascending so one :func:`bisect.bisect_right`
+    yields how many thresholds a ``g`` clears — and hence its ``n_req``
+    — using only float comparisons, no logs.  ``g`` values inside a
+    guard band (``lo``/``hi``) are the cases libm error could in
+    principle decide; the engine resolves those with the exact scalar
+    formula instead.
+    """
+
+    __slots__ = ("asc", "lo", "hi", "n")
+
+    def __init__(self, n: int, log_b: float) -> None:
+        self.asc = [
+            math.exp((m + dlt.FEASIBILITY_RTOL) * log_b)
+            for m in range(n, 0, -1)
+        ]
+        self.lo = [v * (1.0 + _BOUND_EPS) for v in self.asc]
+        self.hi = [v * (1.0 - _BOUND_EPS) for v in self.asc]
+        self.n = n
+
+
+class _BatchEntry:
+    """One task's placement with the plan object deferred.
+
+    ``ids is None`` marks an infeasible placement (the walk rejects on
+    it).  Feasible entries carry the raw arrays a
+    :class:`~repro.core.partition.PlacementPlan` is built from;
+    :meth:`BatchSchedulabilityTest._materialize` converts them exactly
+    once, on the first *accepted* walk that needs the plan — rejected
+    walks never pay the tuple conversions.  ``alphas is None`` on a
+    homogeneous OPR entry defers even the fraction vector
+    (``dlt.opr_alphas`` depends only on ``n`` and the cluster costs).
+    """
+
+    __slots__ = (
+        "key",
+        "n_req",
+        "task",
+        "ids",
+        "ids_list",
+        "completion",
+        "releases",
+        "alphas",
+        "opr_rn",
+        "plan",
+    )
+
+    def __init__(
+        self,
+        task: DivisibleTask,
+        ids: "NDArray[np.intp] | None" = None,
+        completion: float = 0.0,
+        releases: "NDArray[np.float64] | None" = None,
+        alphas: "NDArray[np.float64] | None" = None,
+        opr_rn: float | None = None,
+        n_req: int | None = None,
+    ) -> None:
+        self.key = b""
+        self.n_req = n_req
+        self.task = task
+        self.ids = ids
+        # Scalar writes beat a fancy-index write for the few-node plans
+        # the paper rule mostly emits; computed once, reused on every hit.
+        self.ids_list = ids.tolist() if ids is not None else None
+        self.completion = completion
+        self.releases = releases
+        self.alphas = alphas
+        self.opr_rn = opr_rn
+        self.plan: PlacementPlan | None = None
+
+
+class BatchSchedulabilityTest(FastSchedulabilityTest):
+    """Batch-vectorized, bit-identical Figure-2 schedulability test.
+
+    Same constructor and :meth:`try_admit` contract as the reference
+    :class:`~repro.core.admission.SchedulabilityTest`; see the module
+    docstring for the kernel inventory.  Inherits the fast engine's
+    ordered-queue maintenance, placement arithmetic and fallback rules.
+    """
+
+    def __init__(self, policy, partitioner, cluster) -> None:
+        super().__init__(policy, partitioner, cluster)
+        #: tid -> up to two :class:`_BatchEntry` (most recent first); the
+        #: second slot preserves the committed-prefix entry across the
+        #: perturbed keys a failed walk writes.
+        self._memo: dict[int, list[_BatchEntry]] = {}
+        #: tid -> placement-input key ``(n, ids, releases)`` -> entry: the
+        #: second memo tier.  A newcomer mid-queue bumps its chosen nodes
+        #: to a *late* completion, so a task behind it usually keeps the
+        #: exact same ``n`` earliest nodes — the full availability vector
+        #: differs (tier 1 misses) but the placement inputs do not.
+        self._plan_cache: dict[int, dict[tuple, _BatchEntry]] = {}
+        self._bound_table = _NodeBoundTable(self._n, self._log_b_worst)
+
+    # -- the walk ---------------------------------------------------------
+    def try_admit(
+        self,
+        new_task: DivisibleTask,
+        waiting: Sequence[DivisibleTask],
+        reservations: NodeReservations,
+        now: float,
+    ) -> AdmissionDecision:
+        """Run the test for ``new_task`` against the committed state.
+
+        Same contract (and bit-identical result) as
+        :meth:`repro.core.admission.SchedulabilityTest.try_admit`.
+        """
+        if self._delegate is not None:
+            return self._delegate.try_admit(new_task, waiting, reservations, now)
+        if reservations.nodes != self._n:
+            return self._fallback().try_admit(new_task, waiting, reservations, now)
+        entries, failed = self._walk(new_task, waiting, reservations, now)
+        if failed is not None:
+            return AdmissionDecision(accepted=False, plans={}, failed_task_id=failed)
+        return AdmissionDecision(
+            accepted=True,
+            plans={tid: self._materialize(e) for tid, e in entries},
+        )
+
+    def probe_completion(
+        self,
+        new_task: DivisibleTask,
+        waiting: Sequence[DivisibleTask],
+        reservations: NodeReservations,
+        now: float,
+    ) -> float | None:
+        """The newcomer's estimated completion, or ``None`` on rejection.
+
+        The fleet member kernel: identical walk (and identical memo
+        effects — a routed ``submit`` right after replays it as cache
+        hits) but no decision object and no plan materialization, which
+        a probe discards anyway.
+        """
+        if self._delegate is not None or reservations.nodes != self._n:
+            decision = self.try_admit(new_task, waiting, reservations, now)
+            if not decision.accepted:
+                return None
+            return decision.plans[new_task.task_id].est_completion
+        entries, failed = self._walk(new_task, waiting, reservations, now)
+        if failed is not None:
+            return None
+        target = new_task.task_id
+        for tid, entry in entries:
+            if tid == target:
+                return entry.completion
+        raise AssertionError("newcomer missing from its own walk")
+
+    def _walk(
+        self,
+        new_task: DivisibleTask,
+        waiting: Sequence[DivisibleTask],
+        reservations: NodeReservations,
+        now: float,
+    ) -> tuple[list[tuple[int, _BatchEntry]], int | None]:
+        """Shared walk core: ``(entries, None)`` or ``([], failed_tid)``."""
+        ordered = self._ordered_queue(waiting, new_task)
+        memo = self._memo
+        if len(memo) > 2 * len(ordered) + 32:
+            keep = {t.task_id for t in ordered}
+            for tid in [k for k in memo if k not in keep]:
+                del memo[tid]
+            plan_cache = self._plan_cache
+            for tid in [k for k in plan_cache if k not in keep]:
+                del plan_cache[tid]
+
+        temp = self._temp
+        np.copyto(temp, reservations.release_times)
+        # Every write below is a completion >= now, so flooring once here
+        # makes the reference's per-task max(release, now) the identity.
+        np.maximum(temp, now, out=temp)
+        place = self._place
+        assert place is not None  # delegate handled every other case
+        use_tokens = self._token is not None
+        bound_token = self._bound_token
+        memo_on = self._memo_enabled
+        token: object = _UNSET
+        entries: list[tuple[int, _BatchEntry]] = []
+        for task in ordered:
+            tid = task.task_id
+            if use_tokens:
+                arr = task.arrival
+                t_test = now if now > arr else arr
+                token = bound_token(task.sigma, arr + task.deadline - t_test)
+            entry: _BatchEntry | None = None
+            key = b""
+            slot: list[_BatchEntry] | None = None
+            if memo_on:
+                key = temp.tobytes()
+                slot = memo.get(tid)
+                if slot is not None:
+                    cached = slot[0]
+                    if cached.key == key and (
+                        not use_tokens or cached.n_req == token
+                    ):
+                        entry = cached
+                    elif len(slot) == 2:
+                        cached = slot[1]
+                        if cached.key == key and (
+                            not use_tokens or cached.n_req == token
+                        ):
+                            entry = cached
+                            slot[0], slot[1] = slot[1], slot[0]
+            if entry is None:
+                entry = place(task, temp, now, token)
+                if memo_on:
+                    entry.key = key
+                    if slot is None:
+                        memo[tid] = [entry]
+                    elif slot[0] is not entry:
+                        # A tier-2 hit can resurface an object already in
+                        # the slot; keep the pair free of duplicates.
+                        if len(slot) == 2 and slot[1] is entry:
+                            slot[0], slot[1] = slot[1], slot[0]
+                        else:
+                            slot.insert(0, entry)
+                            del slot[2:]
+            ids_list = entry.ids_list
+            if ids_list is None:
+                return [], tid
+            completion = entry.completion
+            if len(ids_list) <= 4:
+                for i in ids_list:
+                    temp[i] = completion
+            else:
+                temp[entry.ids] = completion
+            entries.append((tid, entry))
+        return entries, None
+
+    # -- node-count bound via the threshold table --------------------------
+    def _bound_token(self, sigma: float, budget: float) -> int | None:
+        """:meth:`_min_nodes_worst`, decided by comparisons when certain.
+
+        Same scalar ``g`` as the reference; the threshold table answers
+        everything outside a guard band without a transcendental, and the
+        guard-band remainder recomputes exactly.
+        """
+        if budget <= 0.0:
+            return None
+        g = 1.0 - (sigma * self._worst_cms) / budget
+        table = self._bound_table
+        c = bisect_right(table.asc, g)
+        if c:
+            if g >= table.lo[c - 1] and (c == table.n or g <= table.hi[c]):
+                return table.n - c + 1
+        elif g <= table.hi[0]:
+            return None
+        return self._min_nodes_worst(sigma, budget)
+
+    def _fixed_point_bounds(
+        self, task: DivisibleTask, sorted_avail: "NDArray[np.float64]"
+    ) -> list[int | None]:
+        """The bound at every candidate count ``k = 1..N`` in one pass."""
+        absdl = task.arrival + task.deadline
+        sigma = task.sigma
+        bound_token = self._bound_token
+        return [bound_token(sigma, absdl - s) for s in sorted_avail.tolist()]
+
+    # -- candidates against the pre-floored scratch vector -----------------
+    def _candidates_batch(
+        self, task: DivisibleTask, temp: "NDArray[np.float64]", now: float
+    ) -> tuple["NDArray[np.intp]", "NDArray[np.float64]"]:
+        """As :meth:`_candidates`, but ``temp`` is already floored at
+        ``now`` so the per-task arrival floor only runs when it can bite
+        (``arrival > now`` — direct callers only; the drivers never do)."""
+        if task.arrival > now:
+            base = self._floored
+            np.maximum(temp, task.arrival, out=base)
+        else:
+            base = temp
+        if self._order_avail:
+            order = base.argsort(kind="stable")
+        else:
+            order = np.lexsort((self._tiebreak, base))
+        return order, base[order]
+
+    # -- lazy entry builders (DLT-IIT / OPR) -------------------------------
+    def _dlt_entry(
+        self,
+        task: DivisibleTask,
+        order: "NDArray[np.intp]",
+        sorted_avail: "NDArray[np.float64]",
+        n: int,
+        shared=None,
+    ) -> _BatchEntry | None:
+        """DLT-IIT placement for ``n`` nodes; ``None`` if infeasible."""
+        releases = sorted_avail[:n]
+        completion, alphas = self._dlt_completion(
+            task.sigma, order[:n], releases, shared
+        )
+        if not feasible_by(completion, task.absolute_deadline):
+            return None
+        return _BatchEntry(
+            task,
+            ids=order[:n].copy(),
+            completion=float(completion),
+            releases=releases,
+            alphas=alphas,
+        )
+
+    def _opr_entry(
+        self,
+        task: DivisibleTask,
+        order: "NDArray[np.intp]",
+        sorted_avail: "NDArray[np.float64]",
+        n: int,
+        shared=None,
+    ) -> _BatchEntry | None:
+        """OPR placement for ``n`` nodes; ``None`` if infeasible."""
+        sigma = task.sigma
+        releases = sorted_avail[:n]
+        rn = float(releases[-1])
+        if self._homog:
+            exec_time = self._exec_coeff[n - 1] * sigma * self._cost_sum
+            completion = rn + exec_time
+            if not feasible_by(completion, task.absolute_deadline):
+                return None
+            alphas = None  # deferred to _materialize (dlt.opr_alphas)
+        else:
+            if shared is not None:
+                cms_sel = shared._cms[:n]
+                cps_sel = shared._cps[:n]
+                alphas = shared.alphas(n)
+            else:
+                cms_sel, cps_sel = self.cluster.costs_for(order[:n])
+                alphas = _alphas_vec(cms_sel, cps_sel)
+            exec_time = float(
+                sigma * (alphas * cms_sel).sum()
+                + alphas[-1] * sigma * cps_sel[-1]
+            )
+            completion = rn + exec_time
+            if not feasible_by(completion, task.absolute_deadline):
+                return None
+        return _BatchEntry(
+            task,
+            ids=order[:n].copy(),
+            completion=float(completion),
+            releases=releases,
+            alphas=alphas,
+            opr_rn=rn,
+        )
+
+    def _entry_cached(
+        self,
+        task: DivisibleTask,
+        order: "NDArray[np.intp]",
+        sorted_avail: "NDArray[np.float64]",
+        n: int,
+        shared=None,
+    ) -> _BatchEntry | None:
+        """Tier-2 memo: placements keyed on their *actual* inputs.
+
+        A placement depends only on ``(n, ids[:n], releases[:n])``.  A
+        newcomer bumps its chosen nodes to a *late* completion, so tasks
+        behind it usually keep the identical ``n``-smallest candidate
+        prefix even though the full availability vector (the tier-1 key)
+        changed — hitting here skips the placement arithmetic entirely.
+        """
+        if not self._memo_enabled:
+            return self._entry(task, order, sorted_avail, n, shared)
+        key = (n, order[:n].tobytes(), sorted_avail[:n].tobytes())
+        cache = self._plan_cache.get(task.task_id)
+        if cache is not None:
+            hit = cache.get(key)
+            if hit is not None:
+                return hit
+        entry = self._entry(task, order, sorted_avail, n, shared)
+        if entry is not None:
+            if cache is None:
+                cache = self._plan_cache[task.task_id] = {}
+            elif len(cache) >= 8:
+                cache.clear()
+            cache[key] = entry
+        return entry
+
+    def _materialize(self, entry: _BatchEntry) -> PlacementPlan:
+        """Build (once) the exact plan the fast engine would have built."""
+        plan = entry.plan
+        if plan is not None:
+            return plan
+        releases_t = tuple(entry.releases.tolist())
+        alphas = entry.alphas
+        if entry.opr_rn is None:
+            dispatch = releases_t
+        else:
+            dispatch = (entry.opr_rn,) * len(releases_t)
+            if alphas is None:
+                alphas = dlt.opr_alphas(len(releases_t), self._cms, self._cps)
+        plan = _trusted_plan(
+            entry.task,
+            self.partitioner.method,
+            tuple(entry.ids_list),
+            releases_t,
+            dispatch,
+            tuple(alphas.tolist()),
+            entry.completion,
+        )
+        entry.plan = plan
+        return plan
+
+    # -- placements (entry builder ``self._entry`` = DLT-IIT or OPR) ------
+    def _place_paper_rule(
+        self,
+        task: DivisibleTask,
+        temp: "NDArray[np.float64]",
+        now: float,
+        token: object = _UNSET,
+    ) -> _BatchEntry:
+        """Paper rule: ``ñ_min`` / ``n_min`` at the admission-test time."""
+        n_req = self._node_count_token(task, now) if token is _UNSET else token
+        if n_req is None:
+            return _BatchEntry(task)
+        order, sorted_avail = self._candidates_batch(task, temp, now)
+        entry = self._entry_cached(task, order, sorted_avail, n_req)
+        if entry is None:
+            return _BatchEntry(task, n_req=n_req)
+        entry.n_req = n_req
+        return entry
+
+    def _place_all_nodes(
+        self,
+        task: DivisibleTask,
+        temp: "NDArray[np.float64]",
+        now: float,
+        token: object = _UNSET,
+    ) -> _BatchEntry:
+        """"-AN" variants: always the whole cluster, exact feasibility."""
+        order, sorted_avail = self._candidates_batch(task, temp, now)
+        entry = self._entry_cached(task, order, sorted_avail, self._n)
+        return entry if entry is not None else _BatchEntry(task)
+
+    def _place_fixed_point(
+        self,
+        task: DivisibleTask,
+        temp: "NDArray[np.float64]",
+        now: float,
+        token: object = _UNSET,
+    ) -> _BatchEntry:
+        """Fixed-point ablation scan over precomputed all-``k`` bounds.
+
+        The scan logic (start at the first satisfiable ``k``, jump to
+        ``n_req``, skip failed ``n_req`` repeats, stop at ``None``) is the
+        fast engine's, applied to the vectorized bound vector — same
+        accepted plan, same rejection.
+        """
+        order, sorted_avail = self._candidates_batch(task, temp, now)
+        shared = self._shared_prefix(order)
+        bounds = self._fixed_point_bounds(task, sorted_avail)
+        big_n = self._n
+        failed_n = 0
+        k = 1
+        while k <= big_n:
+            n_req = bounds[k - 1]
+            if n_req is None:
+                break
+            if n_req > k:
+                k = n_req
+                continue
+            if n_req > failed_n:
+                entry = self._entry_cached(task, order, sorted_avail, n_req, shared)
+                if entry is not None:
+                    return entry
+                failed_n = n_req
+            k += 1
+        return _BatchEntry(task)
+
+    # -- stochastic / generic partitioners --------------------------------
+    def _place_via_partitioner(
+        self,
+        task: DivisibleTask,
+        temp: "NDArray[np.float64]",
+        now: float,
+        token: object = _UNSET,
+    ) -> _BatchEntry:
+        """Defer to the partitioner's own ``place`` (User-Split)."""
+        plan = self.partitioner.place(task, temp, self.cluster, now)
+        if plan is None:
+            return _BatchEntry(task)
+        entry = _BatchEntry(
+            task,
+            ids=np.asarray(plan.node_ids, dtype=np.intp),
+            completion=plan.est_completion,
+        )
+        entry.plan = plan
+        return entry

@@ -85,9 +85,11 @@ __all__ = [
     "validate_admission_engine",
 ]
 
-#: Valid admission-engine names: ``"fast"`` (this module, the default) and
-#: ``"reference"`` (the original :class:`SchedulabilityTest`).
-ADMISSION_ENGINES: tuple[str, ...] = ("fast", "reference")
+#: Valid admission-engine names: ``"fast"`` (this module, the default),
+#: ``"batch"`` (:mod:`repro.core.batchpath`, the vectorized engine) and
+#: ``"reference"`` (the original :class:`SchedulabilityTest`).  All three
+#: produce bit-identical decision streams.
+ADMISSION_ENGINES: tuple[str, ...] = ("fast", "batch", "reference")
 
 
 def validate_admission_engine(engine: str) -> str:
@@ -109,13 +111,19 @@ def make_admission_test(
 ) -> "SchedulabilityTest | FastSchedulabilityTest":
     """Build the admission test for a scheduler.
 
-    ``engine="fast"`` (default) returns the optimized engine of this module;
-    ``engine="reference"`` the original walk.  Both produce bit-identical
-    decisions — the choice only trades speed against simplicity.
+    ``engine="fast"`` (default) returns the optimized engine of this
+    module; ``engine="batch"`` the batch-vectorized engine of
+    :mod:`repro.core.batchpath`; ``engine="reference"`` the original
+    walk.  All three produce bit-identical decisions — the choice only
+    trades speed against simplicity.
     """
     validate_admission_engine(engine)
     if engine == "reference":
         return SchedulabilityTest(policy, partitioner, cluster)
+    if engine == "batch":
+        from repro.core.batchpath import BatchSchedulabilityTest
+
+        return BatchSchedulabilityTest(policy, partitioner, cluster)
     return FastSchedulabilityTest(policy, partitioner, cluster)
 
 

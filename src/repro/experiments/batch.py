@@ -29,6 +29,7 @@ from typing import Any, Callable, Iterable, Iterator, Mapping
 
 from repro.core.algorithms import ALGORITHMS
 from repro.core.errors import InvalidParameterError
+from repro.core.fastpath import validate_admission_engine
 from repro.core.partition import validate_node_order
 from repro.metrics.collector import MetricsSummary, validate_metric
 from repro.metrics.stats import ConfidenceInterval, mean_ci
@@ -69,6 +70,7 @@ class RunSpec:
     shared_head_link: bool = False
     keep_output: bool = False
     node_order: str = "availability"
+    admission_engine: str = "fast"
 
     def __post_init__(self) -> None:
         # Imported lazily: the fleet layer builds on this module.
@@ -85,6 +87,7 @@ class RunSpec:
                 f"valid: {', '.join(sorted(ALGORITHMS))}"
             )
         validate_node_order(self.node_order)
+        validate_admission_engine(self.admission_engine)
 
 
 @dataclass(frozen=True, slots=True)
@@ -133,6 +136,7 @@ def _execute_spec(spec: RunSpec) -> RunRecord:
             eager_release=spec.eager_release,
             shared_head_link=spec.shared_head_link,
             node_order=spec.node_order,
+            admission_engine=spec.admission_engine,
         )
         return RunRecord(
             scenario=spec.scenario,
@@ -152,6 +156,7 @@ def _execute_spec(spec: RunSpec) -> RunRecord:
         eager_release=spec.eager_release,
         shared_head_link=spec.shared_head_link,
         node_order=spec.node_order,
+        admission_engine=spec.admission_engine,
     )
     return RunRecord(
         scenario=spec.scenario,

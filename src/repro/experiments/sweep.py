@@ -183,6 +183,7 @@ def _run_spread_grid(
     validate: bool,
     workers: int | None,
     workers_mode: str,
+    admission_engine: str = "fast",
 ) -> SpreadSweepResult:
     """Shared driver of the heterogeneity-spread sweeps.
 
@@ -228,6 +229,7 @@ def _run_spread_grid(
                             "replication": rep,
                         },
                         validate=validate,
+                        admission_engine=admission_engine,
                         **spec_kwargs,
                     )
                 )
@@ -268,6 +270,7 @@ def run_spread_sweep(
     validate: bool = True,
     workers: int | None = None,
     workers_mode: str = "process",
+    admission_engine: str = "fast",
 ) -> SpreadSweepResult:
     """Sweep intrinsic cluster heterogeneity at a fixed SystemLoad.
 
@@ -297,6 +300,7 @@ def run_spread_sweep(
         validate=validate,
         workers=workers,
         workers_mode=workers_mode,
+        admission_engine=admission_engine,
     )
 
 
@@ -318,6 +322,7 @@ def run_node_order_sweep(
     validate: bool = True,
     workers: int | None = None,
     workers_mode: str = "process",
+    admission_engine: str = "fast",
 ) -> SpreadSweepResult:
     """Grid node-ordering policies against cluster heterogeneity spreads.
 
@@ -364,4 +369,5 @@ def run_node_order_sweep(
         validate=validate,
         workers=workers,
         workers_mode=workers_mode,
+        admission_engine=admission_engine,
     )

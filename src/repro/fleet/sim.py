@@ -74,6 +74,10 @@ class FleetOutput:
     metrics: MetricsSummary
     per_cluster: tuple[MetricsSummary, ...]
     learning: LearningReport | None = None
+    #: Probes answered from the shared per-arrival probe cache vs probes
+    #: that actually ran an admission walk (0/0 for non-probing policies).
+    probe_cache_hits: int = 0
+    probe_cache_misses: int = 0
 
     @property
     def reject_ratio(self) -> float:
@@ -188,6 +192,8 @@ class FleetSimulation:
         self._routed: dict[int, int] = {}
         self._last_arrival = -np.inf
         self._done = False
+        self._probe_cache_hits = 0
+        self._probe_cache_misses = 0
 
     # -- routing state ------------------------------------------------------
     def _view(
@@ -222,18 +228,33 @@ class FleetSimulation:
                 # exactly the state the probe tests.
                 key = (sig, release.tobytes(), tuple(_sim.scheduler.waiting))
                 if key in probe_cache:
+                    self._probe_cache_hits += 1
                     return probe_cache[key]
-            decision = _sim.scheduler.test.try_admit(
-                task,
-                list(_sim.scheduler.waiting.values()),
-                _sim.scheduler.reservations,
-                now,
-            )
-            result = (
-                decision.plans[task.task_id].est_completion
-                if decision.accepted
-                else None
-            )
+            self._probe_cache_misses += 1
+            test = _sim.scheduler.test
+            probe_fn = getattr(test, "probe_completion", None)
+            if probe_fn is not None:
+                # The batch engine's member kernel: same walk, but it
+                # returns just the earliest-finish estimate — no decision
+                # or plan objects, which a probe discards anyway.
+                result = probe_fn(
+                    task,
+                    list(_sim.scheduler.waiting.values()),
+                    _sim.scheduler.reservations,
+                    now,
+                )
+            else:
+                decision = test.try_admit(
+                    task,
+                    list(_sim.scheduler.waiting.values()),
+                    _sim.scheduler.reservations,
+                    now,
+                )
+                result = (
+                    decision.plans[task.task_id].est_completion
+                    if decision.accepted
+                    else None
+                )
             if key is not None:
                 probe_cache[key] = result
             return result
@@ -402,6 +423,8 @@ class FleetSimulation:
             metrics=metrics,
             per_cluster=per_cluster,
             learning=report,
+            probe_cache_hits=self._probe_cache_hits,
+            probe_cache_misses=self._probe_cache_misses,
         )
 
     # -- live introspection (the admission service's status/cancel hooks) --

@@ -97,8 +97,10 @@ class ClusterBackend:
         :func:`repro.experiments.runner.simulate`.
     node_order / admission_engine / eager_release / shared_head_link /
     validate:
-        Forwarded to the underlying simulation, same defaults as the
-        offline driver.
+        Forwarded to the underlying simulation.  ``admission_engine``
+        defaults to ``"batch"`` — the fastest engine on admission-heavy
+        streams (decisions are bit-identical across engines, so a live
+        service always wants the quick one).
     """
 
     #: Backend kind tag carried in ``hello`` and finalize payloads.
@@ -110,7 +112,7 @@ class ClusterBackend:
         algorithm: str,
         *,
         node_order: str = "availability",
-        admission_engine: str = "fast",
+        admission_engine: str = "batch",
         eager_release: bool = False,
         shared_head_link: bool = False,
         validate: bool = True,
@@ -189,7 +191,7 @@ class FleetBackend:
         algorithm: str,
         *,
         node_order: str = "availability",
-        admission_engine: str = "fast",
+        admission_engine: str = "batch",
         eager_release: bool = False,
         shared_head_link: bool = False,
         validate: bool = True,

@@ -1,15 +1,18 @@
-"""Property suite: the fast admission engine is bit-identical to the reference.
+"""Property suite: the optimized admission engines are bit-identical to
+the reference.
 
-The contract of :mod:`repro.core.fastpath` is *exact* equality — not
-"close", not "same decisions": every :class:`AdmissionDecision`, every
-committed :class:`PlacementPlan` field and every resulting
-:class:`TaskRecord` must match the reference implementation bit for bit.
-Hypothesis drives both engines over random scenarios spanning all three
-partitioner families, the fixed-point ablation variants, every node order,
+The contract of :mod:`repro.core.fastpath` *and*
+:mod:`repro.core.batchpath` is *exact* equality — not "close", not "same
+decisions": every :class:`AdmissionDecision`, every committed
+:class:`PlacementPlan` field and every resulting :class:`TaskRecord`
+must match the reference implementation bit for bit.  Hypothesis drives
+the engines over random scenarios spanning all three partitioner
+families, the fixed-point ablation variants, every node order,
 homogeneous and spread clusters, both policies, and the eager-release
 ablation; the fleet layer is covered through the probing
-``earliest-finish`` router (where the probe cache and probe→admit reuse
-must not change a single routing decision or record).
+``earliest-finish`` router (where the probe cache, the batch engine's
+``probe_completion`` kernel, and probe→admit reuse must not change a
+single routing decision or record).
 """
 
 from __future__ import annotations
@@ -21,7 +24,7 @@ from hypothesis import strategies as st
 from repro.core.admission import SchedulabilityTest
 from repro.core.algorithms import ALGORITHMS, AlgorithmInstance
 from repro.core.cluster import ClusterProfile
-from repro.core.fastpath import FastSchedulabilityTest
+from repro.core.fastpath import make_admission_test
 from repro.core.partition import NODE_ORDERS, DltIitPartitioner, OprPartitioner
 from repro.core.policies import EdfPolicy, FifoPolicy
 from repro.core.reservations import NodeReservations
@@ -34,6 +37,9 @@ from repro.workload.scenario import Scenario
 #: Every named algorithm exercises a distinct partitioner configuration.
 ALGORITHM_NAMES = sorted(ALGORITHMS)
 
+#: The optimized engines under test; each is checked against "reference".
+OPTIMIZED_ENGINES = ("fast", "batch")
+
 scenario_strategy = st.builds(
     Scenario.paper_baseline,
     system_load=st.sampled_from([0.5, 1.5, 3.0]),
@@ -45,49 +51,52 @@ scenario_strategy = st.builds(
 )
 
 
-def assert_same_run(scenario, algorithm, **kwargs):
-    """One scenario through both engines: records and stats must match."""
+def assert_same_run(scenario, algorithm, engine="fast", **kwargs):
+    """One scenario through two engines: records and stats must match."""
     ref = simulate(scenario, algorithm, admission_engine="reference", **kwargs)
-    fast = simulate(scenario, algorithm, admission_engine="fast", **kwargs)
-    assert ref.output.stats == fast.output.stats
-    assert set(ref.output.records) == set(fast.output.records)
+    opt = simulate(scenario, algorithm, admission_engine=engine, **kwargs)
+    assert ref.output.stats == opt.output.stats
+    assert set(ref.output.records) == set(opt.output.records)
     for tid, ref_record in ref.output.records.items():
-        assert ref_record == fast.output.records[tid]
-    assert ref.metrics == fast.metrics
+        assert ref_record == opt.output.records[tid]
+    assert ref.metrics == opt.metrics
 
 
 class TestSingleClusterBitIdentical:
     @given(
         scenario=scenario_strategy,
         algorithm=st.sampled_from(ALGORITHM_NAMES),
+        engine=st.sampled_from(OPTIMIZED_ENGINES),
         eager=st.booleans(),
     )
     @settings(max_examples=40, deadline=None)
-    def test_all_algorithms(self, scenario, algorithm, eager):
+    def test_all_algorithms(self, scenario, algorithm, engine, eager):
         """Every registered algorithm × heterogeneity × eager_release."""
-        assert_same_run(scenario, algorithm, eager_release=eager)
+        assert_same_run(scenario, algorithm, engine, eager_release=eager)
 
     @given(
         scenario=scenario_strategy,
         algorithm=st.sampled_from(["EDF-DLT", "EDF-OPR-MN", "EDF-UserSplit"]),
+        engine=st.sampled_from(OPTIMIZED_ENGINES),
         node_order=st.sampled_from(NODE_ORDERS),
     )
     @settings(max_examples=20, deadline=None)
-    def test_node_orders(self, scenario, algorithm, node_order):
-        """The tie-break orders flow through both engines identically."""
-        assert_same_run(scenario, algorithm, node_order=node_order)
+    def test_node_orders(self, scenario, algorithm, engine, node_order):
+        """The tie-break orders flow through all engines identically."""
+        assert_same_run(scenario, algorithm, engine, node_order=node_order)
 
     @given(
         scenario=scenario_strategy,
         partitioner_cls=st.sampled_from([DltIitPartitioner, OprPartitioner]),
+        engine=st.sampled_from(OPTIMIZED_ENGINES),
         fifo=st.booleans(),
     )
     @settings(max_examples=20, deadline=None)
-    def test_fixed_point_scan(self, scenario, partitioner_cls, fifo):
+    def test_fixed_point_scan(self, scenario, partitioner_cls, engine, fifo):
         """The monotonicity-aware scan returns the reference's exact plan."""
         tasks = scenario.generate_tasks()
         records = []
-        for engine in ("reference", "fast"):
+        for engine_name in ("reference", engine):
             instance = AlgorithmInstance(
                 spec=ALGORITHMS["EDF-DLT"],
                 policy=FifoPolicy() if fifo else EdfPolicy(),
@@ -98,13 +107,13 @@ class TestSingleClusterBitIdentical:
                 instance,
                 tasks,
                 horizon=scenario.total_time,
-                admission_engine=engine,
+                admission_engine=engine_name,
             )
             records.append(sim.run().records)
-        ref, fast = records
-        assert set(ref) == set(fast)
+        ref, opt = records
+        assert set(ref) == set(opt)
         for tid in ref:
-            assert ref[tid] == fast[tid]
+            assert ref[tid] == opt[tid]
 
 
 class TestDirectDecisions:
@@ -119,10 +128,18 @@ class TestDirectDecisions:
         now=st.floats(min_value=0.0, max_value=600.0),
         spread=st.sampled_from([0.0, 0.8]),
         partitioner_cls=st.sampled_from([DltIitPartitioner, OprPartitioner]),
+        engine=st.sampled_from(OPTIMIZED_ENGINES),
     )
     @settings(max_examples=60, deadline=None)
     def test_try_admit_decisions_match(
-        self, releases, sigmas, deadline_scale, now, spread, partitioner_cls
+        self,
+        releases,
+        sigmas,
+        deadline_scale,
+        now,
+        spread,
+        partitioner_cls,
+        engine,
     ):
         """Raw ``try_admit`` calls on arbitrary states agree exactly,
         including the failed task on rejection."""
@@ -145,12 +162,14 @@ class TestDirectDecisions:
         ref = SchedulabilityTest(policy, partitioner, cluster).try_admit(
             new_task, waiting, reservations, now
         )
-        fast_test = FastSchedulabilityTest(policy, partitioner, cluster)
-        fast = fast_test.try_admit(new_task, waiting, reservations, now)
-        assert ref == fast
+        opt_test = make_admission_test(
+            policy, partitioner, cluster, engine=engine
+        )
+        opt = opt_test.try_admit(new_task, waiting, reservations, now)
+        assert ref == opt
         # Re-asking with identical state must replay from the memo, and
         # still be exactly equal (the probe→admit reuse path).
-        again = fast_test.try_admit(new_task, waiting, reservations, now)
+        again = opt_test.try_admit(new_task, waiting, reservations, now)
         assert again == ref
         # Committed state must never be touched by either engine.
         assert np.array_equal(
@@ -167,13 +186,15 @@ class TestFleetBitIdentical:
         clusters=st.sampled_from([1, 3]),
         spread=st.sampled_from([0.0, 0.8]),
         algorithm=st.sampled_from(["EDF-DLT", "EDF-UserSplit"]),
+        engine=st.sampled_from(OPTIMIZED_ENGINES),
     )
     @settings(max_examples=15, deadline=None)
     def test_fleet_routing_and_records(
-        self, seed, policy, clusters, spread, algorithm
+        self, seed, policy, clusters, spread, algorithm, engine
     ):
         """Routing decisions, per-member records and pooled metrics all
-        match — the probe cache and memo reuse are invisible in outputs."""
+        match — the probe cache, the batch engine's ``probe_completion``
+        kernel, and memo reuse are invisible in outputs."""
         scenario = FleetScenario.uniform(
             n_clusters=clusters,
             system_load=0.8,
@@ -184,11 +205,11 @@ class TestFleetBitIdentical:
             name="prop",
         ).with_policy(policy)
         ref = simulate_fleet(scenario, algorithm, admission_engine="reference")
-        fast = simulate_fleet(scenario, algorithm, admission_engine="fast")
-        assert ref.assignments == fast.assignments
-        assert ref.metrics == fast.metrics
-        for ref_out, fast_out in zip(ref.outputs, fast.outputs):
-            assert ref_out.stats == fast_out.stats
-            assert set(ref_out.records) == set(fast_out.records)
+        opt = simulate_fleet(scenario, algorithm, admission_engine=engine)
+        assert ref.assignments == opt.assignments
+        assert ref.metrics == opt.metrics
+        for ref_out, opt_out in zip(ref.outputs, opt.outputs):
+            assert ref_out.stats == opt_out.stats
+            assert set(ref_out.records) == set(opt_out.records)
             for tid in ref_out.records:
-                assert ref_out.records[tid] == fast_out.records[tid]
+                assert ref_out.records[tid] == opt_out.records[tid]

@@ -158,7 +158,7 @@ class TestProtocol:
 
 
 class TestClusterLoopback:
-    @pytest.mark.parametrize("engine", ["fast", "reference"])
+    @pytest.mark.parametrize("engine", ["fast", "batch", "reference"])
     def test_loopback_bit_identical(self, engine):
         scenario = cluster_scenario()
         tasks, decisions, payload = serve_replay(
@@ -181,8 +181,10 @@ class TestClusterLoopback:
     def test_engines_agree_over_the_wire(self):
         scenario = cluster_scenario()
         _, _, fast = serve_replay(scenario, admission_engine="fast")
+        _, _, batch = serve_replay(scenario, admission_engine="batch")
         _, _, reference = serve_replay(scenario, admission_engine="reference")
         assert fast == reference
+        assert batch == reference
 
     def test_loopback_diff_reports_tampering(self):
         scenario = cluster_scenario()
@@ -223,13 +225,15 @@ class TestFleetLoopback:
 
 
 class TestConcurrentClients:
-    def test_two_interleaved_clients_merge_deterministically(self):
-        """Satellite: two clients sharding a trace ≡ one serial client."""
+    @pytest.mark.parametrize("engine", ["fast", "batch"])
+    def test_two_interleaved_clients_merge_deterministically(self, engine):
+        """Satellite: two clients sharding a trace ≡ one serial client,
+        regardless of which admission engine serves them."""
         scenario = fleet_scenario("earliest-finish")
         tasks = scenario.stream_scenario().generate_tasks()
-        offline = simulate_fleet(scenario, "EDF-DLT")
+        offline = simulate_fleet(scenario, "EDF-DLT", admission_engine=engine)
 
-        backend = make_backend(scenario, "EDF-DLT")
+        backend = make_backend(scenario, "EDF-DLT", admission_engine=engine)
         with BackgroundServer(backend) as bg:
             host, port = bg.address
             with AdmissionClient(host, port) as a, AdmissionClient(
