@@ -38,6 +38,7 @@ from repro.experiments.figures import DEFAULT_LOADS, FIGURES
 from repro.experiments.report import panel_to_csv, render_chart, render_panel
 from repro.experiments.runner import replication_seed, simulate
 from repro.experiments.sweep import run_node_order_sweep, run_panel, run_spread_sweep
+from repro.faults import FaultPlan, FaultProcess
 from repro.fleet.routing import routing_policy_names, static_routing_policy_names
 from repro.fleet.scenario import FleetScenario
 from repro.learn import LEARN_MODES, LearnConfig, reward_model_names
@@ -166,6 +167,37 @@ def _add_sim_flag_args(p: argparse.ArgumentParser) -> None:
         "(default: the paper's node-id order)",
     )
     _add_engine_arg(p)
+
+
+def _add_fault_args(p: argparse.ArgumentParser) -> None:
+    """Fault-injection flags (run-scenario / fleet / serve / replay)."""
+    g = p.add_mutually_exclusive_group()
+    g.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="FILE",
+        help="explicit JSON fault plan (see examples/sample_faults.json)",
+    )
+    g.add_argument(
+        "--fault-rate",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="seeded random faults at RATE events per time unit, "
+        "materialized from the scenario seed's dedicated fault stream",
+    )
+
+
+def _faults_from_args(
+    args: argparse.Namespace,
+) -> FaultPlan | FaultProcess | None:
+    """The faults field a CLI invocation describes (``None`` = fault-free)."""
+    if getattr(args, "fault_plan", None):
+        return FaultPlan.from_json(args.fault_plan)
+    rate = getattr(args, "fault_rate", None)
+    if rate is not None:
+        return FaultProcess(rate=rate)
+    return None
 
 
 def _add_engine_arg(p: argparse.ArgumentParser, default: str = "fast") -> None:
@@ -327,6 +359,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="metric to aggregate (see repro.metrics.metric_names())",
     )
     _add_sim_flag_args(p_sc)
+    _add_fault_args(p_sc)
     fmt = p_sc.add_mutually_exclusive_group()
     fmt.add_argument("--json", action="store_true", help="emit all records as JSON")
     fmt.add_argument("--csv", action="store_true", help="emit all records as CSV")
@@ -495,6 +528,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default=learn_defaults.ucb_c,
         help="ucb1: exploration-bonus scale (> 0; 1 = classic UCB1)",
     )
+    _add_fault_args(p_fl)
     fmt_fl = p_fl.add_mutually_exclusive_group()
     fmt_fl.add_argument("--json", action="store_true", help="emit all records as JSON")
     fmt_fl.add_argument("--csv", action="store_true", help="emit all records as CSV")
@@ -651,6 +685,7 @@ def _add_serve_shared_args(p: argparse.ArgumentParser) -> None:
         action="store_true",
         help="hand nodes back at actual rather than estimated completion",
     )
+    _add_fault_args(p)
 
 
 def _serve_fleet_scenario(args: argparse.Namespace) -> FleetScenario:
@@ -678,6 +713,9 @@ def _serve_fleet_scenario(args: argparse.Namespace) -> FleetScenario:
         name="serve",
         learn=learn,
     )
+    faults = _faults_from_args(args)
+    if faults is not None:
+        base = base.with_faults(faults)
     if args.arrivals == "trace":
         from dataclasses import replace
 
@@ -826,6 +864,7 @@ def _scenario_from_args(args: argparse.Namespace) -> Scenario:
         total_time=args.total_time,
         seed=args.seed,
         name=args.name,
+        faults=_faults_from_args(args),
     )
 
 
@@ -924,6 +963,9 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         name=f"cli-fleet-{args.clusters}x{args.nodes}",
         learn=learn,
     )
+    faults = _faults_from_args(args)
+    if faults is not None:
+        base = base.with_faults(faults)
 
     specs = [
         RunSpec(

@@ -162,5 +162,27 @@ class NodeReservations:
         self._release[ids] = np.minimum(self._release[ids], t)
         self._owner[ids] = self.NO_OWNER
 
+    def floor_release(self, node_ids: Iterable[int], until: float) -> None:
+        """Raise holds to at least ``until`` (a fault outage).
+
+        A crashed node cannot be handed to anyone before it recovers, so
+        its release time is *floored* at the recovery instant.  The floor
+        is monotone (``max`` with the current hold, so overlapping
+        outages compose to the latest recovery) and ownerless: it belongs
+        to the environment, not to any task, and clearing the owner means
+        no completing task's :meth:`release_early` can ever undercut it.
+        Later assignments extend past it normally — admission plans start
+        at or after availability, which now includes the floor.
+        """
+        ids = np.asarray(list(node_ids), dtype=np.intp)
+        if ids.size == 0:
+            return
+        if np.any(ids < 0) or np.any(ids >= self.nodes):
+            raise InvalidParameterError(
+                f"node ids out of range [0, {self.nodes}): {ids.tolist()}"
+            )
+        self._release[ids] = np.maximum(self._release[ids], until)
+        self._owner[ids] = self.NO_OWNER
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"NodeReservations({self._release.tolist()})"

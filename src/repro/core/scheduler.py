@@ -53,7 +53,15 @@ class StartDirective:
 
 @dataclass(slots=True)
 class SchedulerStats:
-    """Counters the scheduler maintains as it goes."""
+    """Counters the scheduler maintains as it goes.
+
+    The last three only move when fault injection is active:
+    ``displaced`` counts running tasks torn down by a fault,
+    ``readmitted`` counts successful post-fault re-admissions (of both
+    displaced and formerly-waiting tasks), and ``fault_missed`` counts
+    tasks the post-fault re-plan could no longer place — honest losses,
+    terminal outcome :attr:`~repro.core.task.TaskOutcome.DISPLACED`.
+    """
 
     arrivals: int = 0
     accepted: int = 0
@@ -61,6 +69,9 @@ class SchedulerStats:
     admission_tests: int = 0
     replanned_tasks: int = 0
     cancelled: int = 0
+    displaced: int = 0
+    readmitted: int = 0
+    fault_missed: int = 0
 
     @property
     def reject_ratio(self) -> float:
@@ -242,6 +253,97 @@ class ClusterScheduler:
         self.stats.cancelled += 1
         return True
 
+    # -- fault displacement ------------------------------------------------
+    def displace(
+        self,
+        task_id: int,
+        node_ids: tuple[int, ...],
+        release_times: tuple[float, ...],
+        now: float,
+    ) -> TaskRecord:
+        """Tear down a *running* task hit by a fault.
+
+        The executor (which owns the physical chunk timeline) decides the
+        honest per-node rollback times — how far each node actually got
+        before the fault — and passes them here; the scheduler hands the
+        nodes back at those times (owner-gated, exactly like an eager
+        release) and forgets the task ever ran.  The record keeps its
+        ``ACCEPTED`` outcome for the moment: the driver immediately tries
+        :meth:`readmit`, which settles it either way.
+        """
+        self._check_time(now)
+        if task_id not in self.running:
+            raise ScheduleConsistencyError(
+                f"displacement of task {task_id} which is not running"
+            )
+        self.running.pop(task_id)
+        self.reservations.release_early(node_ids, release_times, owner=task_id)
+        record = self.records[task_id]
+        record.est_completion = None
+        record.started_at = None
+        record.n_nodes = None
+        record.node_ids = ()
+        self.stats.displaced += 1
+        return record
+
+    def clear_committed(self) -> list[DivisibleTask]:
+        """Empty the waiting queue + committed plans for a fault re-plan.
+
+        Returns the formerly waiting tasks (insertion order).  Every
+        outstanding :class:`StartDirective` goes stale the moment the next
+        re-admission bumps the plan version; the driver additionally
+        cancels their heap entries outright.  Records and counters are
+        untouched — each task's fate is settled by :meth:`readmit`.
+        """
+        tasks = list(self.waiting.values())
+        self.waiting.clear()
+        self.committed_plans.clear()
+        return tasks
+
+    def readmit(
+        self, task: DivisibleTask, now: float
+    ) -> list[StartDirective] | None:
+        """Re-run admission for a fault-displaced (or re-queued) task.
+
+        Same walk as :meth:`on_arrival` with three deliberate
+        differences: the task keeps its original arrival and deadline (a
+        late re-admission is an honest deadline miss, never a silent
+        success), ``arrivals``/``accepted``/``rejected`` do not move (the
+        task already arrived once), and the partitioner's per-arrival
+        hook is *not* re-run — a stochastic partitioner (User-Split)
+        reuses the node request it drew at first arrival, keeping the
+        RNG stream unperturbed.
+
+        Returns the new start directives on success; ``None`` when the
+        post-fault schedule cannot fit the task, in which case its record
+        flips to :attr:`~repro.core.task.TaskOutcome.DISPLACED` and
+        ``fault_missed`` increments.
+        """
+        self._check_time(now)
+        self.stats.admission_tests += 1
+        decision = self.test.try_admit(
+            task, list(self.waiting.values()), self.reservations, now
+        )
+        record = self.records[task.task_id]
+        if not decision.accepted:
+            record.outcome = TaskOutcome.DISPLACED
+            self.stats.fault_missed += 1
+            return None
+        record.outcome = TaskOutcome.ACCEPTED
+        self.waiting[task.task_id] = task
+        self.stats.readmitted += 1
+        self.stats.replanned_tasks += max(len(self.waiting) - 1, 0)
+        self.plan_version += 1
+        self.committed_plans = dict(decision.plans)
+        return [
+            StartDirective(
+                task_id=tid,
+                start_time=plan.start_time,
+                version=self.plan_version,
+            )
+            for tid, plan in self.committed_plans.items()
+        ]
+
     # -- introspection ----------------------------------------------------
     @property
     def waiting_count(self) -> int:
@@ -257,8 +359,9 @@ class ClusterScheduler:
         """Life-cycle state of a task id, as a stable lowercase string.
 
         One of ``"unknown"`` (never arrived here), ``"rejected"``,
-        ``"cancelled"``, ``"waiting"`` (admitted, not started),
-        ``"running"`` (started, not completed) or ``"completed"``.
+        ``"cancelled"``, ``"displaced"`` (fault victim that could not be
+        re-admitted), ``"waiting"`` (admitted, not started), ``"running"``
+        (started, not completed) or ``"completed"``.
         """
         record = self.records.get(task_id)
         if record is None:
@@ -267,6 +370,8 @@ class ClusterScheduler:
             return "rejected"
         if record.outcome is TaskOutcome.CANCELLED:
             return "cancelled"
+        if record.outcome is TaskOutcome.DISPLACED:
+            return "displaced"
         if task_id in self.waiting:
             return "waiting"
         if task_id in self.running:

@@ -74,11 +74,19 @@ class TaskOutcome(enum.Enum):
     live admission service exposes this through its ``cancel`` request).
     Offline replays never produce it, so the paper's accept/reject
     accounting is untouched.
+
+    ``DISPLACED`` marks an admitted task knocked out by a fault (its
+    nodes crashed, or the post-fault re-plan could no longer fit it) that
+    the re-admission pass could not place again.  It is the honest
+    terminal state for fault victims: the admission guarantee was broken
+    by the environment, and the record says so instead of faking a
+    completion.  Fault-free runs never produce it.
     """
 
     ACCEPTED = "accepted"
     REJECTED = "rejected"
     CANCELLED = "cancelled"
+    DISPLACED = "displaced"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value

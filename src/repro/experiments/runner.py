@@ -106,6 +106,7 @@ def simulate(
         eager_release=eager_release,
         shared_head_link=shared_head_link,
         admission_engine=admission_engine,
+        faults=scenario.fault_plan(),
     )
     output = sim.run()
     return RunResult(

@@ -1,0 +1,47 @@
+"""Deterministic fault injection: plans, seeded processes, event model.
+
+The paper's admission guarantee is only as strong as the availability
+vector it reasons over.  This package supplies the missing robustness
+axis: *faults* — node slowdown, link degradation, node churn and
+whole-member blackouts — as first-class, timestamped events that the
+simulation kernel applies mid-run, displacing in-flight work and
+re-admitting it through the normal admission test.
+
+Two ways to specify faults, both carried on a
+:class:`~repro.workload.scenario.Scenario` /
+:class:`~repro.fleet.scenario.FleetScenario` via their ``faults`` field:
+
+* :class:`FaultPlan` — an explicit, validated list of
+  :class:`FaultEvent` entries (reproducible by construction; JSON
+  round-trip via :meth:`FaultPlan.from_json` / :meth:`FaultPlan.to_dict`).
+* :class:`FaultProcess` — a seeded generator that materializes a
+  :class:`FaultPlan` from a dedicated RNG stream
+  (``SeedSequence([scenario_seed, FAULT_SEED_SALT])``), so the same
+  scenario seed always yields the same fault stream, independent of the
+  arrival / size / deadline / algorithm streams.
+
+Determinism contract (asserted by ``tests/test_faults_properties.py``):
+an empty plan is bit-identical to no faults at all; the same seed
+replays the identical event stream; and generated plans never violate
+the model invariants (positive durations, factors >= 1, node-level
+kinds carry a node).  See ``docs/faults.md`` for the full event model
+and re-admission semantics.
+"""
+
+from __future__ import annotations
+
+from repro.faults.model import (
+    FAULT_KINDS,
+    FAULT_SEED_SALT,
+    FaultEvent,
+    FaultPlan,
+)
+from repro.faults.process import FaultProcess
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_SEED_SALT",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultProcess",
+]

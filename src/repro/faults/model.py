@@ -1,0 +1,311 @@
+"""Fault event model: validated events, canonical plans, JSON IO.
+
+A fault is a *window*: it opens at ``time`` and closes at
+``time + duration``.  Four kinds exist (:data:`FAULT_KINDS`):
+
+``slowdown``
+    One node computes slower — its effective ``cps_i`` is multiplied by
+    ``factor`` (>= 1) for the window.  Admission keeps planning with the
+    *nominal* cost, so completions slip past their estimates and show up
+    as honest deadline misses — never as re-planned successes.
+``degrade``
+    One head-node link transmits slower — effective ``cms_i`` multiplied
+    by ``factor`` for the window (the link-degradation axis of the
+    resource-sharing DLT literature).
+``node_down``
+    One node crashes and recovers at window close.  Running tasks with a
+    chunk on that node are torn down and re-admitted with their original
+    deadline; the node's availability is floored at the recovery time.
+``blackout``
+    Every node of the targeted member goes down at once — ``node_down``
+    for the whole cluster (and the event that exercises mass
+    cancellation in the event heap).
+
+``member`` targets a fleet member index; ``None`` means member 0, so a
+single-cluster plan needs no member bookkeeping and the same JSON file
+drives ``run-scenario`` and ``fleet`` alike.  ``node`` indexes a node
+within the member and is required exactly for the node-level kinds.
+
+Plans are canonically ordered (time, kind priority, member, node) so
+that identical plans schedule identical kernel event sequences no
+matter how their event lists were assembled.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.core.errors import InvalidParameterError
+
+__all__ = ["FAULT_KINDS", "FAULT_SEED_SALT", "FaultEvent", "FaultPlan"]
+
+#: The four fault kinds, in canonical (same-timestamp priority) order:
+#: capacity changes apply before outages so a node that is both slowed
+#: and crashed at time ``t`` recovers to the slowed speed.
+FAULT_KINDS = ("slowdown", "degrade", "node_down", "blackout")
+
+#: Salt mixed with the scenario seed (``SeedSequence([seed, SALT])``) to
+#: derive the dedicated fault-materialization stream — b"faul", in the
+#: same spirit as the fleet's member/routing/learning salts.
+FAULT_SEED_SALT = 0x6661756C
+
+_KIND_RANK = {kind: rank for rank, kind in enumerate(FAULT_KINDS)}
+
+#: Kinds whose target is a single node (``node`` required).
+_NODE_KINDS = frozenset({"slowdown", "degrade", "node_down"})
+
+#: Kinds that scale a per-node cost by ``factor``.
+_FACTOR_KINDS = frozenset({"slowdown", "degrade"})
+
+
+def _check_finite(name: str, value: float) -> float:
+    """Coerce one scalar field to a finite float or raise."""
+    value = float(value)
+    if value != value or value in (float("inf"), float("-inf")):
+        raise InvalidParameterError(f"{name} must be finite, got {value}")
+    return value
+
+
+@dataclass(frozen=True, slots=True)
+class FaultEvent:
+    """One fault window: ``kind`` hits its target over ``[time, end)``.
+
+    Parameters
+    ----------
+    time:
+        Window open (simulation time, >= 0, finite).
+    kind:
+        One of :data:`FAULT_KINDS`.
+    duration:
+        Window length (> 0, finite); the fault clears at :attr:`end`.
+    node:
+        Target node index within the member — required for the
+        node-level kinds (``slowdown`` / ``degrade`` / ``node_down``),
+        forbidden for ``blackout``.
+    member:
+        Fleet member index (``None`` = member 0 / the only cluster).
+    factor:
+        Multiplicative cost factor (>= 1) for ``slowdown`` / ``degrade``;
+        must stay at its default 1.0 for the outage kinds.
+    """
+
+    time: float
+    kind: str
+    duration: float
+    node: int | None = None
+    member: int | None = None
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KIND_RANK:
+            raise InvalidParameterError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        time = _check_finite("fault time", self.time)
+        if time < 0.0:
+            raise InvalidParameterError(f"fault time must be >= 0, got {time}")
+        duration = _check_finite("fault duration", self.duration)
+        if duration <= 0.0:
+            raise InvalidParameterError(
+                f"fault duration must be > 0, got {duration}"
+            )
+        factor = _check_finite("fault factor", self.factor)
+        if self.kind in _FACTOR_KINDS:
+            if factor < 1.0:
+                raise InvalidParameterError(
+                    f"{self.kind} factor must be >= 1, got {factor}"
+                )
+        elif factor != 1.0:
+            raise InvalidParameterError(
+                f"{self.kind} does not take a factor (got {factor})"
+            )
+        if self.kind in _NODE_KINDS:
+            if self.node is None:
+                raise InvalidParameterError(f"{self.kind} requires a node index")
+            if int(self.node) < 0:
+                raise InvalidParameterError(
+                    f"node index must be >= 0, got {self.node}"
+                )
+        elif self.node is not None:
+            raise InvalidParameterError(
+                f"{self.kind} targets a whole member, not node {self.node}"
+            )
+        if self.member is not None and int(self.member) < 0:
+            raise InvalidParameterError(
+                f"member index must be >= 0, got {self.member}"
+            )
+        object.__setattr__(self, "time", time)
+        object.__setattr__(self, "duration", duration)
+        object.__setattr__(self, "factor", factor)
+        if self.node is not None:
+            object.__setattr__(self, "node", int(self.node))
+        if self.member is not None:
+            object.__setattr__(self, "member", int(self.member))
+
+    @property
+    def end(self) -> float:
+        """Window close: ``time + duration`` (the recover / restore instant)."""
+        return self.time + self.duration
+
+    def sort_key(self) -> tuple:
+        """Canonical plan order: time, kind priority, member, node, rest."""
+        return (
+            self.time,
+            _KIND_RANK[self.kind],
+            -1 if self.member is None else self.member,
+            -1 if self.node is None else self.node,
+            self.duration,
+            self.factor,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready dict (omits defaulted ``node``/``member``/``factor``)."""
+        out: dict[str, Any] = {
+            "time": self.time,
+            "kind": self.kind,
+            "duration": self.duration,
+        }
+        if self.node is not None:
+            out["node"] = self.node
+        if self.member is not None:
+            out["member"] = self.member
+        if self.factor != 1.0:
+            out["factor"] = self.factor
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FaultEvent":
+        """Inverse of :meth:`to_dict` (unknown keys rejected)."""
+        known = {"time", "kind", "duration", "node", "member", "factor"}
+        extra = set(data) - known
+        if extra:
+            raise InvalidParameterError(
+                f"unknown fault event keys: {sorted(extra)}"
+            )
+        if not {"time", "kind", "duration"} <= set(data):
+            raise InvalidParameterError(
+                "fault event needs at least time/kind/duration: " f"{data!r}"
+            )
+        return cls(
+            time=data["time"],
+            kind=data["kind"],
+            duration=data["duration"],
+            node=data.get("node"),
+            member=data.get("member"),
+            factor=data.get("factor", 1.0),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class FaultPlan:
+    """An explicit, canonically ordered fault event list.
+
+    Construction sorts the events into canonical order
+    (:meth:`FaultEvent.sort_key`), so two plans with the same event *set*
+    compare equal and schedule the identical kernel event sequence.  An
+    empty plan is a valid value meaning "no faults" and is guaranteed to
+    reproduce the fault-free run bit-for-bit.
+    """
+
+    events: tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        events = tuple(sorted(self.events, key=FaultEvent.sort_key))
+        for event in events:
+            if not isinstance(event, FaultEvent):
+                raise InvalidParameterError(
+                    f"FaultPlan events must be FaultEvent, got {event!r}"
+                )
+        object.__setattr__(self, "events", events)
+
+    def __bool__(self) -> bool:
+        """Truthy iff the plan carries at least one event."""
+        return bool(self.events)
+
+    def __len__(self) -> int:
+        """Number of fault events."""
+        return len(self.events)
+
+    def for_member(self, index: int) -> "FaultPlan":
+        """The member-local sub-plan hitting fleet member ``index``.
+
+        Events with ``member is None`` belong to member 0, so a plan
+        written for a single cluster applies unchanged to the first
+        member of a fleet (and :func:`~repro.serve.backend.make_backend`'s
+        1-cluster collapse keeps seeing the same faults).  The returned
+        events have their ``member`` field *stripped* (set to ``None``):
+        a sub-plan is member-local, so it rides a single-cluster
+        :class:`~repro.workload.scenario.Scenario` as-is.
+        """
+        return FaultPlan(
+            tuple(
+                FaultEvent(
+                    time=event.time,
+                    kind=event.kind,
+                    duration=event.duration,
+                    node=event.node,
+                    member=None,
+                    factor=event.factor,
+                )
+                for event in self.events
+                if (event.member if event.member is not None else 0) == index
+            )
+        )
+
+    def max_member(self) -> int:
+        """Largest member index any event targets (0 for memberless plans)."""
+        return max(
+            (event.member if event.member is not None else 0)
+            for event in self.events
+        ) if self.events else 0
+
+    def describe_token(self) -> str:
+        """Short content digest for scenario fingerprints / handshakes."""
+        payload = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:12]
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready dict: ``{"events": [...]}``."""
+        return {"events": [event.to_dict() for event in self.events]}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FaultPlan":
+        """Inverse of :meth:`to_dict`."""
+        if not isinstance(data, dict) or "events" not in data:
+            raise InvalidParameterError(
+                'fault plan JSON must be an object with an "events" list'
+            )
+        events = data["events"]
+        if not isinstance(events, list):
+            raise InvalidParameterError('"events" must be a list')
+        return cls(tuple(FaultEvent.from_dict(item) for item in events))
+
+    @classmethod
+    def from_events(cls, events: Iterable[FaultEvent]) -> "FaultPlan":
+        """Build from any iterable of events (canonical order applied)."""
+        return cls(tuple(events))
+
+    @classmethod
+    def from_json(cls, path: str | Path) -> "FaultPlan":
+        """Load a plan from a JSON file (see ``examples/sample_faults.json``)."""
+        text = Path(path).read_text(encoding="utf-8")
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise InvalidParameterError(
+                f"invalid fault plan JSON in {path}: {exc}"
+            ) from None
+        return cls.from_dict(data)
+
+    def to_json(self, path: str | Path) -> None:
+        """Write the plan as indented JSON (round-trips via :meth:`from_json`)."""
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )

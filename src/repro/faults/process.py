@@ -1,0 +1,146 @@
+"""Seeded fault generators: a process that materializes into a plan.
+
+A :class:`FaultProcess` is a *recipe* — picklable, hashable, carried on
+a scenario — that turns a dedicated RNG stream into an explicit
+:class:`~repro.faults.model.FaultPlan` via :meth:`FaultProcess.materialize`.
+Scenarios derive that stream as ``SeedSequence([seed, FAULT_SEED_SALT])``,
+so the fault stream is (a) fully determined by the scenario seed and
+(b) independent of the arrival / size / deadline / algorithm streams:
+adding faults never perturbs the workload itself.
+
+Replay guarantee: the same process materialized against the same seed,
+horizon and member shape yields the identical plan — event for event —
+which is property (b) of ``tests/test_faults_properties.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.errors import InvalidParameterError
+from repro.faults.model import FAULT_KINDS, FaultEvent, FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover
+    import numpy as np
+
+__all__ = ["FaultProcess"]
+
+
+@dataclass(frozen=True, slots=True)
+class FaultProcess:
+    """A seeded Poisson stream of faults over a scenario horizon.
+
+    Parameters
+    ----------
+    rate:
+        Expected fault events per unit simulation time (> 0).  Horizons
+        in this repo run ~1e4–1e6 time units, so rates around ``1e-4``
+        yield a handful of windows per run.
+    kinds:
+        Fault kinds to draw from, uniformly (default: all four).
+    min_factor / max_factor:
+        Uniform range for the slowdown / degradation factor
+        (``1 <= min_factor <= max_factor``).
+    mean_duration:
+        Mean fault window length, as a *fraction of the horizon*
+        (exponential draw, capped at one horizon).
+    """
+
+    rate: float
+    kinds: tuple[str, ...] = FAULT_KINDS
+    min_factor: float = 1.5
+    max_factor: float = 4.0
+    mean_duration: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not self.rate > 0.0 or self.rate != self.rate:
+            raise InvalidParameterError(
+                f"fault rate must be > 0, got {self.rate}"
+            )
+        kinds = tuple(self.kinds)
+        if not kinds:
+            raise InvalidParameterError("FaultProcess needs at least one kind")
+        for kind in kinds:
+            if kind not in FAULT_KINDS:
+                raise InvalidParameterError(
+                    f"unknown fault kind {kind!r}; expected one of {FAULT_KINDS}"
+                )
+        if not 1.0 <= self.min_factor <= self.max_factor:
+            raise InvalidParameterError(
+                "need 1 <= min_factor <= max_factor, got "
+                f"{self.min_factor} / {self.max_factor}"
+            )
+        if not self.mean_duration > 0.0:
+            raise InvalidParameterError(
+                f"mean_duration must be > 0, got {self.mean_duration}"
+            )
+        object.__setattr__(self, "kinds", kinds)
+
+    def describe_token(self) -> str:
+        """Stable parameter fingerprint for scenario ``describe()`` dicts."""
+        return (
+            f"process(rate={self.rate!r},kinds={','.join(self.kinds)},"
+            f"factor=[{self.min_factor!r},{self.max_factor!r}],"
+            f"mean_duration={self.mean_duration!r})"
+        )
+
+    def materialize(
+        self,
+        rng: "np.random.Generator",
+        *,
+        horizon: float,
+        member_nodes: tuple[int, ...],
+    ) -> FaultPlan:
+        """Draw the explicit plan for one run.
+
+        Parameters
+        ----------
+        rng:
+            The dedicated fault stream (scenarios build it from
+            ``SeedSequence([seed, FAULT_SEED_SALT])``).
+        horizon:
+            Scenario ``total_time``; events open in ``[0, horizon)``.
+        member_nodes:
+            Node count per fleet member — ``(n,)`` for a single cluster.
+            Node-level events draw a node uniformly within the targeted
+            member; single-member plans store ``member=None`` so they
+            stay interchangeable with hand-written cluster plans.
+
+        The draw order per event is fixed (time, kind, member, node,
+        factor, duration), so one seed always replays one stream.
+        """
+        if not horizon > 0.0:
+            raise InvalidParameterError(f"horizon must be > 0, got {horizon}")
+        if not member_nodes or any(n < 1 for n in member_nodes):
+            raise InvalidParameterError(
+                f"member_nodes must be positive counts, got {member_nodes!r}"
+            )
+        n_members = len(member_nodes)
+        count = int(rng.poisson(self.rate * horizon))
+        mean_len = self.mean_duration * horizon
+        events = []
+        for _ in range(count):
+            time = float(rng.uniform(0.0, horizon))
+            kind = self.kinds[int(rng.integers(len(self.kinds)))]
+            member_index = int(rng.integers(n_members)) if n_members > 1 else 0
+            member = member_index if n_members > 1 else None
+            node: int | None = None
+            if kind != "blackout":
+                node = int(rng.integers(member_nodes[member_index]))
+            factor = 1.0
+            if kind in ("slowdown", "degrade"):
+                factor = float(rng.uniform(self.min_factor, self.max_factor))
+            duration = min(float(rng.exponential(mean_len)), horizon)
+            duration = max(duration, mean_len * 1e-6)
+            events.append(
+                FaultEvent(
+                    time=time,
+                    kind=kind,
+                    duration=duration,
+                    node=node,
+                    member=member,
+                    factor=factor,
+                )
+            )
+        return FaultPlan(tuple(events))

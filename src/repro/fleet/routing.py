@@ -76,6 +76,13 @@ class ClusterView:
         consume the member's per-task algorithm draw, which is
         deterministic — exactly one draw per stream task, in arrival
         order, reused if the task is then routed there.
+    up:
+        ``False`` while the member sits inside a fault blackout window
+        (every node down).  State-aware policies steer around downed
+        members; state-blind ones (``round-robin``) ignore it, which is
+        exactly what makes them the baseline under churn.  Admission on a
+        downed member still runs honestly — its node availability is
+        floored at the recovery instant, so most submissions bounce.
     """
 
     index: int
@@ -85,6 +92,7 @@ class ClusterView:
     backlog: float
     busy_time: float
     probe: Callable[[DivisibleTask], float | None]
+    up: bool = True
 
 
 class RoutingPolicy(ABC):
@@ -172,17 +180,21 @@ class RandomWeighted(RoutingPolicy):
 class LeastLoaded(RoutingPolicy):
     """Route to the cluster with the fewest outstanding tasks.
 
-    Joins the shortest queue: primary key is admitted-but-unfinished task
-    count, ties broken by the smaller reserved backlog (mean committed
-    node-time beyond now), then by cluster index.  Reacts to load
-    imbalance without any model of the task itself.
+    Joins the shortest queue: primary key is member health (up members
+    beat blacked-out ones), then admitted-but-unfinished task count, ties
+    broken by the smaller reserved backlog (mean committed node-time
+    beyond now), then by cluster index.  Reacts to load imbalance — and,
+    under fault injection, to member blackouts — without any model of the
+    task itself.
     """
 
     name = "least-loaded"
 
     def route(self, task: DivisibleTask, views: Sequence[ClusterView]) -> int:
-        """Return the argmin of (outstanding, backlog, index)."""
-        return min(views, key=lambda v: (v.outstanding, v.backlog, v.index)).index
+        """Return the argmin of (not up, outstanding, backlog, index)."""
+        return min(
+            views, key=lambda v: (not v.up, v.outstanding, v.backlog, v.index)
+        ).index
 
 
 class EarliestFinish(RoutingPolicy):

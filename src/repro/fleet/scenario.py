@@ -42,6 +42,7 @@ import numpy as np
 
 from repro.core.cluster import ClusterProfile
 from repro.core.errors import InvalidParameterError
+from repro.faults import FAULT_SEED_SALT, FaultPlan, FaultProcess
 from repro.workload.scenario import Scenario, WorkloadModel
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -107,6 +108,14 @@ class FleetScenario:
     member_eager_release:
         Optional per-member ``eager_release`` overrides, same shape and
         ``None``-defaulting as ``member_algorithms``.
+    faults:
+        Optional fault injection: an explicit
+        :class:`~repro.faults.model.FaultPlan` (events target members via
+        their ``member`` field; ``None`` = member 0) or a seeded
+        :class:`~repro.faults.process.FaultProcess` recipe materialized
+        once per run from ``SeedSequence([seed, FAULT_SEED_SALT])``.
+        Resolved by :meth:`fault_plan`; each member simulation receives
+        its member-local sub-plan.
     """
 
     clusters: tuple[ClusterProfile, ...]
@@ -118,6 +127,7 @@ class FleetScenario:
     learn: "LearnConfig | None" = None
     member_algorithms: tuple[str | None, ...] | None = None
     member_eager_release: tuple[bool | None, ...] | None = None
+    faults: FaultPlan | FaultProcess | None = None
 
     def __post_init__(self) -> None:
         # Imported here: routing imports this module for type hints.
@@ -144,6 +154,21 @@ class FleetScenario:
         validate_routing_policy(self.policy)
         self._validate_learn()
         self._validate_member_overrides()
+        if self.faults is not None:
+            if not isinstance(self.faults, (FaultPlan, FaultProcess)):
+                raise InvalidParameterError(
+                    "faults must be a FaultPlan or FaultProcess, got "
+                    f"{self.faults!r}"
+                )
+            if (
+                isinstance(self.faults, FaultPlan)
+                and self.faults
+                and self.faults.max_member() >= self.n_clusters
+            ):
+                raise InvalidParameterError(
+                    f"fault plan targets member {self.faults.max_member()} "
+                    f"of a {self.n_clusters}-cluster fleet"
+                )
 
     def _validate_learn(self) -> None:
         """Check the ``learn`` field is a LearnConfig (or None)."""
@@ -321,6 +346,12 @@ class FleetScenario:
         """The same fleet under different learning hyper-parameters."""
         return replace(self, learn=learn)
 
+    def with_faults(
+        self, faults: "FaultPlan | FaultProcess | None"
+    ) -> "FleetScenario":
+        """The same fleet under a different fault plan / process."""
+        return replace(self, faults=faults)
+
     def with_member_overrides(
         self,
         *,
@@ -377,12 +408,46 @@ class FleetScenario:
             raise InvalidParameterError(
                 f"member index {index} out of range [0, {self.n_clusters})"
             )
+        plan = self.fault_plan()
         return Scenario(
             cluster=self.clusters[index],
             workload=self.workload,
             total_time=self.total_time,
             seed=fleet_member_seed(self.seed, index),
             name=f"{self.name}/cluster-{index}" if self.name else f"cluster-{index}",
+            faults=plan.for_member(index) if plan is not None else None,
+        )
+
+    def fault_rng(self) -> np.random.Generator:
+        """The RNG stream reserved for fault materialization.
+
+        Salted with the same constant a single-cluster scenario uses
+        (``SeedSequence([seed, FAULT_SEED_SALT])``), independent of the
+        workload / algorithm / routing / learning streams: attaching a
+        fault process never perturbs the task set or the routing draws.
+        """
+        return np.random.default_rng(
+            np.random.SeedSequence([int(self.seed), FAULT_SEED_SALT])
+        )
+
+    def fault_plan(self) -> "FaultPlan | None":
+        """The resolved fleet-wide fault plan for this run, or ``None``.
+
+        An explicit plan passes through unchanged; a
+        :class:`~repro.faults.process.FaultProcess` is materialized
+        against :meth:`fault_rng` and the fleet's member/node shape.
+        Per-member sub-plans come from
+        :meth:`~repro.faults.model.FaultPlan.for_member` (and ride each
+        :meth:`member_scenario`).
+        """
+        if self.faults is None:
+            return None
+        if isinstance(self.faults, FaultPlan):
+            return self.faults
+        return self.faults.materialize(
+            self.fault_rng(),
+            horizon=self.total_time,
+            member_nodes=tuple(c.nodes for c in self.clusters),
         )
 
     def routing_rng(self) -> np.random.Generator:
@@ -441,4 +506,6 @@ class FleetScenario:
                 "-" if e is None else str(int(e))
                 for e in self.member_eager_release
             )
+        if self.faults is not None:
+            out["faults"] = self.faults.describe_token()
         return out

@@ -43,6 +43,7 @@ from repro.fleet.scenario import FleetScenario
 from repro.learn.feedback import (
     PHASE_ADMISSION,
     PHASE_COMPLETION,
+    PHASE_FAULT,
     LearningReport,
     RoutingFeedback,
 )
@@ -142,9 +143,14 @@ class FleetSimulation:
         #: exactly when the same probe against the same dynamic state must
         #: return the same estimate: same cluster costs and algorithm.
         self._probe_sigs: list[tuple[object, ...] | None] = []
+        #: Per-member blackout windows ``(start, end)`` from the fault
+        #: plan — the member counts as *down* over ``[start, end)`` for
+        #: routing views and up/down transition feedback.
+        self._down_windows: list[tuple[tuple[float, float], ...]] = []
         for i in range(scenario.n_clusters):
             member = scenario.member_scenario(i)
             member_algorithm = scenario.member_algorithm(i, algorithm)
+            member_faults = member.fault_plan()
             instance = make_algorithm(
                 member_algorithm,
                 rng=member.algorithm_rng(),
@@ -160,6 +166,14 @@ class FleetSimulation:
                     eager_release=scenario.member_eager(i, eager_release),
                     shared_head_link=shared_head_link,
                     admission_engine=admission_engine,
+                    faults=member_faults,
+                )
+            )
+            self._down_windows.append(
+                tuple(
+                    (event.time, event.end)
+                    for event in (member_faults.events if member_faults else ())
+                    if event.kind == "blackout"
                 )
             )
             self._probe_sigs.append(
@@ -189,6 +203,7 @@ class FleetSimulation:
             self.policy, "wants_completion_feedback", True
         )
         self._assignments: list[int] = []
+        self._member_up = [True] * len(self.sims)
         self._routed: dict[int, int] = {}
         self._last_arrival = -np.inf
         self._done = False
@@ -196,6 +211,42 @@ class FleetSimulation:
         self._probe_cache_misses = 0
 
     # -- routing state ------------------------------------------------------
+    def _is_up(self, index: int, now: float) -> bool:
+        """Whether member ``index`` is outside every blackout window at ``now``.
+
+        Windows are half-open ``[start, end)``: at the recovery instant
+        the member already counts as up, matching the kernel's fault-end
+        ordering (recovery fires before same-instant arrivals).
+        """
+        return not any(
+            start <= now < end for start, end in self._down_windows[index]
+        )
+
+    def _fault_feedback(self, now: float) -> None:
+        """Report member up/down flips since the last arrival to the policy.
+
+        One :data:`PHASE_FAULT` report per flipped member, in member
+        order, with a negative ``task_id`` sentinel (``-(member + 1)``)
+        so per-task reward bookkeeping never confuses it with a routed
+        task.  ``accepted`` carries the member's *new* state.
+        """
+        for j in range(len(self.sims)):
+            up = self._is_up(j, now)
+            if up == self._member_up[j]:
+                continue
+            self._member_up[j] = up
+            self.policy.observe(
+                RoutingFeedback(
+                    task_id=-(j + 1),
+                    cluster=j,
+                    phase=PHASE_FAULT,
+                    arrival=now,
+                    sigma=0.0,
+                    deadline=0.0,
+                    accepted=up,
+                )
+            )
+
     def _view(
         self,
         index: int,
@@ -267,6 +318,7 @@ class FleetSimulation:
             backlog=backlog,
             busy_time=sim.busy_time,
             probe=probe,
+            up=self._is_up(index, now),
         )
 
     # -- learning feedback --------------------------------------------------
@@ -363,6 +415,8 @@ class FleetSimulation:
             sim.advance_to(task.arrival)
         if self._track_completions:
             self._drain_completions()
+        if self.policy.learns:
+            self._fault_feedback(task.arrival)
         probe_cache: dict[tuple, float | None] = {}
         views = [
             self._view(i, task.arrival, probe_cache) for i in range(n_members)
@@ -481,7 +535,7 @@ class FleetSimulation:
                 "completed",
             )
         }
-        return {
+        out = {
             "clock": max((m["clock"] for m in members), default=0.0),
             **pooled,
             "busy_time": float(sum(m["busy_time"] for m in members)),
@@ -489,6 +543,13 @@ class FleetSimulation:
             "policy": self.scenario.policy,
             "members": members,
         }
+        faulted = [m["faults"] for m in members if "faults" in m]
+        if faulted:
+            # Same shape as a member's "faults" sub-dict, summed fleet-wide.
+            out["faults"] = {
+                key: sum(f[key] for f in faulted) for key in faulted[0]
+            }
+        return out
 
     # -- one-shot driver ----------------------------------------------------
     def run(self) -> FleetOutput:

@@ -13,6 +13,12 @@ now emits one :class:`RoutingFeedback` per task *phase*:
     Delivered when an accepted task actually finishes (drained in
     deterministic ``(actual_completion, task_id)`` order) — carries the
     measured completion time and whether the deadline held.
+``"fault"``
+    Delivered when a member cluster's health flips (blackout begins or
+    ends, observed at the next arrival instant) — ``accepted`` carries
+    the new up/down state and ``task_id`` is a negative sentinel
+    (``-(member + 1)``), so reward models keyed on pending task ids
+    ignore these reports unless they opt in.
 
 A :class:`~repro.learn.rewards.RewardModel` turns feedback into a scalar
 reward; :class:`LearningReport` is the run-level account of what a bandit
@@ -28,6 +34,8 @@ __all__ = ["ArmStats", "LearningReport", "RoutingFeedback"]
 #: Feedback phases, in the order a task emits them.
 PHASE_ADMISSION = "admission"
 PHASE_COMPLETION = "completion"
+#: Out-of-band phase: a member's up/down state changed (fault injection).
+PHASE_FAULT = "fault"
 
 
 @dataclass(frozen=True, slots=True)

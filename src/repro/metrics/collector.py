@@ -40,6 +40,13 @@ class MetricsSummary:
     learning (bandit) routing policy — how much reward it left on the
     table versus its best arm in hindsight.  It stays ``0.0`` for every
     non-learning run, so static and adaptive results share one schema.
+
+    ``displaced`` / ``readmitted`` / ``fault_missed`` are the fault-
+    injection counters: running tasks torn down by an outage, how many of
+    those (plus requeued waiting tasks) passed re-admission, and how many
+    could not be re-fit before their original deadline.  All three stay
+    ``0`` for fault-free runs, so faulted and clean results share one
+    schema too.
     """
 
     algorithm: str
@@ -57,6 +64,9 @@ class MetricsSummary:
     max_slack: float
     mean_waiting_queue_replans: float
     learning_regret: float = 0.0
+    displaced: int = 0
+    readmitted: int = 0
+    fault_missed: int = 0
 
     @property
     def accept_ratio(self) -> float:
@@ -152,6 +162,9 @@ def summarize_pooled(
         mean_waiting_queue_replans=(
             replanned / admission_tests if admission_tests else 0.0
         ),
+        displaced=sum(o.stats.displaced for o in outputs),
+        readmitted=sum(o.stats.readmitted for o in outputs),
+        fault_missed=sum(o.stats.fault_missed for o in outputs),
     )
 
 

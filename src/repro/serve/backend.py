@@ -130,6 +130,7 @@ class ClusterBackend:
             eager_release=eager_release,
             shared_head_link=shared_head_link,
             admission_engine=admission_engine,
+            faults=scenario.fault_plan(),
         )
 
     def submit(self, task: DivisibleTask) -> dict[str, Any]:

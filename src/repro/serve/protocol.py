@@ -235,6 +235,9 @@ _STATS_FIELDS = (
     "admission_tests",
     "replanned_tasks",
     "cancelled",
+    "displaced",
+    "readmitted",
+    "fault_missed",
 )
 
 

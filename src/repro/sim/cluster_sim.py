@@ -35,6 +35,7 @@ from repro.core.errors import InvalidParameterError
 from repro.core.partition import PlacementPlan
 from repro.core.scheduler import ClusterScheduler, SchedulerStats
 from repro.core.task import DivisibleTask, TaskRecord
+from repro.faults.model import FaultEvent, FaultPlan
 from repro.sim.engine import SimulationEngine
 from repro.sim.events import EventKind
 from repro.sim.trace import ChunkTrace, TaskTrace
@@ -105,6 +106,13 @@ class ClusterSimulation:
     admission_engine:
         Admission-test engine (``"fast"`` default / ``"reference"``);
         forwarded to the scheduler.  Outputs are bit-identical either way.
+    faults:
+        Optional :class:`~repro.faults.model.FaultPlan` (already filtered
+        to this cluster).  ``None`` or an *empty* plan is the fault-free
+        fast path — bit-identical to a build without the fault layer.
+        With faults, validation turns non-strict: a slowed node makes
+        actual completions exceed their estimates, which the validator
+        then records as honest violations instead of raising.
     """
 
     def __init__(
@@ -119,9 +127,15 @@ class ClusterSimulation:
         eager_release: bool = False,
         shared_head_link: bool = False,
         admission_engine: str = "fast",
+        faults: FaultPlan | None = None,
     ) -> None:
         if horizon <= 0:
             raise InvalidParameterError(f"horizon must be > 0, got {horizon}")
+        if faults is not None and not isinstance(faults, FaultPlan):
+            raise InvalidParameterError(
+                "faults must be a FaultPlan (materialize a FaultProcess "
+                f"first), got {faults!r}"
+            )
         self.cluster = cluster
         self.algorithm = algorithm
         self.tasks = list(tasks)
@@ -131,6 +145,9 @@ class ClusterSimulation:
         self._check_task_order()
         self._last_arrival = -np.inf
         self._submitted_ids: set[int] = set()
+        #: The active fault plan; an empty plan collapses to ``None`` so
+        #: every fault-free code path below is the pre-fault-layer one.
+        self.faults = faults if faults else None
 
         self.engine = SimulationEngine()
         self.scheduler = ClusterScheduler(
@@ -140,7 +157,7 @@ class ClusterSimulation:
             eager_release=eager_release,
             admission_engine=admission_engine,
         )
-        strict = validate and not shared_head_link
+        strict = validate and not shared_head_link and self.faults is None
         self.validator = ExecutionValidator(strict=strict)
         self.validate_enabled = validate
 
@@ -162,6 +179,31 @@ class ClusterSimulation:
         #: engine compact after heavy re-planning.
         self._start_events: list = []
         self._done = False
+
+        #: Structured log of applied faults (one entry per window open),
+        #: kept for tests and post-mortems; empty in fault-free runs.
+        self.fault_log: list[dict] = []
+        if self.faults is not None:
+            # Fault bookkeeping, allocated only when a plan is active so
+            # the fault-free hot path carries zero extra state or work.
+            self._cps_nominal = self._cps_by_node.copy()
+            self._cms_nominal = self._cms_by_node.copy()
+            self._cps_factors: dict[int, list[float]] = {}
+            self._cms_factors: dict[int, list[float]] = {}
+            self._down_until = np.zeros(n)
+            self._completion_events: dict[int, object] = {}
+            self._exec_windows: dict[int, list[tuple[int, float, float]]] = {}
+            for event in self.faults.events:
+                if event.node is not None and event.node >= n:
+                    raise InvalidParameterError(
+                        f"fault event targets node {event.node} of a "
+                        f"{n}-node cluster: {event!r}"
+                    )
+                self.engine.schedule(
+                    event.time,
+                    EventKind.FAULT,
+                    lambda eng, t, e=event: self._handle_fault_begin(e),
+                )
 
     @property
     def busy_time(self) -> float:
@@ -207,13 +249,15 @@ class ClusterSimulation:
         comp_ends = self._execute_plan(plan)
         completion = float(comp_ends.max())
         ends = tuple(float(v) for v in comp_ends)
-        self.engine.schedule(
+        handle = self.engine.schedule(
             completion,
             EventKind.COMPLETION,
             lambda eng, t, task_id=task_id, ends=ends: (
                 self._handle_completion(task_id, ends)
             ),
         )
+        if self.faults is not None:
+            self._completion_events[task_id] = handle
 
     def _execute_plan(self, plan: PlacementPlan) -> "NDArray[np.float64]":
         """Physically execute a plan's chunk sequence; return comp ends."""
@@ -229,6 +273,7 @@ class ClusterSimulation:
         n = len(node_ids)
         comp_ends = np.empty(n)
         chunks: list[ChunkTrace] = []
+        windows: list[tuple[int, float, float]] = []
         prev_end = -np.inf
         for i in range(n):
             node = int(node_ids[i])
@@ -244,6 +289,8 @@ class ClusterSimulation:
             self._node_free[node] = c_end
             self._busy[node] += trans[i] + comp[i]
             self._allocated[node] += plan.est_completion - plan.release_times[i]
+            if self.faults is not None:
+                windows.append((node, start, float(c_end)))
             if self.trace_enabled:
                 chunks.append(
                     ChunkTrace(
@@ -257,6 +304,8 @@ class ClusterSimulation:
                         comp_end=c_end,
                     )
                 )
+        if self.faults is not None:
+            self._exec_windows[plan.task.task_id] = windows
         if self.trace_enabled:
             self._traces.append(
                 TaskTrace(
@@ -284,6 +333,7 @@ class ClusterSimulation:
         n = plan.n
         comp_ends = np.zeros(n)
         chunks: list[ChunkTrace] = []
+        windows: list[tuple[int, float, float]] = []
         for c in sorted(plan.explicit_chunks, key=lambda c: (c.trans_start, c.position)):
             node = int(plan.node_ids[c.position])
             comp_ends[c.position] = max(comp_ends[c.position], c.comp_end)
@@ -291,6 +341,8 @@ class ClusterSimulation:
             self._busy[node] += (c.trans_end - c.trans_start) + (
                 c.comp_end - c.trans_end
             )
+            if self.faults is not None:
+                windows.append((node, c.trans_start, c.comp_end))
             if self.trace_enabled:
                 chunks.append(
                     ChunkTrace(
@@ -308,6 +360,8 @@ class ClusterSimulation:
             self._allocated[int(plan.node_ids[i])] += (
                 plan.est_completion - plan.release_times[i]
             )
+        if self.faults is not None:
+            self._exec_windows[plan.task.task_id] = windows
         if self.trace_enabled:
             self._traces.append(
                 TaskTrace(
@@ -320,9 +374,183 @@ class ClusterSimulation:
 
     def _handle_completion(self, task_id: int, ends: tuple[float, ...]) -> None:
         actual = max(ends)
+        if self.faults is not None:
+            self._completion_events.pop(task_id, None)
+            self._exec_windows.pop(task_id, None)
         record: TaskRecord = self.scheduler.on_complete(task_id, actual, ends)
         if self.validate_enabled:
             self.validator.check_completion(record)
+
+    # -- fault injection ----------------------------------------------------
+    def _handle_fault_begin(self, event: FaultEvent) -> None:
+        """Open one fault window (FAULT events land after completions,
+        before starts/arrivals, so everything deciding at this instant
+        sees the post-fault world)."""
+        now = self.engine.now
+        self.engine.schedule(
+            event.end,
+            EventKind.FAULT,
+            lambda eng, t, e=event: self._handle_fault_end(e),
+        )
+        if event.kind in ("slowdown", "degrade"):
+            factors = (
+                self._cps_factors if event.kind == "slowdown" else self._cms_factors
+            )
+            factors.setdefault(event.node, []).append(event.factor)
+            self._apply_cost_factors(event.node)
+            self.fault_log.append(
+                {
+                    "time": now,
+                    "kind": event.kind,
+                    "node": event.node,
+                    "factor": event.factor,
+                    "until": event.end,
+                }
+            )
+            return
+        affected = (
+            (event.node,)
+            if event.kind == "node_down"
+            else tuple(range(self.cluster.nodes))
+        )
+        self._apply_outage(affected, event)
+
+    def _handle_fault_end(self, event: FaultEvent) -> None:
+        """Close one fault window.
+
+        Cost factors restore *exactly* (the nominal vector is kept and the
+        product recomputed from the remaining active windows, so no float
+        drift survives the last window).  Outage recovery needs no work
+        here: it was encoded as availability floors when the window
+        opened.
+        """
+        if event.kind in ("slowdown", "degrade"):
+            factors = (
+                self._cps_factors if event.kind == "slowdown" else self._cms_factors
+            )
+            active = factors.get(event.node)
+            if active:
+                active.remove(event.factor)
+            self._apply_cost_factors(event.node)
+
+    def _apply_cost_factors(self, node: int) -> None:
+        """Recompute one node's effective costs from its active windows."""
+        cps = float(self._cps_nominal[node])
+        for f in self._cps_factors.get(node, ()):
+            cps *= f
+        self._cps_by_node[node] = cps
+        cms = float(self._cms_nominal[node])
+        for f in self._cms_factors.get(node, ()):
+            cms *= f
+        self._cms_by_node[node] = cms
+
+    def _apply_outage(self, affected: tuple[int, ...], event: FaultEvent) -> None:
+        """Crash ``affected`` nodes until ``event.end``.
+
+        Every running task with a chunk on an affected node is displaced:
+        its completion event is cancelled, its physical occupancy rolled
+        back to what honestly happened before the fault, its reservations
+        handed back, and it re-enters admission with its original arrival
+        and deadline.  The whole committed (waiting) schedule is re-planned
+        the same way, because its feasibility proof assumed the crashed
+        capacity.  Re-admissions that no longer fit end as ``DISPLACED`` —
+        an honest loss, never a silent success.
+        """
+        now = self.engine.now
+        recover = event.end
+        scheduler = self.scheduler
+        affected_set = frozenset(affected)
+        victims = sorted(
+            tid
+            for tid, plan in scheduler.running.items()
+            if affected_set.intersection(plan.node_ids)
+        )
+        displaced: list[DivisibleTask] = []
+        touched: set[int] = set(affected)
+        for tid in victims:
+            plan = scheduler.running[tid]
+            handle = self._completion_events.pop(tid, None)
+            if handle is not None:
+                handle.cancel()
+            for node, start, c_end in self._exec_windows.pop(tid, ()):
+                # The chunk honestly occupied [start, min(max(now, start),
+                # c_end)) — nothing if it had not begun, everything if it
+                # had finished (only possible for non-final chunks).
+                honest_end = min(max(now, start), c_end)
+                self._busy[node] -= c_end - honest_end
+                touched.add(node)
+            est = plan.est_completion
+            for i, node in enumerate(plan.node_ids):
+                release = plan.release_times[i]
+                honest_alloc = min(max(now, release), est)
+                self._allocated[node] -= est - honest_alloc
+            scheduler.displace(tid, plan.node_ids, (now,) * plan.n, now)
+            displaced.append(scheduler.records[tid].task)
+        if victims:
+            self._recompute_node_free(touched, now)
+        ids = list(affected)
+        self._node_free[ids] = np.maximum(self._node_free[ids], recover)
+        self._down_until[ids] = np.maximum(self._down_until[ids], recover)
+        scheduler.reservations.floor_release(affected, recover)
+
+        # Re-plan the world: displaced + formerly waiting tasks re-enter
+        # admission in (arrival, task_id) order.  Each success replaces
+        # the committed schedule wholesale, so all previously scheduled
+        # start events are cancelled — under a blackout this is the mass
+        # cancellation that exercises the engine's heap compaction.
+        requeued = scheduler.clear_committed()
+        for handle in self._start_events:
+            handle.cancel()
+        self._start_events = []
+        pool = sorted(displaced + requeued, key=lambda t: (t.arrival, t.task_id))
+        readmitted: list[int] = []
+        missed: list[int] = []
+        for task in pool:
+            directives = scheduler.readmit(task, now)
+            if directives is None:
+                missed.append(task.task_id)
+                continue
+            readmitted.append(task.task_id)
+            for handle in self._start_events:
+                handle.cancel()
+            self._start_events = [
+                self.engine.schedule(
+                    d.start_time,
+                    EventKind.START,
+                    lambda eng, t, d=d: self._handle_start(d.task_id, d.version),
+                )
+                for d in directives
+            ]
+        self.fault_log.append(
+            {
+                "time": now,
+                "kind": event.kind,
+                "node": event.node,
+                "until": recover,
+                "displaced": [t.task_id for t in displaced],
+                "requeued": [t.task_id for t in requeued],
+                "readmitted": readmitted,
+                "missed": missed,
+            }
+        )
+
+    def _recompute_node_free(self, nodes: set[int], now: float) -> None:
+        """Rebuild physical free times after windows were rolled back.
+
+        A displaced task's windows cannot simply be subtracted from
+        ``_node_free`` — a surviving task may still hold a later window on
+        the same node — so the free time of every touched node is
+        recomputed as the max over the windows of tasks *still running*,
+        floored at ``now`` for capacity that was honestly consumed up to
+        the fault (completed work never exceeds ``now``).
+        """
+        free = {node: min(float(self._node_free[node]), now) for node in nodes}
+        for windows in self._exec_windows.values():
+            for node, _start, c_end in windows:
+                if node in nodes and c_end > free[node]:
+                    free[node] = c_end
+        for node, value in free.items():
+            self._node_free[node] = value
 
     # -- incremental driver -------------------------------------------------
     # The three methods below let an external coordinator (the fleet layer)
@@ -406,7 +634,12 @@ class ClusterSimulation:
         Reports the simulation clock, the scheduler's cumulative counters
         (arrivals / accepted / rejected / cancelled), the current queue
         occupancy (waiting / running), how many accepted tasks have
-        completed, and the actual busy node-time accrued so far.
+        completed, and the actual busy node-time accrued so far.  When a
+        fault plan is active a ``"faults"`` sub-dict is added (and *only*
+        then, keeping fault-free snapshots bit-identical to pre-fault
+        builds): cumulative displaced / readmitted / fault_missed
+        counters, the number of currently-down nodes, and how many fault
+        windows have opened so far.
         """
         stats = self.scheduler.stats
         completed = sum(
@@ -414,7 +647,7 @@ class ClusterSimulation:
             for r in self.scheduler.records.values()
             if r.actual_completion is not None
         )
-        return {
+        snap = {
             "clock": self.engine.now,
             "arrivals": stats.arrivals,
             "accepted": stats.accepted,
@@ -426,6 +659,17 @@ class ClusterSimulation:
             "busy_time": self.busy_time,
             "finalized": self._done,
         }
+        if self.faults is not None:
+            snap["faults"] = {
+                "displaced": stats.displaced,
+                "readmitted": stats.readmitted,
+                "fault_missed": stats.fault_missed,
+                "down_nodes": int(
+                    np.count_nonzero(self._down_until > self.engine.now)
+                ),
+                "applied": len(self.fault_log),
+            }
+        return snap
 
     def finalize(self) -> SimulationOutput:
         """Drain all remaining events and assemble the run's output.

@@ -6,13 +6,21 @@ the world is consistent at every instant:
 
 1. ``COMPLETION`` — a running task finishes; metrics and (in the
    eager-release ablation) node hand-backs happen before anything else
-   observes time ``t``.
-2. ``START`` — a committed plan begins transmitting; a task whose start
+   observes time ``t``.  A task completing exactly when a fault strikes
+   has already finished — it is never displaced.
+2. ``FAULT`` — the environment changes (node slowdown/crash, link
+   degradation, member blackout, or the matching recovery): per-node
+   costs and availability mutate, in-flight work on affected nodes is
+   displaced and re-admitted.  Faults land *before* starts and arrivals
+   so everything deciding at time ``t`` sees the post-fault world.
+3. ``START`` — a committed plan begins transmitting; a task whose start
    coincides with a new arrival is *running* (locked, non-replannable) by
-   the time the arrival's admission test executes.
-3. ``ARRIVAL`` — a new task reaches the head node and triggers the
-   schedulability test.
-4. ``GENERIC`` — anything else (horizon markers, user callbacks).
+   the time the arrival's admission test executes.  A start whose plan
+   was invalidated by a same-instant fault re-plan carries a stale
+   version and is dropped.
+4. ``ARRIVAL`` — a new task reaches the head node and triggers the
+   schedulability test (against post-fault availability).
+5. ``GENERIC`` — anything else (horizon markers, user callbacks).
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ class EventKind(enum.IntEnum):
     """Priority classes; lower value = processed first at equal time."""
 
     COMPLETION = 0
-    START = 1
-    ARRIVAL = 2
-    GENERIC = 3
+    FAULT = 1
+    START = 2
+    ARRIVAL = 3
+    GENERIC = 4

@@ -34,6 +34,7 @@ import numpy as np
 from repro.core.cluster import ClusterProfile
 from repro.core.errors import InvalidParameterError
 from repro.core.task import DivisibleTask
+from repro.faults import FAULT_SEED_SALT, FaultPlan, FaultProcess
 from repro.workload.models import (
     ArrivalProcess,
     DeadlineModel,
@@ -114,6 +115,12 @@ class Scenario:
     """One fully specified experiment: cluster + workload + horizon + seed.
 
     ``name`` is a free-form label carried into batch records and exports.
+    ``faults`` optionally injects environment faults: either an explicit
+    :class:`~repro.faults.model.FaultPlan` or a seeded
+    :class:`~repro.faults.process.FaultProcess` recipe, resolved once per
+    run by :meth:`fault_plan` from a dedicated RNG stream
+    (``SeedSequence([seed, FAULT_SEED_SALT])``) so faults never perturb
+    the workload streams.
     """
 
     cluster: ClusterProfile
@@ -121,8 +128,15 @@ class Scenario:
     total_time: float
     seed: int
     name: str = ""
+    faults: FaultPlan | FaultProcess | None = None
 
     def __post_init__(self) -> None:
+        if self.faults is not None and not isinstance(
+            self.faults, (FaultPlan, FaultProcess)
+        ):
+            raise InvalidParameterError(
+                f"faults must be a FaultPlan or FaultProcess, got {self.faults!r}"
+            )
         if not isinstance(self.cluster, ClusterProfile):
             raise InvalidParameterError(
                 f"cluster must be a ClusterProfile, got {self.cluster!r}"
@@ -246,9 +260,43 @@ class Scenario:
             for i in range(n)
         ]
 
+    def fault_rng(self) -> np.random.Generator:
+        """The RNG stream reserved for fault materialization.
+
+        Salted independently of the workload/algorithm streams
+        (``SeedSequence([seed, FAULT_SEED_SALT])``), so attaching a fault
+        process to a scenario leaves its task set bit-identical.
+        """
+        return np.random.default_rng(
+            np.random.SeedSequence([self.seed, FAULT_SEED_SALT])
+        )
+
+    def fault_plan(self) -> FaultPlan | None:
+        """The resolved fault plan for this run, or ``None``.
+
+        An explicit plan is filtered to member 0 (memberless events);
+        a :class:`~repro.faults.process.FaultProcess` is materialized
+        against :meth:`fault_rng`, so each replication seed draws its own
+        deterministic fault stream.
+        """
+        if self.faults is None:
+            return None
+        if isinstance(self.faults, FaultPlan):
+            return self.faults.for_member(0)
+        return self.faults.materialize(
+            self.fault_rng(),
+            horizon=self.total_time,
+            member_nodes=(self.cluster.nodes,),
+        )
+
     def describe(self) -> dict[str, Any]:
-        """A flat, JSON-friendly summary (used by batch exports)."""
-        return {
+        """A flat, JSON-friendly summary (used by batch exports).
+
+        The ``"faults"`` key appears only when fault injection is
+        configured, keeping fault-free fingerprints (and the serve
+        handshake built on them) identical to pre-fault builds.
+        """
+        out = {
             "name": self.name,
             **self.cluster.describe(),
             "arrivals": type(self.workload.arrivals).__name__,
@@ -257,3 +305,6 @@ class Scenario:
             "total_time": self.total_time,
             "seed": self.seed,
         }
+        if self.faults is not None:
+            out["faults"] = self.faults.describe_token()
+        return out

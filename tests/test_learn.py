@@ -471,3 +471,82 @@ def test_learning_invariant_to_wall_clock(case):
     assert first.assignments == second.assignments
     assert first.metrics == second.metrics
     assert first.learning == second.learning
+
+
+class TestFaultAdaptation:
+    """Satellite: bandits route around a flapping member; round-robin,
+    being state-blind, keeps feeding it."""
+
+    @staticmethod
+    def _flapping_fleet() -> FleetScenario:
+        """The documented 4-cluster fleet with member 0 flapping.
+
+        Member 0 blacks out for [10k, 30k), [40k, 60k) and [70k, 90k) of
+        the 100k horizon — down 60% of the run, so any policy that keeps
+        routing there eats rejects.
+        """
+        from repro.faults import FaultEvent, FaultPlan
+
+        plan = FaultPlan.from_events([
+            FaultEvent(time=10_000.0, kind="blackout", duration=20_000.0, member=0),
+            FaultEvent(time=40_000.0, kind="blackout", duration=20_000.0, member=0),
+            FaultEvent(time=70_000.0, kind="blackout", duration=20_000.0, member=0),
+        ])
+        return FleetScenario.uniform(**DOCUMENTED_FLEET).with_faults(plan)
+
+    @staticmethod
+    def _pseudo_regret(out) -> float:
+        """Hindsight pseudo-regret from routed/accepted counts alone.
+
+        ``max_j(accept_rate_j) × total_routed − total_accepted`` — the
+        same formula :class:`LearningReport` uses, computed externally so
+        it applies to non-learning policies too.
+        """
+        routed = out.routed_counts
+        accepted = [o.stats.accepted for o in out.outputs]
+        best = max(a / r for a, r in zip(accepted, routed) if r)
+        return best * sum(routed) - sum(accepted)
+
+    @pytest.mark.parametrize("bandit", ["thompson", "ucb1"])
+    def test_bandit_beats_round_robin_under_flapping(self, bandit):
+        base = self._flapping_fleet()
+        rr = simulate_fleet(base.with_policy("round-robin"), "EDF-DLT")
+        learned = simulate_fleet(
+            base.with_policy(bandit).with_learn(
+                LearnConfig(mode="clusters", reward="reject-penalty")
+            ),
+            "EDF-DLT",
+        )
+        assert learned.learning is not None
+        # in clusters mode with the admission-resolving reward the
+        # report's regret IS the hindsight pseudo-regret
+        assert learned.learning.cumulative_regret == pytest.approx(
+            self._pseudo_regret(learned)
+        )
+        assert self._pseudo_regret(learned) < self._pseudo_regret(rr)
+
+    def test_adaptation_is_deterministic(self):
+        base = self._flapping_fleet().with_policy("thompson").with_learn(
+            LearnConfig(mode="clusters", reward="reject-penalty")
+        )
+        first = simulate_fleet(base, "EDF-DLT")
+        second = simulate_fleet(base, "EDF-DLT")
+        assert first.assignments == second.assignments
+        assert first.learning == second.learning
+        assert first.metrics == second.metrics
+
+    def test_fault_phase_feedback_is_ignored_by_reward_models(self):
+        """PHASE_FAULT reports use negative task-id sentinels, so bandit
+        per-task bookkeeping never confuses them with routed tasks."""
+        policy = ThompsonSampling(
+            config=LearnConfig(mode="clusters"),
+            rng=np.random.default_rng(7),
+            routing_rng=np.random.default_rng(8),
+        )
+        policy.observe(
+            feedback(task_id=-1, phase="fault", accepted=False, sigma=0.0,
+                     deadline=0.0)
+        )
+        report = policy.report()
+        assert report.decisions == 0
+        assert report.resolved == 0

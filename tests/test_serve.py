@@ -224,6 +224,99 @@ class TestFleetLoopback:
         assert loopback_diff(payload, simulate_fleet(scenario, "EDF-DLT")) == []
 
 
+def faulted_fleet_scenario(policy: str = "least-loaded") -> FleetScenario:
+    """The fleet scenario with a seeded fault stream attached."""
+    from repro.faults import FaultProcess
+
+    return fleet_scenario(policy).with_faults(FaultProcess(rate=3e-4))
+
+
+class TestFaultedLoopback:
+    """Satellite: server replay of a *faulted* scenario stays bit-identical
+    to the offline run — displacement, re-admission and the new stats
+    counters all survive the wire."""
+
+    @pytest.mark.parametrize("policy", ["round-robin", "least-loaded"])
+    def test_faulted_fleet_loopback_bit_identical(self, policy):
+        scenario = faulted_fleet_scenario(policy)
+        tasks, decisions, payload = serve_replay(scenario)
+        offline = simulate_fleet(scenario, "EDF-DLT", admission_engine="batch")
+        assert loopback_diff(payload, offline) == []
+        assert [d["member"] for d in decisions] == list(offline.assignments)
+        # the faults actually displaced work, and the counters crossed
+        # the wire intact
+        assert offline.metrics.displaced > 0
+        wire_displaced = sum(
+            o["stats"]["displaced"] for o in payload["outputs"]
+        )
+        assert wire_displaced == offline.metrics.displaced
+
+    def test_faulted_cluster_backend_loopback(self):
+        from repro.faults import FaultEvent, FaultPlan
+
+        plan = FaultPlan.from_events([
+            FaultEvent(time=20_000.0, kind="blackout", duration=30_000.0),
+            FaultEvent(
+                time=80_000.0, kind="slowdown", duration=40_000.0,
+                node=2, factor=3.0,
+            ),
+        ])
+        scenario = cluster_scenario().with_faults(plan)
+        tasks, decisions, payload = serve_replay(scenario)
+        offline = simulate(
+            scenario.member_scenario(0), "EDF-DLT", admission_engine="batch"
+        )
+        assert payload["kind"] == "cluster"
+        assert loopback_diff(payload, offline.output) == []
+        assert offline.output.stats.displaced > 0
+
+    def test_fault_state_rides_snapshot(self):
+        scenario = faulted_fleet_scenario()
+        tasks = scenario.stream_scenario().generate_tasks()
+        backend = make_backend(scenario, "EDF-DLT")
+        with BackgroundServer(backend) as bg:
+            with AdmissionClient(*bg.address) as client:
+                replay_tasks(client, tasks, window=16)
+                snapshot = client.status()
+                client.finalize()
+        assert "faults" in snapshot
+        for key in ("displaced", "readmitted", "fault_missed", "applied"):
+            assert snapshot["faults"][key] >= 0
+        assert snapshot["faults"]["applied"] > 0
+
+    def test_two_concurrent_clients_under_faults(self):
+        """Two interleaved clients sharding a faulted stream finalize
+        bit-identically to the offline faulted run."""
+        scenario = faulted_fleet_scenario("earliest-finish")
+        tasks = scenario.stream_scenario().generate_tasks()
+        offline = simulate_fleet(scenario, "EDF-DLT", admission_engine="batch")
+        assert offline.metrics.displaced > 0  # the faults bite this stream
+
+        backend = make_backend(scenario, "EDF-DLT")
+        with BackgroundServer(backend) as bg:
+            host, port = bg.address
+            with AdmissionClient(host, port) as a, AdmissionClient(
+                host, port
+            ) as b:
+                a.open_stream()
+                b.open_stream()
+
+                def run(client, shard):
+                    replay_tasks(client, shard, window=8)
+
+                threads = [
+                    threading.Thread(target=run, args=(a, tasks[0::2])),
+                    threading.Thread(target=run, args=(b, tasks[1::2])),
+                ]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+                payload = a.finalize()
+
+        assert loopback_diff(payload, offline) == []
+
+
 class TestConcurrentClients:
     @pytest.mark.parametrize("engine", ["fast", "batch"])
     def test_two_interleaved_clients_merge_deterministically(self, engine):
