@@ -22,17 +22,12 @@ Example paper-scale invocation (takes hours)::
 from __future__ import annotations
 
 import os
-import time
 
 import pytest
 
-from repro.core.algorithms import make_algorithm
-from repro.core.fastpath import make_admission_test
 from repro.experiments.figures import FIGURES
 from repro.experiments.report import render_panel
 from repro.experiments.sweep import PanelResult, run_panel
-from repro.fleet.sim import FleetSimulation
-from repro.sim.cluster_sim import ClusterSimulation
 
 
 def bench_total_time() -> float:
@@ -119,159 +114,27 @@ def assert_gap_small(result: PanelResult, bound: float = 0.01) -> None:
 # ---------------------------------------------------------------------------
 # Engine capture-and-replay harness (used by test_bench_core.py).
 #
-# Full-simulation wall clock mixes the admission engine with constant
-# event-loop overhead that is identical for every engine, which dilutes
-# the measured ratio.  The honest engine comparison is therefore:
-# record the *real* ``try_admit``/probe call stream produced by a
-# reference-engine simulation (task, frozen waiting queue, a copy of the
-# committed reservation state, now), then replay that exact stream
-# through each engine with fresh test instances and time only the
-# engine.  Replays also double as an identity check: every engine must
-# return the same decision stream bit for bit.
+# The harness itself graduated into :mod:`repro.obs.profile` (it now also
+# powers the ``repro profile`` CLI); the benchmarks import it from there
+# under the historical names.  See that module for the methodology notes
+# (why capture-and-replay, why best-of timing, the identity check).
 # ---------------------------------------------------------------------------
 
+from repro.obs.profile import (  # noqa: E402  (re-exports for benchmarks)
+    AdmissionTap as _AdmissionTap,
+    build_tests as _build_tests,
+    capture_cluster_calls,
+    capture_fleet_calls,
+    replay_calls,
+)
 
-class _AdmissionTap:
-    """Wraps a schedulability test, recording every call it serves."""
-
-    def __init__(self, inner, calls, member=0, flag=None):
-        self.inner = inner
-        self.calls = calls
-        self.member = member
-        self.flag = flag or {"probing": False}
-
-    def try_admit(self, new_task, waiting, reservations, now):
-        self.calls.append(
-            (
-                self.flag["probing"],
-                self.member,
-                new_task,
-                tuple(waiting),
-                reservations.copy(),
-                now,
-            )
-        )
-        return self.inner.try_admit(new_task, waiting, reservations, now)
-
-    def probe_completion(self, new_task, waiting, reservations, now):
-        # The fleet probe closure feature-detects this method; the
-        # reference engine underneath only has ``try_admit``.
-        self.calls.append(
-            (True, self.member, new_task, tuple(waiting), reservations.copy(), now)
-        )
-        decision = self.inner.try_admit(new_task, waiting, reservations, now)
-        if decision.accepted:
-            return decision.plans[new_task.task_id].est_completion
-        return None
-
-
-def capture_cluster_calls(scenario, algorithm: str):
-    """Run one reference simulation, recording the admission call stream.
-
-    Returns ``(calls, output)`` — the output carries the stats (reject
-    ratio, arrival count) for the throughput panel.
-    """
-    tasks = scenario.generate_tasks()
-    instance = make_algorithm(algorithm, rng=scenario.algorithm_rng())
-    sim = ClusterSimulation(
-        scenario.cluster,
-        instance,
-        tasks,
-        horizon=scenario.total_time,
-        validate=False,
-        admission_engine="reference",
-    )
-    calls = []
-    sim.scheduler.test = _AdmissionTap(sim.scheduler.test, calls)
-    output = sim.run()
-    return calls, output
-
-
-def capture_fleet_calls(scenario, algorithm: str):
-    """Fleet variant: taps every member test and tags probe-phase calls.
-
-    Probes are distinguished by wrapping ``policy.route`` so the member
-    kernel (``probe_completion``) is exercised on replay exactly where
-    the live fleet uses it.  Returns ``(calls, fleet_output_list)``.
-    """
-    sim = FleetSimulation(
-        scenario, algorithm, admission_engine="reference", validate=False
-    )
-    calls: list = []
-    flag = {"probing": False}
-    for i, member in enumerate(sim.sims):
-        member.scheduler.test = _AdmissionTap(
-            member.scheduler.test, calls, member=i, flag=flag
-        )
-    route = sim.policy.route
-
-    def tagged_route(task, views):
-        flag["probing"] = True
-        try:
-            return route(task, views)
-        finally:
-            flag["probing"] = False
-
-    sim.policy.route = tagged_route
-    result = sim.run()
-    return calls, result
-
-
-def _build_tests(scenario, algorithm: str, engine: str, fleet: bool):
-    if not fleet:
-        instance = make_algorithm(algorithm, rng=scenario.algorithm_rng())
-        return [
-            make_admission_test(
-                instance.policy, instance.partitioner, scenario.cluster, engine=engine
-            )
-        ]
-    tests = []
-    for i in range(scenario.n_clusters):
-        member = scenario.member_scenario(i)
-        instance = make_algorithm(algorithm, rng=member.algorithm_rng())
-        tests.append(
-            make_admission_test(
-                instance.policy, instance.partitioner, member.cluster, engine=engine
-            )
-        )
-    return tests
-
-
-def replay_calls(scenario, algorithm: str, engine: str, calls, *, reps=2, fleet=False):
-    """Replay a captured call stream through ``engine``; best-of-``reps``.
-
-    Probe-tagged calls go through ``probe_completion`` when the engine
-    offers it (the batch member kernel), mirroring the live fleet's
-    feature detection.  Returns ``(best_seconds, outcomes)`` where each
-    outcome is the accepted task's est_completion or ``None`` — the
-    engine-portable projection of the decision, asserted identical
-    across reps (and, by callers, across engines).
-    """
-    best = float("inf")
-    outcomes = None
-    for _ in range(reps):
-        tests = _build_tests(scenario, algorithm, engine, fleet)
-        probes = [getattr(t, "probe_completion", None) for t in tests]
-        start = time.perf_counter()
-        got = []
-        for is_probe, member, task, waiting, reservations, now in calls:
-            probe = probes[member]
-            if is_probe and probe is not None:
-                got.append(probe(task, waiting, reservations, now))
-            else:
-                decision = tests[member].try_admit(task, waiting, reservations, now)
-                got.append(
-                    decision.plans[task.task_id].est_completion
-                    if decision.accepted
-                    else None
-                )
-        elapsed = time.perf_counter() - start
-        best = min(best, elapsed)
-        if outcomes is None:
-            outcomes = got
-        else:
-            assert got == outcomes, f"{engine}: replay is not deterministic"
-    return best, outcomes
+__all_harness__ = [
+    "_AdmissionTap",
+    "_build_tests",
+    "capture_cluster_calls",
+    "capture_fleet_calls",
+    "replay_calls",
+]
 
 
 # ---------------------------------------------------------------------------

@@ -76,7 +76,13 @@ def _public_members(obj: object, qualname: str) -> list[tuple[str, object]]:
 
 
 #: Packages whose public symbols must all be documented.
-GATED_PACKAGES = ("repro.faults", "repro.fleet", "repro.learn", "repro.serve")
+GATED_PACKAGES = (
+    "repro.faults",
+    "repro.fleet",
+    "repro.learn",
+    "repro.obs",
+    "repro.serve",
+)
 
 #: Individual modules gated the same way (hot-path code whose contracts —
 #: bit-identical semantics, memo validity — live in the docstrings).

@@ -43,6 +43,13 @@ GATED_METRICS: tuple[tuple[str, tuple[str, ...]], ...] = (
     ),
 )
 
+#: Absolute floor on the instrumentation-disabled throughput ratio
+#: (registry attached, tracer off, vs the uninstrumented replay of the
+#: same call stream).  A same-run ratio, so it transfers across machines
+#: and is gated absolutely rather than against the committed record; the
+#: tracer-on ratio rides the record ungated (docs/observability.md).
+TRACING_DISABLED_RATIO_MIN = 0.95
+
 #: The admission-throughput panel's expected axes (shape check only —
 #: absolute decisions/sec are machine-specific, so they are not gated).
 PANEL_LOADS = ("3", "6", "10")
@@ -132,6 +139,37 @@ def check_panel(fresh: dict) -> list[str]:
     return problems
 
 
+def check_tracing_overhead(fresh: dict) -> list[str]:
+    """Gate the fresh record's instrumentation-disabled overhead.
+
+    ``tracing_overhead.disabled_ratio`` must stay at or above
+    :data:`TRACING_DISABLED_RATIO_MIN`; the tracer-on ratio is printed
+    for context but not gated (tracing is opt-in and pays for itself in
+    visibility).  A record without the section fails — the benchmark
+    must measure the overhead, not silently skip it.
+    """
+    section = fresh.get("tracing_overhead")
+    if not isinstance(section, dict):
+        return ["tracing_overhead: missing from fresh record"]
+    try:
+        disabled = float(section["disabled_ratio"])
+    except (KeyError, TypeError, ValueError):
+        return ["tracing_overhead: missing/invalid disabled_ratio"]
+    if disabled < TRACING_DISABLED_RATIO_MIN:
+        return [
+            f"tracing overhead (disabled): ratio {disabled:.3f} below the "
+            f"{TRACING_DISABLED_RATIO_MIN} floor — an attached registry "
+            "must be near-free"
+        ]
+    tracing = section.get("tracing_ratio")
+    note = f", tracer-on {float(tracing):.3f} (ungated)" if tracing else ""
+    print(
+        f"tracing overhead: disabled ratio {disabled:.3f} >= "
+        f"{TRACING_DISABLED_RATIO_MIN}{note} — ok"
+    )
+    return []
+
+
 def main(argv: list[str] | None = None) -> int:
     """Parse arguments, compare records, print verdicts, return exit code."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -175,6 +213,7 @@ def main(argv: list[str] | None = None) -> int:
     fresh = json.loads(Path(args.fresh).read_text(encoding="utf-8"))
     problems = compare(baseline, fresh, args.tolerance)
     problems += check_panel(fresh)
+    problems += check_tracing_overhead(fresh)
     if args.serve_baseline is not None:
         serve_baseline = json.loads(
             Path(args.serve_baseline).read_text(encoding="utf-8")

@@ -360,6 +360,15 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_sim_flag_args(p_sc)
     _add_fault_args(p_sc)
+    p_sc.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="also run the first algorithm's replication 0 with tracing on "
+        "and write the span stream to FILE (.json = Chrome trace-event "
+        "format for Perfetto, anything else = JSON-lines); the traced "
+        "rerun is bit-identical to the untraced one",
+    )
     fmt = p_sc.add_mutually_exclusive_group()
     fmt.add_argument("--json", action="store_true", help="emit all records as JSON")
     fmt.add_argument("--csv", action="store_true", help="emit all records as CSV")
@@ -572,6 +581,14 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit after the first successful finalize (replay harness mode)",
     )
+    p_srv.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="also expose a Prometheus text-format /metrics endpoint on "
+        "this port (0 = ephemeral; printed on the 'metrics on' line)",
+    )
     _add_serve_shared_args(p_srv)
 
     p_rp = sub.add_parser(
@@ -609,7 +626,61 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the replay summary as machine-readable JSON",
     )
+    p_rp.add_argument(
+        "--metrics",
+        action="store_true",
+        help="also fetch the server's repro.obs metrics snapshot (the "
+        "'metrics' op) before finalize and report a digest of it",
+    )
     _add_serve_shared_args(p_rp)
+
+    p_pr = sub.add_parser(
+        "profile",
+        help="capture one admission call stream and profile each engine's "
+        "replay of it (decisions/sec + per-phase kernel breakdown)",
+    )
+    p_pr.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="EDF-DLT")
+    p_pr.add_argument(
+        "--engines",
+        nargs="+",
+        choices=ADMISSION_ENGINES,
+        default=("fast", "batch"),
+        metavar="ENGINE",
+        help="engines to replay (default: fast batch; all engines' "
+        "decision streams are asserted identical)",
+    )
+    p_pr.add_argument(
+        "--clusters",
+        type=int,
+        default=1,
+        help="member clusters (>1 profiles the fleet member kernel, "
+        "probe fan-out included)",
+    )
+    p_pr.add_argument("--nodes", type=int, default=16, help="nodes per cluster")
+    p_pr.add_argument("--cms", type=float, default=1.0)
+    p_pr.add_argument("--cps", type=float, default=100.0)
+    p_pr.add_argument("--load", type=float, default=0.5)
+    p_pr.add_argument("--avg-sigma", type=float, default=200.0)
+    p_pr.add_argument("--dc-ratio", type=float, default=2.0)
+    p_pr.add_argument(
+        "--cluster-spread",
+        type=float,
+        default=0.0,
+        help="heterogeneity across clusters (fleet profiling only)",
+    )
+    p_pr.add_argument("--total-time", type=float, default=50_000.0)
+    p_pr.add_argument("--seed", type=int, default=2007)
+    p_pr.add_argument(
+        "--reps",
+        type=int,
+        default=2,
+        help="timed replays per engine (best-of; default 2)",
+    )
+    p_pr.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the profile report as machine-readable JSON",
+    )
 
     return parser
 
@@ -894,11 +965,23 @@ def _cmd_run_scenario(args: argparse.Namespace) -> int:
         specs
     )
 
+    trace_note: str | None = None
+    if args.trace:
+        trace_note = _write_scenario_trace(
+            args,
+            scenario.with_seed(replication_seed(scenario.seed, 0)),
+            algorithms[0],
+        )
+
     if args.json:
         print(results.to_json())
+        if trace_note:
+            print(trace_note, file=sys.stderr)
         return 0
     if args.csv:
         print(results.to_csv(), end="")
+        if trace_note:
+            print(trace_note, file=sys.stderr)
         return 0
 
     d = scenario.describe()
@@ -922,7 +1005,48 @@ def _cmd_run_scenario(args: argparse.Namespace) -> int:
             f"± {ci.half_width:.4f}  (n={ci.n}, mean arrivals/run "
             f"{mean_arrivals:.0f})"
         )
+    if trace_note:
+        print()
+        print(trace_note)
     return 0
+
+
+def _write_scenario_trace(
+    args: argparse.Namespace, scenario: Scenario, algorithm: str
+) -> str:
+    """Traced rerun of one replication; write the span stream to a file.
+
+    The rerun is bit-identical to the untraced batch run of the same
+    replication (the repro.obs determinism contract), so the trace
+    describes exactly the run whose metrics were just reported.  A
+    ``.json`` filename selects the Chrome trace-event format (load it in
+    Perfetto / chrome://tracing); anything else gets JSON-lines.
+    """
+    from repro.obs import Observability
+
+    obs = Observability(trace=True)
+    simulate(
+        scenario,
+        algorithm,
+        eager_release=args.eager_release,
+        shared_head_link=args.shared_head_link,
+        node_order=args.node_order,
+        admission_engine=args.admission_engine,
+        obs=obs,
+    )
+    tracer = obs.tracer
+    assert tracer is not None  # Observability(trace=True) always builds one
+    with open(args.trace, "w", encoding="utf-8") as fp:
+        if args.trace.endswith(".json"):
+            tracer.write_chrome(fp)
+            kind = "chrome trace-event"
+        else:
+            tracer.write_jsonl(fp)
+            kind = "JSON-lines"
+    return (
+        f"trace: {len(tracer.records)} records ({kind}, {algorithm} "
+        f"replication 0) -> {args.trace}"
+    )
 
 
 def _fmt_cost(value: float | int | str) -> str:
@@ -1131,11 +1255,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     async def _main() -> None:
         server = AdmissionServer(
-            backend, host=args.host, port=args.port, once=args.once
+            backend,
+            host=args.host,
+            port=args.port,
+            once=args.once,
+            metrics_port=args.metrics_port,
         )
         await server.start()
         host, port = server.address
         print(f"listening on {host}:{port}", flush=True)
+        if server.metrics_address is not None:
+            m_host, m_port = server.metrics_address
+            print(f"metrics on http://{m_host}:{m_port}/metrics", flush=True)
         await server.wait_closed()
 
     try:
@@ -1167,6 +1298,8 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             else scenario.describe()
         ),
     }
+    latencies: list[float] = []
+    metrics_snapshot = None
     with AdmissionClient(host, int(port_text), codec=args.codec) as client:
         assert client.server_info is not None  # set by the handshake
         served = client.server_info["server"]
@@ -1175,7 +1308,11 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             print(f"  server: {json.dumps(served, sort_keys=True)}")
             print(f"  replay: {json.dumps(expected, sort_keys=True)}")
             return 2
-        decisions = replay_tasks(client, tasks, window=args.window)
+        decisions = replay_tasks(
+            client, tasks, window=args.window, latencies=latencies
+        )
+        if args.metrics:
+            metrics_snapshot = client.metrics()
         payload = client.finalize()
 
     accepted = sum(1 for d in decisions if d["accepted"])
@@ -1189,6 +1326,19 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             (len(decisions) - accepted) / len(decisions) if decisions else 0.0
         ),
     }
+    percentiles = None
+    if latencies:
+        import numpy as np
+
+        p50, p95, p99 = np.percentile(latencies, (50.0, 95.0, 99.0))
+        percentiles = {
+            "p50_ms": float(p50) * 1e3,
+            "p95_ms": float(p95) * 1e3,
+            "p99_ms": float(p99) * 1e3,
+        }
+        summary["latency"] = percentiles
+    if metrics_snapshot is not None:
+        summary["metrics"] = metrics_snapshot
 
     problems: list[str] = []
     if args.check_offline:
@@ -1213,11 +1363,104 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             f"{summary['rejected']} rejected "
             f"(reject ratio {summary['reject_ratio']:.4f})"
         )
+        if percentiles is not None:
+            print(
+                "client latency (pipeline wait included): "
+                f"p50 {percentiles['p50_ms']:.3f} ms, "
+                f"p95 {percentiles['p95_ms']:.3f} ms, "
+                f"p99 {percentiles['p99_ms']:.3f} ms"
+            )
+        if metrics_snapshot is not None:
+            requests = sum(
+                int(cell.get("value", 0))
+                for name, cell in sorted(metrics_snapshot.items())
+                if name.startswith("serve_requests_total")
+                and cell.get("type") == "counter"
+            )
+            print(
+                f"server metrics: {len(metrics_snapshot)} instruments, "
+                f"{requests} requests served"
+            )
         if args.check_offline and not problems:
             print("loopback OK: server records are bit-identical to the offline run")
         for problem in problems:
             print(f"loopback DIFF: {problem}")
     return 1 if problems else 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs.profile import profile_admission
+
+    fleet = args.clusters > 1
+    scenario: Scenario | FleetScenario
+    if fleet:
+        scenario = FleetScenario.uniform(
+            n_clusters=args.clusters,
+            system_load=args.load,
+            total_time=args.total_time,
+            seed=args.seed,
+            nodes=args.nodes,
+            cms=args.cms,
+            cps=args.cps,
+            avg_sigma=args.avg_sigma,
+            dc_ratio=args.dc_ratio,
+            cluster_spread=args.cluster_spread,
+            name="cli-profile",
+        )
+    else:
+        cluster = ClusterProfile.with_spread(args.nodes, args.cms, args.cps)
+        scenario = Scenario(
+            cluster=cluster,
+            workload=WorkloadModel.paper(
+                system_load=args.load,
+                avg_sigma=args.avg_sigma,
+                dc_ratio=args.dc_ratio,
+                cluster=cluster,
+            ),
+            total_time=args.total_time,
+            seed=args.seed,
+            name="cli-profile",
+        )
+    report = profile_admission(
+        scenario,
+        args.algorithm,
+        engines=tuple(args.engines),
+        reps=args.reps,
+        fleet=fleet,
+    )
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return 0
+    shape = (
+        f"{args.clusters} clusters x {args.nodes} nodes"
+        if fleet
+        else f"{args.nodes} nodes"
+    )
+    print(
+        f"profiled {report['calls']} admission calls ({args.algorithm}, "
+        f"{shape}, load={args.load:g}, horizon={args.total_time:g}, "
+        f"best of {args.reps})"
+    )
+    print()
+    width = max(len(e) for e in report["engines"])
+    for engine, cell in report["engines"].items():
+        print(
+            f"{engine:<{width}s}  {cell['seconds'] * 1e3:9.2f} ms  "
+            f"{cell['decisions_per_sec']:12,.0f} decisions/sec"
+        )
+    for engine, cell in report["engines"].items():
+        if not cell["phases"]:
+            continue
+        total = sum(row["seconds"] for row in cell["phases"]) or 1.0
+        print()
+        print(f"{engine} phases (profiled replay):")
+        for row in cell["phases"]:
+            print(
+                f"  {row['phase']:<16s} {row['seconds'] * 1e3:9.2f} ms  "
+                f"{row['seconds'] / total * 100.0:5.1f}%  "
+                f"({row['calls']} spans)"
+            )
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -1243,6 +1486,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_serve(args)
     if args.command == "replay":
         return _cmd_replay(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

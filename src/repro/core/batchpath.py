@@ -62,6 +62,7 @@ from __future__ import annotations
 
 import math
 from bisect import bisect_right
+from time import perf_counter
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
@@ -173,11 +174,29 @@ class BatchSchedulabilityTest(FastSchedulabilityTest):
     Same constructor and :meth:`try_admit` contract as the reference
     :class:`~repro.core.admission.SchedulabilityTest`; see the module
     docstring for the kernel inventory.  Inherits the fast engine's
-    ordered-queue maintenance, placement arithmetic and fallback rules.
+    ordered-queue maintenance, placement arithmetic, fallback rules and
+    observability surface (plan-cache counters labelled
+    ``engine="batch"``, admission spans, the opt-in ``profile`` phase
+    timers) — all of it zero-perturbation, per the :mod:`repro.obs`
+    contract.
     """
 
-    def __init__(self, policy, partitioner, cluster) -> None:
-        super().__init__(policy, partitioner, cluster)
+    #: Engine label carried into per-engine metric labels.
+    engine_name = "batch"
+
+    def __init__(self, policy, partitioner, cluster, *, obs=None) -> None:
+        super().__init__(policy, partitioner, cluster, obs=obs)
+        if obs is not None:
+            self._tier2_hits = obs.registry.counter(
+                "admission_plan_cache_tier2_hits_total",
+                "Placements served from the placement-input (tier-2) cache.",
+                labels={"engine": self.engine_name},
+            )
+        else:
+            self._tier2_hits = None
+        #: Tier-2 hits tallied during the current walk, folded into the
+        #: counter by :meth:`_flush_cache_tallies` once per test.
+        self._tier2_pending = 0
         #: tid -> up to two :class:`_BatchEntry` (most recent first); the
         #: second slot preserves the committed-prefix entry across the
         #: perturbed keys a failed walk writes.
@@ -207,7 +226,28 @@ class BatchSchedulabilityTest(FastSchedulabilityTest):
             return self._delegate.try_admit(new_task, waiting, reservations, now)
         if reservations.nodes != self._n:
             return self._fallback().try_admit(new_task, waiting, reservations, now)
-        entries, failed = self._walk(new_task, waiting, reservations, now)
+        tracer = self._tracer
+        if tracer is None:
+            entries, failed = self._walk(new_task, waiting, reservations, now)
+        else:
+            with tracer.span(
+                "admission.try_admit",
+                "admission",
+                now,
+                task=new_task.task_id,
+                queue=len(waiting),
+                engine=self.engine_name,
+            ):
+                entries, failed = self._walk(
+                    new_task, waiting, reservations, now
+                )
+                tracer.event(
+                    "admission.decision",
+                    "admission",
+                    now,
+                    task=new_task.task_id,
+                    accepted=failed is None,
+                )
         if failed is not None:
             return AdmissionDecision(accepted=False, plans={}, failed_task_id=failed)
         return AdmissionDecision(
@@ -234,7 +274,21 @@ class BatchSchedulabilityTest(FastSchedulabilityTest):
             if not decision.accepted:
                 return None
             return decision.plans[new_task.task_id].est_completion
-        entries, failed = self._walk(new_task, waiting, reservations, now)
+        tracer = self._tracer
+        if tracer is None:
+            entries, failed = self._walk(new_task, waiting, reservations, now)
+        else:
+            with tracer.span(
+                "admission.probe",
+                "admission",
+                now,
+                task=new_task.task_id,
+                queue=len(waiting),
+                engine=self.engine_name,
+            ):
+                entries, failed = self._walk(
+                    new_task, waiting, reservations, now
+                )
         if failed is not None:
             return None
         target = new_task.task_id
@@ -251,7 +305,14 @@ class BatchSchedulabilityTest(FastSchedulabilityTest):
         now: float,
     ) -> tuple[list[tuple[int, _BatchEntry]], int | None]:
         """Shared walk core: ``(entries, None)`` or ``([], failed_tid)``."""
+        prof = self.profile
+        tracer = self._tracer
+        hits = self._cache_hits
+        if prof is not None:
+            t0 = perf_counter()
         ordered = self._ordered_queue(waiting, new_task)
+        if prof is not None:
+            prof.add("queue_order", perf_counter() - t0)
         memo = self._memo
         if len(memo) > 2 * len(ordered) + 32:
             keep = {t.task_id for t in ordered}
@@ -273,6 +334,7 @@ class BatchSchedulabilityTest(FastSchedulabilityTest):
         memo_on = self._memo_enabled
         token: object = _UNSET
         entries: list[tuple[int, _BatchEntry]] = []
+        n_hits = n_misses = 0
         for task in ordered:
             tid = task.task_id
             if use_tokens:
@@ -299,7 +361,20 @@ class BatchSchedulabilityTest(FastSchedulabilityTest):
                             entry = cached
                             slot[0], slot[1] = slot[1], slot[0]
             if entry is None:
+                n_misses += 1
+                if prof is not None:
+                    tk = perf_counter()
                 entry = place(task, temp, now, token)
+                if prof is not None:
+                    prof.add("kernel_place", perf_counter() - tk)
+                if tracer is not None:
+                    tracer.event(
+                        "admission.kernel",
+                        "admission",
+                        now,
+                        task=tid,
+                        n=None if entry.ids_list is None else len(entry.ids_list),
+                    )
                 if memo_on:
                     entry.key = key
                     if slot is None:
@@ -312,8 +387,16 @@ class BatchSchedulabilityTest(FastSchedulabilityTest):
                         else:
                             slot.insert(0, entry)
                             del slot[2:]
+            else:
+                n_hits += 1
+                if tracer is not None:
+                    tracer.event(
+                        "admission.plan_cache", "admission", now, task=tid
+                    )
             ids_list = entry.ids_list
             if ids_list is None:
+                if hits is not None:
+                    self._flush_cache_tallies(n_hits, n_misses)
                 return [], tid
             completion = entry.completion
             if len(ids_list) <= 4:
@@ -322,7 +405,19 @@ class BatchSchedulabilityTest(FastSchedulabilityTest):
             else:
                 temp[entry.ids] = completion
             entries.append((tid, entry))
+        if hits is not None:
+            self._flush_cache_tallies(n_hits, n_misses)
         return entries, None
+
+    def _flush_cache_tallies(self, n_hits: int, n_misses: int) -> None:
+        """As the fast engine's, plus the batched tier-2 hit tally."""
+        if n_hits:
+            self._cache_hits.inc(n_hits)
+        if n_misses:
+            self._cache_misses.inc(n_misses)
+        if self._tier2_pending:
+            self._tier2_hits.inc(self._tier2_pending)
+            self._tier2_pending = 0
 
     # -- node-count bound via the threshold table --------------------------
     def _bound_token(self, sigma: float, budget: float) -> int | None:
@@ -460,6 +555,8 @@ class BatchSchedulabilityTest(FastSchedulabilityTest):
         if cache is not None:
             hit = cache.get(key)
             if hit is not None:
+                if self._tier2_hits is not None:
+                    self._tier2_pending += 1
                 return hit
         entry = self._entry(task, order, sorted_avail, n, shared)
         if entry is not None:

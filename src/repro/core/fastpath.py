@@ -55,6 +55,7 @@ from __future__ import annotations
 
 import math
 from bisect import insort
+from time import perf_counter
 from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
@@ -108,6 +109,7 @@ def make_admission_test(
     cluster: ClusterProfile,
     *,
     engine: str = "fast",
+    obs=None,
 ) -> "SchedulabilityTest | FastSchedulabilityTest":
     """Build the admission test for a scheduler.
 
@@ -115,7 +117,11 @@ def make_admission_test(
     module; ``engine="batch"`` the batch-vectorized engine of
     :mod:`repro.core.batchpath`; ``engine="reference"`` the original
     walk.  All three produce bit-identical decisions — the choice only
-    trades speed against simplicity.
+    trades speed against simplicity.  ``obs`` (an
+    :class:`repro.obs.Observability`) wires the optimized engines'
+    plan-cache counters and admission spans onto the caller's registry
+    and tracer; the reference engine carries no instrumentation (it is
+    the untouched ground truth) and ignores it.
     """
     validate_admission_engine(engine)
     if engine == "reference":
@@ -123,8 +129,8 @@ def make_admission_test(
     if engine == "batch":
         from repro.core.batchpath import BatchSchedulabilityTest
 
-        return BatchSchedulabilityTest(policy, partitioner, cluster)
-    return FastSchedulabilityTest(policy, partitioner, cluster)
+        return BatchSchedulabilityTest(policy, partitioner, cluster, obs=obs)
+    return FastSchedulabilityTest(policy, partitioner, cluster, obs=obs)
 
 
 #: Shared ``alphas`` vector for single-node placements (``het_alphas`` on one
@@ -263,17 +269,48 @@ class FastSchedulabilityTest:
     :class:`~repro.core.admission.SchedulabilityTest`; see the module
     docstring for the optimization inventory.  Unknown partitioner types
     delegate to an internal reference instance, so behaviour never diverges.
+
+    Observability (``obs``, optional) adds per-engine plan-cache
+    hit/miss counters and — when a tracer is attached — admission spans;
+    the public ``profile`` attribute accepts a
+    :class:`repro.obs.profile.PhaseProfile` for opt-in wall-clock phase
+    timing.  All three read simulated state only: decisions are
+    bit-identical with or without them (the zero-perturbation contract
+    of :mod:`repro.obs`, asserted by the property suite).
     """
+
+    #: Engine label carried into per-engine metric labels.
+    engine_name = "fast"
 
     def __init__(
         self,
         policy: SchedulingPolicy,
         partitioner: Partitioner,
         cluster: ClusterProfile,
+        *,
+        obs=None,
     ) -> None:
         self.policy = policy
         self.partitioner = partitioner
         self.cluster = cluster
+        #: Opt-in wall-clock phase profile (``repro profile`` attaches one).
+        self.profile = None
+        self._tracer = obs.tracer if obs is not None else None
+        if obs is not None:
+            labels = {"engine": self.engine_name}
+            self._cache_hits = obs.registry.counter(
+                "admission_plan_cache_hits_total",
+                "Admission walks served from the per-task plan memo.",
+                labels=labels,
+            )
+            self._cache_misses = obs.registry.counter(
+                "admission_plan_cache_misses_total",
+                "Admission placements recomputed by the kernel.",
+                labels=labels,
+            )
+        else:
+            self._cache_hits = None
+            self._cache_misses = None
 
         self._n = cluster.nodes
         self._homog = cluster.is_homogeneous
@@ -369,8 +406,43 @@ class FastSchedulabilityTest:
             return self._delegate.try_admit(new_task, waiting, reservations, now)
         if reservations.nodes != self._n:
             return self._fallback().try_admit(new_task, waiting, reservations, now)
+        tracer = self._tracer
+        if tracer is None:
+            return self._admit_walk(new_task, waiting, reservations, now)
+        with tracer.span(
+            "admission.try_admit",
+            "admission",
+            now,
+            task=new_task.task_id,
+            queue=len(waiting),
+            engine=self.engine_name,
+        ):
+            decision = self._admit_walk(new_task, waiting, reservations, now)
+            tracer.event(
+                "admission.decision",
+                "admission",
+                now,
+                task=new_task.task_id,
+                accepted=decision.accepted,
+            )
+        return decision
 
+    def _admit_walk(
+        self,
+        new_task: DivisibleTask,
+        waiting: Sequence[DivisibleTask],
+        reservations: NodeReservations,
+        now: float,
+    ) -> AdmissionDecision:
+        """The memoized queue walk behind :meth:`try_admit`."""
+        prof = self.profile
+        tracer = self._tracer
+        hits = self._cache_hits
+        if prof is not None:
+            t0 = perf_counter()
         ordered = self._ordered_queue(waiting, new_task)
+        if prof is not None:
+            prof.add("queue_order", perf_counter() - t0)
         memo = self._memo
         if len(memo) > 2 * len(ordered) + 32:
             keep = {t.task_id for t in ordered}
@@ -385,6 +457,7 @@ class FastSchedulabilityTest:
         token_fn = self._token
         memo_on = self._memo_enabled
         plans: dict[int, PlacementPlan] = {}
+        n_hits = n_misses = 0
         for task in ordered:
             np.maximum(temp, now, out=avail)
             tid = task.task_id
@@ -402,18 +475,55 @@ class FastSchedulabilityTest:
                         if token == cached.n_req:
                             entry = cached
             if entry is None:
+                n_misses += 1
+                if prof is not None:
+                    tk = perf_counter()
                 entry = place(task, avail, now, token)
+                if prof is not None:
+                    prof.add("kernel_place", perf_counter() - tk)
+                if tracer is not None:
+                    tracer.event(
+                        "admission.kernel",
+                        "admission",
+                        now,
+                        task=tid,
+                        n=None if entry.ids is None else len(entry.ids),
+                    )
                 if memo_on:
                     entry.key = key
                     memo[tid] = entry
+            else:
+                n_hits += 1
+                if tracer is not None:
+                    tracer.event(
+                        "admission.plan_cache", "admission", now, task=tid
+                    )
             plan = entry.plan
             if plan is None:
+                if hits is not None:
+                    self._flush_cache_tallies(n_hits, n_misses)
                 return AdmissionDecision(
                     accepted=False, plans={}, failed_task_id=tid
                 )
             temp[entry.ids] = plan.est_completion
             plans[tid] = plan
+        if hits is not None:
+            self._flush_cache_tallies(n_hits, n_misses)
         return AdmissionDecision(accepted=True, plans=plans)
+
+    def _flush_cache_tallies(self, n_hits: int, n_misses: int) -> None:
+        """Fold one walk's memo tallies into the registry counters.
+
+        A memo hit costs about one dict probe, so a registry
+        ``Counter.inc`` per hit would dominate the instrumented hit path
+        (and show up as tracing overhead the perf gate rejects).  The
+        walk tallies plain local ints and folds them in here, once per
+        admission test.  Only called with a registry attached.
+        """
+        if n_hits:
+            self._cache_hits.inc(n_hits)
+        if n_misses:
+            self._cache_misses.inc(n_misses)
 
     def _ordered_queue(
         self, waiting: Sequence[DivisibleTask], new_task: DivisibleTask
@@ -665,6 +775,8 @@ class FastSchedulabilityTest:
         """
         order, sorted_avail = self._candidates(task, avail)
         shared = self._shared_prefix(order)
+        tracer = self._tracer
+        scanned = 0
         big_n = self._n
         failed_n = 0
         k = 1
@@ -679,11 +791,31 @@ class FastSchedulabilityTest:
                 k = n_req
                 continue
             if n_req > failed_n:
+                if tracer is not None:
+                    scanned += 1
                 entry = self._entry(task, order, sorted_avail, n_req, shared)
                 if entry is not None:
+                    if tracer is not None:
+                        tracer.event(
+                            "admission.node_scan",
+                            "admission",
+                            now,
+                            task=task.task_id,
+                            placements=scanned,
+                            n=n_req,
+                        )
                     return entry
                 failed_n = n_req
             k += 1
+        if tracer is not None:
+            tracer.event(
+                "admission.node_scan",
+                "admission",
+                now,
+                task=task.task_id,
+                placements=scanned,
+                n=None,
+            )
         return _MemoEntry(b"", None, None, None)
 
     def _shared_prefix(

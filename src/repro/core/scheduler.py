@@ -34,8 +34,10 @@ from repro.core.partition import Partitioner, PlacementPlan
 from repro.core.policies import SchedulingPolicy
 from repro.core.reservations import NodeReservations
 from repro.core.task import DivisibleTask, TaskOutcome, TaskRecord
+from repro.obs import Observability
+from repro.obs.metrics import DEPTH_BUCKETS
 
-__all__ = ["ClusterScheduler", "StartDirective"]
+__all__ = ["ClusterScheduler", "SchedulerStats", "StartDirective"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -51,7 +53,6 @@ class StartDirective:
     version: int
 
 
-@dataclass(slots=True)
 class SchedulerStats:
     """Counters the scheduler maintains as it goes.
 
@@ -61,17 +62,68 @@ class SchedulerStats:
     displaced and formerly-waiting tasks), and ``fault_missed`` counts
     tasks the post-fault re-plan could no longer place — honest losses,
     terminal outcome :attr:`~repro.core.task.TaskOutcome.DISPLACED`.
+
+    Since the :mod:`repro.obs` migration the counts live on a
+    :class:`~repro.obs.metrics.MetricsRegistry` (as
+    ``scheduler_<name>_total`` counters); the attributes here are thin
+    read/write views onto those instruments, so the constructor
+    signature, ``getattr`` access, augmented assignment and equality all
+    behave exactly as the former plain-int dataclass did (the serve wire
+    protocol and the test suite rely on it).
     """
 
-    arrivals: int = 0
-    accepted: int = 0
-    rejected: int = 0
-    admission_tests: int = 0
-    replanned_tasks: int = 0
-    cancelled: int = 0
-    displaced: int = 0
-    readmitted: int = 0
-    fault_missed: int = 0
+    #: Counter fields, in wire order (mirrored by the serve protocol).
+    FIELDS = (
+        "arrivals",
+        "accepted",
+        "rejected",
+        "admission_tests",
+        "replanned_tasks",
+        "cancelled",
+        "displaced",
+        "readmitted",
+        "fault_missed",
+    )
+
+    __slots__ = ("_counters",)
+
+    def __init__(
+        self,
+        arrivals: int = 0,
+        accepted: int = 0,
+        rejected: int = 0,
+        admission_tests: int = 0,
+        replanned_tasks: int = 0,
+        cancelled: int = 0,
+        displaced: int = 0,
+        readmitted: int = 0,
+        fault_missed: int = 0,
+        *,
+        registry=None,
+    ) -> None:
+        if registry is None:
+            from repro.obs.metrics import MetricsRegistry
+
+            registry = MetricsRegistry()
+        values = (
+            arrivals,
+            accepted,
+            rejected,
+            admission_tests,
+            replanned_tasks,
+            cancelled,
+            displaced,
+            readmitted,
+            fault_missed,
+        )
+        self._counters = {}
+        for name, value in zip(self.FIELDS, values):
+            counter = registry.counter(
+                f"scheduler_{name}_total", f"Scheduler {name} count."
+            )
+            if value:
+                counter.inc(int(value))
+            self._counters[name] = counter
 
     @property
     def reject_ratio(self) -> float:
@@ -79,6 +131,36 @@ class SchedulerStats:
         if self.arrivals == 0:
             return 0.0
         return self.rejected / self.arrivals
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SchedulerStats):
+            return NotImplemented
+        return all(
+            self._counters[f].value == other._counters[f].value
+            for f in self.FIELDS
+        )
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{f}={self._counters[f].value}" for f in self.FIELDS)
+        return f"SchedulerStats({inner})"
+
+
+def _stats_view(name: str) -> property:
+    """A read/write property exposing one backing counter as an int."""
+
+    def fget(self: SchedulerStats) -> int:
+        return self._counters[name].value
+
+    def fset(self: SchedulerStats, value: int) -> None:
+        self._counters[name].value = int(value)
+
+    fget.__doc__ = f"Thin view of the ``scheduler_{name}_total`` counter."
+    return property(fget, fset)
+
+
+for _name in SchedulerStats.FIELDS:
+    setattr(SchedulerStats, _name, _stats_view(_name))
+del _name
 
 
 class ClusterScheduler:
@@ -102,6 +184,14 @@ class ClusterScheduler:
         through the original walk.  Decisions are bit-identical either way
         (asserted by the property suite) — the switch exists for
         benchmarking and verification.
+    obs:
+        Observability bundle (:class:`repro.obs.Observability`).  When
+        omitted a private registry-only bundle is created, so the
+        counter surface (``SchedulerStats`` views, plan-cache hit rates,
+        queue-depth histogram) always exists; passing one wires the
+        scheduler, its admission engine and its stats onto the caller's
+        registry and (optional) tracer.  Instrumentation never perturbs
+        decisions — see the :mod:`repro.obs` determinism contract.
     """
 
     def __init__(
@@ -112,20 +202,27 @@ class ClusterScheduler:
         *,
         eager_release: bool = False,
         admission_engine: str = "fast",
+        obs: Observability | None = None,
     ) -> None:
         self.cluster = cluster
         self.policy = policy
         self.partitioner = partitioner
         self.eager_release = eager_release
+        self.obs = obs if obs is not None else Observability()
         self.test = make_admission_test(
-            policy, partitioner, cluster, engine=admission_engine
+            policy, partitioner, cluster, engine=admission_engine, obs=self.obs
         )
         self.reservations = NodeReservations(cluster.nodes)
         self.waiting: dict[int, DivisibleTask] = {}
         self.committed_plans: dict[int, PlacementPlan] = {}
         self.running: dict[int, PlacementPlan] = {}
         self.records: dict[int, TaskRecord] = {}
-        self.stats = SchedulerStats()
+        self.stats = SchedulerStats(registry=self.obs.registry)
+        self._queue_depth = self.obs.registry.histogram(
+            "admission_queue_depth",
+            DEPTH_BUCKETS,
+            "Waiting-queue depth observed at each admission test.",
+        )
         self.plan_version = 0
         self._last_event_time = 0.0
 
@@ -147,6 +244,7 @@ class ClusterScheduler:
             )
         self.stats.arrivals += 1
         self.stats.admission_tests += 1
+        self._queue_depth.observe(float(len(self.waiting)))
         self.partitioner.on_task_arrival(task, self.cluster)
 
         decision = self.test.try_admit(
@@ -321,6 +419,7 @@ class ClusterScheduler:
         """
         self._check_time(now)
         self.stats.admission_tests += 1
+        self._queue_depth.observe(float(len(self.waiting)))
         decision = self.test.try_admit(
             task, list(self.waiting.values()), self.reservations, now
         )

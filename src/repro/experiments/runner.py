@@ -80,6 +80,7 @@ def simulate(
     shared_head_link: bool = False,
     node_order: str = "availability",
     admission_engine: str = "fast",
+    obs=None,
 ) -> RunResult:
     """Run one simulation of ``algorithm`` under ``config``.
 
@@ -89,7 +90,9 @@ def simulate(
     stream of the same seed.  ``node_order`` selects the tie-break among
     simultaneously available nodes (default: the paper's node-id order);
     ``admission_engine`` picks the fast or reference schedulability test
-    (bit-identical outputs, see :mod:`repro.core.fastpath`).
+    (bit-identical outputs, see :mod:`repro.core.fastpath`);
+    ``obs`` threads an optional :class:`repro.obs.Observability` bundle
+    into the simulation (instrumented runs stay bit-identical).
     """
     scenario = as_scenario(config)
     tasks = scenario.generate_tasks()
@@ -107,6 +110,7 @@ def simulate(
         shared_head_link=shared_head_link,
         admission_engine=admission_engine,
         faults=scenario.fault_plan(),
+        obs=obs,
     )
     output = sim.run()
     return RunResult(

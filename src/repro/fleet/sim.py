@@ -48,6 +48,7 @@ from repro.learn.feedback import (
     RoutingFeedback,
 )
 from repro.metrics.collector import MetricsSummary, summarize, summarize_pooled
+from repro.obs import Observability, Tracer, merge_snapshots
 from repro.sim.cluster_sim import ClusterSimulation, SimulationOutput
 
 __all__ = ["FleetOutput", "FleetSimulation", "simulate_fleet"]
@@ -119,6 +120,14 @@ class FleetSimulation:
         forwarded to every member simulation.  With the fast engine a
         probe followed by a routed submission reuses the probe's plans
         instead of re-running the whole test (bit-identical outputs).
+    obs:
+        Optional :class:`repro.obs.Observability` bundle for the fleet.
+        Each member gets its own registry (via
+        :meth:`~repro.obs.Observability.member`, so member counters stay
+        bit-identical to a standalone run) but shares the fleet tracer,
+        writing spans onto its own track; the fleet itself keeps routing
+        and probe-cache counters on the fleet registry and traces the
+        per-arrival probe fan-out on one extra track.
     """
 
     def __init__(
@@ -132,9 +141,19 @@ class FleetSimulation:
         shared_head_link: bool = False,
         node_order: str = "availability",
         admission_engine: str = "fast",
+        obs: Observability | None = None,
     ) -> None:
         self.scenario = scenario
         self.algorithm = algorithm
+        self.obs = obs if obs is not None else Observability()
+        tracer = self.obs.tracer
+        #: Fleet-level trace track — one past the member tracks, so
+        #: routing spans never interleave with member event dispatch.
+        self._trace = (
+            tracer.track(scenario.n_clusters)
+            if isinstance(tracer, Tracer)
+            else tracer
+        )
         self.sims: list[ClusterSimulation] = []
         #: Per-member fingerprint for the per-arrival probe cache, or
         #: ``None`` when probing the member is not repeatable (stochastic
@@ -167,6 +186,7 @@ class FleetSimulation:
                     shared_head_link=shared_head_link,
                     admission_engine=admission_engine,
                     faults=member_faults,
+                    obs=self.obs.member(i),
                 )
             )
             self._down_windows.append(
@@ -191,6 +211,10 @@ class FleetSimulation:
             learn=scenario.learn,
             learning_rng=scenario.learning_rng(),
         )
+        if self._trace is not None and getattr(self.policy, "learns", False):
+            # Bandit policies carry an optional tracer attribute; arm
+            # selection and reward resolution become trace events.
+            self.policy.tracer = self._trace
         self._capacities = [
             float(np.sum(1.0 / c.cps_array)) for c in scenario.clusters
         ]
@@ -207,8 +231,23 @@ class FleetSimulation:
         self._routed: dict[int, int] = {}
         self._last_arrival = -np.inf
         self._done = False
-        self._probe_cache_hits = 0
-        self._probe_cache_misses = 0
+        registry = self.obs.registry
+        self._probe_hits = registry.counter(
+            "fleet_probe_cache_hits_total",
+            "Probes answered from the shared per-arrival probe cache.",
+        )
+        self._probe_misses = registry.counter(
+            "fleet_probe_cache_misses_total",
+            "Probes that actually ran an admission walk.",
+        )
+        self._routed_counters = [
+            registry.counter(
+                "fleet_routed_total",
+                "Tasks routed to each member cluster.",
+                labels={"member": str(i)},
+            )
+            for i in range(len(self.sims))
+        ]
 
     # -- routing state ------------------------------------------------------
     def _is_up(self, index: int, now: float) -> bool:
@@ -279,9 +318,9 @@ class FleetSimulation:
                 # exactly the state the probe tests.
                 key = (sig, release.tobytes(), tuple(_sim.scheduler.waiting))
                 if key in probe_cache:
-                    self._probe_cache_hits += 1
+                    self._probe_hits.inc()
                     return probe_cache[key]
-            self._probe_cache_misses += 1
+            self._probe_misses.inc()
             test = _sim.scheduler.test
             probe_fn = getattr(test, "probe_completion", None)
             if probe_fn is not None:
@@ -418,10 +457,27 @@ class FleetSimulation:
         if self.policy.learns:
             self._fault_feedback(task.arrival)
         probe_cache: dict[tuple, float | None] = {}
-        views = [
-            self._view(i, task.arrival, probe_cache) for i in range(n_members)
-        ]
-        index = self.policy.route(task, views)
+        if self._trace is None:
+            views = [
+                self._view(i, task.arrival, probe_cache) for i in range(n_members)
+            ]
+            index = self.policy.route(task, views)
+        else:
+            with self._trace.span(
+                "fleet.route", "fleet", task.arrival, task=task.task_id
+            ):
+                views = [
+                    self._view(i, task.arrival, probe_cache)
+                    for i in range(n_members)
+                ]
+                index = self.policy.route(task, views)
+            self._trace.event(
+                "fleet.routed",
+                "fleet",
+                task.arrival,
+                task=task.task_id,
+                member=index,
+            )
         if not 0 <= index < n_members:
             raise InvalidParameterError(
                 f"routing policy {self.policy.name!r} returned cluster "
@@ -429,6 +485,7 @@ class FleetSimulation:
             )
         self._last_arrival = task.arrival
         self._assignments.append(index)
+        self._routed_counters[index].inc()
         self._routed[task.task_id] = index
         target = self.sims[index]
         target.submit(task)
@@ -468,6 +525,14 @@ class FleetSimulation:
                 self._drain_completions()  # everything accepted has drained
             report = self.policy.report()  # type: ignore[attr-defined]
             metrics = replace(metrics, learning_regret=report.cumulative_regret)
+        # Fold the fleet's own counters (routing shares, probe cache) into
+        # the pooled member snapshot carried by the summary.
+        metrics = replace(
+            metrics,
+            obs=merge_snapshots(
+                [s for s in (metrics.obs, self.obs.registry.snapshot()) if s]
+            ),
+        )
         per_cluster = tuple(summarize(o) for o in outputs)
         return FleetOutput(
             algorithm=self.algorithm,
@@ -477,8 +542,8 @@ class FleetSimulation:
             metrics=metrics,
             per_cluster=per_cluster,
             learning=report,
-            probe_cache_hits=self._probe_cache_hits,
-            probe_cache_misses=self._probe_cache_misses,
+            probe_cache_hits=int(self._probe_hits.value),
+            probe_cache_misses=int(self._probe_misses.value),
         )
 
     # -- live introspection (the admission service's status/cancel hooks) --
@@ -573,6 +638,7 @@ def simulate_fleet(
     shared_head_link: bool = False,
     node_order: str = "availability",
     admission_engine: str = "fast",
+    obs: Observability | None = None,
 ) -> FleetOutput:
     """Run one fleet simulation of ``algorithm`` under ``scenario``.
 
@@ -589,4 +655,5 @@ def simulate_fleet(
         shared_head_link=shared_head_link,
         node_order=node_order,
         admission_engine=admission_engine,
+        obs=obs,
     ).run()

@@ -110,6 +110,11 @@ class BanditRouter(RoutingPolicy):
         self._inflight: np.ndarray | None = None
         self._decisions = 0
         self._resolved = 0
+        #: Optional trace sink (:class:`repro.obs.trace.Tracer` or a
+        #: track view), set by the fleet simulation when tracing is on.
+        #: Arm selections and reward resolutions become instant events;
+        #: tracing draws no randomness, so decisions are unchanged.
+        self.tracer = None
 
     # -- arm management ----------------------------------------------------
     def _ensure_arms(self, n_clusters: int) -> None:
@@ -196,6 +201,15 @@ class BanditRouter(RoutingPolicy):
         assert self._inflight is not None
         self._inflight[arm] += 1
         self._decisions += 1
+        if self.tracer is not None:
+            self.tracer.event(
+                "bandit.select",
+                "learn",
+                task.arrival,
+                task=task.task_id,
+                arm=self._arm_names[arm],
+                member=index,
+            )
         return index
 
     def observe(self, feedback: RoutingFeedback) -> None:
@@ -211,8 +225,28 @@ class BanditRouter(RoutingPolicy):
         assert self._inflight is not None
         self._inflight[arm] -= 1
         self._pulls[arm] += 1
-        self._totals[arm] += min(max(float(reward), 0.0), 1.0)
+        clipped = min(max(float(reward), 0.0), 1.0)
+        self._totals[arm] += clipped
         self._resolved += 1
+        if self.tracer is not None:
+            assert self._arm_names is not None
+            # Stamp the event at the reward's *resolution* instant (the
+            # completion for delayed rewards), keeping track timestamps
+            # monotone: completions are drained in completion order.
+            resolved_at = (
+                feedback.actual_completion
+                if feedback.actual_completion is not None
+                else feedback.arrival
+            )
+            self.tracer.event(
+                "bandit.feedback",
+                "learn",
+                resolved_at,
+                task=feedback.task_id,
+                arm=self._arm_names[arm],
+                phase=feedback.phase,
+                reward=clipped,
+            )
 
     # -- reporting ---------------------------------------------------------
     @property

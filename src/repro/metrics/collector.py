@@ -14,13 +14,14 @@ plot, so the examples and ablations can show them:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, field, fields
 from typing import Sequence
 
 import numpy as np
 
 from repro.core.errors import InvalidParameterError
 from repro.core.task import TaskOutcome
+from repro.obs.metrics import merge_snapshots
 from repro.sim.cluster_sim import SimulationOutput
 
 __all__ = [
@@ -47,6 +48,16 @@ class MetricsSummary:
     could not be re-fit before their original deadline.  All three stay
     ``0`` for fault-free runs, so faulted and clean results share one
     schema too.
+
+    ``obs`` is the run's full deterministic metrics snapshot from
+    :mod:`repro.obs` (pooled runs merge member snapshots).  It is a
+    structured side-channel, not a scalar metric: :func:`metric_names`
+    and :meth:`as_dict` exclude it so CSV/JSON row exports keep their
+    flat schema, and it is excluded from equality — the optimized
+    engines register engine-labeled diagnostics the reference engine
+    does not, so two bit-identical *runs* on different engines still
+    carry different snapshots (compare ``obs`` directly where snapshot
+    equality is the claim, as the determinism suite does).
     """
 
     algorithm: str
@@ -67,6 +78,7 @@ class MetricsSummary:
     displaced: int = 0
     readmitted: int = 0
     fault_missed: int = 0
+    obs: dict | None = field(default=None, compare=False)
 
     @property
     def accept_ratio(self) -> float:
@@ -74,9 +86,13 @@ class MetricsSummary:
         return 1.0 - self.reject_ratio
 
     def as_dict(self) -> dict[str, float | int | str]:
-        """All metrics (fields plus derived ratios) as a flat dict."""
+        """All scalar metrics (fields plus derived ratios) as a flat dict.
+
+        The structured ``obs`` snapshot is excluded — this dict is a CSV
+        / JSON *row*, and rows stay flat scalars.
+        """
         out: dict[str, float | int | str] = {
-            f.name: getattr(self, f.name) for f in fields(self)
+            f.name: getattr(self, f.name) for f in fields(self) if f.name != "obs"
         }
         out["accept_ratio"] = self.accept_ratio
         return out
@@ -84,9 +100,9 @@ class MetricsSummary:
 
 def metric_names() -> tuple[str, ...]:
     """Names of all numeric metrics an aggregation may target."""
-    return tuple(f.name for f in fields(MetricsSummary) if f.name != "algorithm") + (
-        "accept_ratio",
-    )
+    return tuple(
+        f.name for f in fields(MetricsSummary) if f.name not in ("algorithm", "obs")
+    ) + ("accept_ratio",)
 
 
 def validate_metric(metric: str) -> str:
@@ -144,6 +160,7 @@ def summarize_pooled(
     allocated = float(sum(o.node_allocated_time.sum() for o in outputs))
     admission_tests = sum(o.stats.admission_tests for o in outputs)
     replanned = sum(o.stats.replanned_tasks for o in outputs)
+    snapshots = [o.obs_snapshot for o in outputs if o.obs_snapshot is not None]
 
     return MetricsSummary(
         algorithm=algorithm,
@@ -165,6 +182,7 @@ def summarize_pooled(
         displaced=sum(o.stats.displaced for o in outputs),
         readmitted=sum(o.stats.readmitted for o in outputs),
         fault_missed=sum(o.stats.fault_missed for o in outputs),
+        obs=merge_snapshots(snapshots) if snapshots else None,
     )
 
 

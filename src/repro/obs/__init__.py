@@ -1,0 +1,91 @@
+"""Cross-cutting observability: tracing, metrics, and profiling hooks.
+
+:mod:`repro.obs` is the instrumentation layer threaded through every
+other layer of the stack — the admission engines (:mod:`repro.core`),
+the event kernel and cluster driver (:mod:`repro.sim`), fleet routing and
+bandits (:mod:`repro.fleet`, :mod:`repro.learn`), fault injection
+(:mod:`repro.faults`) and the live service (:mod:`repro.serve`).  Three
+pillars:
+
+* :mod:`repro.obs.trace` — nestable spans/events with JSONL and Chrome
+  trace-event (Perfetto) export;
+* :mod:`repro.obs.metrics` — a deterministic registry of counters,
+  gauges and fixed-bucket histograms, snapshot-able onto
+  :class:`~repro.metrics.collector.MetricsSummary`, the serve wire
+  protocol and a Prometheus endpoint;
+* :mod:`repro.obs.profile` — opt-in ``perf_counter`` phase timers on the
+  hot admission kernels plus the capture-and-replay harness behind
+  ``repro profile``.
+
+The package-wide **determinism contract**: an instrumented run is
+bit-identical to an uninstrumented run.  Observability *reads* the
+simulation and never perturbs it — no RNG draws, no event-kernel
+entries, and wall clocks only in fields flagged as wall time (excluded
+from every surface that is compared bit-for-bit).  See
+``docs/observability.md`` for the span taxonomy and metrics catalog.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+    render_prometheus,
+)
+from repro.obs.trace import Span, Tracer, TrackView, read_jsonl
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "Span",
+    "Tracer",
+    "TrackView",
+    "merge_snapshots",
+    "read_jsonl",
+    "render_prometheus",
+]
+
+
+class Observability:
+    """One run's instrumentation bundle: a registry plus optional tracer.
+
+    Every simulation owns one (drivers build a default, registry-only
+    bundle when none is passed, so the counter surface is always
+    present).  Tracing is opt-in: pass ``trace=True`` — or an explicit
+    :class:`~repro.obs.trace.Tracer` — to collect spans; ``timing=True``
+    additionally stamps wall-clock durations into ``wall_us`` fields.
+    """
+
+    __slots__ = ("registry", "tracer")
+
+    def __init__(
+        self,
+        *,
+        trace: bool = False,
+        timing: bool = False,
+        registry: MetricsRegistry | None = None,
+        tracer: "Tracer | TrackView | None" = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        if tracer is None and trace:
+            tracer = Tracer(timing=timing)
+        self.tracer = tracer
+
+    def member(self, index: int) -> "Observability":
+        """A fleet member's bundle: fresh registry, shared tracer track.
+
+        The member gets its *own* registry (so its counters stay
+        bit-identical to a standalone run of the same cluster) and a
+        per-track view of the shared fleet tracer (so the whole fleet
+        lands in one trace file, one lane per member).
+        """
+        view: Tracer | TrackView | None = self.tracer
+        if isinstance(view, Tracer):
+            view = view.track(index)
+        return Observability(registry=MetricsRegistry(), tracer=view)

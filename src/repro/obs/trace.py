@@ -1,0 +1,212 @@
+"""Lightweight span/event tracing with JSONL and Chrome trace export.
+
+A :class:`Tracer` records *simulation-time* spans and instant events from
+every layer (admission test phases, event-kernel dispatch, fleet probe
+fan-out, bandit decisions, fault windows, serve request lifecycle).  The
+hard rule, shared with the rest of :mod:`repro.obs`: **tracing reads the
+simulation, it never perturbs it** — no RNG draws, no event-kernel
+entries, and wall clocks (``time.perf_counter``) only when ``timing=True``
+and only into the dedicated ``wall_us`` field.  A traced run is
+bit-identical to an untraced run; the property suite asserts it across
+engines, algorithms, faults and fleet routing.
+
+Records
+-------
+Each record is a plain dict: ``name``, ``cat`` (category), ``ph`` (``"X"``
+for spans, ``"i"`` for instant events), ``ts`` (simulation time), ``dur``
+(simulation-time duration, usually 0 — sim time does not advance inside a
+handler), ``depth`` (nesting level at emission), ``track`` (0 for a single
+cluster; the member index in a fleet), and optional ``args`` /
+``wall_us``.  Records append in *begin* order, so ``ts`` is monotone
+non-decreasing within each track.
+
+Export
+------
+:meth:`Tracer.write_jsonl` emits one JSON object per line (the format
+``repro run-scenario --trace out.jsonl`` writes and
+:func:`read_jsonl` parses back).  :meth:`Tracer.write_chrome` emits the
+Chrome trace-event JSON format — open it at ``ui.perfetto.dev`` and each
+fleet member appears as its own thread track.
+"""
+
+from __future__ import annotations
+
+import json
+from time import perf_counter
+from typing import Any, TextIO
+
+__all__ = ["Span", "TrackView", "Tracer", "read_jsonl"]
+
+
+class Span:
+    """Context manager for one open span; created by :meth:`Tracer.span`.
+
+    Entering pushes the span on the tracer's stack (children emitted
+    inside nest one level deeper); exiting pops it and, when the tracer
+    was built with ``timing=True``, stamps the wall-clock duration into
+    the record's ``wall_us`` field.  Call :meth:`end_ts` before exit for
+    the rare span whose simulation time advances while it is open.
+    """
+
+    __slots__ = ("_tracer", "record", "_wall0")
+
+    def __init__(self, tracer: "Tracer", record: dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.record = record
+        self._wall0 = 0.0
+
+    def end_ts(self, ts: float) -> None:
+        """Close the span at simulation time ``ts`` (sets ``dur``)."""
+        self.record["dur"] = ts - self.record["ts"]
+
+    def __enter__(self) -> "Span":
+        self._tracer._stack.append(self)
+        if self._tracer.timing:
+            self._wall0 = perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        if self._tracer.timing:
+            self.record["wall_us"] = (perf_counter() - self._wall0) * 1e6
+        self._tracer._stack.pop()
+
+
+class Tracer:
+    """Collects spans and events; export with ``write_jsonl``/``write_chrome``.
+
+    Parameters
+    ----------
+    timing:
+        When true, spans additionally record wall-clock durations via
+        ``time.perf_counter`` in the ``wall_us`` field.  Off by default:
+        the default trace is fully deterministic (byte-identical across
+        runs of the same scenario).
+    """
+
+    __slots__ = ("records", "timing", "_stack")
+
+    def __init__(self, *, timing: bool = False) -> None:
+        self.records: list[dict[str, Any]] = []
+        self.timing = timing
+        self._stack: list[Span] = []
+
+    @property
+    def depth(self) -> int:
+        """Current nesting depth (number of open spans)."""
+        return len(self._stack)
+
+    def _record(
+        self,
+        name: str,
+        cat: str,
+        ph: str,
+        ts: float,
+        track: int,
+        args: dict[str, Any],
+    ) -> dict[str, Any]:
+        record: dict[str, Any] = {
+            "name": name,
+            "cat": cat,
+            "ph": ph,
+            "ts": ts,
+            "dur": 0.0,
+            "depth": len(self._stack),
+            "track": track,
+        }
+        if args:
+            record["args"] = args
+        self.records.append(record)
+        return record
+
+    def span(
+        self, name: str, cat: str = "default", ts: float = 0.0,
+        track: int = 0, **args: Any,
+    ) -> Span:
+        """Open a nestable span at simulation time ``ts`` (use ``with``)."""
+        return Span(self, self._record(name, cat, "X", ts, track, args))
+
+    def event(
+        self, name: str, cat: str = "default", ts: float = 0.0,
+        track: int = 0, **args: Any,
+    ) -> None:
+        """Record an instant event at simulation time ``ts``."""
+        self._record(name, cat, "i", ts, track, args)
+
+    def track(self, track: int) -> "TrackView":
+        """A view emitting onto this tracer with a fixed ``track`` index."""
+        return TrackView(self, track)
+
+    # -- export -----------------------------------------------------------
+    def write_jsonl(self, fp: TextIO) -> int:
+        """Write one JSON object per record; returns the record count."""
+        for record in self.records:
+            fp.write(json.dumps(record, separators=(",", ":")))
+            fp.write("\n")
+        return len(self.records)
+
+    def write_chrome(self, fp: TextIO) -> int:
+        """Write the Chrome trace-event format (Perfetto-compatible).
+
+        Simulation time maps to the ``ts`` microsecond field unchanged
+        (simulation units are dimensionless); ``track`` maps to ``tid``
+        so each fleet member gets its own lane.
+        """
+        events = []
+        for r in self.records:
+            event: dict[str, Any] = {
+                "name": r["name"],
+                "cat": r["cat"],
+                "ph": r["ph"],
+                "ts": r["ts"],
+                "pid": 0,
+                "tid": r["track"],
+            }
+            if r["ph"] == "X":
+                event["dur"] = r["dur"]
+            if r["ph"] == "i":
+                event["s"] = "t"
+            args = dict(r.get("args", {}))
+            if "wall_us" in r:
+                args["wall_us"] = r["wall_us"]
+            if args:
+                event["args"] = args
+            events.append(event)
+        json.dump({"traceEvents": events}, fp)
+        return len(events)
+
+
+class TrackView:
+    """A :class:`Tracer` facade bound to one track (fleet member) index.
+
+    Exposes the same :meth:`span` / :meth:`event` surface, so member
+    simulations can be handed a per-member view of the shared fleet
+    tracer without threading the index through every call site.
+    """
+
+    __slots__ = ("_tracer", "_track")
+
+    def __init__(self, tracer: Tracer, track: int) -> None:
+        self._tracer = tracer
+        self._track = track
+
+    @property
+    def timing(self) -> bool:
+        """Whether the underlying tracer stamps wall-clock durations."""
+        return self._tracer.timing
+
+    def span(
+        self, name: str, cat: str = "default", ts: float = 0.0, **args: Any
+    ) -> Span:
+        """Open a span on the underlying tracer, tagged with this track."""
+        return self._tracer.span(name, cat, ts, track=self._track, **args)
+
+    def event(
+        self, name: str, cat: str = "default", ts: float = 0.0, **args: Any
+    ) -> None:
+        """Record an instant event tagged with this track."""
+        self._tracer.event(name, cat, ts, track=self._track, **args)
+
+
+def read_jsonl(fp: TextIO) -> list[dict[str, Any]]:
+    """Parse a JSONL trace back into its record dicts (round-trip)."""
+    return [json.loads(line) for line in fp if line.strip()]

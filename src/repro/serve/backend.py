@@ -39,6 +39,7 @@ from repro.core.errors import InvalidParameterError
 from repro.core.task import DivisibleTask, TaskOutcome
 from repro.fleet.scenario import FleetScenario
 from repro.fleet.sim import FleetSimulation
+from repro.obs import Observability, merge_snapshots
 from repro.serve.protocol import encode_output
 from repro.sim.cluster_sim import ClusterSimulation
 from repro.workload.scenario import Scenario
@@ -116,6 +117,7 @@ class ClusterBackend:
         eager_release: bool = False,
         shared_head_link: bool = False,
         validate: bool = True,
+        obs: Observability | None = None,
     ) -> None:
         self.scenario = scenario
         self.algorithm = algorithm
@@ -131,6 +133,7 @@ class ClusterBackend:
             shared_head_link=shared_head_link,
             admission_engine=admission_engine,
             faults=scenario.fault_plan(),
+            obs=obs,
         )
 
     def submit(self, task: DivisibleTask) -> dict[str, Any]:
@@ -160,6 +163,10 @@ class ClusterBackend:
     def snapshot(self) -> dict[str, Any]:
         """Live aggregate state (clock, counters, queue occupancy)."""
         return self.sim.snapshot()
+
+    def metrics(self) -> dict[str, Any]:
+        """Live :mod:`repro.obs` registry snapshot (wall instruments too)."""
+        return self.sim.obs.registry.snapshot(include_wall=True)
 
     def finalize(self) -> dict[str, Any]:
         """Drain the simulation and return the full output payload."""
@@ -196,6 +203,7 @@ class FleetBackend:
         eager_release: bool = False,
         shared_head_link: bool = False,
         validate: bool = True,
+        obs: Observability | None = None,
     ) -> None:
         self.scenario = scenario
         self.algorithm = algorithm
@@ -207,6 +215,7 @@ class FleetBackend:
             shared_head_link=shared_head_link,
             node_order=node_order,
             admission_engine=admission_engine,
+            obs=obs,
         )
 
     def submit(self, task: DivisibleTask) -> dict[str, Any]:
@@ -249,6 +258,21 @@ class FleetBackend:
     def snapshot(self) -> dict[str, Any]:
         """Live pooled state plus per-member snapshots."""
         return self.sim.snapshot()
+
+    def metrics(self) -> dict[str, Any]:
+        """Live merged registry snapshot: every member plus the fleet.
+
+        Member registries are merged cellwise with the fleet's own
+        (routing shares, probe cache), so one flat snapshot describes
+        the whole service — the shape ``summarize_pooled`` attaches to
+        the offline :class:`~repro.metrics.collector.MetricsSummary`.
+        """
+        snaps = [
+            member.obs.registry.snapshot(include_wall=True)
+            for member in self.sim.sims
+        ]
+        snaps.append(self.sim.obs.registry.snapshot(include_wall=True))
+        return merge_snapshots(snaps)
 
     def finalize(self) -> dict[str, Any]:
         """Drain every member and return the full fleet output payload."""

@@ -233,6 +233,15 @@ class AdmissionClient:
             "cancelled"
         ])
 
+    def metrics(self) -> dict[str, Any]:
+        """The server's merged :mod:`repro.obs` metrics snapshot.
+
+        Backend simulation instruments (the same registry an offline run
+        snapshots onto its summary) merged with the server's own request
+        counters and wall-clock latency histogram.
+        """
+        return self._request({"op": "metrics"}).result()["metrics"]
+
     def finalize(self) -> dict[str, Any]:
         """Drain the simulation; returns the full output payload.
 

@@ -17,6 +17,7 @@ against a freshly started ``repro serve`` and fails on any diff line.
 from __future__ import annotations
 
 from collections import deque
+from time import perf_counter
 from typing import Any, Sequence
 
 import numpy as np
@@ -36,6 +37,7 @@ def replay_tasks(
     *,
     window: int = 64,
     end_stream: bool = True,
+    latencies: list[float] | None = None,
 ) -> list[dict[str, Any]]:
     """Stream ``tasks`` through ``client``; return the decisions in order.
 
@@ -44,19 +46,31 @@ def replay_tasks(
     keeping memory bounded), resolves every future, and ends the stream
     (set ``end_stream=False`` to keep the barrier held, e.g. between
     shards).  Decisions come back in submission order, one dict per task.
+
+    Pass a list as ``latencies`` to additionally record each decision's
+    client-observed wall-clock latency in seconds (submit to resolved
+    response, pipeline wait included) — one entry per task, in
+    submission order; ``repro replay`` reports the p50/p95/p99 of these.
     """
     if window < 1:
         window = 1
     client.open_stream()
     decisions: list[dict[str, Any]] = []
     pending: deque = deque()
+
+    def resolve() -> None:
+        future, started = pending.popleft()
+        decisions.append(future.result())
+        if latencies is not None:
+            latencies.append(perf_counter() - started)
+
     try:
         for task in tasks:
-            pending.append(client.submit(task))
+            pending.append((client.submit(task), perf_counter()))
             while len(pending) >= window:
-                decisions.append(pending.popleft().result())
+                resolve()
         while pending:
-            decisions.append(pending.popleft().result())
+            resolve()
     finally:
         if end_stream:
             client.end_stream()

@@ -38,9 +38,12 @@ from __future__ import annotations
 import asyncio
 import threading
 from collections import deque
+from time import perf_counter
 from typing import Any
 
 from repro.core.errors import InvalidParameterError, ReproError
+from repro.obs import Observability, merge_snapshots, render_prometheus
+from repro.obs.metrics import LATENCY_BUCKETS
 from repro.serve.protocol import (
     PROTOCOL_VERSION,
     available_codecs,
@@ -81,6 +84,17 @@ class AdmissionServer:
     once:
         Stop the server after the first successful ``finalize`` — the
         replay harness's fire-and-forget mode.
+    obs:
+        Optional :class:`repro.obs.Observability` bundle for the server
+        itself (request counters per op, wall-clock request latency, and
+        — when its tracer is set — request-lifecycle spans).  Distinct
+        from the backend's simulation registry; the ``metrics`` op and
+        the Prometheus endpoint merge both.
+    metrics_port:
+        When given, additionally serve the merged registry snapshot in
+        Prometheus text exposition format over plain HTTP on this port
+        (``GET`` anything; port ``0`` picks an ephemeral one, read back
+        from :attr:`metrics_address`).
     """
 
     def __init__(
@@ -90,16 +104,30 @@ class AdmissionServer:
         host: str = "127.0.0.1",
         port: int = 0,
         once: bool = False,
+        obs: Observability | None = None,
+        metrics_port: int | None = None,
     ) -> None:
         self.backend = backend
         self.host = host
         self.port = port
         self.once = once
+        self.obs = obs if obs is not None else Observability()
+        self.metrics_port = metrics_port
+        self._latency = self.obs.registry.histogram(
+            "serve_request_seconds",
+            LATENCY_BUCKETS,
+            "Wall-clock time spent handling each request.",
+            wall=True,
+        )
+        #: Monotone logical clock for serve-side trace timestamps (the
+        #: service has no simulation clock of its own).
+        self._trace_clock = 0
         self._conns: list[_Connection] = []
         self._wake = asyncio.Event()
         self._stopped = asyncio.Event()
         self._stopping = False
         self._server: asyncio.base_events.Server | None = None
+        self._metrics_server: asyncio.base_events.Server | None = None
         self._dispatcher: asyncio.Task | None = None
 
     @property
@@ -111,11 +139,24 @@ class AdmissionServer:
         host, port = sock.getsockname()[:2]
         return host, port
 
+    @property
+    def metrics_address(self) -> tuple[str, int] | None:
+        """The Prometheus endpoint's ``(host, port)``; ``None`` when off."""
+        if self._metrics_server is None:
+            return None
+        sock = self._metrics_server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
     async def start(self) -> None:
         """Bind the listening socket and launch the dispatcher task."""
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
+        if self.metrics_port is not None:
+            self._metrics_server = await asyncio.start_server(
+                self._handle_metrics_http, self.host, self.metrics_port
+            )
         self._dispatcher = asyncio.create_task(self._dispatch_loop())
 
     async def wait_closed(self) -> None:
@@ -161,6 +202,17 @@ class AdmissionServer:
                     )
                     continue
                 conn.queue.append(message)
+                if self.obs.tracer is not None:
+                    # Decode done, dispatch pending: the gap between this
+                    # event and the request's span is the barrier wait.
+                    self._trace_clock += 1
+                    self.obs.tracer.event(
+                        "serve.enqueued",
+                        "serve",
+                        float(self._trace_clock),
+                        op=message.get("op"),
+                        seq=message.get("seq"),
+                    )
                 self._wake.set()
         except (ConnectionError, OSError):  # pragma: no cover - peer races
             pass
@@ -243,16 +295,55 @@ class AdmissionServer:
         task = conn.queue[0]["task"]
         return (task.arrival, task.task_id)
 
+    def merged_metrics(self) -> dict[str, Any]:
+        """One flat snapshot: backend simulation metrics plus the server's.
+
+        This is what the ``metrics`` op returns and what the Prometheus
+        endpoint renders — the backend's live registry (the same
+        instruments an offline run snapshots onto its summary) merged
+        with the server's request counters and latency histogram.
+        """
+        return merge_snapshots(
+            [
+                self.backend.metrics(),
+                self.obs.registry.snapshot(include_wall=True),
+            ]
+        )
+
+    def _finish_request(self, op: str, started: float) -> None:
+        """Count one handled request and record its wall-clock latency."""
+        self.obs.registry.counter(
+            "serve_requests_total",
+            "Requests handled, by operation.",
+            labels={"op": op},
+        ).inc()
+        self._latency.observe(perf_counter() - started)
+
     async def _handle_submit(
         self, conn: _Connection, request: dict[str, Any]
     ) -> None:
         """Run one merged submission through the backend."""
         seq = request.get("seq")
+        started = perf_counter()
+        tracer = self.obs.tracer
+        self._trace_clock += 1
         try:
-            result = self.backend.submit(request["task"])
+            if tracer is None:
+                result = self.backend.submit(request["task"])
+            else:
+                with tracer.span(
+                    "serve.submit",
+                    "serve",
+                    float(self._trace_clock),
+                    seq=seq,
+                    task=request["task"].task_id,
+                ):
+                    result = self.backend.submit(request["task"])
         except ReproError as exc:
+            self._finish_request("submit", started)
             await self._send_error(conn, seq, exc)
             return
+        self._finish_request("submit", started)
         await self._send(conn, {"seq": seq, "ok": True, **result})
 
     async def _handle_control(
@@ -261,6 +352,15 @@ class AdmissionServer:
         """Handle one non-submit request at a queue head."""
         seq = request.get("seq")
         op = request.get("op")
+        started = perf_counter()
+        tracer = self.obs.tracer
+        self._trace_clock += 1
+        span = None
+        if tracer is not None:
+            span = tracer.span(
+                "serve.control", "serve", float(self._trace_clock), op=op, seq=seq
+            )
+            span.__enter__()
         try:
             if op == "hello":
                 wanted = request.get("codec")
@@ -312,6 +412,11 @@ class AdmissionServer:
                 )
                 if self.once:
                     self.request_stop()
+            elif op == "metrics":
+                await self._send(
+                    conn,
+                    {"seq": seq, "ok": True, "metrics": self.merged_metrics()},
+                )
             elif op == "shutdown":
                 await self._send(conn, {"seq": seq, "ok": True})
                 self.request_stop()
@@ -319,6 +424,10 @@ class AdmissionServer:
                 raise InvalidParameterError(f"unknown op {op!r}")
         except (ReproError, KeyError, TypeError, ValueError) as exc:
             await self._send_error(conn, seq, exc)
+        finally:
+            if span is not None:
+                span.__exit__(None, None, None)
+            self._finish_request(str(op), started)
 
     async def _send_error(
         self, conn: _Connection, seq: Any, exc: Exception
@@ -334,6 +443,37 @@ class AdmissionServer:
             },
         )
 
+    # -- metrics endpoint ---------------------------------------------------
+    async def _handle_metrics_http(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Answer one Prometheus scrape (one HTTP/1.0 response, then close).
+
+        The handler runs on the same event loop as the dispatcher, so it
+        reads the backend's registries between dispatch steps — never
+        mid-submission.
+        """
+        try:
+            while True:  # consume the request line + headers
+                line = await reader.readline()
+                if not line or line in (b"\r\n", b"\n"):
+                    break
+            body = render_prometheus(self.merged_metrics()).encode()
+            writer.write(
+                b"HTTP/1.0 200 OK\r\n"
+                b"Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+                + f"Content-Length: {len(body)}\r\n\r\n".encode()
+                + body
+            )
+            await writer.drain()
+        except (ConnectionError, OSError):  # pragma: no cover - peer races
+            pass
+        finally:
+            try:
+                writer.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+
     async def _shutdown(self) -> None:
         """Close every connection and the listening socket."""
         for conn in self._conns:
@@ -346,6 +486,9 @@ class AdmissionServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            await self._metrics_server.wait_closed()
         self._stopped.set()
 
 
@@ -363,16 +506,27 @@ class BackgroundServer:
     """
 
     def __init__(
-        self, backend: Any, *, host: str = "127.0.0.1", port: int = 0
+        self,
+        backend: Any,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        obs: Observability | None = None,
+        metrics_port: int | None = None,
     ) -> None:
         self._backend = backend
         self._host = host
         self._port = port
+        self._obs = obs
+        self._metrics_port = metrics_port
         self._ready = threading.Event()
         self._loop: asyncio.AbstractEventLoop | None = None
         self._server: AdmissionServer | None = None
         self._startup_error: BaseException | None = None
         self.address: tuple[str, int] = ("", 0)
+        #: Bound Prometheus endpoint address (set when ``metrics_port``
+        #: was requested).
+        self.metrics_address: tuple[str, int] | None = None
         self._thread = threading.Thread(target=self._run, daemon=True)
 
     def __enter__(self) -> "BackgroundServer":
@@ -412,9 +566,15 @@ class BackgroundServer:
         """Start the server, publish the address, serve until stopped."""
         self._loop = asyncio.get_running_loop()
         self._server = AdmissionServer(
-            self._backend, host=self._host, port=self._port
+            self._backend,
+            host=self._host,
+            port=self._port,
+            obs=self._obs,
+            metrics_port=self._metrics_port,
         )
         await self._server.start()
         self.address = self._server.address
+        if self._metrics_port is not None:
+            self.metrics_address = self._server.metrics_address
         self._ready.set()
         await self._server.wait_closed()

@@ -36,6 +36,7 @@ from repro.core.partition import PlacementPlan
 from repro.core.scheduler import ClusterScheduler, SchedulerStats
 from repro.core.task import DivisibleTask, TaskRecord
 from repro.faults.model import FaultEvent, FaultPlan
+from repro.obs import Observability
 from repro.sim.engine import SimulationEngine
 from repro.sim.events import EventKind
 from repro.sim.trace import ChunkTrace, TaskTrace
@@ -57,6 +58,9 @@ class SimulationOutput:
     ``node_allocated_time`` is reservation occupancy (busy + idle-inside-
     allocation, i.e. the IITs); their gap quantifies how much allocated
     capacity each algorithm wastes.
+    ``obs_snapshot`` is the run's deterministic metrics snapshot (see
+    :mod:`repro.obs`) — wall-clock instruments excluded, so it is
+    bit-identical across backends and with or without tracing.
     """
 
     algorithm: str
@@ -67,6 +71,7 @@ class SimulationOutput:
     node_allocated_time: "NDArray[np.float64]"
     horizon: float
     traces: list[TaskTrace] = field(default_factory=list)
+    obs_snapshot: dict | None = None
 
     @property
     def reject_ratio(self) -> float:
@@ -113,6 +118,12 @@ class ClusterSimulation:
         With faults, validation turns non-strict: a slowed node makes
         actual completions exceed their estimates, which the validator
         then records as honest violations instead of raising.
+    obs:
+        Optional :class:`repro.obs.Observability` bundle.  Its registry
+        backs the scheduler counters and queue-depth histogram; its
+        tracer (if any) wraps event dispatch and admission phases in
+        spans.  Instrumentation never draws randomness or schedules
+        events, so the run is bit-identical with or without it.
     """
 
     def __init__(
@@ -128,6 +139,7 @@ class ClusterSimulation:
         shared_head_link: bool = False,
         admission_engine: str = "fast",
         faults: FaultPlan | None = None,
+        obs: Observability | None = None,
     ) -> None:
         if horizon <= 0:
             raise InvalidParameterError(f"horizon must be > 0, got {horizon}")
@@ -148,14 +160,16 @@ class ClusterSimulation:
         #: The active fault plan; an empty plan collapses to ``None`` so
         #: every fault-free code path below is the pre-fault-layer one.
         self.faults = faults if faults else None
+        self.obs = obs if obs is not None else Observability()
 
-        self.engine = SimulationEngine()
+        self.engine = SimulationEngine(tracer=self.obs.tracer)
         self.scheduler = ClusterScheduler(
             cluster,
             algorithm.policy,
             algorithm.partitioner,
             eager_release=eager_release,
             admission_engine=admission_engine,
+            obs=self.obs,
         )
         strict = validate and not shared_head_link and self.faults is None
         self.validator = ExecutionValidator(strict=strict)
@@ -387,6 +401,16 @@ class ClusterSimulation:
         before starts/arrivals, so everything deciding at this instant
         sees the post-fault world)."""
         now = self.engine.now
+        tracer = self.obs.tracer
+        if tracer is not None:
+            tracer.event(
+                "fault.window_open",
+                "faults",
+                now,
+                kind=event.kind,
+                node=event.node,
+                until=event.end,
+            )
         self.engine.schedule(
             event.end,
             EventKind.FAULT,
@@ -424,6 +448,14 @@ class ClusterSimulation:
         here: it was encoded as availability floors when the window
         opened.
         """
+        if self.obs.tracer is not None:
+            self.obs.tracer.event(
+                "fault.window_close",
+                "faults",
+                self.engine.now,
+                kind=event.kind,
+                node=event.node,
+            )
         if event.kind in ("slowdown", "degrade"):
             factors = (
                 self._cps_factors if event.kind == "slowdown" else self._cms_factors
@@ -533,6 +565,17 @@ class ClusterSimulation:
                 "missed": missed,
             }
         )
+        if self.obs.tracer is not None:
+            self.obs.tracer.event(
+                "fault.outage_applied",
+                "faults",
+                now,
+                kind=event.kind,
+                node=event.node,
+                displaced=len(displaced),
+                readmitted=len(readmitted),
+                missed=len(missed),
+            )
 
     def _recompute_node_free(self, nodes: set[int], now: float) -> None:
         """Rebuild physical free times after windows were rolled back.
@@ -694,6 +737,7 @@ class ClusterSimulation:
             node_allocated_time=self._allocated,
             horizon=self.horizon,
             traces=self._traces,
+            obs_snapshot=self.obs.registry.snapshot(),
         )
 
     def run(self) -> SimulationOutput:

@@ -86,7 +86,7 @@ class SimulationEngine:
     [1.0, 2.0]
     """
 
-    def __init__(self, *, start_time: float = 0.0) -> None:
+    def __init__(self, *, start_time: float = 0.0, tracer=None) -> None:
         if not math.isfinite(start_time):
             raise SimulationError(f"start_time must be finite, got {start_time}")
         self._now = start_time
@@ -95,6 +95,11 @@ class SimulationEngine:
         self._processed = 0
         self._running = False
         self._cancelled_in_heap = 0
+        #: Optional span tracer (:class:`repro.obs.trace.Tracer` or a
+        #: track view).  Dispatch is wrapped in an ``engine.dispatch``
+        #: span when set; tracing reads event metadata only, so runs are
+        #: bit-identical with or without it.
+        self._tracer = tracer
 
     # -- clock ------------------------------------------------------------
     @property
@@ -165,7 +170,18 @@ class SimulationEngine:
             callback = handle.callback
             handle.callback = None  # break cycles
             self._processed += 1
-            callback(self, time)
+            tracer = self._tracer
+            if tracer is None:
+                callback(self, time)
+            else:
+                with tracer.span(
+                    "engine.dispatch",
+                    "engine",
+                    time,
+                    kind=handle.kind.name,
+                    seq=handle.seq,
+                ):
+                    callback(self, time)
             return True
         return False
 

@@ -451,6 +451,75 @@ class TestOperations:
         )
 
 
+class TestMetricsOp:
+    """The ``metrics`` wire op and its reconciliation with offline runs."""
+
+    def test_metrics_reconcile_with_offline_summary(self):
+        scenario = cluster_scenario(total_time=60_000.0)
+        tasks = scenario.stream_scenario().generate_tasks()
+        backend = make_backend(scenario, "EDF-DLT")
+        latencies: list[float] = []
+        with BackgroundServer(backend) as bg:
+            with AdmissionClient(*bg.address) as client:
+                replay_tasks(client, tasks, latencies=latencies)
+                snap = client.metrics()
+                client.finalize()
+        offline = simulate(
+            scenario.member_scenario(0), "EDF-DLT", admission_engine="batch"
+        )
+        # Every deterministic instrument of the offline run appears in the
+        # live snapshot with the identical value — the snapshot riding
+        # MetricsSummary and the one behind the wire op are the same
+        # registry surface.
+        assert offline.metrics.obs is not None
+        for name, cell in offline.metrics.obs.items():
+            assert snap[name] == cell, name
+        # The server adds its own request accounting on top.
+        assert snap['serve_requests_total{op="submit"}']["value"] == len(tasks)
+        assert snap["serve_request_seconds"]["count"] >= len(tasks)
+        # replay_tasks recorded one client-side latency per task.
+        assert len(latencies) == len(tasks)
+        assert all(dt >= 0.0 for dt in latencies)
+
+    def test_fleet_metrics_pool_members_and_router(self):
+        scenario = fleet_scenario("round-robin", total_time=30_000.0)
+        tasks = scenario.stream_scenario().generate_tasks()
+        with BackgroundServer(make_backend(scenario, "EDF-DLT")) as bg:
+            with AdmissionClient(*bg.address) as client:
+                replay_tasks(client, tasks)
+                snap = client.metrics()
+                client.finalize()
+        assert snap["scheduler_arrivals_total"]["value"] == len(tasks)
+        routed = sum(
+            cell["value"]
+            for name, cell in snap.items()
+            if name.startswith("fleet_routed_total")
+        )
+        assert routed == len(tasks)
+
+    def test_prometheus_endpoint_scrapes(self):
+        import urllib.request
+
+        scenario = cluster_scenario(total_time=20_000.0)
+        tasks = scenario.stream_scenario().generate_tasks()
+        backend = make_backend(scenario, "EDF-DLT")
+        with BackgroundServer(backend, metrics_port=0) as bg:
+            assert bg.metrics_address is not None
+            host, port = bg.metrics_address
+            with AdmissionClient(*bg.address) as client:
+                replay_tasks(client, tasks)
+                url = f"http://{host}:{port}/metrics"
+                with urllib.request.urlopen(url, timeout=10) as response:
+                    assert response.headers["Content-Type"].startswith(
+                        "text/plain"
+                    )
+                    body = response.read().decode("utf-8")
+                client.finalize()
+        assert "# TYPE scheduler_arrivals_total counter" in body
+        assert f"scheduler_arrivals_total {len(tasks)}" in body
+        assert "serve_request_seconds_bucket" in body
+
+
 class TestErrorPaths:
     def test_unknown_op_is_reported_not_fatal(self):
         scenario = cluster_scenario(total_time=5_000.0)
