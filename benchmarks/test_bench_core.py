@@ -68,6 +68,10 @@ FLEET_EF_SPEEDUP_MIN = float(
 TRACING_DISABLED_RATIO_MIN = float(
     os.environ.get("REPRO_BENCH_TRACING_DISABLED_MIN", "0.95")
 )
+#: Deep-queue checkpoint gate: on the FIFO-ordered overload stream the
+#: batch engine with prefix checkpoints must beat its own
+#: checkpoint-ablated replay (the PR 7 engine) by at least this factor.
+CKPT_SPEEDUP_MIN = float(os.environ.get("REPRO_BENCH_CKPT_MIN_SPEEDUP", "2.0"))
 
 #: All selectable engines; "reference" is the timing baseline.
 ENGINES = ("reference", "fast", "batch")
@@ -76,6 +80,11 @@ ENGINES = ("reference", "fast", "batch")
 #: heaviest one, where the waiting queue runs deepest.
 PANEL_LOADS = (3.0, 6.0, 10.0)
 GATED_LOAD = 10.0
+
+#: The deep-queue panel's deadline looseness: 120x the mean run keeps the
+#: waiting queue ~120 deep at the gated load, the regime where admission
+#: cost is pure queue replay and the prefix-checkpoint store pays off.
+DEEP_QUEUE_DC_RATIO = 120.0
 
 #: Section name -> measured dict; flushed by test_emit_perf_record.
 RESULTS: dict[str, dict] = {}
@@ -249,6 +258,98 @@ def test_bench_fleet_probe_throughput(benchmark, engine_report, policy):
     }
 
 
+def deep_queue_scenario() -> Scenario:
+    """The admission-heavy cluster with deadlines loosened to 120x.
+
+    FIFO ordering appends each newcomer at the queue tail, so a valid
+    checkpoint covers the *entire* committed queue — the panel measures
+    the checkpoint store where its reach is longest, against the same
+    engine with the store ablated.
+    """
+    return Scenario.paper_baseline(
+        system_load=GATED_LOAD,
+        total_time=core_total_time(),
+        seed=2007,
+        dc_ratio=DEEP_QUEUE_DC_RATIO,
+        name="bench-core-deep-queue",
+    )
+
+
+@pytest.mark.benchmark(group="core-deep-queue")
+def test_bench_deep_queue_checkpoint(benchmark, engine_report):
+    """Prefix checkpointing on a ~120-deep FIFO queue, on vs ablated.
+
+    One captured FIFO-DLT call stream replays through the fast and batch
+    engines twice each — checkpoints on and checkpoints off — with all
+    four outcome streams asserted identical (the ablation axis of the
+    bit-identity contract).  The gate: batch-with-checkpoints must beat
+    batch-ablated by ``CKPT_SPEEDUP_MIN``.
+    """
+    scenario = deep_queue_scenario()
+
+    def run():
+        calls, output = capture_cluster_calls(scenario, "FIFO-DLT")
+        timings = {}
+        baseline_outcomes = None
+        for engine in ("fast", "batch"):
+            for ckpt in (True, False):
+                seconds, outcomes = replay_calls(
+                    scenario,
+                    "FIFO-DLT",
+                    engine,
+                    calls,
+                    reps=replay_reps(),
+                    checkpoint=ckpt,
+                )
+                if baseline_outcomes is None:
+                    baseline_outcomes = outcomes
+                else:
+                    assert outcomes == baseline_outcomes, (
+                        f"{engine} checkpoint={ckpt}: replayed decisions "
+                        "differ across the checkpoint ablation"
+                    )
+                timings[(engine, ckpt)] = seconds
+        return calls, output, timings
+
+    calls, output, timings = benchmark.pedantic(run, rounds=1, iterations=1)
+    for (engine, ckpt), seconds in timings.items():
+        engine_report(
+            f"deep-queue ckpt={'on' if ckpt else 'off'}",
+            engine,
+            seconds,
+            len(calls),
+        )
+    stats = output.stats
+    RESULTS["deep_queue"] = {
+        "algorithm": "FIFO-DLT",
+        "load": GATED_LOAD,
+        "dc_ratio": DEEP_QUEUE_DC_RATIO,
+        "calls": len(calls),
+        "arrivals": stats.arrivals,
+        "replanned_tasks": stats.replanned_tasks,
+        "reject_ratio": stats.reject_ratio,
+        "engines": {
+            engine: {
+                "seconds_checkpoint": timings[(engine, True)],
+                "seconds_ablated": timings[(engine, False)],
+                "checkpoint_speedup": (
+                    timings[(engine, False)] / timings[(engine, True)]
+                ),
+                "decisions_per_sec": len(calls) / timings[(engine, True)],
+                "decisions_per_sec_ablated": (
+                    len(calls) / timings[(engine, False)]
+                ),
+            }
+            for engine in ("fast", "batch")
+        },
+    }
+    speedup = RESULTS["deep_queue"]["engines"]["batch"]["checkpoint_speedup"]
+    assert speedup >= CKPT_SPEEDUP_MIN, (
+        f"prefix checkpoints only {speedup:.2f}x over the ablated batch "
+        f"engine on the deep-queue stream (need >= {CKPT_SPEEDUP_MIN}x)"
+    )
+
+
 @pytest.mark.benchmark(group="core-observability")
 def test_bench_tracing_overhead(benchmark, engine_report):
     """Cost of repro.obs on the batch engine's hot path, same call stream.
@@ -266,34 +367,48 @@ def test_bench_tracing_overhead(benchmark, engine_report):
 
     def run():
         calls, _output = capture_cluster_calls(scenario, "EDF-DLT")
-        # Best-of-5 floor: the gated quantity is a ratio of two timings
-        # taken moments apart, so scheduler noise hits it twice — extra
-        # reps are cheap here (fractions of a second per replay) and
-        # keep the 0.95 floor honest on shared CI runners.
+        # The three modes run *interleaved*, one round each, and the
+        # gated ratio is computed per round and the best round taken:
+        # dividing timings from different rounds (or, worse, grouped
+        # blocks of reps) lets drift and scheduler noise land on one
+        # side of the ratio and masquerade as instrumentation overhead,
+        # while within a round the machine state is as common-mode as
+        # it gets.  A real regression slows the registry replay in
+        # *every* round, so the best paired round still catches it;
+        # extra rounds are cheap here (fractions of a second each).
         reps = max(replay_reps(), 5)
-        plain_s, plain_out = replay_calls(
-            scenario, "EDF-DLT", "batch", calls, reps=reps
-        )
-        registry_s, registry_out = replay_calls(
-            scenario, "EDF-DLT", "batch", calls, reps=reps, obs=Observability()
-        )
-        tracing_s, tracing_out = replay_calls(
-            scenario,
-            "EDF-DLT",
-            "batch",
-            calls,
-            reps=reps,
-            obs=Observability(trace=True),
-        )
-        assert plain_out == registry_out == tracing_out, (
-            "instrumented replay changed a decision (zero-perturbation "
-            "contract violated)"
-        )
-        return calls, plain_s, registry_s, tracing_s
+        rounds: list[tuple[float, float, float]] = []
+        for _ in range(reps):
+            p, plain_out = replay_calls(
+                scenario, "EDF-DLT", "batch", calls, reps=1
+            )
+            r, registry_out = replay_calls(
+                scenario,
+                "EDF-DLT",
+                "batch",
+                calls,
+                reps=1,
+                obs=Observability(),
+            )
+            t, tracing_out = replay_calls(
+                scenario,
+                "EDF-DLT",
+                "batch",
+                calls,
+                reps=1,
+                obs=Observability(trace=True),
+            )
+            rounds.append((p, r, t))
+            assert plain_out == registry_out == tracing_out, (
+                "instrumented replay changed a decision "
+                "(zero-perturbation contract violated)"
+            )
+        return calls, rounds
 
-    calls, plain_s, registry_s, tracing_s = benchmark.pedantic(
-        run, rounds=1, iterations=1
-    )
+    calls, rounds = benchmark.pedantic(run, rounds=1, iterations=1)
+    plain_s = min(p for p, _r, _t in rounds)
+    registry_s = min(r for _p, r, _t in rounds)
+    tracing_s = min(t for _p, _r, t in rounds)
     engine_report("tracing plain", "batch", plain_s, len(calls))
     engine_report("tracing registry", "batch", registry_s, len(calls))
     engine_report("tracing tracer-on", "batch", tracing_s, len(calls))
@@ -303,10 +418,11 @@ def test_bench_tracing_overhead(benchmark, engine_report):
         "seconds_plain": plain_s,
         "seconds_registry": registry_s,
         "seconds_tracing": tracing_s,
-        # Throughput ratios vs the uninstrumented replay (same machine,
-        # same stream, same run — the transfer-safe quantities).
-        "disabled_ratio": plain_s / registry_s,
-        "tracing_ratio": plain_s / tracing_s,
+        # Throughput ratios vs the uninstrumented replay, paired per
+        # interleaved round (same machine, same stream, moments apart —
+        # the transfer-safe quantities).
+        "disabled_ratio": max(p / r for p, r, _t in rounds),
+        "tracing_ratio": max(p / t for p, _r, t in rounds),
         "decisions_per_sec": {
             "plain": len(calls) / plain_s,
             "registry": len(calls) / registry_s,
@@ -354,6 +470,14 @@ def test_emit_perf_record():
                 "seed": 2007,
                 "algorithm": "EDF-DLT",
             },
+            "deep_queue": {
+                "nodes": 16,
+                "load": GATED_LOAD,
+                "dc_ratio": DEEP_QUEUE_DC_RATIO,
+                "total_time": core_total_time(),
+                "seed": 2007,
+                "algorithm": "FIFO-DLT",
+            },
             "fleet": {
                 "clusters": 4,
                 "nodes": 16,
@@ -369,11 +493,14 @@ def test_emit_perf_record():
             "core_speedup_min": CORE_SPEEDUP_MIN,
             "fleet_earliest_finish_speedup_min": FLEET_EF_SPEEDUP_MIN,
             "tracing_disabled_ratio_min": TRACING_DISABLED_RATIO_MIN,
+            "ckpt_speedup_min": CKPT_SPEEDUP_MIN,
         },
         "core": RESULTS["core"],
         "throughput_panel": RESULTS["throughput_panel"],
         "fleet": {p: RESULTS["fleet"][p] for p in sorted(RESULTS["fleet"])},
     }
+    if "deep_queue" in RESULTS:
+        record["deep_queue"] = RESULTS["deep_queue"]
     if "tracing_overhead" in RESULTS:
         record["tracing_overhead"] = RESULTS["tracing_overhead"]
     RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")

@@ -51,8 +51,12 @@ CLIENT_COUNTS = (1, 4, 16)
 #: Gate thresholds, embedded in the emitted record for the CI gate.
 #: Overridable so an intentional, reviewed trade can lower them in the
 #: PR that makes it (docs/performance.md).
-RETENTION4_MIN = float(os.environ.get("REPRO_BENCH_SERVE_MIN_RETENTION4", "0.3"))
-RETENTION16_MIN = float(os.environ.get("REPRO_BENCH_SERVE_MIN_RETENTION16", "0.2"))
+#: Coalesced dispatch (submit_many + batched frame writes) keeps
+#: multi-client throughput at or above the single-client rate on an
+#: unloaded machine; the floors stay below 1.0 only to absorb shared-CI
+#: scheduler noise.
+RETENTION4_MIN = float(os.environ.get("REPRO_BENCH_SERVE_MIN_RETENTION4", "0.5"))
+RETENTION16_MIN = float(os.environ.get("REPRO_BENCH_SERVE_MIN_RETENTION16", "0.5"))
 
 #: Client-count -> measured dict; flushed by test_emit_perf_record.
 RESULTS: dict[int, dict] = {}
@@ -79,7 +83,12 @@ def serve_scenario() -> FleetScenario:
 
 
 def _replay_concurrently(scenario: FleetScenario, tasks, n_clients: int):
-    """One full server-mediated replay; returns (seconds, payload)."""
+    """One full server-mediated replay; returns (seconds, payload, batches).
+
+    ``batches`` is the server's ``serve_coalesced_batch_size`` histogram
+    cell (count / sum over the whole replay) — the direct read on how
+    many submissions each barrier release handed the backend at once.
+    """
     backend = make_backend(scenario, "EDF-DLT")
     with BackgroundServer(backend) as bg:
         host, port = bg.address
@@ -105,11 +114,13 @@ def _replay_concurrently(scenario: FleetScenario, tasks, n_clients: int):
             for t in threads:
                 t.join()
             seconds = time.perf_counter() - t0
+            snap = clients[0].metrics()
+            batches = snap.get("serve_coalesced_batch_size", {})
             payload = clients[0].finalize()
         finally:
             for client in clients:
                 client.close()
-    return seconds, payload
+    return seconds, payload, batches
 
 
 @pytest.mark.benchmark(group="serve-throughput")
@@ -124,16 +135,25 @@ def test_bench_serve_decisions_per_sec(benchmark, n_clients):
         # Best-of-2 fresh servers: a jitter guard for the tiny wall times.
         first = _replay_concurrently(scenario, tasks, n_clients)
         second = _replay_concurrently(scenario, tasks, n_clients)
-        return min(first, second, key=lambda pair: pair[0])
+        return min(first, second, key=lambda triple: triple[0])
 
-    seconds, payload = benchmark.pedantic(run, rounds=1, iterations=1)
+    seconds, payload, batches = benchmark.pedantic(run, rounds=1, iterations=1)
     problems = loopback_diff(payload, offline)
     assert problems == [], problems[:3]
+    batch_count = int(batches.get("count", 0))
+    batch_sum = float(batches.get("sum", 0.0))
+    # Every submission went through exactly one coalesced pass.
+    assert batch_sum == float(len(tasks)), (
+        f"coalesced batches cover {batch_sum:g} submissions, "
+        f"expected {len(tasks)}"
+    )
     RESULTS[n_clients] = {
         "clients": n_clients,
         "tasks": len(tasks),
         "seconds": seconds,
         "decisions_per_sec": len(tasks) / seconds,
+        "coalesced_batches": batch_count,
+        "mean_batch_size": batch_sum / batch_count if batch_count else 0.0,
     }
 
 

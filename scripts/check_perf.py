@@ -55,6 +55,16 @@ TRACING_DISABLED_RATIO_MIN = 0.95
 PANEL_LOADS = ("3", "6", "10")
 PANEL_ENGINES = ("reference", "fast", "batch")
 
+#: Absolute floor on the deep-queue checkpoint speedup (batch engine with
+#: prefix checkpoints vs its own checkpoint-ablated replay of the same
+#: stream).  A same-run ratio on identical hardware, so it is gated
+#: absolutely; matches the benchmark's REPRO_BENCH_CKPT_MIN_SPEEDUP
+#: default (docs/performance.md).
+CKPT_SPEEDUP_MIN = 2.0
+
+#: Engines the deep-queue panel must report (checkpoint on and ablated).
+DEEP_QUEUE_ENGINES = ("fast", "batch")
+
 #: Gated ratio metrics of BENCH_serve.json (``--serve-baseline``): the
 #: service's concurrency retention — throughput at N clients relative to
 #: one client — is a machine-transferable property of the watermark
@@ -139,6 +149,79 @@ def check_panel(fresh: dict) -> list[str]:
     return problems
 
 
+def check_deep_queue(fresh: dict) -> list[str]:
+    """Shape-check and gate the fresh record's deep-queue panel.
+
+    Both optimized engines must report positive throughput for the
+    checkpointed and the ablated replay, and the batch engine's
+    ``checkpoint_speedup`` must clear :data:`CKPT_SPEEDUP_MIN` — the
+    panel exists to prove prefix checkpoints pay off on a deep FIFO
+    queue, so a record without it (or below the floor) fails.
+    """
+    section = fresh.get("deep_queue")
+    if not isinstance(section, dict):
+        return ["deep_queue: missing from fresh record"]
+    problems: list[str] = []
+    engines = section.get("engines", {})
+    for engine in DEEP_QUEUE_ENGINES:
+        cell = engines.get(engine)
+        if not isinstance(cell, dict):
+            problems.append(f"deep_queue/{engine}: missing engine cell")
+            continue
+        for field in ("decisions_per_sec", "decisions_per_sec_ablated"):
+            rate = cell.get(field, 0.0)
+            if not float(rate) > 0.0:
+                problems.append(
+                    f"deep_queue/{engine}/{field}: "
+                    f"non-positive decisions/sec ({rate})"
+                )
+    try:
+        speedup = float(engines["batch"]["checkpoint_speedup"])
+    except (KeyError, TypeError, ValueError):
+        return problems + ["deep_queue/batch: missing checkpoint_speedup"]
+    if speedup < CKPT_SPEEDUP_MIN:
+        problems.append(
+            f"deep-queue checkpoint speedup (batch): {speedup:.2f}x below "
+            f"the {CKPT_SPEEDUP_MIN} floor — prefix checkpoints must pay "
+            "off on a deep FIFO queue"
+        )
+    elif not problems:
+        fast = engines.get("fast", {}).get("checkpoint_speedup")
+        note = f", fast {float(fast):.2f}x (ungated)" if fast else ""
+        print(
+            f"deep-queue checkpoint speedup: batch {speedup:.2f}x >= "
+            f"{CKPT_SPEEDUP_MIN}{note} — ok"
+        )
+    return problems
+
+
+def check_serve_batches(serve_fresh: dict) -> list[str]:
+    """Shape-check the serve record's coalesced-dispatch evidence.
+
+    Every client count must report at least one coalesced backend pass
+    with a mean batch size >= 1 — a record without them means the server
+    stopped coalescing (or stopped measuring it).
+    """
+    problems: list[str] = []
+    results = serve_fresh.get("results")
+    if not isinstance(results, dict) or not results:
+        return ["serve results: missing from fresh record"]
+    for clients, cell in sorted(results.items(), key=lambda kv: int(kv[0])):
+        batches = cell.get("coalesced_batches", 0)
+        mean = cell.get("mean_batch_size", 0.0)
+        if not int(batches) > 0:
+            problems.append(
+                f"serve results/{clients}: no coalesced batches recorded"
+            )
+        elif not float(mean) >= 1.0:
+            problems.append(
+                f"serve results/{clients}: mean batch size {mean} < 1"
+            )
+    if not problems:
+        print("serve coalesced-dispatch panel: shape ok")
+    return problems
+
+
 def check_tracing_overhead(fresh: dict) -> list[str]:
     """Gate the fresh record's instrumentation-disabled overhead.
 
@@ -213,6 +296,7 @@ def main(argv: list[str] | None = None) -> int:
     fresh = json.loads(Path(args.fresh).read_text(encoding="utf-8"))
     problems = compare(baseline, fresh, args.tolerance)
     problems += check_panel(fresh)
+    problems += check_deep_queue(fresh)
     problems += check_tracing_overhead(fresh)
     if args.serve_baseline is not None:
         serve_baseline = json.loads(
@@ -224,6 +308,7 @@ def main(argv: list[str] | None = None) -> int:
         problems += compare(
             serve_baseline, serve_fresh, args.tolerance, SERVE_METRICS
         )
+        problems += check_serve_batches(serve_fresh)
     for problem in problems:
         print(problem)
     if problems:

@@ -677,6 +677,20 @@ def _build_parser() -> argparse.ArgumentParser:
         help="timed replays per engine (best-of; default 2)",
     )
     p_pr.add_argument(
+        "--deep-queue",
+        action="store_true",
+        help="preset: the deep-queue benchmark panel's shape (FIFO-DLT, "
+        "load 10.0, dc-ratio 120 — an overloaded stream whose waiting "
+        "queue stays ~100 deep, where the prefix-checkpoint store pays); "
+        "overrides --algorithm, --load and --dc-ratio",
+    )
+    p_pr.add_argument(
+        "--no-checkpoint",
+        action="store_true",
+        help="ablate the prefix-checkpoint store (decisions identical; "
+        "the prefix_restore phase row disappears and cold walks return)",
+    )
+    p_pr.add_argument(
         "--json",
         action="store_true",
         help="emit the profile report as machine-readable JSON",
@@ -1391,6 +1405,13 @@ def _cmd_replay(args: argparse.Namespace) -> int:
 def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.obs.profile import profile_admission
 
+    if args.deep_queue:
+        # The deep-queue benchmark panel's shape (benchmarks/
+        # test_bench_core.py): FIFO ordering + a ~100-deep waiting queue
+        # is where prefix checkpointing shows its full effect.
+        args.algorithm = "FIFO-DLT"
+        args.load = 10.0
+        args.dc_ratio = 120.0
     fleet = args.clusters > 1
     scenario: Scenario | FleetScenario
     if fleet:
@@ -1427,6 +1448,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         engines=tuple(args.engines),
         reps=args.reps,
         fleet=fleet,
+        checkpoint=not args.no_checkpoint,
     )
     if args.json:
         print(json.dumps(report, indent=2))

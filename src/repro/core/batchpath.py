@@ -60,7 +60,6 @@ through the inherited paths, so the batch engine is always safe to enable.
 
 from __future__ import annotations
 
-import math
 from bisect import bisect_right
 from time import perf_counter
 from typing import TYPE_CHECKING, Sequence
@@ -69,10 +68,11 @@ import numpy as np
 
 from repro.core import dlt
 from repro.core.admission import AdmissionDecision
-from repro.core.fastpath import (
+from repro.core.fastpath import (  # noqa: F401  (_NodeBoundTable re-exported)
     _UNSET,
     FastSchedulabilityTest,
     _alphas_vec,
+    _NodeBoundTable,
     _trusted_plan,
 )
 from repro.core.partition import PlacementPlan, feasible_by
@@ -83,39 +83,6 @@ if TYPE_CHECKING:  # pragma: no cover
     from numpy.typing import NDArray
 
 __all__ = ["BatchSchedulabilityTest"]
-
-#: Relative guard band around each node-count threshold.  Inside the band
-#: the vectorized classification abstains and the exact scalar bound runs
-#: instead; outside it, libm's few-ulp errors (~1e-16 relative) cannot
-#: flip the comparison, so the table's answer equals the scalar one.
-_BOUND_EPS = 1e-9
-
-
-class _NodeBoundTable:
-    """``ñ_min`` / ``n_min`` classification via precomputed ``g`` thresholds.
-
-    The paper bound (Eq. 14 / [22]) is ``n_req = ceil(v - rtol)`` with
-    ``v = log(g)/log(beta)`` clamped to ``[1, N]`` (``None`` beyond ``N``).
-    Since ``log(beta) < 0`` and ``g`` enters monotonically, ``n_req <= m``
-    exactly when ``g >= B[m] = exp((m + rtol) * log(beta))``; the table
-    stores ``B[N..1]`` ascending so one :func:`bisect.bisect_right`
-    yields how many thresholds a ``g`` clears — and hence its ``n_req``
-    — using only float comparisons, no logs.  ``g`` values inside a
-    guard band (``lo``/``hi``) are the cases libm error could in
-    principle decide; the engine resolves those with the exact scalar
-    formula instead.
-    """
-
-    __slots__ = ("asc", "lo", "hi", "n")
-
-    def __init__(self, n: int, log_b: float) -> None:
-        self.asc = [
-            math.exp((m + dlt.FEASIBILITY_RTOL) * log_b)
-            for m in range(n, 0, -1)
-        ]
-        self.lo = [v * (1.0 + _BOUND_EPS) for v in self.asc]
-        self.hi = [v * (1.0 - _BOUND_EPS) for v in self.asc]
-        self.n = n
 
 
 class _BatchEntry:
@@ -142,6 +109,7 @@ class _BatchEntry:
         "alphas",
         "opr_rn",
         "plan",
+        "ckpt_win",
     )
 
     def __init__(
@@ -166,6 +134,9 @@ class _BatchEntry:
         self.alphas = alphas
         self.opr_rn = opr_rn
         self.plan: PlacementPlan | None = None
+        #: Lazily computed certain test-time window of the node-count
+        #: token (see ``FastSchedulabilityTest._ckpt_window``).
+        self.ckpt_win: tuple[float, float] | None = None
 
 
 class BatchSchedulabilityTest(FastSchedulabilityTest):
@@ -184,8 +155,12 @@ class BatchSchedulabilityTest(FastSchedulabilityTest):
     #: Engine label carried into per-engine metric labels.
     engine_name = "batch"
 
-    def __init__(self, policy, partitioner, cluster, *, obs=None) -> None:
-        super().__init__(policy, partitioner, cluster, obs=obs)
+    def __init__(
+        self, policy, partitioner, cluster, *, obs=None, checkpoint=True
+    ) -> None:
+        super().__init__(
+            policy, partitioner, cluster, obs=obs, checkpoint=checkpoint
+        )
         if obs is not None:
             self._tier2_hits = obs.registry.counter(
                 "admission_plan_cache_tier2_hits_total",
@@ -207,7 +182,6 @@ class BatchSchedulabilityTest(FastSchedulabilityTest):
         #: exact same ``n`` earliest nodes — the full availability vector
         #: differs (tier 1 misses) but the placement inputs do not.
         self._plan_cache: dict[int, dict[tuple, _BatchEntry]] = {}
-        self._bound_table = _NodeBoundTable(self._n, self._log_b_worst)
 
     # -- the walk ---------------------------------------------------------
     def try_admit(
@@ -252,7 +226,9 @@ class BatchSchedulabilityTest(FastSchedulabilityTest):
             return AdmissionDecision(accepted=False, plans={}, failed_task_id=failed)
         return AdmissionDecision(
             accepted=True,
-            plans={tid: self._materialize(e) for tid, e in entries},
+            plans={
+                item[0].task_id: self._materialize(item[1]) for item in entries
+            },
         )
 
     def probe_completion(
@@ -291,10 +267,13 @@ class BatchSchedulabilityTest(FastSchedulabilityTest):
                 )
         if failed is not None:
             return None
+        pos = self._insert_pos
+        if pos < len(entries) and entries[pos][0] is new_task:
+            return entries[pos][3]
         target = new_task.task_id
-        for tid, entry in entries:
-            if tid == target:
-                return entry.completion
+        for item in entries:
+            if item[0].task_id == target:
+                return item[3]
         raise AssertionError("newcomer missing from its own walk")
 
     def _walk(
@@ -303,8 +282,19 @@ class BatchSchedulabilityTest(FastSchedulabilityTest):
         waiting: Sequence[DivisibleTask],
         reservations: NodeReservations,
         now: float,
-    ) -> tuple[list[tuple[int, _BatchEntry]], int | None]:
-        """Shared walk core: ``(entries, None)`` or ``([], failed_tid)``."""
+    ) -> tuple[list[tuple], int | None]:
+        """Shared walk core: ``(entries, None)`` or ``([], failed_tid)``.
+
+        ``entries`` is the checkpoint item list — per-position
+        ``(task, entry, ids_list, completion)`` tuples in policy order,
+        aliased by the prefix-checkpoint store and therefore only valid
+        until the next walk mutates it (both callers consume it
+        immediately).  When a checkpoint prefix validates
+        (:meth:`~repro.core.fastpath.FastSchedulabilityTest._ckpt_restore`),
+        those positions skip memo probing and placement entirely: their
+        completions are replayed into the scratch vector and the walk
+        starts at the first changed position.
+        """
         prof = self.profile
         tracer = self._tracer
         hits = self._cache_hits
@@ -327,15 +317,27 @@ class BatchSchedulabilityTest(FastSchedulabilityTest):
         # Every write below is a completion >= now, so flooring once here
         # makes the reference's per-task max(release, now) the identity.
         np.maximum(temp, now, out=temp)
+        ckpt_on = self._ckpt_enabled
+        start = 0
+        side: list[tuple] = []
+        if ckpt_on:
+            if prof is not None:
+                tk = perf_counter()
+            start = self._ckpt_restore(ordered, temp, reservations, now)
+            if prof is not None:
+                prof.add("prefix_restore", perf_counter() - tk)
+            if hits is not None:
+                self._ckpt_tally(start)
+            if start == 0:
+                np.copyto(self._ckpt_newbase, temp)
         place = self._place
         assert place is not None  # delegate handled every other case
         use_tokens = self._token is not None
         bound_token = self._bound_token
         memo_on = self._memo_enabled
         token: object = _UNSET
-        entries: list[tuple[int, _BatchEntry]] = []
         n_hits = n_misses = 0
-        for task in ordered:
+        for task in ordered[start:] if start else ordered:
             tid = task.task_id
             if use_tokens:
                 arr = task.arrival
@@ -397,6 +399,20 @@ class BatchSchedulabilityTest(FastSchedulabilityTest):
             if ids_list is None:
                 if hits is not None:
                     self._flush_cache_tallies(n_hits, n_misses)
+                if ckpt_on and start == 0:
+                    # A rejection leaves the committed queue untouched, so
+                    # the positions walked *before the newcomer's slot*
+                    # re-seed the store (see the fast engine's walk).
+                    keep = self._insert_pos
+                    if len(side) < keep:
+                        keep = len(side)
+                    if keep:
+                        self._ckpt_splice(
+                            0,
+                            side if keep == len(side) else side[:keep],
+                            reservations,
+                            now,
+                        )
                 return [], tid
             completion = entry.completion
             if len(ids_list) <= 4:
@@ -404,10 +420,13 @@ class BatchSchedulabilityTest(FastSchedulabilityTest):
                     temp[i] = completion
             else:
                 temp[entry.ids] = completion
-            entries.append((tid, entry))
+            side.append((task, entry, ids_list, completion))
         if hits is not None:
             self._flush_cache_tallies(n_hits, n_misses)
-        return entries, None
+        if ckpt_on:
+            self._ckpt_splice(start, side, reservations, now)
+            return self._ckpt_items, None
+        return side, None
 
     def _flush_cache_tallies(self, n_hits: int, n_misses: int) -> None:
         """As the fast engine's, plus the batched tier-2 hit tally."""

@@ -39,9 +39,21 @@ output bit:
    cumprod across all heterogeneous candidate evaluations
    (:class:`_SharedPrefixAlphas`) instead of recomputing the recurrence per
    ``k``.
-4. **Scratch buffers** — the walk works on two preallocated vectors instead
+4. **Scratch buffers** — the walk works on preallocated vectors instead
    of building a :class:`~repro.core.reservations.NodeReservations` copy and
    fresh availability arrays per task.
+5. **Prefix checkpoints** — consecutive admission tests usually walk the
+   *same* queue prefix against the *same* committed availability: a
+   newcomer perturbs the walk only from its policy-order slot onward, and
+   the committed state changes only when the scheduler dispatches,
+   eagerly releases, or floors a fault outage (all of which bump
+   :attr:`repro.core.reservations.NodeReservations.epoch`).  The engine
+   therefore keeps the last walk's per-position placements and replays the
+   longest still-valid prefix with a handful of scalar writes instead of
+   re-deriving it, re-validating the paper rule's ``now``-dependent
+   node-count bound per position through the guard-banded threshold table
+   (certain answers only; any doubt falls back to a cold walk).  Admission
+   cost becomes proportional to what changed, not to queue depth.
 
 Partitioners the engine does not specialize (multi-round plans, third-party
 strategies) and stochastic re-draw configurations (User-Split with
@@ -54,7 +66,7 @@ scheduler uses; ``engine="reference"`` selects the original implementation.
 from __future__ import annotations
 
 import math
-from bisect import insort
+from bisect import bisect_right
 from time import perf_counter
 from typing import TYPE_CHECKING, Callable, Sequence
 
@@ -92,6 +104,12 @@ __all__ = [
 #: produce bit-identical decision streams.
 ADMISSION_ENGINES: tuple[str, ...] = ("fast", "batch", "reference")
 
+#: Checkpoint snapshot stride: a full copy of the scratch availability
+#: vector is stored after every ``_CKPT_STRIDE``-th queue position, so a
+#: prefix restore costs one vector copy plus at most ``_CKPT_STRIDE - 1``
+#: per-position completion replays — O(1) in queue depth.
+_CKPT_STRIDE = 16
+
 
 def validate_admission_engine(engine: str) -> str:
     """Return ``engine`` if it names an admission engine, else raise."""
@@ -110,6 +128,7 @@ def make_admission_test(
     *,
     engine: str = "fast",
     obs=None,
+    checkpoint: bool = True,
 ) -> "SchedulabilityTest | FastSchedulabilityTest":
     """Build the admission test for a scheduler.
 
@@ -121,7 +140,9 @@ def make_admission_test(
     :class:`repro.obs.Observability`) wires the optimized engines'
     plan-cache counters and admission spans onto the caller's registry
     and tracer; the reference engine carries no instrumentation (it is
-    the untouched ground truth) and ignores it.
+    the untouched ground truth) and ignores it.  ``checkpoint=False``
+    disables the optimized engines' prefix-checkpoint store (the
+    benchmark ablation axis); decisions are identical either way.
     """
     validate_admission_engine(engine)
     if engine == "reference":
@@ -129,8 +150,12 @@ def make_admission_test(
     if engine == "batch":
         from repro.core.batchpath import BatchSchedulabilityTest
 
-        return BatchSchedulabilityTest(policy, partitioner, cluster, obs=obs)
-    return FastSchedulabilityTest(policy, partitioner, cluster, obs=obs)
+        return BatchSchedulabilityTest(
+            policy, partitioner, cluster, obs=obs, checkpoint=checkpoint
+        )
+    return FastSchedulabilityTest(
+        policy, partitioner, cluster, obs=obs, checkpoint=checkpoint
+    )
 
 
 #: Shared ``alphas`` vector for single-node placements (``het_alphas`` on one
@@ -247,7 +272,7 @@ class _SharedPrefixAlphas:
 class _MemoEntry:
     """One task's last computed placement, keyed for exact revalidation."""
 
-    __slots__ = ("key", "n_req", "plan", "ids")
+    __slots__ = ("key", "n_req", "plan", "ids", "ckpt_win")
 
     def __init__(
         self,
@@ -260,6 +285,45 @@ class _MemoEntry:
         self.n_req = n_req
         self.plan = plan
         self.ids = ids
+        #: Lazily computed certain test-time window ``(t_lo, t_hi)`` of
+        #: this placement's node-count token (see ``_ckpt_window``).
+        self.ckpt_win: tuple[float, float] | None = None
+
+
+#: Relative guard band around each node-count threshold.  Inside the band
+#: the comparison-based classification abstains and the exact scalar bound
+#: runs instead; outside it, libm's few-ulp errors (~1e-16 relative) cannot
+#: flip the comparison, so the table's answer equals the scalar one.
+_BOUND_EPS = 1e-9
+
+
+class _NodeBoundTable:
+    """``ñ_min`` / ``n_min`` classification via precomputed ``g`` thresholds.
+
+    The paper bound (Eq. 14 / [22]) is ``n_req = ceil(v - rtol)`` with
+    ``v = log(g)/log(beta)`` clamped to ``[1, N]`` (``None`` beyond ``N``).
+    Since ``log(beta) < 0`` and ``g`` enters monotonically, ``n_req <= m``
+    exactly when ``g >= B[m] = exp((m + rtol) * log(beta))``; the table
+    stores ``B[N..1]`` ascending so one :func:`bisect.bisect_right`
+    yields how many thresholds a ``g`` clears — and hence its ``n_req``
+    — using only float comparisons, no logs.  ``g`` values inside a
+    guard band (``lo``/``hi``) are the cases libm error could in
+    principle decide; the engines resolve those with the exact scalar
+    formula instead.  The batch engine classifies whole queues with it;
+    both optimized engines also use it to certify that a checkpointed
+    position's node-count token is unchanged at a new test time.
+    """
+
+    __slots__ = ("asc", "lo", "hi", "n")
+
+    def __init__(self, n: int, log_b: float) -> None:
+        self.asc = [
+            math.exp((m + dlt.FEASIBILITY_RTOL) * log_b)
+            for m in range(n, 0, -1)
+        ]
+        self.lo = [v * (1.0 + _BOUND_EPS) for v in self.asc]
+        self.hi = [v * (1.0 - _BOUND_EPS) for v in self.asc]
+        self.n = n
 
 
 class FastSchedulabilityTest:
@@ -289,6 +353,7 @@ class FastSchedulabilityTest:
         cluster: ClusterProfile,
         *,
         obs=None,
+        checkpoint: bool = True,
     ) -> None:
         self.policy = policy
         self.partitioner = partitioner
@@ -308,9 +373,27 @@ class FastSchedulabilityTest:
                 "Admission placements recomputed by the kernel.",
                 labels=labels,
             )
+            self._ckpt_hits = obs.registry.counter(
+                "admission_ckpt_hits_total",
+                "Admission walks that restored a checkpointed queue prefix.",
+                labels=labels,
+            )
+            self._ckpt_misses = obs.registry.counter(
+                "admission_ckpt_misses_total",
+                "Admission walks rebuilt cold (no valid prefix checkpoint).",
+                labels=labels,
+            )
+            self._ckpt_tasks = obs.registry.counter(
+                "admission_ckpt_tasks_total",
+                "Queued placements replayed from the prefix checkpoint.",
+                labels=labels,
+            )
         else:
             self._cache_hits = None
             self._cache_misses = None
+            self._ckpt_hits = None
+            self._ckpt_misses = None
+            self._ckpt_tasks = None
 
         self._n = cluster.nodes
         self._homog = cluster.is_homogeneous
@@ -340,7 +423,6 @@ class FastSchedulabilityTest:
             self._cost_sum = 0.0
 
         self._temp = np.empty(self._n, dtype=np.float64)
-        self._avail = np.empty(self._n, dtype=np.float64)
         self._floored = np.empty(self._n, dtype=np.float64)
         self._memo: dict[int, _MemoEntry] = {}
         #: Last computed queue order (policy-sorted), reused incrementally.
@@ -388,6 +470,55 @@ class FastSchedulabilityTest:
         else:
             self._delegate = SchedulabilityTest(policy, partitioner, cluster)
         self._place = place
+
+        #: Guard-banded node-count threshold table (shared with the batch
+        #: engine, and the checkpoint token revalidation of both engines).
+        self._bound_table = _NodeBoundTable(self._n, self._log_b_worst)
+        # -- prefix checkpoint state (see _ckpt_restore) -------------------
+        #: Whether the prefix-checkpoint store is active.  Off when the
+        #: caller ablates it, when memoization is off (stochastic re-draw
+        #: partitioners must consume RNG per position) and when the
+        #: partitioner delegates to the reference walk.
+        self._ckpt_enabled = (
+            bool(checkpoint) and self._memo_enabled and self._delegate is None
+        )
+        #: Per-position ``(task, entry, node_ids, completion)`` of the last
+        #: walk, in policy order; also the batch walk's entry list.
+        self._ckpt_items: list[tuple] = []
+        #: Task ids matching ``_ckpt_items`` (prefix comparison key).
+        self._ckpt_tids: list[int] = []
+        self._ckpt_valid = False
+        self._ckpt_res: NodeReservations | None = None
+        self._ckpt_epoch = -1
+        self._ckpt_now = math.nan
+        #: Floored availability base the checkpointed walk started from.
+        self._ckpt_base = np.empty(self._n, dtype=np.float64)
+        #: Staging buffer for a cold walk's base (promoted on commit).
+        self._ckpt_newbase = np.empty(self._n, dtype=np.float64)
+        #: Strided scratch-vector snapshots (row ``r`` = state after
+        #: position ``(r + 1) * _CKPT_STRIDE - 1``) and the running buffer
+        #: :meth:`_ckpt_splice` rebuilds them with.
+        self._ckpt_snap: "NDArray[np.float64] | None" = None
+        self._ckpt_run = np.empty(self._n, dtype=np.float64)
+        #: Newcomer's slot in the last ordered queue (see
+        #: :meth:`_ordered_queue`); bounds the committed-queue prefix a
+        #: rejected cold walk may re-seed the store with.
+        self._insert_pos = 0
+        #: ``tuple(waiting)`` of the previous call and the common prefix
+        #: between this walk's order and the previous one (``-1`` =
+        #: unknown, recomputed by the restore's per-position scan).
+        self._order_waiting: tuple | None = None
+        self._order_common = -1
+        #: Agreement length between the store and ``_order_cache`` —
+        #: chained through ``_order_common`` each walk so the restore's
+        #: queue-prefix match is O(1), not O(prefix).
+        self._ckpt_sync = -1
+        # Token-constancy columns (paper rule only), grown on demand: the
+        # cumulative test-time window [wlo, whi] within which every
+        # position up to this one certainly keeps its stored node count.
+        self._ckpt_cap = 0
+        self._ckpt_wlo: "NDArray[np.float64] | None" = None
+        self._ckpt_whi: "NDArray[np.float64] | None" = None
 
     # -- the walk ---------------------------------------------------------
     def try_admit(
@@ -451,21 +582,42 @@ class FastSchedulabilityTest:
 
         temp = self._temp
         np.copyto(temp, reservations.release_times)
-        avail = self._avail
+        # Every write below is a completion >= now, so flooring once here
+        # makes the reference's per-task max(release, now) the identity —
+        # and leaves each position's memo key byte-identical to what the
+        # per-task floor produced.
+        np.maximum(temp, now, out=temp)
+        ckpt_on = self._ckpt_enabled
+        start = 0
+        side: list[tuple] = []
+        if ckpt_on:
+            if prof is not None:
+                tk = perf_counter()
+            start = self._ckpt_restore(ordered, temp, reservations, now)
+            if prof is not None:
+                prof.add("prefix_restore", perf_counter() - tk)
+            if hits is not None:
+                self._ckpt_tally(start)
+            if start == 0:
+                np.copyto(self._ckpt_newbase, temp)
         place = self._place
         assert place is not None  # delegate handled every other case
         token_fn = self._token
         memo_on = self._memo_enabled
         plans: dict[int, PlacementPlan] = {}
+        if start:
+            items = self._ckpt_items
+            for i in range(start):
+                item = items[i]
+                plans[item[0].task_id] = item[1].plan
         n_hits = n_misses = 0
-        for task in ordered:
-            np.maximum(temp, now, out=avail)
+        for task in ordered[start:] if start else ordered:
             tid = task.task_id
             entry: _MemoEntry | None = None
             key = b""
             token = _UNSET
             if memo_on:
-                key = avail.tobytes()
+                key = temp.tobytes()
                 cached = memo.get(tid)
                 if cached is not None and cached.key == key:
                     if token_fn is None:
@@ -478,7 +630,7 @@ class FastSchedulabilityTest:
                 n_misses += 1
                 if prof is not None:
                     tk = perf_counter()
-                entry = place(task, avail, now, token)
+                entry = place(task, temp, now, token)
                 if prof is not None:
                     prof.add("kernel_place", perf_counter() - tk)
                 if tracer is not None:
@@ -502,13 +654,32 @@ class FastSchedulabilityTest:
             if plan is None:
                 if hits is not None:
                     self._flush_cache_tallies(n_hits, n_misses)
+                if ckpt_on and start == 0:
+                    # A rejection leaves the committed queue untouched, so
+                    # the positions walked *before the newcomer's slot* are
+                    # a valid checkpoint of it.  Re-seeding here is what
+                    # lets the store survive dispatch -> rejection streaks.
+                    keep = self._insert_pos
+                    if len(side) < keep:
+                        keep = len(side)
+                    if keep:
+                        self._ckpt_splice(
+                            0,
+                            side if keep == len(side) else side[:keep],
+                            reservations,
+                            now,
+                        )
                 return AdmissionDecision(
                     accepted=False, plans={}, failed_task_id=tid
                 )
             temp[entry.ids] = plan.est_completion
             plans[tid] = plan
+            if ckpt_on:
+                side.append((task, entry, plan.node_ids, plan.est_completion))
         if hits is not None:
             self._flush_cache_tallies(n_hits, n_misses)
+        if ckpt_on:
+            self._ckpt_splice(start, side, reservations, now)
         return AdmissionDecision(accepted=True, plans=plans)
 
     def _flush_cache_tallies(self, n_hits: int, n_misses: int) -> None:
@@ -524,6 +695,293 @@ class FastSchedulabilityTest:
             self._cache_hits.inc(n_hits)
         if n_misses:
             self._cache_misses.inc(n_misses)
+
+    # -- prefix checkpoints ------------------------------------------------
+    def _ckpt_tally(self, start: int) -> None:
+        """Fold one walk's checkpoint outcome into the registry counters
+        (O(1) per walk; only called with a registry attached)."""
+        if start:
+            self._ckpt_hits.inc()
+            self._ckpt_tasks.inc(start)
+        else:
+            self._ckpt_misses.inc()
+
+    def _ckpt_restore(
+        self,
+        ordered: Sequence[DivisibleTask],
+        temp: "NDArray[np.float64]",
+        reservations: NodeReservations,
+        now: float,
+    ) -> int:
+        """Replay the longest still-valid checkpointed prefix into ``temp``.
+
+        A stored position is reusable exactly when the walk that placed it
+        would recompute it bit-for-bit, which requires three things:
+
+        1. **Same base** — the floored committed availability the walk
+           started from is unchanged.  Cheap path: the same
+           :class:`~repro.core.reservations.NodeReservations` object at
+           the same :attr:`~repro.core.reservations.NodeReservations.epoch`
+           and the same ``now`` (completions, eager releases, fault
+           floors, displacement and re-admission all bump the epoch).
+           Fallback: exact value equality against the stored base vector,
+           which also covers callers handing in fresh copies per call.
+        2. **Same queue prefix** — the policy-ordered task ids ahead of
+           the position are unchanged (the longest common prefix of the
+           new order against the stored one; a newcomer's insertion slot,
+           cancellations and departures all truncate it).
+        3. **Same node-count token** — for the paper rule, whose bound is
+           the placement's only ``now``-dependence, the stored ``n_req``
+           must be *certainly* unchanged at the new test time; positions
+           whose ``g`` leaves the guard-banded certainty interval of
+           their stored count (or whose deadline budget expired) end the
+           prefix conservatively and re-walk.
+
+        Returns the number of leading ``ordered`` positions restored
+        (``0`` = cold walk) and writes their completions into ``temp`` —
+        one strided snapshot copy plus at most ``_CKPT_STRIDE - 1``
+        per-position replays, so the restore itself is O(1) in prefix
+        depth.  The store is left untouched: a *rejected* walk leaves the
+        committed queue exactly as it was, so the pre-walk checkpoint
+        stays the best description of it — only :meth:`_ckpt_splice`
+        (accepted walks, plus the committed-prefix re-seed of rejected
+        cold walks) replaces it.
+        """
+        # Chain the queue-order delta into the store-agreement length
+        # *unconditionally* — even walks that restore nothing advance the
+        # order cache, and the next walk's O(1) prefix match depends on
+        # every step of the chain having been applied.
+        common = self._order_common
+        sync = self._ckpt_sync
+        if common < 0:
+            sync = self._ckpt_sync = -1
+        elif 0 <= sync and common < sync:
+            sync = self._ckpt_sync = common
+        if not self._ckpt_valid:
+            return 0
+        items = self._ckpt_items
+        if not items or not (
+            (
+                reservations is self._ckpt_res
+                and reservations.epoch == self._ckpt_epoch
+                and now == self._ckpt_now
+            )
+            or np.array_equal(temp, self._ckpt_base)
+        ):
+            return 0
+        if sync >= 0:
+            k = sync
+            if k > len(ordered):  # pragma: no cover - sync is capped above
+                k = len(ordered)
+        else:
+            k = 0
+            for task, tid in zip(ordered, self._ckpt_tids):
+                if task.task_id != tid:
+                    break
+                k += 1
+            self._ckpt_sync = k
+        if k == 0:
+            return 0
+        if self._token is not None and now != self._ckpt_now:
+            # O(1) certainty test: the cumulative window [wlo, whi] is the
+            # (conservatively shrunk) intersection of every prefix
+            # position's certain test-time interval; inside it no stored
+            # node count can have drifted.  Outside, fall back to the
+            # exact per-position scan.
+            if not (self._ckpt_wlo[k - 1] <= now <= self._ckpt_whi[k - 1]):
+                k = self._ckpt_token_prefix(k, now)
+                if k == 0:
+                    return 0
+        full = k // _CKPT_STRIDE
+        i0 = 0
+        if full:
+            np.copyto(temp, self._ckpt_snap[full - 1])
+            i0 = full * _CKPT_STRIDE
+        for i in range(i0, k):
+            item = items[i]
+            ids = item[2]
+            completion = item[3]
+            if len(ids) <= 4:
+                for node in ids:
+                    temp[node] = completion
+            else:
+                temp[item[1].ids] = completion
+        return k
+
+    def _ckpt_token_prefix(self, k: int, now: float) -> int:
+        """Cap ``k`` at the first position whose node-count token is not
+        *certainly* the stored one at test time ``now``.
+
+        Rare path: only runs when the O(1) cumulative window check fails,
+        to find the shorter prefix whose per-position windows all contain
+        ``now``.  Any position outside its window — band-adjacent ``g``,
+        expired budget, or a not-yet-arrived task whose bound pins to its
+        arrival — conservatively ends the prefix and re-walks.
+        """
+        items = self._ckpt_items
+        for i in range(k):
+            entry = items[i][1]
+            win = entry.ckpt_win
+            if win is None:
+                win = entry.ckpt_win = self._ckpt_window(
+                    items[i][0], entry.n_req
+                )
+            if not (win[0] <= now <= win[1]):
+                return i
+        return k
+
+    def _ckpt_window(
+        self, task: DivisibleTask, n0: int
+    ) -> tuple[float, float]:
+        """The certain test-time window of a placement's node-count token.
+
+        While ``now`` lies in ``[t_lo, t_hi]``, the paper bound's
+        ``g(now) = 1 - sigma*worst_cms / (absdl - now)`` stays strictly
+        inside the guard-banded interval of the stored count ``n0``
+        (:class:`_NodeBoundTable`), so the bound provably returns ``n0``
+        and reuse is bitwise-safe.  The bounds come from rearranging the
+        band inequalities for ``now`` and shrinking by a 1e-6-relative
+        margin that dwarfs the rearrangement rounding — a window pass is
+        therefore strictly conservative, and a near-edge ``now`` merely
+        re-walks.  The window is intrinsic to ``(task, n0)``: it never
+        goes stale and is cached on the memo entry.
+        """
+        table = self._bound_table
+        j = table.n - n0
+        arr = task.arrival
+        sig = task.sigma * self._worst_cms
+        absdl = arr + task.deadline
+        lo = table.lo[j]
+        one_lo = 1.0 - lo
+        if one_lo > 0.0:
+            q = sig / one_lo
+            t_hi = absdl - q - 1e-6 * (q + abs(absdl) + 1.0)
+        else:  # pragma: no cover - lo >= 1 is never certain
+            t_hi = -math.inf
+        if n0 > 1:
+            q = sig / (1.0 - table.hi[j + 1])
+            t_lo = absdl - q + 1e-6 * (q + abs(absdl) + 1.0)
+            if arr > t_lo:
+                t_lo = arr
+        else:
+            t_lo = arr
+        return (t_lo, t_hi)
+
+    def _ckpt_splice(
+        self,
+        k: int,
+        side: list,
+        reservations: NodeReservations,
+        now: float,
+    ) -> None:
+        """Commit a walk's result: keep prefix ``k``, append ``side``.
+
+        Called for every accepted walk (full result) and for rejected
+        *cold* walks (the committed-queue prefix ahead of the newcomer's
+        slot, which the rejection cannot have changed).  The
+        token-constancy columns and snapshots of kept positions never go
+        stale — they depend only on the task, its stored node count and
+        the base vector — so only the new suffix positions are recorded:
+        strided snapshot rows are rebuilt from the running buffer exactly
+        when a stride boundary falls inside the appended region, and the
+        cumulative certainty window continues from the kept prefix.  The
+        walk's base vector is promoted from the staging buffer on cold
+        walks (``k == 0``); a warm walk validated it unchanged.
+        """
+        items = self._ckpt_items
+        tids = self._ckpt_tids
+        del items[k:]
+        del tids[k:]
+        total = k + len(side)
+        if total > self._ckpt_cap:
+            self._ckpt_grow(total)
+        if k == 0:
+            np.copyto(self._ckpt_base, self._ckpt_newbase)
+        stride = _CKPT_STRIDE
+        snap = self._ckpt_snap
+        run = self._ckpt_run
+        need_rows = (total // stride) > (k // stride)
+        if need_rows:
+            # Rebuild the running state at position ``k`` from the nearest
+            # kept snapshot (byte-identical replay of at most a stride).
+            full = k // stride
+            np.copyto(run, snap[full - 1] if full else self._ckpt_base)
+            for i in range(full * stride, k):
+                item = items[i]
+                ids = item[2]
+                completion = item[3]
+                if len(ids) <= 4:
+                    for node in ids:
+                        run[node] = completion
+                else:
+                    run[item[1].ids] = completion
+        push = self._token is not None
+        if push:
+            if k:
+                wlo = float(self._ckpt_wlo[k - 1])
+                whi = float(self._ckpt_whi[k - 1])
+            else:
+                wlo = -math.inf
+                whi = math.inf
+            wlo_col = self._ckpt_wlo
+            whi_col = self._ckpt_whi
+        i = k
+        for item in side:
+            items.append(item)
+            tids.append(item[0].task_id)
+            if need_rows:
+                ids = item[2]
+                completion = item[3]
+                if len(ids) <= 4:
+                    for node in ids:
+                        run[node] = completion
+                else:
+                    run[item[1].ids] = completion
+            if push:
+                entry = item[1]
+                win = entry.ckpt_win
+                if win is None:
+                    win = entry.ckpt_win = self._ckpt_window(
+                        item[0], entry.n_req
+                    )
+                if win[0] > wlo:
+                    wlo = win[0]
+                if win[1] < whi:
+                    whi = win[1]
+                wlo_col[i] = wlo
+                whi_col[i] = whi
+            i += 1
+            if need_rows and not (i % stride):
+                np.copyto(snap[i // stride - 1], run)
+        self._ckpt_res = reservations
+        self._ckpt_epoch = reservations.epoch
+        self._ckpt_now = now
+        self._ckpt_valid = True
+        # The store now mirrors a prefix of the walk's own order, which is
+        # exactly what the order cache holds.
+        self._ckpt_sync = len(items)
+
+    def _ckpt_grow(self, need: int) -> None:
+        """Grow the checkpoint capacity (snapshot rows and, for the paper
+        rule, token columns) to at least ``need`` positions, preserving
+        stored values (amortized doubling)."""
+        new_cap = 64 if self._ckpt_cap == 0 else self._ckpt_cap
+        while new_cap < need:
+            new_cap *= 2
+        rows = new_cap // _CKPT_STRIDE
+        snap = np.empty((rows, self._n), dtype=np.float64)
+        old_snap = self._ckpt_snap
+        if old_snap is not None:
+            snap[: old_snap.shape[0]] = old_snap
+        self._ckpt_snap = snap
+        if self._token is not None:
+            for name in ("_ckpt_wlo", "_ckpt_whi"):
+                old = getattr(self, name)
+                arr = np.empty(new_cap, dtype=np.float64)
+                if old is not None:
+                    arr[: old.size] = old
+                setattr(self, name, arr)
+        self._ckpt_cap = new_cap
 
     def _ordered_queue(
         self, waiting: Sequence[DivisibleTask], new_task: DivisibleTask
@@ -547,17 +1005,87 @@ class FastSchedulabilityTest:
         directly), it falls back to the reference's full sort.  Either
         path returns the exact list ``policy.order([*waiting, new_task])``
         would.
+
+        Two steady-state fast paths skip even the O(Q) id filter by
+        recognizing the previous call's waiting set: unchanged (the last
+        newcomer was rejected — drop it from the cached order) or grown
+        by exactly the last newcomer (it was accepted — the cached order
+        is already the waiting order).  Both are verified element-wise
+        (tuple equality short-circuits on object identity), never
+        assumed.  As a byproduct every path records the exact common
+        prefix between the new order and the cached one in
+        ``_order_common`` (``-1`` when it rebuilt from scratch), which is
+        what lets the checkpoint restore match its stored queue prefix in
+        O(1) instead of comparing task ids position by position.
         """
         cached = self._order_cache
         n_wait = len(waiting)
-        if cached is not None and len(cached) >= n_wait:
-            ids = {task.task_id for task in waiting}
-            kept = [task for task in cached if task.task_id in ids]
-            if len(kept) == n_wait:
-                insort(kept, new_task, key=self.policy.key)
-                self._order_cache = kept
-                return kept
+        key = self.policy.key
+        w = tuple(waiting)
+        prev_w = self._order_waiting
+        self._order_waiting = w
+        if cached is not None:
+            prev_pos = self._insert_pos
+            if prev_w is not None and len(cached) == len(prev_w) + 1:
+                if w == prev_w:
+                    if cached[prev_pos] is new_task:
+                        # Same newcomer re-tested against the same waiting
+                        # set (a probe followed by its routed submit):
+                        # the order is identical, agreement is total.
+                        self._order_common = len(cached)
+                        return cached
+                    # Same waiting set: the cached order minus the
+                    # rejected (or probed-only) previous newcomer.
+                    kept = cached.copy()
+                    del kept[prev_pos]
+                    pos = bisect_right(kept, key(new_task), key=key)
+                    kept.insert(pos, new_task)
+                    self._order_common = prev_pos if prev_pos < pos else pos
+                    self._insert_pos = pos
+                    self._order_cache = kept
+                    return kept
+                if (
+                    n_wait == len(prev_w) + 1
+                    and w[n_wait - 1] is cached[prev_pos]
+                    and w[: n_wait - 1] == prev_w
+                ):
+                    # Waiting grew by exactly the accepted previous
+                    # newcomer: the cached order already orders it.
+                    kept = cached.copy()
+                    pos = bisect_right(kept, key(new_task), key=key)
+                    kept.insert(pos, new_task)
+                    self._order_common = pos
+                    self._insert_pos = pos
+                    self._order_cache = kept
+                    return kept
+            if len(cached) >= n_wait:
+                ids = {task.task_id for task in waiting}
+                kept = [task for task in cached if task.task_id in ids]
+                if len(kept) == n_wait:
+                    pos = bisect_right(kept, key(new_task), key=key)
+                    kept.insert(pos, new_task)
+                    if len(cached) == n_wait:
+                        common = pos
+                    else:
+                        # First departed position in the cached order caps
+                        # the agreement between old and new order.
+                        common = 0
+                        for task in cached:
+                            if task.task_id not in ids:
+                                break
+                            common += 1
+                        if pos < common:
+                            common = pos
+                    self._order_common = common
+                    self._insert_pos = pos
+                    self._order_cache = kept
+                    return kept
         ordered = self.policy.order([*waiting, new_task])
+        # The keys are a total order, so the newcomer's slot is exactly
+        # where bisect says it is (needed by the checkpoint re-seed and
+        # the batch engine's O(1) probe lookup).
+        self._insert_pos = bisect_right(ordered, key(new_task), key=key) - 1
+        self._order_common = -1
         self._order_cache = ordered
         return ordered
 

@@ -34,7 +34,7 @@ class NodeReservations:
     attempt (``TempSchedule`` in Figure 2).
     """
 
-    __slots__ = ("_release", "_owner")
+    __slots__ = ("_release", "_owner", "_epoch")
 
     #: Owner value meaning "nobody holds this node".
     NO_OWNER = -1
@@ -44,6 +44,7 @@ class NodeReservations:
             raise InvalidParameterError(f"nodes must be >= 1, got {nodes}")
         self._release = np.zeros(nodes, dtype=np.float64)
         self._owner = np.full(nodes, self.NO_OWNER, dtype=np.int64)
+        self._epoch = 0
 
     # -- construction ----------------------------------------------------
     @classmethod
@@ -61,6 +62,7 @@ class NodeReservations:
         clone = NodeReservations(self.nodes)
         clone._release[:] = self._release
         clone._owner[:] = self._owner
+        clone._epoch = self._epoch
         return clone
 
     # -- queries ----------------------------------------------------------
@@ -68,6 +70,23 @@ class NodeReservations:
     def nodes(self) -> int:
         """Cluster size ``N``."""
         return int(self._release.size)
+
+    @property
+    def epoch(self) -> int:
+        """Availability epoch: bumped by every mutation of the hold vector.
+
+        The optimized admission engines
+        (:mod:`repro.core.fastpath` / :mod:`repro.core.batchpath`) key
+        their prefix checkpoints on ``(identity, epoch)``: a checkpoint
+        taken against this object at epoch ``e`` is trivially valid while
+        the epoch still reads ``e``, because :meth:`assign` (dispatch),
+        :meth:`release_early` (eager release / actual completion) and
+        :meth:`floor_release` (fault outage) each advance it.  Fault
+        windows, displacement and re-admission therefore invalidate
+        checkpoints through the same counter without any engine-specific
+        hook.
+        """
+        return self._epoch
 
     @property
     def release_times(self) -> "NDArray[np.float64]":
@@ -126,6 +145,7 @@ class NodeReservations:
             )
         self._release[ids] = until
         self._owner[ids] = self.NO_OWNER if owner is None else owner
+        self._epoch += 1
 
     def release_early(
         self,
@@ -161,6 +181,7 @@ class NodeReservations:
                 return
         self._release[ids] = np.minimum(self._release[ids], t)
         self._owner[ids] = self.NO_OWNER
+        self._epoch += 1
 
     def floor_release(self, node_ids: Iterable[int], until: float) -> None:
         """Raise holds to at least ``until`` (a fault outage).
@@ -183,6 +204,7 @@ class NodeReservations:
             )
         self._release[ids] = np.maximum(self._release[ids], until)
         self._owner[ids] = self.NO_OWNER
+        self._epoch += 1
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"NodeReservations({self._release.tolist()})"

@@ -177,8 +177,21 @@ def capture_calls(scenario, algorithm: str, *, fleet: bool):
     return capture_cluster_calls(scenario, algorithm)
 
 
-def build_tests(scenario, algorithm: str, engine: str, fleet: bool, *, obs=None):
-    """Fresh engine instances for a replay (one per fleet member)."""
+def build_tests(
+    scenario,
+    algorithm: str,
+    engine: str,
+    fleet: bool,
+    *,
+    obs=None,
+    checkpoint: bool = True,
+):
+    """Fresh engine instances for a replay (one per fleet member).
+
+    ``checkpoint=False`` builds the optimized engines with the
+    prefix-checkpoint store disabled — the ablation axis of the
+    deep-queue benchmark panel (decisions are identical either way).
+    """
     if not fleet:
         instance = make_algorithm(algorithm, rng=scenario.algorithm_rng())
         return [
@@ -188,6 +201,7 @@ def build_tests(scenario, algorithm: str, engine: str, fleet: bool, *, obs=None)
                 scenario.cluster,
                 engine=engine,
                 obs=obs,
+                checkpoint=checkpoint,
             )
         ]
     tests = []
@@ -201,13 +215,22 @@ def build_tests(scenario, algorithm: str, engine: str, fleet: bool, *, obs=None)
                 member.cluster,
                 engine=engine,
                 obs=obs,
+                checkpoint=checkpoint,
             )
         )
     return tests
 
 
 def replay_calls(
-    scenario, algorithm: str, engine: str, calls, *, reps=2, fleet=False, obs=None
+    scenario,
+    algorithm: str,
+    engine: str,
+    calls,
+    *,
+    reps=2,
+    fleet=False,
+    obs=None,
+    checkpoint=True,
 ):
     """Replay a captured call stream through ``engine``; best-of-``reps``.
 
@@ -223,7 +246,9 @@ def replay_calls(
     best = float("inf")
     outcomes = None
     for _ in range(reps):
-        tests = build_tests(scenario, algorithm, engine, fleet, obs=obs)
+        tests = build_tests(
+            scenario, algorithm, engine, fleet, obs=obs, checkpoint=checkpoint
+        )
         probes = [getattr(t, "probe_completion", None) for t in tests]
         start = time.perf_counter()
         got = []
@@ -254,26 +279,37 @@ def profile_admission(
     engines: tuple[str, ...] = ("fast", "batch"),
     reps: int = 2,
     fleet: bool = False,
+    checkpoint: bool = True,
 ) -> dict[str, Any]:
     """Capture one call stream and profile each engine's replay of it.
 
     Per engine: an *untimed-hooks* replay measures honest decisions/sec
     (best of ``reps``), then one extra replay with a
-    :class:`PhaseProfile` attached breaks the time into kernel phases.
+    :class:`PhaseProfile` attached breaks the time into kernel phases
+    (including ``prefix_restore``, the checkpoint replay cost).
     Engines without phase hooks (``reference``) report timing only.
     All engines' outcome streams are asserted identical.
+    ``checkpoint=False`` profiles the optimized engines with the
+    prefix-checkpoint store ablated.
     """
     calls, _output = capture_calls(scenario, algorithm, fleet=fleet)
     report: dict[str, Any] = {
         "algorithm": algorithm,
         "fleet": fleet,
         "calls": len(calls),
+        "checkpoint": checkpoint,
         "engines": {},
     }
     reference_outcomes = None
     for engine in engines:
         seconds, outcomes = replay_calls(
-            scenario, algorithm, engine, calls, reps=reps, fleet=fleet
+            scenario,
+            algorithm,
+            engine,
+            calls,
+            reps=reps,
+            fleet=fleet,
+            checkpoint=checkpoint,
         )
         if reference_outcomes is None:
             reference_outcomes = outcomes
@@ -282,7 +318,9 @@ def profile_admission(
                 f"{engine}: decision stream diverged from {engines[0]}"
             )
         profile = PhaseProfile()
-        tests = build_tests(scenario, algorithm, engine, fleet)
+        tests = build_tests(
+            scenario, algorithm, engine, fleet, checkpoint=checkpoint
+        )
         hooked = False
         for test in tests:
             if hasattr(test, "profile"):

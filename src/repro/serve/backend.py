@@ -35,7 +35,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.core.algorithms import make_algorithm
-from repro.core.errors import InvalidParameterError
+from repro.core.errors import InvalidParameterError, ReproError
 from repro.core.task import DivisibleTask, TaskOutcome
 from repro.fleet.scenario import FleetScenario
 from repro.fleet.sim import FleetSimulation
@@ -147,6 +147,26 @@ class ClusterBackend:
         self.sim.advance_to(task.arrival)
         return {**_decision_fields(self.sim, task.task_id), "member": None}
 
+    def submit_many(
+        self, tasks: list[DivisibleTask]
+    ) -> list[dict[str, Any] | ReproError]:
+        """Admit a coalesced run of merged arrivals in one backend pass.
+
+        Semantically identical to calling :meth:`submit` once per task in
+        order — same per-task submit-then-advance step, same decisions.
+        A per-task :class:`ReproError` becomes that slot's return value,
+        exactly as serial dispatch reported it per request, so one bad
+        task cannot void its batchmates' decisions.
+        """
+        results: list[dict[str, Any] | ReproError] = []
+        submit = self.submit
+        for task in tasks:
+            try:
+                results.append(submit(task))
+            except ReproError as exc:
+                results.append(exc)
+        return results
+
     def probe(self, task: DivisibleTask) -> dict[str, Any]:
         """Advisory what-if admission (no commitment, no clock advance)."""
         est = _probe_cluster(self.sim, task)
@@ -225,6 +245,23 @@ class FleetBackend:
             **_decision_fields(self.sim.sims[index], task.task_id),
             "member": index,
         }
+
+    def submit_many(
+        self, tasks: list[DivisibleTask]
+    ) -> list[dict[str, Any] | ReproError]:
+        """Admit a coalesced run of merged arrivals in one backend pass.
+
+        Same contract as :meth:`ClusterBackend.submit_many`: per-task
+        route-and-admit in merged order, per-task errors in-slot.
+        """
+        results: list[dict[str, Any] | ReproError] = []
+        submit = self.submit
+        for task in tasks:
+            try:
+                results.append(submit(task))
+            except ReproError as exc:
+                results.append(exc)
+        return results
 
     def probe(self, task: DivisibleTask) -> dict[str, Any]:
         """Advisory what-if admission against every member.

@@ -20,6 +20,17 @@ an *open stream* (explicit ``stream_open``, or implicit on its first
    stream has a ``submit`` at its head (or has ended); among the heads,
    the one with the smallest ``(arrival, task_id)`` wins.
 
+Submissions released at the same watermark are **coalesced**: once the
+barrier holds, the dispatcher keeps popping the smallest head for as
+long as every open stream still shows a ``submit`` at its head, and
+hands the whole run to the backend as one ``submit_many`` pass.  The
+batch boundary is exactly where the serial loop would have stopped
+submitting (a control surfaced, or a queue ran dry), so the merged
+order — and therefore every decision — is identical to one-at-a-time
+dispatch; what coalescing saves is the per-submit barrier re-scan and
+one response write+drain per request (batched frames, one drain per
+connection per batch).
+
 The merged submission order therefore depends only on the tasks
 themselves, never on network timing — N clients replaying disjoint
 shards of a trace produce the exact submission sequence of one client
@@ -36,6 +47,7 @@ successful ``finalize``; a ``shutdown`` request stops it on demand.
 from __future__ import annotations
 
 import asyncio
+import heapq
 import threading
 from collections import deque
 from time import perf_counter
@@ -55,6 +67,10 @@ from repro.serve.protocol import (
 __all__ = ["AdmissionServer", "BackgroundServer"]
 
 _HEADER_SIZE = 5  # codec byte + 4-byte length
+
+#: Bucket bounds for the coalesced-batch-size histogram (batch sizes are
+#: small integers; the top bucket catches wide-open 16-client barriers).
+_BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
 
 
 class _Connection:
@@ -119,6 +135,16 @@ class AdmissionServer:
             "Wall-clock time spent handling each request.",
             wall=True,
         )
+        self._batch_sizes = self.obs.registry.histogram(
+            "serve_coalesced_batch_size",
+            _BATCH_SIZE_BUCKETS,
+            "Submissions dispatched per coalesced backend pass.",
+            wall=True,
+        )
+        #: Per-op request counters, resolved once — the get-or-create
+        #: registry lookup (name mangling + type check) is too slow for
+        #: the per-submit hot path.
+        self._op_counters: dict[str, Any] = {}
         #: Monotone logical clock for serve-side trace timestamps (the
         #: service has no simulation clock of its own).
         self._trace_clock = 0
@@ -226,15 +252,28 @@ class AdmissionServer:
             except OSError:  # pragma: no cover - already torn down
                 pass
 
-    async def _send(self, conn: _Connection, message: dict[str, Any]) -> None:
-        """Write one response frame (no-op once the peer is gone)."""
+    def _write(self, conn: _Connection, message: dict[str, Any]) -> None:
+        """Buffer one response frame (no-op once the peer is gone)."""
         if conn.closed:
             return
         try:
             conn.writer.write(encode_frame(message, conn.codec))
+        except (ConnectionError, OSError):  # pragma: no cover - peer races
+            conn.closed = True
+
+    async def _flush(self, conn: _Connection) -> None:
+        """Drain a connection's buffered frames to the transport."""
+        if conn.closed:
+            return
+        try:
             await conn.writer.drain()
         except (ConnectionError, OSError):  # pragma: no cover - peer races
             conn.closed = True
+
+    async def _send(self, conn: _Connection, message: dict[str, Any]) -> None:
+        """Write one response frame and drain it immediately."""
+        self._write(conn, message)
+        await self._flush(conn)
 
     # -- dispatcher ---------------------------------------------------------
     async def _dispatch_loop(self) -> None:
@@ -281,19 +320,36 @@ class AdmissionServer:
                 if c.queue and c.queue[0].get("op") == "submit"
             ]
             if open_conns and len(heads) == len(open_conns):
-                conn = min(heads, key=self._submit_key)
-                await self._handle_submit(conn, conn.queue.popleft())
+                # Coalesce: keep popping the smallest head while every
+                # open stream still has a submit at its head — exactly
+                # the run of submissions the serial loop would dispatch
+                # back to back, in the identical merged order.  A heap
+                # over the heads makes each pop O(log clients); the index
+                # tie-breaker can never decide a winner ((arrival,
+                # task_id) keys are unique) — it only keeps the heap from
+                # ever comparing two _Connection objects.
+                merge: list[tuple[float, int, int, _Connection]] = []
+                for index, conn in enumerate(heads):
+                    task = conn.queue[0]["task"]
+                    merge.append((task.arrival, task.task_id, index, conn))
+                heapq.heapify(merge)
+                batch: list[tuple[_Connection, dict[str, Any]]] = []
+                while True:
+                    _, _, index, conn = merge[0]
+                    batch.append((conn, conn.queue.popleft()))
+                    head = conn.queue[0] if conn.queue else None
+                    if head is None or head.get("op") != "submit":
+                        break
+                    task = head["task"]
+                    heapq.heapreplace(
+                        merge, (task.arrival, task.task_id, index, conn)
+                    )
+                await self._handle_submit_batch(batch)
                 did = True
             if not did:
                 return progressed
             progressed = True
         return progressed
-
-    @staticmethod
-    def _submit_key(conn: _Connection) -> tuple[float, int]:
-        """Client-independent merge key of a head submission."""
-        task = conn.queue[0]["task"]
-        return (task.arrival, task.task_id)
 
     def merged_metrics(self) -> dict[str, Any]:
         """One flat snapshot: backend simulation metrics plus the server's.
@@ -312,39 +368,62 @@ class AdmissionServer:
 
     def _finish_request(self, op: str, started: float) -> None:
         """Count one handled request and record its wall-clock latency."""
-        self.obs.registry.counter(
-            "serve_requests_total",
-            "Requests handled, by operation.",
-            labels={"op": op},
-        ).inc()
+        counter = self._op_counters.get(op)
+        if counter is None:
+            counter = self.obs.registry.counter(
+                "serve_requests_total",
+                "Requests handled, by operation.",
+                labels={"op": op},
+            )
+            self._op_counters[op] = counter
+        counter.inc()
         self._latency.observe(perf_counter() - started)
 
-    async def _handle_submit(
-        self, conn: _Connection, request: dict[str, Any]
+    async def _handle_submit_batch(
+        self, batch: list[tuple[_Connection, dict[str, Any]]]
     ) -> None:
-        """Run one merged submission through the backend."""
-        seq = request.get("seq")
+        """Run one coalesced run of merged submissions through the backend.
+
+        The batch is already in merged ``(arrival, task_id)`` order; the
+        backend applies each submission with the identical per-task step
+        serial dispatch used, so decisions are unchanged.  Responses are
+        buffered per connection and drained once per connection — the
+        other half of the coalescing win.
+        """
         started = perf_counter()
         tracer = self.obs.tracer
         self._trace_clock += 1
-        try:
-            if tracer is None:
-                result = self.backend.submit(request["task"])
-            else:
-                with tracer.span(
-                    "serve.submit",
-                    "serve",
-                    float(self._trace_clock),
-                    seq=seq,
-                    task=request["task"].task_id,
-                ):
-                    result = self.backend.submit(request["task"])
-        except ReproError as exc:
+        tasks = [request["task"] for _conn, request in batch]
+        if tracer is None:
+            results = self.backend.submit_many(tasks)
+        else:
+            with tracer.span(
+                "serve.submit_batch",
+                "serve",
+                float(self._trace_clock),
+                size=len(batch),
+                first_task=tasks[0].task_id,
+            ):
+                results = self.backend.submit_many(tasks)
+        self._batch_sizes.observe(float(len(batch)))
+        pending: list[_Connection] = []
+        for (conn, request), result in zip(batch, results):
+            seq = request.get("seq")
             self._finish_request("submit", started)
-            await self._send_error(conn, seq, exc)
-            return
-        self._finish_request("submit", started)
-        await self._send(conn, {"seq": seq, "ok": True, **result})
+            if isinstance(result, ReproError):
+                message: dict[str, Any] = {
+                    "seq": seq,
+                    "ok": False,
+                    "error": str(result),
+                    "error_type": type(result).__name__,
+                }
+            else:
+                message = {"seq": seq, "ok": True, **result}
+            self._write(conn, message)
+            if conn not in pending:
+                pending.append(conn)
+        for conn in pending:
+            await self._flush(conn)
 
     async def _handle_control(
         self, conn: _Connection, request: dict[str, Any]

@@ -177,6 +177,124 @@ class TestDirectDecisions:
         )
 
 
+class TestCheckpointInvalidation:
+    """The prefix-checkpoint store is invisible in decisions.
+
+    A random interleaving of admissions, dispatches (``assign``), early
+    releases, fault floors (``floor_release``), cancellations and clock
+    jumps drives the same engine instance three ways — checkpointed,
+    checkpoint-ablated, and reference — and every decision must agree
+    exactly.  This is the direct stress of the invalidation matrix: every
+    mutation bumps the reservation epoch, every cancel/insert reshapes
+    the queue prefix, and a stale restore anywhere would change a
+    decision bit somewhere downstream.
+    """
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        engine=st.sampled_from(OPTIMIZED_ENGINES),
+        fifo=st.booleans(),
+        spread=st.sampled_from([0.0, 0.8]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_mutation_stream_bit_identical(
+        self, seed, engine, fifo, spread
+    ):
+        rng = np.random.default_rng(seed)
+        nodes = int(rng.integers(4, 9))
+        cluster = ClusterProfile.with_spread(
+            nodes, 1.0, 100.0, speed_spread=spread
+        )
+        policy = FifoPolicy() if fifo else EdfPolicy()
+        partitioner = DltIitPartitioner()
+        from repro.obs import Observability
+
+        obs = Observability()
+        reference = SchedulabilityTest(policy, partitioner, cluster)
+        ckpt_on = make_admission_test(
+            policy, partitioner, cluster, engine=engine, obs=obs, checkpoint=True
+        )
+        ckpt_off = make_admission_test(
+            policy, partitioner, cluster, engine=engine, checkpoint=False
+        )
+        reservations = NodeReservations(nodes)
+        waiting: list[DivisibleTask] = []
+        now = 0.0
+        next_id = 0
+
+        def admit(task: DivisibleTask) -> None:
+            ref = reference.try_admit(task, waiting, reservations, now)
+            assert ckpt_on.try_admit(task, waiting, reservations, now) == ref
+            assert ckpt_off.try_admit(task, waiting, reservations, now) == ref
+            if rng.random() < 0.3:
+                    # probe→submit: the identical immediate re-ask
+                assert (
+                    ckpt_on.try_admit(task, waiting, reservations, now) == ref
+                )
+            if ref.accepted:
+                plan = ref.plans[task.task_id]
+                if rng.random() < 0.3:
+                    # dispatch: commit the newcomer's reservation
+                    reservations.assign(
+                        plan.node_ids, plan.est_completion, owner=task.task_id
+                    )
+                else:
+                    waiting.append(task)
+
+        # Warm-up: generous deadlines on a free cluster build a real
+        # waiting queue, so every example exercises prefix restores (not
+        # just cold walks) before the mutations start tearing them up.
+        for _ in range(8):
+            sigma = float(rng.uniform(50.0, 200.0))
+            admit(
+                DivisibleTask(
+                    task_id=next_id, arrival=now, sigma=sigma,
+                    deadline=80.0 * sigma,
+                )
+            )
+            next_id += 1
+        for _ in range(50):
+            action = rng.random()
+            if action < 0.5:
+                sigma = float(rng.uniform(20.0, 400.0))
+                admit(
+                    DivisibleTask(
+                        task_id=next_id,
+                        arrival=now,
+                        sigma=sigma,
+                        deadline=float(rng.uniform(4.0, 60.0)) * sigma,
+                    )
+                )
+                next_id += 1
+            elif action < 0.65:
+                # completion / eager release of random nodes
+                ids = rng.choice(
+                    nodes, size=int(rng.integers(1, nodes + 1)), replace=False
+                )
+                times = reservations.release_times[ids] * float(
+                    rng.uniform(0.3, 1.0)
+                )
+                reservations.release_early(ids.tolist(), times.tolist())
+            elif action < 0.75:
+                # fault window: floor random nodes at a recovery instant
+                ids = rng.choice(
+                    nodes, size=int(rng.integers(1, nodes + 1)), replace=False
+                )
+                reservations.floor_release(
+                    ids.tolist(), now + float(rng.uniform(10.0, 500.0))
+                )
+            elif action < 0.85 and waiting:
+                # cancellation / displacement: drop a random queue member
+                waiting.pop(int(rng.integers(len(waiting))))
+            else:
+                now += float(rng.uniform(0.0, 150.0))
+        # The stream must actually have exercised the restore path — the
+        # warm-up guarantees same-epoch prefix hits in every example.
+        snap = obs.registry.snapshot()
+        hits = snap[f'admission_ckpt_hits_total{{engine="{engine}"}}']["value"]
+        assert hits >= 3, "checkpoint restore path was never exercised"
+
+
 class TestFleetBitIdentical:
     @given(
         seed=st.integers(min_value=0, max_value=10_000),

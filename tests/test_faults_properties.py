@@ -265,6 +265,38 @@ class TestEnginesAgreeUnderFaults:
             )
 
 
+class TestCheckpointsUnderFaults:
+    """The prefix-checkpoint store never serves a stale prefix.
+
+    Outages displace committed work, re-admission replays it through the
+    very walks the checkpoint store accelerates, and recovery floors
+    mutate availability between walks — the exact sequence that would
+    expose a checkpoint keyed on out-of-date reservation state.  Any
+    stale restore would change a decision bit against the reference
+    engine, so bit-identity under a displacement-heavy plan *is* the
+    freshness proof.  An overloaded stream keeps the waiting queue deep
+    (checkpoints actually restoring, on both policy orders) rather than
+    letting every walk run cold.
+    """
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        algorithm=st.sampled_from(["EDF-DLT", "FIFO-DLT"]),
+        engine=st.sampled_from(("fast", "batch")),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_checkpoints_never_serve_a_stale_prefix(
+        self, seed, algorithm, engine
+    ):
+        faulted = scenario(seed, load=3.0).with_overrides(
+            faults=FaultProcess(rate=2e-3, kinds=("node_down", "blackout"))
+        )
+        reference = simulate(faulted, algorithm, admission_engine="reference")
+        assert_identical_runs(
+            reference, simulate(faulted, algorithm, admission_engine=engine)
+        )
+
+
 class TestDisplacementInvariants:
     """Property (c), part 2: outage bookkeeping is conserved and honest."""
 

@@ -359,6 +359,7 @@ class TestProfiler:
         assert {row["phase"] for row in report["engines"]["fast"]["phases"]} == {
             "queue_order",
             "kernel_place",
+            "prefix_restore",
         }
         assert report["engines"]["reference"]["phases"] == []
 
